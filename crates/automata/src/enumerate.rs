@@ -1,0 +1,241 @@
+//! Bounded enumeration of regular tree languages.
+//!
+//! The paper notes (Section 3.3) that one can enumerate all trees generated
+//! by a regular tree grammar at amortized polynomial cost. Here we provide
+//! the bounded variant used by the exhaustive typechecking cross-validator:
+//! all accepted trees of depth ≤ `max_depth`, capped at `limit`.
+
+use crate::nta::Nta;
+use crate::state::State;
+use xmltc_trees::{BinaryTree, FxHashSet};
+
+/// Enumerates distinct trees in `inst(a)` of depth at most `max_depth`, in
+/// nondecreasing depth order, returning at most `limit` trees.
+///
+/// Per-state intermediate pools are also capped at `limit` trees, so the
+/// result is exhaustive only when no pool overflows; for the small bounds
+/// used in testing this is exhaustive.
+pub fn trees_up_to(a: &Nta, max_depth: usize, limit: usize) -> Vec<BinaryTree> {
+    let n = a.n_states() as usize;
+    // pool[q] = distinct trees reaching state q, found so far.
+    let mut pool: Vec<Vec<BinaryTree>> = vec![Vec::new(); n];
+    let mut seen: Vec<FxHashSet<BinaryTree>> = vec![FxHashSet::default(); n];
+    let mut accepted: Vec<BinaryTree> = Vec::new();
+    let mut accepted_seen: FxHashSet<BinaryTree> = FxHashSet::default();
+
+    // Depth 1: leaves.
+    for (sym, q) in a.leaf_transitions() {
+        let t = BinaryTree::singleton(sym, a.alphabet()).expect("leaf symbol");
+        add(&mut pool, &mut seen, q, t, limit);
+    }
+    collect_accepted(a, &pool, &mut accepted, &mut accepted_seen, limit);
+
+    for _depth in 2..=max_depth {
+        if accepted.len() >= limit {
+            break;
+        }
+        // One round: fire every transition over current pools.
+        let mut fresh: Vec<(State, BinaryTree)> = Vec::new();
+        for (sym, q1, q2, q) in a.node_transitions() {
+            if pool[q.index()].len() >= limit {
+                continue;
+            }
+            for t1 in &pool[q1.index()] {
+                for t2 in &pool[q2.index()] {
+                    let t = BinaryTree::graft(sym, t1, t2).expect("same alphabet");
+                    fresh.push((q, t));
+                }
+            }
+        }
+        let mut changed = false;
+        for (q, t) in fresh {
+            changed |= add(&mut pool, &mut seen, q, t, limit);
+        }
+        collect_accepted(a, &pool, &mut accepted, &mut accepted_seen, limit);
+        if !changed {
+            break; // fixpoint below the depth bound
+        }
+    }
+    accepted.truncate(limit);
+    accepted
+}
+
+/// Counts accepted trees of each depth `1..=max_depth` (saturating at
+/// `u128::MAX`). Useful for comparing language sizes without
+/// materializing trees — e.g. the number of DTD-valid documents per size.
+///
+/// **Counts accepting runs**: exact for *deterministic* automata (pass
+/// through [`crate::Nta::determinize`] first when in doubt); a
+/// nondeterministic automaton may count a tree once per accepting run.
+pub fn count_trees(a: &Nta, max_depth: usize) -> Vec<u128> {
+    let n = a.n_states() as usize;
+    // exact[d][q] = number of trees of depth exactly d reaching q.
+    let mut exact: Vec<Vec<u128>> = Vec::with_capacity(max_depth + 1);
+    exact.push(vec![0; n]); // depth 0: none
+    // upto[q] = trees of depth ≤ current.
+    let mut result = Vec::with_capacity(max_depth);
+    for depth in 1..=max_depth {
+        let mut row = vec![0u128; n];
+        if depth == 1 {
+            for (_, q) in a.leaf_transitions() {
+                row[q.index()] = row[q.index()].saturating_add(1);
+            }
+        } else {
+            // A tree of depth exactly d combines children with
+            // max(d1, d2) = d - 1.
+            let upto_prev: Vec<u128> = (0..n)
+                .map(|q| exact.iter().map(|r| r[q]).fold(0u128, u128::saturating_add))
+                .collect();
+            let exact_prev = &exact[depth - 1];
+            for (_, q1, q2, q) in a.node_transitions() {
+                let a1 = exact_prev[q1.index()];
+                let a2 = exact_prev[q2.index()];
+                let u1 = upto_prev[q1.index()];
+                let u2 = upto_prev[q2.index()];
+                // exact·upto + upto·exact − exact·exact (inclusion-exclusion)
+                let combos = a1
+                    .saturating_mul(u2)
+                    .saturating_add(u1.saturating_mul(a2))
+                    .saturating_sub(a1.saturating_mul(a2));
+                row[q.index()] = row[q.index()].saturating_add(combos);
+            }
+        }
+        exact.push(row);
+        let total: u128 = a
+            .finals()
+            .iter()
+            .map(|q| exact[depth][q.index()])
+            .fold(0u128, u128::saturating_add);
+        result.push(total);
+    }
+    result
+}
+
+fn add(
+    pool: &mut [Vec<BinaryTree>],
+    seen: &mut [FxHashSet<BinaryTree>],
+    q: State,
+    t: BinaryTree,
+    limit: usize,
+) -> bool {
+    if pool[q.index()].len() >= limit || seen[q.index()].contains(&t) {
+        return false;
+    }
+    seen[q.index()].insert(t.clone());
+    pool[q.index()].push(t);
+    true
+}
+
+fn collect_accepted(
+    a: &Nta,
+    pool: &[Vec<BinaryTree>],
+    accepted: &mut Vec<BinaryTree>,
+    accepted_seen: &mut FxHashSet<BinaryTree>,
+    limit: usize,
+) {
+    for q in a.finals().iter() {
+        for t in &pool[q.index()] {
+            if accepted.len() >= limit {
+                return;
+            }
+            if accepted_seen.insert(t.clone()) {
+                accepted.push(t.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xmltc_trees::Alphabet;
+
+    fn alpha() -> Arc<Alphabet> {
+        Alphabet::ranked(&["x", "y"], &["f"])
+    }
+
+    /// All trees over {x, f}.
+    fn all_x(al: &Arc<Alphabet>) -> Nta {
+        let x = al.get("x").unwrap();
+        let f = al.get("f").unwrap();
+        let mut a = Nta::new(al, 1);
+        a.add_leaf(x, State(0));
+        a.add_node(f, State(0), State(0), State(0));
+        a.add_final(State(0));
+        a
+    }
+
+    #[test]
+    fn enumerates_all_small_trees() {
+        let al = alpha();
+        let a = all_x(&al);
+        let ts = trees_up_to(&a, 3, 100);
+        // depth ≤ 3 over {x, f}: x, f(x,x), f(x,f(x,x)), f(f(x,x),x),
+        // f(f(x,x),f(x,x)) = 5 trees.
+        assert_eq!(ts.len(), 5);
+        for t in &ts {
+            assert!(a.accepts(t).unwrap());
+            assert!(t.depth() <= 3);
+        }
+        // Distinctness.
+        let set: FxHashSet<_> = ts.iter().cloned().collect();
+        assert_eq!(set.len(), ts.len());
+    }
+
+    #[test]
+    fn respects_limit() {
+        let al = alpha();
+        let a = all_x(&al);
+        let ts = trees_up_to(&a, 5, 7);
+        assert_eq!(ts.len(), 7);
+    }
+
+    #[test]
+    fn empty_language_enumerates_nothing() {
+        let al = alpha();
+        let mut a = Nta::new(&al, 1);
+        a.add_final(State(0)); // no transitions: nothing reaches state 0
+        assert!(trees_up_to(&a, 4, 10).is_empty());
+    }
+
+    #[test]
+    fn counting_matches_enumeration() {
+        let al = alpha();
+        let a = all_x(&al).determinize().to_nta();
+        let counts = count_trees(&a, 4);
+        // Trees over {x, f}: depth 1: 1 (x); depth 2: 1 (f(x,x));
+        // depth 3: 4 - wait, depth exactly 3: f with at least one child of
+        // depth 2: combos = 1·2 + 2·1 − 1·1 = 3; depth 4: children up to
+        // depth 3 (5 each) with at least one exactly-3: 3·5+5·3−3·3 = 21.
+        assert_eq!(counts, vec![1, 1, 3, 21]);
+        // Cross-check against explicit enumeration (cumulative).
+        for d in 1..=4usize {
+            let enumerated = trees_up_to(&a, d, 1_000_000);
+            let total: u128 = counts[..d].iter().sum();
+            assert_eq!(enumerated.len() as u128, total, "depth {d}");
+        }
+    }
+
+    #[test]
+    fn counting_saturates_not_panics() {
+        // The full binary language explodes doubly exponentially; counting
+        // to depth 12 must not overflow.
+        let al = alpha();
+        let a = all_x(&al).determinize().to_nta();
+        let counts = count_trees(&a, 12);
+        assert_eq!(counts.len(), 12);
+        assert!(counts[6] > counts[5]);
+        // Far depths saturate rather than overflowing.
+        assert!(counts[11] >= counts[10]);
+    }
+
+    #[test]
+    fn depth_one_only_leaves() {
+        let al = alpha();
+        let a = all_x(&al);
+        let ts = trees_up_to(&a, 1, 10);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].to_string(), "x");
+    }
+}

@@ -1,0 +1,165 @@
+//! Automaton states and canonical state sets.
+
+use std::fmt;
+
+/// An automaton state: a dense index, local to its automaton.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct State(pub u32);
+
+impl State {
+    /// The index as usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A canonical (sorted, deduplicated) set of states, usable as a hash key
+/// in subset constructions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct StateSet(Vec<State>);
+
+impl StateSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        StateSet(Vec::new())
+    }
+
+    /// Builds from an arbitrary iterator, canonicalizing.
+    pub fn from_iter_canon(iter: impl IntoIterator<Item = State>) -> Self {
+        let mut v: Vec<State> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        StateSet(v)
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, q: State) -> bool {
+        self.0.binary_search(&q).is_ok()
+    }
+
+    /// Inserts a state, keeping canonical order. Returns true if inserted.
+    pub fn insert(&mut self, q: State) -> bool {
+        match self.0.binary_search(&q) {
+            Ok(_) => false,
+            Err(i) => {
+                self.0.insert(i, q);
+                true
+            }
+        }
+    }
+
+    /// Iterates in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = State> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// The underlying sorted slice.
+    pub fn as_slice(&self) -> &[State] {
+        &self.0
+    }
+
+    /// Merges another set into this one.
+    pub fn union_with(&mut self, other: &StateSet) {
+        if other.0.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.0.len() + other.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            use std::cmp::Ordering::*;
+            match self.0[i].cmp(&other.0[j]) {
+                Less => {
+                    merged.push(self.0[i]);
+                    i += 1;
+                }
+                Greater => {
+                    merged.push(other.0[j]);
+                    j += 1;
+                }
+                Equal => {
+                    merged.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.0[i..]);
+        merged.extend_from_slice(&other.0[j..]);
+        self.0 = merged;
+    }
+
+    /// True when the two sets intersect.
+    pub fn intersects(&self, other: &StateSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            use std::cmp::Ordering::*;
+            match self.0[i].cmp(&other.0[j]) {
+                Less => i += 1,
+                Greater => j += 1,
+                Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+impl FromIterator<State> for StateSet {
+    fn from_iter<T: IntoIterator<Item = State>>(iter: T) -> Self {
+        StateSet::from_iter_canon(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_construction() {
+        let s = StateSet::from_iter_canon([State(3), State(1), State(3), State(2)]);
+        assert_eq!(s.as_slice(), &[State(1), State(2), State(3)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = StateSet::new();
+        assert!(s.insert(State(5)));
+        assert!(s.insert(State(1)));
+        assert!(!s.insert(State(5)));
+        assert!(s.contains(State(1)));
+        assert!(!s.contains(State(2)));
+        assert_eq!(s.as_slice(), &[State(1), State(5)]);
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let mut a = StateSet::from_iter_canon([State(1), State(3)]);
+        let b = StateSet::from_iter_canon([State(2), State(3)]);
+        assert!(a.intersects(&b));
+        a.union_with(&b);
+        assert_eq!(a.as_slice(), &[State(1), State(2), State(3)]);
+        let c = StateSet::from_iter_canon([State(9)]);
+        assert!(!a.intersects(&c));
+        let empty = StateSet::new();
+        assert!(!a.intersects(&empty));
+        a.union_with(&empty);
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for tree automata: all operations must respect language
+//! semantics on randomly generated automata and trees.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xmltc_automata::{Nta, State};
+use xmltc_trees::{Alphabet, BinaryTree};
+
+fn alpha() -> Arc<Alphabet> {
+    Alphabet::ranked(&["x", "y"], &["f", "g"])
+}
+
+#[derive(Debug, Clone)]
+struct RawNta {
+    n_states: u32,
+    leaf: Vec<(u8, u32)>,           // (leaf symbol idx, state)
+    node: Vec<(u8, u32, u32, u32)>, // (binary symbol idx, q1, q2, q)
+    finals: Vec<u32>,
+}
+
+fn arb_nta(max_states: u32) -> impl Strategy<Value = RawNta> {
+    (1..=max_states).prop_flat_map(move |n| {
+        let leaf = prop::collection::vec((0..2u8, 0..n), 0..6);
+        let node = prop::collection::vec((0..2u8, 0..n, 0..n, 0..n), 0..10);
+        let finals = prop::collection::vec(0..n, 0..=n as usize);
+        (Just(n), leaf, node, finals).prop_map(|(n_states, leaf, node, finals)| RawNta {
+            n_states,
+            leaf,
+            node,
+            finals,
+        })
+    })
+}
+
+fn build(raw: &RawNta, al: &Arc<Alphabet>) -> Nta {
+    let leaves = al.leaves();
+    let bins = al.binaries();
+    let mut a = Nta::new(al, raw.n_states);
+    for &(s, q) in &raw.leaf {
+        a.add_leaf(leaves[s as usize], State(q));
+    }
+    for &(s, q1, q2, q) in &raw.node {
+        a.add_node(bins[s as usize], State(q1), State(q2), State(q));
+    }
+    for &q in &raw.finals {
+        a.add_final(State(q));
+    }
+    a
+}
+
+fn arb_tree(al: Arc<Alphabet>) -> impl Strategy<Value = BinaryTree> {
+    let leaf = prop::sample::select(vec!["x", "y"]);
+    let expr = leaf.prop_map(String::from).prop_recursive(3, 16, 2, |inner| {
+        (
+            prop::sample::select(vec!["f", "g"]),
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(s, l, r)| format!("{s}({l}, {r})"))
+    });
+    expr.prop_map(move |src| BinaryTree::parse(&src, &al).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn determinize_preserves_membership(raw in arb_nta(4), t in arb_tree(alpha())) {
+        let al = t.alphabet().clone();
+        let a = build(&raw, &al);
+        let d = a.determinize();
+        prop_assert_eq!(d.accepts(&t).unwrap(), a.accepts(&t).unwrap());
+    }
+
+    #[test]
+    fn complement_flips_membership(raw in arb_nta(4), t in arb_tree(alpha())) {
+        let al = t.alphabet().clone();
+        let a = build(&raw, &al);
+        let c = a.complement();
+        prop_assert_eq!(c.accepts(&t).unwrap(), !a.accepts(&t).unwrap());
+    }
+
+    #[test]
+    fn boolean_operation_laws(r1 in arb_nta(3), r2 in arb_nta(3), t in arb_tree(alpha())) {
+        let al = t.alphabet().clone();
+        let a = build(&r1, &al);
+        let b = build(&r2, &al);
+        let in_a = a.accepts(&t).unwrap();
+        let in_b = b.accepts(&t).unwrap();
+        prop_assert_eq!(a.intersect(&b).accepts(&t).unwrap(), in_a && in_b);
+        prop_assert_eq!(a.union(&b).accepts(&t).unwrap(), in_a || in_b);
+    }
+
+    #[test]
+    fn witness_is_accepted(raw in arb_nta(4)) {
+        let al = alpha();
+        let a = build(&raw, &al);
+        match a.witness() {
+            Some(w) => prop_assert!(a.accepts(&w).unwrap()),
+            None => prop_assert!(a.is_empty()),
+        }
+    }
+
+    #[test]
+    fn trim_preserves_language(raw in arb_nta(4), t in arb_tree(alpha())) {
+        let al = t.alphabet().clone();
+        let a = build(&raw, &al);
+        let trimmed = a.trim();
+        prop_assert_eq!(trimmed.accepts(&t).unwrap(), a.accepts(&t).unwrap());
+        prop_assert!(trimmed.n_states() <= a.n_states());
+    }
+
+    #[test]
+    fn tdta_conversion_preserves_language(raw in arb_nta(4), t in arb_tree(alpha())) {
+        let al = t.alphabet().clone();
+        let a = build(&raw, &al);
+        let td = a.to_tdta();
+        prop_assert_eq!(td.accepts(&t).unwrap(), a.accepts(&t).unwrap());
+        // And back.
+        let back = td.to_nta();
+        prop_assert_eq!(back.accepts(&t).unwrap(), a.accepts(&t).unwrap());
+    }
+
+    #[test]
+    fn minimize_preserves_language(raw in arb_nta(3), t in arb_tree(alpha())) {
+        let al = t.alphabet().clone();
+        let a = build(&raw, &al);
+        let d = a.determinize();
+        let m = d.minimize();
+        prop_assert_eq!(m.accepts(&t).unwrap(), a.accepts(&t).unwrap());
+        prop_assert!(m.n_states() <= d.complete().n_states());
+    }
+
+    #[test]
+    fn inclusion_is_sound(r1 in arb_nta(3), r2 in arb_nta(3), t in arb_tree(alpha())) {
+        let al = t.alphabet().clone();
+        let a = build(&r1, &al);
+        let b = build(&r2, &al);
+        if a.subset_of(&b) && a.accepts(&t).unwrap() {
+            prop_assert!(b.accepts(&t).unwrap());
+        }
+        if let Some(cex) = a.inclusion_counterexample(&b) {
+            prop_assert!(a.accepts(&cex).unwrap());
+            prop_assert!(!b.accepts(&cex).unwrap());
+        }
+    }
+
+    #[test]
+    fn enumeration_sound_and_complete(raw in arb_nta(3)) {
+        let al = alpha();
+        let a = build(&raw, &al);
+        let enumerated = xmltc_automata::enumerate::trees_up_to(&a, 3, 2000);
+        for t in &enumerated {
+            prop_assert!(a.accepts(t).unwrap());
+        }
+        // Spot-check completeness: the witness (if of depth ≤ 3) must be
+        // among the enumerated trees.
+        if let Some(w) = a.witness() {
+            if w.depth() <= 3 {
+                prop_assert!(enumerated.contains(&w));
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! E2/E3 — Proposition 3.8: the output-language automaton of a fixed
+//! transducer on input `t` is computable in PTIME in `|t|`, with state
+//! space `O(|t|^k)`; meanwhile the *materialized* output of Example 3.6's
+//! duplicator grows exponentially while its automaton stays polynomial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmltc_bench::{full_tree, ranked_alphabet};
+use xmltc_core::eval::{eval_with_limit, output_automaton};
+use xmltc_core::library;
+
+fn bench_prop38_scaling(c: &mut Criterion) {
+    let al = ranked_alphabet();
+    let copy = library::copy(&al).unwrap();
+
+    let mut group = c.benchmark_group("E2_prop38_copy_k1");
+    group.sample_size(10);
+    for depth in [4usize, 6, 8, 10] {
+        let t = full_tree(&al, depth);
+        group.bench_with_input(BenchmarkId::from_parameter(t.len()), &t, |b, t| {
+            b.iter(|| output_automaton(&copy, t).unwrap())
+        });
+    }
+    group.finish();
+
+    // Example 4.2's Q1 — a 3-pebble machine: configuration space O(n³).
+    let (q1, _) = xmltc_xmlql::query::example_q1();
+    let (trans, enc_in, _) = q1.compile().unwrap();
+    let doc_al = enc_in.source().clone();
+    let mut group = c.benchmark_group("E2_prop38_q1_k3");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let doc = xmltc_trees::generate::flat(
+            doc_al.get("root").unwrap(),
+            doc_al.get("a").unwrap(),
+            n,
+            &doc_al,
+        )
+        .unwrap();
+        let encoded = xmltc_trees::encode(&doc, &enc_in).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(encoded.len()), &encoded, |b, t| {
+            b.iter(|| output_automaton(&trans, t).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_exponential_output(c: &mut Criterion) {
+    let al = ranked_alphabet();
+    let (dup, _) = library::duplicator(&al).unwrap();
+
+    let mut group = c.benchmark_group("E3_duplicator");
+    group.sample_size(10);
+    for depth in [3usize, 5, 7] {
+        let t = full_tree(&al, depth);
+        // Materializing the exponential output…
+        group.bench_with_input(BenchmarkId::new("materialize", t.len()), &t, |b, t| {
+            b.iter(|| eval_with_limit(&dup, t, 200_000_000).unwrap())
+        });
+        // …vs the DAG-sized Prop 3.8 automaton.
+        group.bench_with_input(BenchmarkId::new("dag_automaton", t.len()), &t, |b, t| {
+            b.iter(|| output_automaton(&dup, t).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prop38_scaling, bench_exponential_output);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E6/E7 — Theorem 4.4 in practice: end-to-end typechecking cost for the
+//! Example 4.3 pipeline, exact (behaviour route) vs the forward-inference
+//! baseline, on passing and failing specs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmltc_bench::q2_fixture;
+use xmltc_typecheck::{typecheck, TypecheckOptions};
+
+fn bench_typecheck(c: &mut Criterion) {
+    let fx = q2_fixture();
+    let opts = TypecheckOptions::default();
+
+    let mut group = c.benchmark_group("E7_typecheck_q2");
+    group.sample_size(10);
+    group.bench_function("exact_mod3_pass", |b| {
+        b.iter(|| {
+            let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_mod3, &opts).unwrap();
+            assert!(out.is_ok());
+        })
+    });
+    group.bench_function("exact_coarse_pass", |b| {
+        b.iter(|| {
+            let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_coarse, &opts).unwrap();
+            assert!(out.is_ok());
+        })
+    });
+    group.bench_function("forward_coarse_pass", |b| {
+        b.iter(|| {
+            assert!(fx.forward_image.subset_of(&fx.tau2_coarse));
+        })
+    });
+    group.bench_function("forward_mod3_spurious_reject", |b| {
+        b.iter(|| {
+            assert!(!fx.forward_image.subset_of(&fx.tau2_mod3));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_typecheck);
+criterion_main!(benches);

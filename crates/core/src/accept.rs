@@ -1,0 +1,217 @@
+//! Acceptance for k-pebble automata via the Alternating Graph Accessibility
+//! Problem (AGAP) least fixpoint — the and/or configuration graph from the
+//! proof of Theorem 4.7.
+
+use crate::machine::{Config, PebbleAutomaton, StepResult};
+use std::collections::VecDeque;
+use xmltc_trees::{Alphabet, BinaryTree, FxHashMap, TreeError};
+
+/// Does the k-pebble automaton accept the tree?
+///
+/// Semantics (Definition 4.5): the initial configuration rewrites to the
+/// empty word — equivalently, the initial node of the and/or configuration
+/// graph is *accessible*: an or-choice among applicable rules where
+/// `branch0` is immediately accessible, a move is accessible when its
+/// target is, and `branch2` is accessible when **both** spawned
+/// configurations are. Computed as a least fixpoint with counters, linear
+/// in the size of the configuration graph (`O(|t|^k · |Q|)` nodes).
+pub fn accepts(a: &PebbleAutomaton, tree: &BinaryTree) -> Result<bool, TreeError> {
+    if !Alphabet::same(a.input_alphabet(), tree.alphabet()) {
+        return Err(TreeError::AlphabetMismatch);
+    }
+
+    // Phase 1: forward-explore reachable configurations; record each
+    // configuration's disjuncts (one per applicable rule), where a disjunct
+    // is the list of configurations that must *all* be accessible.
+    let mut index: FxHashMap<Config, usize> = FxHashMap::default();
+    let mut disjuncts: Vec<Vec<Vec<usize>>> = Vec::new();
+    let mut queue: VecDeque<Config> = VecDeque::new();
+
+    let init = a.core().initial_config(tree);
+    index.insert(init.clone(), 0);
+    disjuncts.push(Vec::new());
+    queue.push_back(init);
+
+    fn intern(
+        cfg: Config,
+        index: &mut FxHashMap<Config, usize>,
+        disjuncts: &mut Vec<Vec<Vec<usize>>>,
+        queue: &mut VecDeque<Config>,
+    ) -> usize {
+        if let Some(&i) = index.get(&cfg) {
+            return i;
+        }
+        let i = disjuncts.len();
+        index.insert(cfg.clone(), i);
+        disjuncts.push(Vec::new());
+        queue.push_back(cfg);
+        i
+    }
+
+    while let Some(cfg) = queue.pop_front() {
+        let i = index[&cfg];
+        for step in a.core().successors(tree, &cfg) {
+            let members = match step {
+                StepResult::Branch0 => Vec::new(),
+                StepResult::Moved(c) => {
+                    vec![intern(c, &mut index, &mut disjuncts, &mut queue)]
+                }
+                StepResult::Branch2(c1, c2) => {
+                    let i1 = intern(c1, &mut index, &mut disjuncts, &mut queue);
+                    let i2 = intern(c2, &mut index, &mut disjuncts, &mut queue);
+                    vec![i1, i2]
+                }
+                StepResult::Output0(..) | StepResult::Output2(..) => {
+                    unreachable!("automata have no output transitions")
+                }
+            };
+            disjuncts[i].push(members);
+        }
+    }
+
+    // Phase 2: least fixpoint with per-disjunct unsatisfied counters.
+    let n = disjuncts.len();
+    let mut value = vec![false; n];
+    // watchers[c] = (config, disjunct index) pairs containing c.
+    let mut watchers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    let mut pending: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut worklist: Vec<usize> = Vec::new();
+    for (c, ds) in disjuncts.iter().enumerate() {
+        pending[c] = ds.iter().map(Vec::len).collect();
+        for (d, members) in ds.iter().enumerate() {
+            if members.is_empty() && !value[c] {
+                value[c] = true;
+                worklist.push(c);
+            }
+            for &m in members {
+                watchers[m].push((c, d));
+            }
+        }
+    }
+    while let Some(c) = worklist.pop() {
+        for &(cfg, d) in &watchers[c] {
+            // A member may appear twice in one disjunct (branch2 into the
+            // same configuration) — decrement once per occurrence.
+            let occurrences = disjuncts[cfg][d].iter().filter(|&&m| m == c).count();
+            if pending[cfg][d] >= occurrences {
+                pending[cfg][d] -= occurrences;
+            }
+            if pending[cfg][d] == 0 && !value[cfg] {
+                value[cfg] = true;
+                worklist.push(cfg);
+            }
+        }
+    }
+    Ok(value[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{AutomatonBuilder, Guard, Move, SymSpec};
+    use std::sync::Arc;
+
+    fn alpha() -> Arc<Alphabet> {
+        Alphabet::ranked(&["x", "y"], &["f"])
+    }
+
+    fn t(al: &Arc<Alphabet>, s: &str) -> BinaryTree {
+        BinaryTree::parse(s, al).unwrap()
+    }
+
+    /// 1-pebble automaton: accepts iff some leaf is labeled `y`, by walking
+    /// depth-first.
+    fn some_y(al: &Arc<Alphabet>) -> PebbleAutomaton {
+        let y = al.get("y").unwrap();
+        let mut b = AutomatonBuilder::new(al, 1);
+        let q = b.state("search", 1).unwrap();
+        b.set_initial(q);
+        b.branch0(SymSpec::One(y), q, Guard::any()).unwrap();
+        b.move_rule(SymSpec::Binaries, q, Guard::any(), Move::DownLeft, q)
+            .unwrap();
+        b.move_rule(SymSpec::Binaries, q, Guard::any(), Move::DownRight, q)
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    /// 1-pebble automaton with branching: accepts iff *all* leaves are `x`
+    /// (and-alternation via branch2 at internal nodes).
+    fn all_x(al: &Arc<Alphabet>) -> PebbleAutomaton {
+        let x = al.get("x").unwrap();
+        let mut b = AutomatonBuilder::new(al, 1);
+        let q = b.state("check", 1).unwrap();
+        let l = b.state("left", 1).unwrap();
+        let r = b.state("right", 1).unwrap();
+        b.set_initial(q);
+        b.branch0(SymSpec::One(x), q, Guard::any()).unwrap();
+        b.branch2(SymSpec::Binaries, q, Guard::any(), l, r).unwrap();
+        b.move_rule(SymSpec::Binaries, l, Guard::any(), Move::DownLeft, q)
+            .unwrap();
+        b.move_rule(SymSpec::Binaries, r, Guard::any(), Move::DownRight, q)
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn or_nondeterminism_searches() {
+        let al = alpha();
+        let a = some_y(&al);
+        assert!(accepts(&a, &t(&al, "y")).unwrap());
+        assert!(accepts(&a, &t(&al, "f(x, y)")).unwrap());
+        assert!(accepts(&a, &t(&al, "f(f(x, x), f(x, y))")).unwrap());
+        assert!(!accepts(&a, &t(&al, "x")).unwrap());
+        assert!(!accepts(&a, &t(&al, "f(x, f(x, x))")).unwrap());
+    }
+
+    #[test]
+    fn and_alternation_checks_all() {
+        let al = alpha();
+        let a = all_x(&al);
+        assert!(accepts(&a, &t(&al, "x")).unwrap());
+        assert!(accepts(&a, &t(&al, "f(x, f(x, x))")).unwrap());
+        assert!(!accepts(&a, &t(&al, "f(x, f(x, y))")).unwrap());
+        assert!(!accepts(&a, &t(&al, "y")).unwrap());
+    }
+
+    /// Two pebbles with a guard: accept iff the tree has ≥ 2 leaves (pebble
+    /// 2 finds a leaf that pebble 1 does not sit on).
+    #[test]
+    fn pebble_guard_used() {
+        let al = alpha();
+        let mut b = AutomatonBuilder::new(&al, 2);
+        let q1 = b.state("q1", 1).unwrap();
+        let q2 = b.state("q2", 2).unwrap();
+        b.set_initial(q1);
+        // Pebble 1 walks to the leftmost leaf.
+        b.move_rule(SymSpec::Binaries, q1, Guard::any(), Move::DownLeft, q1)
+            .unwrap();
+        b.move_rule(SymSpec::Leaves, q1, Guard::any(), Move::PlaceNew, q2)
+            .unwrap();
+        // Pebble 2 searches for a leaf where pebble 1 is absent.
+        b.move_rule(SymSpec::Binaries, q2, Guard::any(), Move::DownLeft, q2)
+            .unwrap();
+        b.move_rule(SymSpec::Binaries, q2, Guard::any(), Move::DownRight, q2)
+            .unwrap();
+        b.branch0(SymSpec::Leaves, q2, Guard::absent(1)).unwrap();
+        let a = b.build().unwrap();
+        assert!(!accepts(&a, &t(&al, "x")).unwrap());
+        assert!(accepts(&a, &t(&al, "f(x, x)")).unwrap());
+        assert!(accepts(&a, &t(&al, "f(f(x, y), x)")).unwrap());
+    }
+
+    /// Cycles in the configuration graph must not cause false acceptance
+    /// (least — not greatest — fixpoint).
+    #[test]
+    fn cycles_do_not_accept() {
+        let al = alpha();
+        let mut b = AutomatonBuilder::new(&al, 1);
+        let q = b.state("spin", 1).unwrap();
+        let p = b.state("spin2", 1).unwrap();
+        b.set_initial(q);
+        b.move_rule(SymSpec::Any, q, Guard::any(), Move::Stay, p).unwrap();
+        b.move_rule(SymSpec::Any, p, Guard::any(), Move::Stay, q).unwrap();
+        let a = b.build().unwrap();
+        assert!(!accepts(&a, &t(&al, "x")).unwrap());
+        assert!(!accepts(&a, &t(&al, "f(x, y)")).unwrap());
+    }
+}

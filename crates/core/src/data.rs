@@ -1,0 +1,315 @@
+//! Data values with unary predicates — the decidable fragment of
+//! Section 5's "Data Values" extension.
+//!
+//! XML leaves carry text (#PCDATA) from an infinite domain. Transducers
+//! that *join* on data values (`x = y`) make typechecking undecidable
+//! (Section 1), but transducers that only test **unary predicates** on
+//! values (`x > 5`, `x like 'Smith'`) stay decidable: the paper (citing
+//! the technique of Abiteboul-Vianu \[1\]) replaces the infinite domain by
+//! one constant per *predicate signature* — with `m` predicates, at most
+//! `2^m` constants, one for each realizable truth-vector.
+//!
+//! This module implements that abstraction:
+//!
+//! * [`UnaryPredicates`] — named predicates with a concrete evaluator and
+//!   a declared set of *realizable* signatures (e.g. `x > 10` implies
+//!   `x > 5`, so `{ >10 } \ { >5 }` is unrealizable and excluded);
+//! * [`DataAbstraction::build`] — extends a ranked alphabet with one leaf
+//!   symbol per realizable signature of a designated data leaf;
+//! * [`DataAbstraction::abstract_value`] / [`abstract_leaves`] — maps
+//!   concrete values / trees into the abstract alphabet;
+//! * [`DataAbstraction::sym_if`] — the `SymSpec` selecting signatures that
+//!   satisfy (or falsify) a predicate, for use in transducer guards;
+//!   "copy the data value to the output" is `output0` of the current
+//!   (signature) symbol, which is exact at the type level: types cannot
+//!   distinguish values with equal signatures.
+//!
+//! The resulting machines are ordinary k-pebble transducers/automata, so
+//! the entire typechecking pipeline applies unchanged — see the
+//! `data_values` integration test for a filter query proved correct for
+//! *every* value assignment.
+
+use crate::machine::SymSpec;
+use std::sync::Arc;
+use xmltc_trees::tree::BinaryTreeBuilder;
+use xmltc_trees::{Alphabet, AlphabetBuilder, BinaryTree, Rank, Symbol, TreeError};
+
+/// A set of named unary predicates over a concrete value type `V`.
+pub struct UnaryPredicates<V> {
+    names: Vec<String>,
+    #[allow(clippy::type_complexity)]
+    evals: Vec<Box<dyn Fn(&V) -> bool>>,
+    /// Realizable signatures (bitmask per predicate). Defaults to all
+    /// `2^m` if never restricted.
+    realizable: Vec<u32>,
+}
+
+impl<V> UnaryPredicates<V> {
+    /// Starts with no predicates (one empty signature).
+    pub fn new() -> UnaryPredicates<V> {
+        UnaryPredicates {
+            names: Vec::new(),
+            evals: Vec::new(),
+            realizable: Vec::new(),
+        }
+    }
+
+    /// Adds a predicate; returns its index. At most 31 predicates are
+    /// supported (signatures are `u32` bitmasks, and `2^m` constants is
+    /// already astronomically past practical use).
+    pub fn add(&mut self, name: &str, eval: impl Fn(&V) -> bool + 'static) -> usize {
+        assert!(self.names.len() < 31, "at most 31 unary predicates");
+        self.names.push(name.to_string());
+        self.evals.push(Box::new(eval));
+        self.names.len() - 1
+    }
+
+    /// Restricts the realizable signatures (bitmask: bit `i` = predicate
+    /// `i` holds). Unset = all `2^m` signatures are considered realizable.
+    pub fn set_realizable(&mut self, signatures: Vec<u32>) {
+        self.realizable = signatures;
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when there are no predicates.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The signature of a concrete value.
+    pub fn signature(&self, v: &V) -> u32 {
+        self.evals
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, p)| acc | ((p(v) as u32) << i))
+    }
+
+    fn signatures(&self) -> Vec<u32> {
+        if self.realizable.is_empty() {
+            (0..(1u32 << self.names.len())).collect()
+        } else {
+            let mut v = self.realizable.clone();
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+    }
+}
+
+impl<V> Default for UnaryPredicates<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The abstract alphabet for one data-leaf symbol: the base alphabet with
+/// the data leaf replaced by one leaf per realizable signature.
+pub struct DataAbstraction {
+    abstract_alphabet: Arc<Alphabet>,
+    /// `sig_syms[i]` = abstract symbol for `signatures[i]`.
+    sig_syms: Vec<Symbol>,
+    signatures: Vec<u32>,
+}
+
+impl DataAbstraction {
+    /// Builds the abstraction. `base` supplies all non-data symbols;
+    /// `data_leaf_name` names the data leaf (`#PCDATA` position); one
+    /// abstract leaf `data_leaf_name@S` is created per realizable
+    /// signature `S` (rendered in binary, low bit = predicate 0).
+    pub fn build<V>(
+        base: &Arc<Alphabet>,
+        data_leaf_name: &str,
+        preds: &UnaryPredicates<V>,
+    ) -> DataAbstraction {
+        let mut b = AlphabetBuilder::new();
+        for s in base.symbols() {
+            if base.name(s) != data_leaf_name {
+                b.add(base.name(s), base.rank(s));
+            }
+        }
+        let signatures = preds.signatures();
+        let mut sig_syms = Vec::with_capacity(signatures.len());
+        for &sig in &signatures {
+            let name = format!(
+                "{data_leaf_name}@{:0width$b}",
+                sig,
+                width = preds.len().max(1)
+            );
+            sig_syms.push(b.add(&name, Rank::Leaf));
+        }
+        DataAbstraction {
+            abstract_alphabet: b.finish(),
+            sig_syms,
+            signatures,
+        }
+    }
+
+    /// The abstract alphabet.
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.abstract_alphabet
+    }
+
+    /// All abstract data-leaf symbols.
+    pub fn data_symbols(&self) -> &[Symbol] {
+        &self.sig_syms
+    }
+
+    /// The abstract symbol of a concrete value (`None` when its signature
+    /// was declared unrealizable — a predicate-set modeling error).
+    pub fn abstract_value<V>(&self, preds: &UnaryPredicates<V>, v: &V) -> Option<Symbol> {
+        let sig = preds.signature(v);
+        self.signatures
+            .iter()
+            .position(|&s| s == sig)
+            .map(|i| self.sig_syms[i])
+    }
+
+    /// A `SymSpec` matching the data leaves on which predicate `i` is
+    /// `value` — the guard form `(x > 5)` of the extended transducers.
+    pub fn sym_if(&self, pred: usize, value: bool) -> SymSpec {
+        SymSpec::AnyOf(
+            self.signatures
+                .iter()
+                .zip(&self.sig_syms)
+                .filter(|(&sig, _)| (sig >> pred) & 1 == value as u32)
+                .map(|(_, &s)| s)
+                .collect(),
+        )
+    }
+
+    /// A `SymSpec` matching every data leaf.
+    pub fn sym_any_data(&self) -> SymSpec {
+        SymSpec::AnyOf(self.sig_syms.clone())
+    }
+}
+
+/// Per-node content when abstracting a concrete tree: either a regular
+/// symbol name, or a data value to abstract.
+pub enum LeafContent<V> {
+    /// A regular symbol (resolved by name in the abstract alphabet).
+    Symbol(String),
+    /// A data value.
+    Value(V),
+}
+
+/// Rebuilds `shape` (a tree over any alphabet) into the abstract alphabet,
+/// mapping each node through `content`.
+pub fn abstract_leaves<V>(
+    shape: &BinaryTree,
+    abstraction: &DataAbstraction,
+    preds: &UnaryPredicates<V>,
+    mut content: impl FnMut(xmltc_trees::NodeId) -> LeafContent<V>,
+) -> Result<BinaryTree, TreeError> {
+    let al = abstraction.alphabet();
+    let mut b = BinaryTreeBuilder::new(al);
+    // The arena orders children before parents, so one forward pass works.
+    let mut ids: Vec<Option<xmltc_trees::NodeId>> = vec![None; shape.len()];
+    for i in 0..shape.len() {
+        let n = xmltc_trees::NodeId(i as u32);
+        let sym = match content(n) {
+            LeafContent::Symbol(name) => al.require(&name)?,
+            LeafContent::Value(v) => abstraction.abstract_value(preds, &v).ok_or_else(|| {
+                TreeError::MalformedEncoding("value has an unrealizable signature".into())
+            })?,
+        };
+        ids[i] = Some(match shape.children(n) {
+            None => b.leaf(sym)?,
+            Some((l, r)) => b.node(
+                sym,
+                ids[l.index()].expect("children first"),
+                ids[r.index()].expect("children first"),
+            )?,
+        });
+    }
+    Ok(b.finish(ids[shape.root().index()].expect("root built")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn preds() -> UnaryPredicates<i64> {
+        let mut p = UnaryPredicates::new();
+        p.add("gt5", |v: &i64| *v > 5);
+        p.add("gt10", |v: &i64| *v > 10);
+        // x > 10 implies x > 5: {gt10} alone is unrealizable.
+        p.set_realizable(vec![0b00, 0b01, 0b11]);
+        p
+    }
+
+    #[test]
+    fn signatures() {
+        let p = preds();
+        assert_eq!(p.signature(&3), 0b00);
+        assert_eq!(p.signature(&7), 0b01);
+        assert_eq!(p.signature(&12), 0b11);
+    }
+
+    #[test]
+    fn abstraction_alphabet() {
+        let base = Alphabet::ranked(&["x", "d"], &["f"]);
+        let p = preds();
+        let a = DataAbstraction::build(&base, "d", &p);
+        // x, f survive; three signature leaves.
+        assert_eq!(a.alphabet().len(), 2 + 3);
+        assert_eq!(a.data_symbols().len(), 3);
+        assert!(a.alphabet().get("d@00").is_some());
+        assert!(a.alphabet().get("d@11").is_some());
+        assert!(a.alphabet().get("d@10").is_none(), "unrealizable excluded");
+    }
+
+    #[test]
+    fn value_abstraction_and_guards() {
+        let base = Alphabet::ranked(&["x", "d"], &["f"]);
+        let p = preds();
+        let a = DataAbstraction::build(&base, "d", &p);
+        let s7 = a.abstract_value(&p, &7).unwrap();
+        assert_eq!(a.alphabet().name(s7), "d@01");
+        // sym_if(gt5, true) covers signatures 01 and 11.
+        match a.sym_if(0, true) {
+            SymSpec::AnyOf(v) => assert_eq!(v.len(), 2),
+            _ => unreachable!(),
+        }
+        match a.sym_if(1, true) {
+            SymSpec::AnyOf(v) => assert_eq!(v.len(), 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn tree_abstraction() {
+        let base = Alphabet::ranked(&["x", "d"], &["f"]);
+        let p = preds();
+        let a = DataAbstraction::build(&base, "d", &p);
+        // Shape f(d, x) where the d leaf holds the value 12.
+        let shape = BinaryTree::parse("f(d, x)", &base).unwrap();
+        let d = base.get("d").unwrap();
+        let out = abstract_leaves(&shape, &a, &p, |n| {
+            if shape.symbol(n) == d {
+                LeafContent::Value(12i64)
+            } else {
+                LeafContent::Symbol(base.name(shape.symbol(n)).to_string())
+            }
+        })
+        .unwrap();
+        assert_eq!(out.to_string(), "f(d@11, x)");
+        // Unrealizable value signatures are rejected: fake a predicate set
+        // that declares only signature 00 realizable.
+        let mut p2 = UnaryPredicates::new();
+        p2.add("gt5", |v: &i64| *v > 5);
+        p2.set_realizable(vec![0b0]);
+        let a2 = DataAbstraction::build(&base, "d", &p2);
+        let bad = abstract_leaves(&shape, &a2, &p2, |n| {
+            if shape.symbol(n) == d {
+                LeafContent::Value(12i64)
+            } else {
+                LeafContent::Symbol(base.name(shape.symbol(n)).to_string())
+            }
+        });
+        assert!(bad.is_err());
+    }
+}

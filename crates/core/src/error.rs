@@ -1,0 +1,62 @@
+//! Errors for machine construction and evaluation.
+
+use std::fmt;
+use xmltc_trees::TreeError;
+
+/// Errors raised while building or running a pebble machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A rule violates the stack discipline or level typing, e.g. a
+    /// `place-new-pebble` targeting a state of the wrong level.
+    IllTyped(String),
+    /// Deterministic evaluation found two applicable rules in one
+    /// configuration.
+    Nondeterministic {
+        /// The state name where the choice arose.
+        state: String,
+    },
+    /// Evaluation revisited a configuration without emitting output: the
+    /// machine loops and this branch never terminates.
+    NonTerminating {
+        /// The state name in the repeated configuration.
+        state: String,
+    },
+    /// Evaluation got stuck: no rule applies in a configuration, so the
+    /// transformation is undefined for this input (transducers are
+    /// partial).
+    Stuck {
+        /// The state name of the stuck configuration.
+        state: String,
+    },
+    /// Evaluation exceeded the caller-supplied step budget.
+    StepLimit,
+    /// Underlying tree error (alphabet mismatch etc.).
+    Tree(TreeError),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::IllTyped(msg) => write!(f, "ill-typed machine: {msg}"),
+            MachineError::Nondeterministic { state } => {
+                write!(f, "nondeterministic choice in state `{state}`")
+            }
+            MachineError::NonTerminating { state } => {
+                write!(f, "non-terminating loop through state `{state}`")
+            }
+            MachineError::Stuck { state } => {
+                write!(f, "no applicable transition in state `{state}`")
+            }
+            MachineError::StepLimit => write!(f, "step limit exceeded"),
+            MachineError::Tree(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<TreeError> for MachineError {
+    fn from(e: TreeError) -> Self {
+        MachineError::Tree(e)
+    }
+}

@@ -1,0 +1,239 @@
+//! Transducer evaluation and the Proposition 3.8 output-language automaton.
+
+use crate::error::MachineError;
+use crate::machine::{Config, PebbleTransducer, StepResult};
+use std::collections::VecDeque;
+use xmltc_automata::{State, TdTa};
+use xmltc_trees::tree::BinaryTreeBuilder;
+use xmltc_trees::{Alphabet, BinaryTree, FxHashMap, FxHashSet, NodeId, TreeError};
+
+/// Default step budget for [`eval`].
+pub const DEFAULT_STEP_LIMIT: usize = 10_000_000;
+
+/// Evaluates a *deterministic* transducer on `t`, producing the output tree.
+///
+/// Errors when the transducer is nondeterministic on this input
+/// ([`MachineError::Nondeterministic`]), gets stuck
+/// ([`MachineError::Stuck`]), loops without producing output
+/// ([`MachineError::NonTerminating`]), or exceeds [`DEFAULT_STEP_LIMIT`]
+/// total steps (use [`eval_with_limit`] for a custom budget — remember the
+/// output can be exponentially larger than the input, Example 3.6).
+pub fn eval(t: &PebbleTransducer, tree: &BinaryTree) -> Result<BinaryTree, MachineError> {
+    eval_with_limit(t, tree, DEFAULT_STEP_LIMIT)
+}
+
+/// [`eval`] with an explicit step budget.
+pub fn eval_with_limit(
+    t: &PebbleTransducer,
+    tree: &BinaryTree,
+    limit: usize,
+) -> Result<BinaryTree, MachineError> {
+    if !Alphabet::same(t.input_alphabet(), tree.alphabet()) {
+        return Err(MachineError::Tree(TreeError::AlphabetMismatch));
+    }
+    let mut builder = BinaryTreeBuilder::new(t.output_alphabet());
+    let mut steps = 0usize;
+    let root = run_branch(t, tree, t.core().initial_config(tree), &mut builder, &mut steps, limit)?;
+    Ok(builder.finish(root))
+}
+
+fn run_branch(
+    t: &PebbleTransducer,
+    tree: &BinaryTree,
+    mut cfg: Config,
+    builder: &mut BinaryTreeBuilder,
+    steps: &mut usize,
+    limit: usize,
+) -> Result<NodeId, MachineError> {
+    // Configurations visited since the last output on this branch; a repeat
+    // means the deterministic machine loops forever.
+    let mut visited: FxHashSet<Config> = FxHashSet::default();
+    visited.insert(cfg.clone());
+    loop {
+        *steps += 1;
+        if *steps > limit {
+            return Err(MachineError::StepLimit);
+        }
+        let mut succs = t.core().successors(tree, &cfg);
+        if succs.len() > 1 {
+            return Err(MachineError::Nondeterministic {
+                state: t.core().state_name(cfg.state).to_string(),
+            });
+        }
+        match succs.pop() {
+            None => {
+                return Err(MachineError::Stuck {
+                    state: t.core().state_name(cfg.state).to_string(),
+                })
+            }
+            Some(StepResult::Moved(next)) => {
+                if !visited.insert(next.clone()) {
+                    return Err(MachineError::NonTerminating {
+                        state: t.core().state_name(next.state).to_string(),
+                    });
+                }
+                cfg = next;
+            }
+            Some(StepResult::Output0(a)) => return Ok(builder.leaf(a)?),
+            Some(StepResult::Output2(a, c1, c2)) => {
+                let l = run_branch(t, tree, c1, builder, steps, limit)?;
+                let r = run_branch(t, tree, c2, builder, steps, limit)?;
+                return Ok(builder.node(a, l, r)?);
+            }
+            Some(StepResult::Branch0) | Some(StepResult::Branch2(..)) => {
+                unreachable!("transducers have no branch transitions")
+            }
+        }
+    }
+}
+
+/// **Proposition 3.8**: constructs, in time polynomial in `|tree|` (for
+/// fixed `T`), a top-down tree automaton with silent transitions accepting
+/// exactly `T(tree)` — the set of possible outputs of the (possibly
+/// nondeterministic) transducer on this input.
+///
+/// States are the reachable configurations of `T` on `tree`; move
+/// transitions become silent steps, `output2` becomes a branching
+/// transition, `output0` becomes a final pair. The automaton doubles as a
+/// DAG-sized encoding of the output set, which can be exponentially larger
+/// than the input (Example 3.6) or even infinite.
+pub fn output_automaton(t: &PebbleTransducer, tree: &BinaryTree) -> Result<TdTa, MachineError> {
+    if !Alphabet::same(t.input_alphabet(), tree.alphabet()) {
+        return Err(MachineError::Tree(TreeError::AlphabetMismatch));
+    }
+    let mut index: FxHashMap<Config, State> = FxHashMap::default();
+    let mut queue: VecDeque<Config> = VecDeque::new();
+    let init = t.core().initial_config(tree);
+    let mut automaton = TdTa::new(t.output_alphabet(), 1, State(0));
+    index.insert(init.clone(), State(0));
+    queue.push_back(init);
+
+    // Interns a configuration, allocating an automaton state on first sight.
+    fn intern(
+        cfg: Config,
+        index: &mut FxHashMap<Config, State>,
+        queue: &mut VecDeque<Config>,
+        automaton: &mut TdTa,
+    ) -> State {
+        if let Some(&q) = index.get(&cfg) {
+            return q;
+        }
+        let q = automaton.add_state();
+        index.insert(cfg.clone(), q);
+        queue.push_back(cfg);
+        q
+    }
+
+    while let Some(cfg) = queue.pop_front() {
+        let q = index[&cfg];
+        for step in t.core().successors(tree, &cfg) {
+            match step {
+                StepResult::Moved(next) => {
+                    let qn = intern(next, &mut index, &mut queue, &mut automaton);
+                    automaton.add_silent_any(q, qn);
+                }
+                StepResult::Output0(a) => automaton.add_final_pair(a, q),
+                StepResult::Output2(a, c1, c2) => {
+                    let q1 = intern(c1, &mut index, &mut queue, &mut automaton);
+                    let q2 = intern(c2, &mut index, &mut queue, &mut automaton);
+                    automaton.add_transition(a, q, q1, q2);
+                }
+                StepResult::Branch0 | StepResult::Branch2(..) => {
+                    unreachable!("transducers have no branch transitions")
+                }
+            }
+        }
+    }
+    Ok(automaton)
+}
+
+/// Enumerates outputs of a (possibly nondeterministic) transducer on `tree`:
+/// distinct trees of `T(tree)` with depth ≤ `max_depth`, at most `limit`.
+pub fn outputs(
+    t: &PebbleTransducer,
+    tree: &BinaryTree,
+    max_depth: usize,
+    limit: usize,
+) -> Result<Vec<BinaryTree>, MachineError> {
+    let a = output_automaton(t, tree)?;
+    Ok(xmltc_automata::enumerate::trees_up_to(&a.to_nta(), max_depth, limit))
+}
+
+/// Decision problem from Section 3.3: is `candidate ∈ T(tree)`? Polynomial
+/// in `|tree|` and `|candidate|`.
+pub fn is_output(
+    t: &PebbleTransducer,
+    tree: &BinaryTree,
+    candidate: &BinaryTree,
+) -> Result<bool, MachineError> {
+    let a = output_automaton(t, tree)?;
+    Ok(a.accepts(candidate)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use std::sync::Arc;
+
+    fn alpha() -> Arc<Alphabet> {
+        Alphabet::ranked(&["x", "y"], &["f", "g"])
+    }
+
+    #[test]
+    fn copy_transducer_is_identity() {
+        let al = alpha();
+        let t = library::copy(&al).unwrap();
+        for src in ["x", "f(x, y)", "g(f(x, x), y)", "f(f(x, y), g(y, x))"] {
+            let tree = BinaryTree::parse(src, &al).unwrap();
+            let out = eval(&t, &tree).unwrap();
+            assert_eq!(out.to_string(), tree.to_string(), "copy of {src}");
+        }
+    }
+
+    #[test]
+    fn output_automaton_accepts_exactly_the_output() {
+        let al = alpha();
+        let t = library::copy(&al).unwrap();
+        let tree = BinaryTree::parse("f(x, g(y, x))", &al).unwrap();
+        let a = output_automaton(&t, &tree).unwrap();
+        assert!(a.accepts(&tree).unwrap());
+        let other = BinaryTree::parse("f(x, g(x, x))", &al).unwrap();
+        assert!(!a.accepts(&other).unwrap());
+        // And enumeration returns the single output.
+        let outs = outputs(&t, &tree, 10, 10).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0], tree);
+    }
+
+    #[test]
+    fn is_output_decision() {
+        let al = alpha();
+        let t = library::copy(&al).unwrap();
+        let tree = BinaryTree::parse("f(x, y)", &al).unwrap();
+        assert!(is_output(&t, &tree, &tree).unwrap());
+        let wrong = BinaryTree::parse("x", &al).unwrap();
+        assert!(!is_output(&t, &tree, &wrong).unwrap());
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let al = alpha();
+        let t = library::copy(&al).unwrap();
+        let tree = BinaryTree::parse("f(f(x, x), f(x, x))", &al).unwrap();
+        assert!(matches!(
+            eval_with_limit(&t, &tree, 3),
+            Err(MachineError::StepLimit)
+        ));
+    }
+
+    #[test]
+    fn alphabet_mismatch() {
+        let al = alpha();
+        let other = alpha();
+        let t = library::copy(&al).unwrap();
+        let tree = BinaryTree::parse("x", &other).unwrap();
+        assert!(eval(&t, &tree).is_err());
+        assert!(output_automaton(&t, &tree).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! # xmltc-core
+//!
+//! The paper's machine model: **k-pebble tree transducers** (Definition 3.1)
+//! and **k-pebble tree automata** (Definition 4.5).
+//!
+//! A k-pebble machine walks a complete binary input tree with up to `k`
+//! pebbles under a stack discipline — pebbles are placed in order, removed
+//! in reverse order, and only the highest-numbered pebble moves. Its states
+//! are partitioned into levels `Q = Q₁ ∪ … ∪ Q_k`, level `i` controlling
+//! pebble `i`. Transitions are guarded by the current symbol, the
+//! presence/absence of lower pebbles on the current node, and the state:
+//!
+//! * **move** transitions (`stay`, `down-left`, `down-right`, `up-left`,
+//!   `up-right`, `place-new-pebble`, `pick-current-pebble`) reconfigure the
+//!   machine;
+//! * a **transducer** additionally has *output* transitions: `output0`
+//!   emits a leaf and halts the branch, `output2` emits a binary node and
+//!   spawns two independent branches that inherit all pebble positions;
+//! * an **automaton** instead has *branch* transitions (`branch0` accepts
+//!   the branch, `branch2` forks), Definition 4.5.
+//!
+//! Provided here:
+//!
+//! * [`PebbleTransducer`] / [`PebbleAutomaton`] with a validated
+//!   builder API enforcing the stack discipline and level typing;
+//! * deterministic and nondeterministic **evaluation** of transducers
+//!   ([`eval::eval`]) with loop detection;
+//! * **Proposition 3.8**: the output language `T(t)` of a fixed input tree
+//!   as a top-down tree automaton with silent transitions, computed in
+//!   PTIME in `|t|` ([`eval::output_automaton`]) — a DAG-sized encoding of
+//!   a possibly exponential (even infinite) output set;
+//! * **AGAP acceptance** for pebble automata ([`accept`]): the and/or
+//!   configuration graph least fixpoint from the proof of Theorem 4.7;
+//! * the paper's worked examples as a [`library`]: the copy transducer
+//!   (Example 3.3), the pre-order traversal subroutine (Example 3.4), the
+//!   exponential duplicator (Example 3.6), the rotation transducer
+//!   (Example 3.7 / Figure 2), and a string reverser.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accept;
+pub mod data;
+pub mod error;
+pub mod eval;
+pub mod library;
+pub mod machine;
+pub mod topdown_transducer;
+
+pub use accept::accepts;
+pub use error::MachineError;
+pub use eval::{eval, is_output, output_automaton, outputs};
+pub use machine::{
+    Action, AutomatonBuilder, Guard, Move, PebbleAutomaton, PebbleTransducer, SymSpec,
+    TransducerBuilder,
+};
+pub use topdown_transducer::{Fragment, TopDownTransducer};

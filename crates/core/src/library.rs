@@ -1,0 +1,388 @@
+//! The paper's worked example machines (Section 3.2), ready-built.
+
+use crate::error::MachineError;
+use crate::machine::{BuildRules, Guard, Move, PebbleTransducer, SymSpec, TransducerBuilder};
+use std::sync::Arc;
+use xmltc_automata::State;
+use xmltc_trees::{Alphabet, AlphabetBuilder, Rank, Symbol};
+
+/// **Example 3.3** — the 1-pebble transducer that copies its input:
+///
+/// ```text
+/// (a₂, q)  → (a₂(q₁, q₂), output2)
+/// (a₂, q₁) → (q, down-left)
+/// (a₂, q₂) → (q, down-right)
+/// (a₀, q)  → (a₀, output0)
+/// ```
+pub fn copy(alphabet: &Arc<Alphabet>) -> Result<PebbleTransducer, MachineError> {
+    relabel(alphabet, alphabet, |s| s)
+}
+
+/// A top-down relabeling transducer: copies the tree, mapping each symbol
+/// through `f` (which must preserve rank between the two alphabets).
+/// With `f = identity` this is exactly the Example 3.3 copy machine.
+pub fn relabel(
+    input: &Arc<Alphabet>,
+    output: &Arc<Alphabet>,
+    f: impl Fn(Symbol) -> Symbol,
+) -> Result<PebbleTransducer, MachineError> {
+    let mut b = TransducerBuilder::new(input, output, 1);
+    let q = b.state("q", 1)?;
+    let q1 = b.state("q1", 1)?;
+    let q2 = b.state("q2", 1)?;
+    b.set_initial(q);
+    for a in input.binaries() {
+        b.output2(SymSpec::One(a), q, Guard::any(), f(a), q1, q2)?;
+    }
+    for a in input.leaves() {
+        b.output0(SymSpec::One(a), q, Guard::any(), f(a))?;
+    }
+    b.move_rule(SymSpec::Binaries, q1, Guard::any(), Move::DownLeft, q)?;
+    b.move_rule(SymSpec::Binaries, q2, Guard::any(), Move::DownRight, q)?;
+    b.build()
+}
+
+/// **Example 3.4** — splices the "advance the current pebble to the next
+/// node in pre-order" subroutine into a machine under construction.
+///
+/// Returns the entry state: entering it with the current pebble on node `v`
+/// eventually reaches `done` with the pebble on the pre-order successor of
+/// `v`, or `exhausted` (pebble back on the root) when `v` was the last
+/// node. Following the paper, the root must be identifiable by its symbol:
+/// `root_symbol` must label the root and only the root.
+///
+/// ```text
+/// (a₂, q₁) → (q₂, down-left)      // next = left child
+/// (a₀, q₁) → (q₃, stay)           // leaf: prepare to move up
+/// (a,  q₃) → (q₃, up-right)       // climb while coming from the right
+/// (a,  q₃) → (q₄, up-left)        // one move up from a left child …
+/// (a,  q₄) → (q₂, down-right)     // … then down to the right sibling
+/// (r,  q₃) → (q_y, stay)          // climbed to the root: tree exhausted
+/// ```
+pub fn add_preorder_next<B: BuildRules>(
+    b: &mut B,
+    prefix: &str,
+    level: u8,
+    root_symbol: Symbol,
+    done: State,
+    exhausted: State,
+) -> Result<State, MachineError> {
+    let q1 = b.mk_state(&format!("{prefix}.next"), level)?;
+    let q3 = b.mk_state(&format!("{prefix}.climb"), level)?;
+    let q4 = b.mk_state(&format!("{prefix}.over"), level)?;
+    b.mk_move(SymSpec::Binaries, q1, Guard::any(), Move::DownLeft, done)?;
+    b.mk_move(SymSpec::Leaves, q1, Guard::any(), Move::Stay, q3)?;
+    b.mk_move(
+        SymSpec::AllExcept(vec![root_symbol]),
+        q3,
+        Guard::any(),
+        Move::UpRight,
+        q3,
+    )?;
+    b.mk_move(
+        SymSpec::AllExcept(vec![root_symbol]),
+        q3,
+        Guard::any(),
+        Move::UpLeft,
+        q4,
+    )?;
+    b.mk_move(SymSpec::Any, q4, Guard::any(), Move::DownRight, done)?;
+    b.mk_move(
+        SymSpec::One(root_symbol),
+        q3,
+        Guard::any(),
+        Move::Stay,
+        exhausted,
+    )?;
+    Ok(q1)
+}
+
+/// The output alphabet of [`duplicator`]: the input alphabet plus a fresh
+/// binary symbol `z`.
+pub fn duplicator_alphabet(input: &Arc<Alphabet>) -> (Arc<Alphabet>, Symbol) {
+    let mut b = AlphabetBuilder::new();
+    for s in input.symbols() {
+        b.add(input.name(s), input.rank(s));
+    }
+    let z = b.add("z", Rank::Binary);
+    (b.finish(), z)
+}
+
+/// **Example 3.6** — the exponential duplicator mapping `t ↦ f(t)` with
+///
+/// ```text
+/// f(a(t₁,t₂)) = z(a(f(t₁), f(t₂)), a(f(t₁), f(t₂)))
+/// f(a())      = z(a(), a())
+/// ```
+///
+/// The output has size exponential in the input size, while the
+/// Proposition 3.8 automaton stays polynomial — the workload for
+/// experiment E3.
+pub fn duplicator(input: &Arc<Alphabet>) -> Result<(PebbleTransducer, Arc<Alphabet>), MachineError>
+{
+    let (output, z) = duplicator_alphabet(input);
+    let mut b = TransducerBuilder::new(input, &output, 1);
+    let q1 = b.state("q1", 1)?;
+    let q2 = b.state("q2", 1)?;
+    let q3 = b.state("q3", 1)?;
+    let q4 = b.state("q4", 1)?;
+    b.set_initial(q1);
+    b.output2(SymSpec::Any, q1, Guard::any(), z, q2, q2)?;
+    for a in input.leaves() {
+        // Output ids: shared prefix of the two alphabets, so `a` is valid
+        // in the output alphabet with the same rank.
+        b.output0(SymSpec::One(a), q2, Guard::any(), a)?;
+    }
+    for a in input.binaries() {
+        b.output2(SymSpec::One(a), q2, Guard::any(), a, q3, q4)?;
+    }
+    b.move_rule(SymSpec::Binaries, q3, Guard::any(), Move::DownLeft, q1)?;
+    b.move_rule(SymSpec::Binaries, q4, Guard::any(), Move::DownRight, q1)?;
+    let t = b.build()?;
+    Ok((t, output))
+}
+
+/// Output alphabet of [`rotation`]: the input alphabet, plus leaf symbols
+/// `m` and `n` (the two extra nodes of Figure 2).
+pub fn rotation_alphabet(input: &Arc<Alphabet>) -> (Arc<Alphabet>, Symbol, Symbol) {
+    let mut b = AlphabetBuilder::new();
+    for s in input.symbols() {
+        b.add(input.name(s), input.rank(s));
+    }
+    let m = b.add("m", Rank::Leaf);
+    let n = b.add("n", Rank::Leaf);
+    (b.finish(), m, n)
+}
+
+/// **Example 3.7 / Figure 2** — the rotation transducer: finds the first
+/// leaf labeled `s0` (pre-order) and re-roots the tree around it. The new
+/// root is labeled `s2` (the binary counterpart of `s0`); two fresh leaves
+/// `m` and `n` pad the old leaf position and the old root. Children of each
+/// output node are read counterclockwise, as in the figure.
+///
+/// Requirements, as in the paper: `root_symbol` labels the root and only
+/// the root, and `s2 ∈ Σ₂` is the binary counterpart of `s0 ∈ Σ₀`.
+///
+/// In particular, applied to a right-comb encoding of a string this
+/// transducer *reverses the string* (the paper's closing remark in the
+/// example).
+pub fn rotation(
+    input: &Arc<Alphabet>,
+    s0: Symbol,
+    s2: Symbol,
+    root_symbol: Symbol,
+) -> Result<(PebbleTransducer, Arc<Alphabet>), MachineError> {
+    let (output, m, n) = rotation_alphabet(input);
+    let mut b = TransducerBuilder::new(input, &output, 1);
+
+    // Phase 1: walk pre-order until the pebble sits on an s0 leaf.
+    let check = b.state("check", 1)?;
+    let stuck = b.state("no_s0", 1)?; // dead state: no s0 in the tree
+    b.set_initial(check);
+
+    // Phase 2 states.
+    let q_m = b.state("emit_m", 1)?;
+    let go_up = b.state("go_up", 1)?;
+    let from_left = b.state("from_left", 1)?;
+    let from_right = b.state("from_right", 1)?;
+    let from_parent = b.state("from_parent", 1)?;
+    let go_dl = b.state("go_down_left", 1)?;
+    let go_dr = b.state("go_down_right", 1)?;
+
+    // Pre-order search: on s0 start rotating, otherwise advance.
+    let next = add_preorder_next(&mut b, "scan", 1, root_symbol, check, stuck)?;
+    b.move_rule(
+        SymSpec::AllExcept(vec![s0]),
+        check,
+        Guard::any(),
+        Move::Stay,
+        next,
+    )?;
+
+    // (s0, q) → (s2(q', q_up), output2): the new root.
+    b.output2(SymSpec::One(s0), check, Guard::any(), s2, q_m, go_up)?;
+    // (s0, q') → (m, output0): the extra node m.
+    b.output0(SymSpec::One(s0), q_m, Guard::any(), m)?;
+
+    // Climbing out of the current node: direction determines the arrival
+    // state at the parent; at the (old) root there is no parent — emit n.
+    b.move_rule(
+        SymSpec::AllExcept(vec![root_symbol]),
+        go_up,
+        Guard::any(),
+        Move::UpLeft,
+        from_left,
+    )?;
+    b.move_rule(
+        SymSpec::AllExcept(vec![root_symbol]),
+        go_up,
+        Guard::any(),
+        Move::UpRight,
+        from_right,
+    )?;
+    b.output0(SymSpec::One(root_symbol), go_up, Guard::any(), n)?;
+
+    // Arrival states emit the current node with its remaining neighbors,
+    // counterclockwise.
+    for a in input.binaries() {
+        // came up from the left child: neighbors = right child, parent.
+        b.output2(SymSpec::One(a), from_left, Guard::any(), a, go_dr, go_up)?;
+        // came up from the right child: neighbors = parent, left child.
+        b.output2(SymSpec::One(a), from_right, Guard::any(), a, go_up, go_dl)?;
+        // came down from the parent: neighbors = left child, right child.
+        b.output2(SymSpec::One(a), from_parent, Guard::any(), a, go_dl, go_dr)?;
+    }
+    for a in input.leaves() {
+        b.output0(SymSpec::One(a), from_parent, Guard::any(), a)?;
+    }
+    b.move_rule(SymSpec::Binaries, go_dl, Guard::any(), Move::DownLeft, from_parent)?;
+    b.move_rule(SymSpec::Binaries, go_dr, Guard::any(), Move::DownRight, from_parent)?;
+
+    let t = b.build()?;
+    Ok((t, output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use xmltc_trees::BinaryTree;
+
+    #[test]
+    fn duplicator_output_shape() {
+        let al = Alphabet::ranked(&["x"], &["f"]);
+        let (t, out_al) = duplicator(&al).unwrap();
+        let tree = BinaryTree::parse("x", &al).unwrap();
+        let out = eval(&t, &tree).unwrap();
+        assert_eq!(out.to_string(), "z(x, x)");
+        let tree = BinaryTree::parse("f(x, x)", &al).unwrap();
+        let out = eval(&t, &tree).unwrap();
+        assert_eq!(out.to_string(), "z(f(z(x, x), z(x, x)), f(z(x, x), z(x, x)))");
+        let _ = out_al;
+    }
+
+    #[test]
+    fn duplicator_is_exponential() {
+        // Input: right comb of depth d has n = 2d-1 nodes; output size
+        // doubles per level.
+        let al = Alphabet::ranked(&["x"], &["f"]);
+        let (t, _) = duplicator(&al).unwrap();
+        let mut sizes = Vec::new();
+        for d in 1..=5 {
+            let f = al.get("f").unwrap();
+            let x = al.get("x").unwrap();
+            let tree = xmltc_trees::generate::full_binary(d, f, x, &al).unwrap();
+            let out = eval(&t, &tree).unwrap();
+            sizes.push(out.len());
+        }
+        // Strictly super-linear growth: each step more than doubles.
+        for w in sizes.windows(2) {
+            assert!(w[1] > 2 * w[0], "sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn rotation_of_small_tree() {
+        // Rotate f(s, y) around the leaf s: new root s2 with children m and
+        // f-seen-from-left = f(y-processed, parent-processed=n).
+        let al = Alphabet::ranked(&["s", "x", "y"], &["f", "s2"]);
+        let s0 = al.get("s").unwrap();
+        let s2 = al.get("s2").unwrap();
+        let f = al.get("f").unwrap();
+        let (t, _) = rotation(&al, s0, s2, f).unwrap();
+        let tree = BinaryTree::parse("f(s, y)", &al).unwrap();
+        let out = eval(&t, &tree).unwrap();
+        // s was the left child of the root f: arriving from-left at f emits
+        // f(go-down-right → y, go-up → n).
+        assert_eq!(out.to_string(), "s2(m, f(y, n))");
+    }
+
+    #[test]
+    fn rotation_figure_two() {
+        // A tree like Figure 2: s deeper in the tree; checks neighbor
+        // ordering is counterclockwise.
+        let al = Alphabet::ranked(&["s", "x", "y"], &["r", "f", "g", "s2"]);
+        let s0 = al.get("s").unwrap();
+        let s2 = al.get("s2").unwrap();
+        let r = al.get("r").unwrap();
+        let (t, _) = rotation(&al, s0, s2, r).unwrap();
+        // r(f(s, x), y): s is the left child of f, f the left child of r.
+        let tree = BinaryTree::parse("r(f(s, x), y)", &al).unwrap();
+        let out = eval(&t, &tree).unwrap();
+        // From s: new root s2(m, f-from-left). f-from-left = f(x, r-from-left).
+        // r-from-left = r(y, n).
+        assert_eq!(out.to_string(), "s2(m, f(x, r(y, n)))");
+    }
+
+    #[test]
+    fn rotation_reverses_combs() {
+        // The closing remark of Example 3.7: on right-linear combs the
+        // rotation reverses the string. Encode "abc" as
+        // r(pad, a(pad, b(pad, c(pad, s)))) — spine symbols in order — and
+        // check the output spine reads in reverse.
+        let al = Alphabet::ranked(&["s", "pad"], &["r", "a", "b", "c", "s2"]);
+        let s0 = al.get("s").unwrap();
+        let s2 = al.get("s2").unwrap();
+        let r = al.get("r").unwrap();
+        let (t, _) = rotation(&al, s0, s2, r).unwrap();
+        let tree =
+            BinaryTree::parse("r(pad, a(pad, b(pad, c(pad, s))))", &al).unwrap();
+        let out = eval(&t, &tree).unwrap();
+        // Every spine node is reached from its right child, so it emits
+        // (parent, left-child) = (rest-of-spine, pad): the spine reads
+        // s2, c, b, a, r — reversed.
+        assert_eq!(out.to_string(), "s2(m, c(b(a(r(n, pad), pad), pad), pad))");
+    }
+
+    #[test]
+    fn rotation_searches_preorder() {
+        // s0 not at the leftmost position: the pre-order scan must find it.
+        let al = Alphabet::ranked(&["s", "x", "y"], &["r", "f", "s2"]);
+        let s0 = al.get("s").unwrap();
+        let s2 = al.get("s2").unwrap();
+        let r = al.get("r").unwrap();
+        let (t, _) = rotation(&al, s0, s2, r).unwrap();
+        let tree = BinaryTree::parse("r(f(x, s), y)", &al).unwrap();
+        let out = eval(&t, &tree).unwrap();
+        // s is the right child of f: s2(m, f-from-right);
+        // f-from-right = f(go-up → r-from-left, go-down-left → x);
+        // r-from-left = r(y, n).
+        assert_eq!(out.to_string(), "s2(m, f(r(y, n), x))");
+    }
+
+    #[test]
+    fn rotation_without_s0_is_stuck() {
+        let al = Alphabet::ranked(&["s", "x"], &["r", "s2"]);
+        let s0 = al.get("s").unwrap();
+        let s2 = al.get("s2").unwrap();
+        let r = al.get("r").unwrap();
+        let (t, _) = rotation(&al, s0, s2, r).unwrap();
+        let tree = BinaryTree::parse("r(x, x)", &al).unwrap();
+        assert!(matches!(
+            eval(&t, &tree),
+            Err(MachineError::Stuck { .. })
+        ));
+    }
+
+    #[test]
+    fn relabel_maps_symbols() {
+        let al = Alphabet::ranked(&["x", "y"], &["f", "g"]);
+        let x = al.get("x").unwrap();
+        let y = al.get("y").unwrap();
+        let f = al.get("f").unwrap();
+        let g = al.get("g").unwrap();
+        let t = relabel(&al, &al, |s| {
+            if s == x {
+                y
+            } else if s == f {
+                g
+            } else {
+                s
+            }
+        })
+        .unwrap();
+        let tree = BinaryTree::parse("f(x, g(y, x))", &al).unwrap();
+        let out = eval(&t, &tree).unwrap();
+        assert_eq!(out.to_string(), "g(y, g(y, y))");
+    }
+}

@@ -1,0 +1,395 @@
+//! Classical top-down tree transducers (Definition 3.2) and their
+//! embedding into 1-pebble transducers.
+//!
+//! A top-down transducer rule `(a, q) → t'` emits an output *fragment*
+//! `t' ∈ T_Σ'({ξ₁, ξ₂} × Q)`: a tree whose leaves may be labeled `(ξᵢ, q')`,
+//! meaning "continue in state `q'` on my i-th child and plug the result
+//! here". The paper observes (Section 3.1) that every top-down transducer
+//! is a 1-pebble transducer — [`TopDownTransducer::to_pebble`] implements
+//! that embedding, fragment nodes becoming `output2` rules and fragment
+//! variables becoming `down-left`/`down-right` moves.
+//!
+//! (The converse fails: 1-pebble machines also move *up*, e.g. the
+//! Example 3.7 rotation. Whether k-pebble transducers subsume *bottom-up*
+//! transducers is the paper's open problem tied to tree-walking automata.)
+
+use crate::error::MachineError;
+use crate::machine::{Guard, Move, PebbleTransducer, SymSpec, TransducerBuilder};
+use std::sync::Arc;
+use xmltc_automata::State;
+use xmltc_trees::tree::BinaryTreeBuilder;
+use xmltc_trees::{Alphabet, BinaryTree, FxHashMap, NodeId, Rank, Symbol, TreeError};
+
+/// An output fragment: a tree over `Σ'` whose leaves may be continuation
+/// variables `(ξᵢ, q)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fragment {
+    /// An output leaf symbol.
+    Leaf(Symbol),
+    /// An output binary node with two sub-fragments.
+    Node(Symbol, Box<Fragment>, Box<Fragment>),
+    /// `(ξᵢ, q)`: recurse into input child `i ∈ {1, 2}` in state `q`.
+    Recurse {
+        /// Which input child (1 = left, 2 = right).
+        child: u8,
+        /// The continuation state.
+        state: State,
+    },
+}
+
+impl Fragment {
+    /// A node fragment.
+    pub fn node(sym: Symbol, l: Fragment, r: Fragment) -> Fragment {
+        Fragment::Node(sym, Box::new(l), Box::new(r))
+    }
+
+    /// A recursion leaf.
+    pub fn recurse(child: u8, state: State) -> Fragment {
+        assert!(child == 1 || child == 2);
+        Fragment::Recurse { child, state }
+    }
+
+    fn has_recursion(&self) -> bool {
+        match self {
+            Fragment::Leaf(_) => false,
+            Fragment::Node(_, l, r) => l.has_recursion() || r.has_recursion(),
+            Fragment::Recurse { .. } => true,
+        }
+    }
+}
+
+/// A top-down (root-to-frontier) tree transducer, Definition 3.2.
+///
+/// Deterministic evaluation is provided directly
+/// ([`TopDownTransducer::eval`]); nondeterministic semantics are available
+/// through the 1-pebble embedding and Proposition 3.8.
+#[derive(Clone, Debug)]
+pub struct TopDownTransducer {
+    input: Arc<Alphabet>,
+    output: Arc<Alphabet>,
+    n_states: u32,
+    initial: State,
+    /// Rules for internal input nodes (`a ∈ Σ₂`).
+    node_rules: FxHashMap<(Symbol, State), Vec<Fragment>>,
+    /// Rules for input leaves (`a ∈ Σ₀`) — fragments without recursion.
+    leaf_rules: FxHashMap<(Symbol, State), Vec<Fragment>>,
+}
+
+impl TopDownTransducer {
+    /// Creates a transducer with `n_states` states.
+    pub fn new(
+        input: &Arc<Alphabet>,
+        output: &Arc<Alphabet>,
+        n_states: u32,
+        initial: State,
+    ) -> TopDownTransducer {
+        assert!(initial.0 < n_states);
+        TopDownTransducer {
+            input: Arc::clone(input),
+            output: Arc::clone(output),
+            n_states,
+            initial,
+            node_rules: FxHashMap::default(),
+            leaf_rules: FxHashMap::default(),
+        }
+    }
+
+    /// Adds a rule `(a, q) → fragment`. Rules on leaf symbols must not
+    /// recurse (Definition 3.2 requires `t' ∈ T_Σ'` there).
+    pub fn add_rule(
+        &mut self,
+        a: Symbol,
+        q: State,
+        fragment: Fragment,
+    ) -> Result<(), MachineError> {
+        match self.input.rank(a) {
+            Rank::Binary => {
+                self.node_rules.entry((a, q)).or_default().push(fragment);
+                Ok(())
+            }
+            Rank::Leaf => {
+                if fragment.has_recursion() {
+                    return Err(MachineError::IllTyped(format!(
+                        "rule on leaf symbol `{}` cannot recurse",
+                        self.input.name(a)
+                    )));
+                }
+                self.leaf_rules.entry((a, q)).or_default().push(fragment);
+                Ok(())
+            }
+            Rank::Unranked => Err(MachineError::IllTyped(
+                "top-down transducers run on ranked trees".into(),
+            )),
+        }
+    }
+
+    /// The input alphabet.
+    pub fn input_alphabet(&self) -> &Arc<Alphabet> {
+        &self.input
+    }
+
+    /// The output alphabet.
+    pub fn output_alphabet(&self) -> &Arc<Alphabet> {
+        &self.output
+    }
+
+    /// Deterministic evaluation. Errors on nondeterministic choice or a
+    /// missing rule (the transformation is partial).
+    pub fn eval(&self, t: &BinaryTree) -> Result<BinaryTree, MachineError> {
+        if !Alphabet::same(&self.input, t.alphabet()) {
+            return Err(MachineError::Tree(TreeError::AlphabetMismatch));
+        }
+        let mut builder = BinaryTreeBuilder::new(&self.output);
+        let root = self.eval_at(t, t.root(), self.initial, &mut builder)?;
+        Ok(builder.finish(root))
+    }
+
+    fn eval_at(
+        &self,
+        t: &BinaryTree,
+        n: NodeId,
+        q: State,
+        builder: &mut BinaryTreeBuilder,
+    ) -> Result<NodeId, MachineError> {
+        let a = t.symbol(n);
+        let rules = if t.is_leaf(n) {
+            self.leaf_rules.get(&(a, q))
+        } else {
+            self.node_rules.get(&(a, q))
+        };
+        let rules = rules.map(Vec::as_slice).unwrap_or(&[]);
+        match rules {
+            [] => Err(MachineError::Stuck {
+                state: format!("q{}", q.0),
+            }),
+            [fragment] => self.emit(t, n, fragment, builder),
+            _ => Err(MachineError::Nondeterministic {
+                state: format!("q{}", q.0),
+            }),
+        }
+    }
+
+    fn emit(
+        &self,
+        t: &BinaryTree,
+        n: NodeId,
+        fragment: &Fragment,
+        builder: &mut BinaryTreeBuilder,
+    ) -> Result<NodeId, MachineError> {
+        match fragment {
+            Fragment::Leaf(s) => Ok(builder.leaf(*s)?),
+            Fragment::Node(s, l, r) => {
+                let lid = self.emit(t, n, l, builder)?;
+                let rid = self.emit(t, n, r, builder)?;
+                Ok(builder.node(*s, lid, rid)?)
+            }
+            Fragment::Recurse { child, state } => {
+                let (l, r) = t
+                    .children(n)
+                    .expect("recursion only in node rules, checked at add_rule");
+                let target = if *child == 1 { l } else { r };
+                self.eval_at(t, target, *state, builder)
+            }
+        }
+    }
+
+    /// The Section 3.1 embedding: an equivalent 1-pebble transducer.
+    ///
+    /// Each rule becomes a `stay`-dispatched chain of `output` rules over
+    /// its fragment; each `(ξᵢ, q)` leaf becomes a `down` move into the
+    /// dispatch state of `q`.
+    pub fn to_pebble(&self) -> Result<PebbleTransducer, MachineError> {
+        let mut b = TransducerBuilder::new(&self.input, &self.output, 1);
+        // dispatch[q]: the pebble machine state entered to run TD state q
+        // at the current node.
+        let dispatch: Vec<State> = (0..self.n_states)
+            .map(|q| b.state(&format!("q{q}"), 1))
+            .collect::<Result<_, _>>()?;
+
+        let mut emit_fragment = EmitCtx {
+            b: &mut b,
+            dispatch: &dispatch,
+            counter: 0,
+        };
+        for (rules, _is_leaf) in [(&self.leaf_rules, true), (&self.node_rules, false)] {
+            for (&(a, q), fragments) in rules {
+                for fragment in fragments {
+                    let entry = emit_fragment.fragment_state(fragment)?;
+                    emit_fragment.b.move_rule(
+                        SymSpec::One(a),
+                        dispatch[q.index()],
+                        Guard::any(),
+                        Move::Stay,
+                        entry,
+                    )?;
+                }
+            }
+        }
+        b.set_initial(dispatch[self.initial.index()]);
+        b.build()
+    }
+}
+
+/// Helper generating one pebble-machine state per fragment node.
+struct EmitCtx<'a> {
+    b: &'a mut TransducerBuilder,
+    dispatch: &'a [State],
+    counter: usize,
+}
+
+impl<'a> EmitCtx<'a> {
+    fn fresh(&mut self) -> Result<State, MachineError> {
+        self.counter += 1;
+        self.b.state(&format!("frag{}", self.counter), 1)
+    }
+
+    /// Returns a state that, at the current input node, emits the fragment.
+    fn fragment_state(&mut self, f: &Fragment) -> Result<State, MachineError> {
+        match f {
+            Fragment::Leaf(s) => {
+                let st = self.fresh()?;
+                self.b.output0(SymSpec::Any, st, Guard::any(), *s)?;
+                Ok(st)
+            }
+            Fragment::Node(s, l, r) => {
+                let st = self.fresh()?;
+                let ls = self.fragment_state(l)?;
+                let rs = self.fragment_state(r)?;
+                self.b.output2(SymSpec::Any, st, Guard::any(), *s, ls, rs)?;
+                Ok(st)
+            }
+            Fragment::Recurse { child, state } => {
+                let st = self.fresh()?;
+                let mv = if *child == 1 {
+                    Move::DownLeft
+                } else {
+                    Move::DownRight
+                };
+                self.b.move_rule(
+                    SymSpec::Binaries,
+                    st,
+                    Guard::any(),
+                    mv,
+                    self.dispatch[state.index()],
+                )?;
+                Ok(st)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval as pebble_eval;
+
+    fn alpha() -> Arc<Alphabet> {
+        Alphabet::ranked(&["x", "y"], &["f", "g"])
+    }
+
+    /// Mirror: swaps children at every level and relabels f↔g.
+    fn mirror(al: &Arc<Alphabet>) -> TopDownTransducer {
+        let f = al.get("f").unwrap();
+        let g = al.get("g").unwrap();
+        let x = al.get("x").unwrap();
+        let y = al.get("y").unwrap();
+        let q = State(0);
+        let mut t = TopDownTransducer::new(al, al, 1, q);
+        t.add_rule(
+            f,
+            q,
+            Fragment::node(g, Fragment::recurse(2, q), Fragment::recurse(1, q)),
+        )
+        .unwrap();
+        t.add_rule(
+            g,
+            q,
+            Fragment::node(f, Fragment::recurse(2, q), Fragment::recurse(1, q)),
+        )
+        .unwrap();
+        t.add_rule(x, q, Fragment::Leaf(y)).unwrap();
+        t.add_rule(y, q, Fragment::Leaf(x)).unwrap();
+        t
+    }
+
+    #[test]
+    fn direct_eval() {
+        let al = alpha();
+        let t = mirror(&al);
+        let input = BinaryTree::parse("f(x, g(y, x))", &al).unwrap();
+        let out = t.eval(&input).unwrap();
+        assert_eq!(out.to_string(), "g(f(y, x), y)");
+    }
+
+    #[test]
+    fn pebble_embedding_agrees() {
+        let al = alpha();
+        let td = mirror(&al);
+        let pebble = td.to_pebble().unwrap();
+        assert_eq!(pebble.k(), 1);
+        for src in ["x", "f(x, y)", "g(f(x, x), y)", "f(f(x, y), g(y, x))"] {
+            let input = BinaryTree::parse(src, &al).unwrap();
+            let expected = td.eval(&input).unwrap();
+            let got = pebble_eval(&pebble, &input).unwrap();
+            assert_eq!(got, expected, "on {src}");
+        }
+    }
+
+    #[test]
+    fn fragments_can_duplicate_children() {
+        // (a, q) → f(ξ₁q, ξ₁q): copying transducers are top-down too.
+        let al = alpha();
+        let f = al.get("f").unwrap();
+        let x = al.get("x").unwrap();
+        let q = State(0);
+        let mut t = TopDownTransducer::new(&al, &al, 1, q);
+        t.add_rule(
+            f,
+            q,
+            Fragment::node(f, Fragment::recurse(1, q), Fragment::recurse(1, q)),
+        )
+        .unwrap();
+        t.add_rule(al.get("g").unwrap(), q, Fragment::Leaf(x)).unwrap();
+        t.add_rule(x, q, Fragment::Leaf(x)).unwrap();
+        t.add_rule(al.get("y").unwrap(), q, Fragment::Leaf(x)).unwrap();
+        let input = BinaryTree::parse("f(y, x)", &al).unwrap();
+        assert_eq!(t.eval(&input).unwrap().to_string(), "f(x, x)");
+        let pebble = t.to_pebble().unwrap();
+        assert_eq!(
+            pebble_eval(&pebble, &input).unwrap().to_string(),
+            "f(x, x)"
+        );
+    }
+
+    #[test]
+    fn leaf_rules_cannot_recurse() {
+        let al = alpha();
+        let x = al.get("x").unwrap();
+        let q = State(0);
+        let mut t = TopDownTransducer::new(&al, &al, 1, q);
+        assert!(t.add_rule(x, q, Fragment::recurse(1, q)).is_err());
+    }
+
+    #[test]
+    fn partiality_and_nondeterminism_reported() {
+        let al = alpha();
+        let _f = al.get("f").unwrap();
+        let x = al.get("x").unwrap();
+        let q = State(0);
+        let mut t = TopDownTransducer::new(&al, &al, 1, q);
+        t.add_rule(x, q, Fragment::Leaf(x)).unwrap();
+        t.add_rule(x, q, Fragment::Leaf(al.get("y").unwrap())).unwrap();
+        let leaf = BinaryTree::parse("x", &al).unwrap();
+        assert!(matches!(
+            t.eval(&leaf),
+            Err(MachineError::Nondeterministic { .. })
+        ));
+        let node = BinaryTree::parse("f(x, x)", &al).unwrap();
+        assert!(matches!(t.eval(&node), Err(MachineError::Stuck { .. })));
+        // The nondeterministic machine still embeds; Prop 3.8 counts both
+        // outputs.
+        let pebble = t.to_pebble().unwrap();
+        let outs = crate::outputs(&pebble, &leaf, 3, 10).unwrap();
+        assert_eq!(outs.len(), 2);
+    }
+}

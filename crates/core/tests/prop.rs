@@ -1,0 +1,95 @@
+//! Property tests for transducer evaluation vs the Proposition 3.8 output
+//! automaton: for deterministic machines the automaton accepts exactly
+//! the evaluated output; for nondeterministic ones it accepts exactly the
+//! enumerable output set.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xmltc_core::machine::{Guard, SymSpec, TransducerBuilder};
+use xmltc_core::{eval, is_output, library, output_automaton, outputs};
+use xmltc_trees::{Alphabet, BinaryTree};
+
+fn alpha() -> Arc<Alphabet> {
+    Alphabet::ranked(&["x", "y"], &["f", "g"])
+}
+
+fn arb_tree(al: Arc<Alphabet>) -> impl Strategy<Value = BinaryTree> {
+    let leaf = prop::sample::select(vec!["x", "y"]).prop_map(String::from);
+    let expr = leaf.prop_recursive(3, 16, 2, |inner| {
+        (
+            prop::sample::select(vec!["f", "g"]),
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(s, l, r)| format!("{s}({l}, {r})"))
+    });
+    expr.prop_map(move |src| BinaryTree::parse(&src, &al).unwrap())
+}
+
+/// A nondeterministic relabeler: each leaf may come out as x or y.
+fn fuzzy_leaves(al: &Arc<Alphabet>) -> xmltc_core::PebbleTransducer {
+    let x = al.get("x").unwrap();
+    let y = al.get("y").unwrap();
+    let mut b = TransducerBuilder::new(al, al, 1);
+    let q = b.state("q", 1).unwrap();
+    let l = b.state("l", 1).unwrap();
+    let r = b.state("r", 1).unwrap();
+    b.set_initial(q);
+    for s in al.binaries() {
+        b.output2(SymSpec::One(s), q, Guard::any(), s, l, r).unwrap();
+    }
+    b.move_rule(SymSpec::Binaries, l, Guard::any(), xmltc_core::machine::Move::DownLeft, q)
+        .unwrap();
+    b.move_rule(SymSpec::Binaries, r, Guard::any(), xmltc_core::machine::Move::DownRight, q)
+        .unwrap();
+    b.output0(SymSpec::Leaves, q, Guard::any(), x).unwrap();
+    b.output0(SymSpec::Leaves, q, Guard::any(), y).unwrap();
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eval_result_is_in_output_language(t in arb_tree(alpha())) {
+        let al = t.alphabet().clone();
+        let copy = library::copy(&al).unwrap();
+        let out = eval(&copy, &t).unwrap();
+        prop_assert!(is_output(&copy, &t, &out).unwrap());
+        // And the enumeration finds it.
+        let enumerated = outputs(&copy, &t, t.depth() + 1, 10).unwrap();
+        prop_assert_eq!(enumerated.len(), 1);
+        prop_assert_eq!(&enumerated[0], &out);
+    }
+
+    #[test]
+    fn duplicator_output_in_language(t in arb_tree(alpha())) {
+        let al = t.alphabet().clone();
+        let (dup, _) = library::duplicator(&al).unwrap();
+        let out = eval(&dup, &t).unwrap();
+        prop_assert!(is_output(&dup, &t, &out).unwrap());
+    }
+
+    #[test]
+    fn nondeterministic_output_set(t in arb_tree(alpha())) {
+        let al = t.alphabet().clone();
+        let fuzzy = fuzzy_leaves(&al);
+        let leaves = t.preorder().filter(|&n| t.is_leaf(n)).count() as u32;
+        // Exactly 2^leaves outputs of the same shape.
+        let a = output_automaton(&fuzzy, &t).unwrap();
+        let enumerated = outputs(&fuzzy, &t, t.depth(), 1 << leaves.min(8)).unwrap();
+        if leaves <= 8 {
+            prop_assert_eq!(enumerated.len() as u32, 1u32 << leaves);
+        }
+        for o in &enumerated {
+            prop_assert!(a.accepts(o).unwrap());
+            // Same shape as the input.
+            prop_assert_eq!(o.len(), t.len());
+        }
+        // A wrong-shaped candidate is rejected.
+        let single = BinaryTree::parse("x", &al).unwrap();
+        if t.len() > 1 {
+            prop_assert!(!a.accepts(&single).unwrap());
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Decompiling tree automata over encoded trees back into readable
+//! specialized-DTD grammars.
+//!
+//! The typechecking pipeline produces *automata* — e.g. the inferred
+//! inverse type `τ₂⁻¹` of Section 4. For human consumption we convert an
+//! automaton over the binary encoding back into the grammar notation the
+//! paper uses for (specialized) DTDs: one *type* per distinguishable
+//! element role, each with a tag and a regular content model over types.
+//!
+//! Construction: determinize; each deterministic state reached at an
+//! element position becomes a type `(tag, forest-state)`; the content
+//! model of a type is the word language of element-type sequences driving
+//! the forest spine — a word automaton over types read off the `cons`
+//! transitions, rendered as a regular expression by state elimination.
+
+use crate::error::DtdError;
+use crate::specialized::{SpecializedDtd, TypeId};
+use std::fmt;
+use xmltc_automata::{Dbta, Nta, State};
+use xmltc_regex::{Dfa, Regex};
+use xmltc_trees::{EncodedAlphabet, FxHashMap, Symbol};
+
+/// A readable grammar inferred from a tree automaton over encoded trees.
+///
+/// Like a [`SpecializedDtd`] but with a *set* of root types (an automaton
+/// may accept documents with several root roles).
+#[derive(Clone, Debug)]
+pub struct InferredGrammar {
+    enc: EncodedAlphabet,
+    /// (tag, content model over types) per type.
+    types: Vec<(Symbol, Regex<TypeId>)>,
+    roots: Vec<TypeId>,
+}
+
+impl InferredGrammar {
+    /// Number of types.
+    pub fn n_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// The root types.
+    pub fn roots(&self) -> &[TypeId] {
+        &self.roots
+    }
+
+    /// Converts to one [`SpecializedDtd`] per root type.
+    pub fn to_specialized(&self) -> Vec<SpecializedDtd> {
+        self.roots
+            .iter()
+            .map(|&root| {
+                SpecializedDtd::new(
+                    self.enc.source(),
+                    (0..self.types.len()).map(|i| format!("t{i}")).collect(),
+                    self.types.iter().map(|(tag, _)| *tag).collect(),
+                    self.types.iter().map(|(_, r)| r.clone()).collect(),
+                    root,
+                )
+            })
+            .collect()
+    }
+
+    /// Re-compiles the grammar to a tree automaton over encodings (the
+    /// union over all roots) — for verifying the decompilation.
+    pub fn compile(&self) -> Result<Nta, DtdError> {
+        let mut specs = self.to_specialized();
+        let first = specs
+            .pop()
+            .ok_or_else(|| DtdError::Parse {
+                line: 0,
+                message: "grammar has no root types (empty language)".into(),
+            })?
+            .compile(&self.enc)?;
+        specs.iter().try_fold(first, |acc, s| {
+            Ok(acc.union(&s.compile(&self.enc)?))
+        })
+    }
+}
+
+impl fmt::Display for InferredGrammar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let src = self.enc.source();
+        writeln!(
+            f,
+            "roots: {}",
+            self.roots
+                .iter()
+                .map(|r| format!("t{}", r.0))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        )?;
+        for (i, (tag, content)) in self.types.iter().enumerate() {
+            let model = content
+                .map(&mut |t: &TypeId| format!("t{}", t.0))
+                .to_string();
+            writeln!(f, "t{i} = <{}> ::= {}", src.name(*tag), model)?;
+        }
+        Ok(())
+    }
+}
+
+/// Decompiles an automaton over encoded binary trees into an
+/// [`InferredGrammar`] describing `inst(a) ∩ {valid encodings}`.
+///
+/// Trees outside the image of the encoding are ignored (the grammar
+/// describes documents, and non-encodings are not documents).
+pub fn decompile(a: &Nta, enc: &EncodedAlphabet) -> InferredGrammar {
+    // Restrict to valid encodings first so junk transitions don't produce
+    // junk types, then determinize.
+    let valid = all_documents(enc);
+    let d: Dbta = a.intersect(&valid).trim().determinize();
+
+    let nil = d.leaf_state(enc.nil());
+    let Some(nil) = nil else {
+        return InferredGrammar {
+            enc: enc.clone(),
+            types: Vec::new(),
+            roots: Vec::new(),
+        };
+    };
+
+    // Types: (tag, element-state) pairs where element-state =
+    // d.node(tag, forest-state, nil). Collect per element-state the
+    // originating (tag, forest-state).
+    let mut type_index: FxHashMap<(Symbol, State), TypeId> = FxHashMap::default();
+    let mut type_info: Vec<(Symbol, State, State)> = Vec::new(); // (tag, forest, elem-state)
+    for tag in enc.source().symbols() {
+        for (key, &q) in d.node_transitions_map() {
+            let &(sym, f, r) = key;
+            if sym == tag && r == nil {
+                let id = TypeId(type_info.len() as u32);
+                type_index.entry((tag, f)).or_insert_with(|| {
+                    type_info.push((tag, f, q));
+                    id
+                });
+            }
+        }
+    }
+
+    // Forest word automaton: states = D-states (used as forest states);
+    // transition f --type t--> f' iff d.node(cons, elem-state(t), f) = f'.
+    // Content model of type (tag, f) = reverse of the language from `nil`
+    // to `f`.
+    let universe: Vec<TypeId> = (0..type_info.len() as u32).map(TypeId).collect();
+    let mut types = Vec::with_capacity(type_info.len());
+    for &(tag, f_target, _q) in &type_info {
+        let dfa = forest_language(&d, enc, nil, f_target, &type_index, &type_info);
+        let content = dfa.to_regex().reverse();
+        // Quick simplification pass: re-minimize via the word pipeline.
+        let min = Dfa::from_regex(&content, &universe).minimize();
+        let content = simplify(min.to_regex(), &content);
+        types.push((tag, content));
+    }
+
+    // Roots: types whose element-state is final in D.
+    let roots: Vec<TypeId> = type_info
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, _, q))| d.finals().contains(*q))
+        .map(|(i, _)| TypeId(i as u32))
+        .collect();
+
+    // Drop unreachable/useless types? Keep all for now; reachable ones are
+    // those participating in some root derivation. Prune for readability:
+    prune(InferredGrammar {
+        enc: enc.clone(),
+        types,
+        roots,
+    })
+}
+
+/// Drops types unreachable from the roots (through content models) and
+/// renumbers, for readability.
+fn prune(g: InferredGrammar) -> InferredGrammar {
+    let n = g.types.len();
+    let mut keep = vec![false; n];
+    let mut stack: Vec<usize> = g.roots.iter().map(|r| r.index()).collect();
+    for &r in &stack {
+        keep[r] = true;
+    }
+    while let Some(t) = stack.pop() {
+        for s in g.types[t].1.symbols() {
+            if !keep[s.index()] {
+                keep[s.index()] = true;
+                stack.push(s.index());
+            }
+        }
+    }
+    let mut remap: Vec<Option<TypeId>> = vec![None; n];
+    let mut next = 0u32;
+    for (i, &k) in keep.iter().enumerate() {
+        if k {
+            remap[i] = Some(TypeId(next));
+            next += 1;
+        }
+    }
+    let types = g
+        .types
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| keep[*i])
+        .map(|(_, (tag, r))| {
+            (
+                *tag,
+                r.map(&mut |t: &TypeId| remap[t.index()].expect("kept types only reference kept")),
+            )
+        })
+        .collect();
+    let roots = g
+        .roots
+        .iter()
+        .map(|r| remap[r.index()].expect("roots kept"))
+        .collect();
+    InferredGrammar {
+        enc: g.enc,
+        types,
+        roots,
+    }
+}
+
+/// Chooses the shorter of two equivalent regexes (state elimination output
+/// is order-sensitive; the minimized round-trip often reads better).
+fn simplify(a: Regex<TypeId>, b: &Regex<TypeId>) -> Regex<TypeId> {
+    fn size(r: &Regex<TypeId>) -> usize {
+        match r {
+            Regex::Empty | Regex::Epsilon | Regex::Sym(_) => 1,
+            Regex::Concat(x, y) | Regex::Alt(x, y) => 1 + size(x) + size(y),
+            Regex::Star(x) | Regex::Plus(x) | Regex::Opt(x) => 1 + size(x),
+        }
+    }
+    if size(&a) <= size(b) {
+        a
+    } else {
+        b.clone()
+    }
+}
+
+/// Word DFA over `TypeId` for the forest spine from `nil` to `target`.
+fn forest_language(
+    d: &Dbta,
+    enc: &EncodedAlphabet,
+    nil: State,
+    target: State,
+    type_index: &FxHashMap<(Symbol, State), TypeId>,
+    type_info: &[(Symbol, State, State)],
+) -> Dfa<TypeId> {
+    // NFA over forest states; deterministic actually (D is deterministic
+    // and each type has a unique element-state — but two types may share
+    // an element-state, so letters can duplicate transitions: keep NFA
+    // semantics via the regex pipeline).
+    let _ = type_index;
+    let n = d.n_states() as usize;
+    let universe: Vec<TypeId> = (0..type_info.len() as u32).map(TypeId).collect();
+    // Build as a DFA directly: trans[f][type] = d.node(cons, elem_state(type), f).
+    let mut trans: Vec<Vec<Option<u32>>> = vec![vec![None; universe.len()]; n];
+    for (f, row) in trans.iter_mut().enumerate() {
+        for (ti, &(_, _, elem_state)) in type_info.iter().enumerate() {
+            if let Some(next) = d.node_state(enc.cons(), elem_state, State(f as u32)) {
+                row[ti] = Some(next.0);
+            }
+        }
+    }
+    let finals: Vec<bool> = (0..n).map(|q| q as u32 == target.0).collect();
+    Dfa::from_parts(universe, trans, nil.0, finals)
+}
+
+/// The automaton of *all* valid encodings over the alphabet.
+fn all_documents(enc: &EncodedAlphabet) -> Nta {
+    let al = enc.encoded();
+    // states: 0 = element, 1 = forest, 2 = nil-right-child sentinel.
+    let mut a = Nta::new(al, 3);
+    let elem = State(0);
+    let forest = State(1);
+    let nil = State(2);
+    a.add_leaf(enc.nil(), nil);
+    a.add_leaf(enc.nil(), forest);
+    for tag in enc.source().symbols() {
+        a.add_node(tag, forest, nil, elem);
+    }
+    a.add_node(enc.cons(), elem, forest, forest);
+    a.add_final(elem);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::Dtd;
+
+    fn round_trip(dtd_text: &str) {
+        let dtd = Dtd::parse_text(dtd_text).unwrap();
+        let enc = EncodedAlphabet::new(dtd.alphabet());
+        let original = dtd.compile(&enc).unwrap();
+        let grammar = decompile(&original, &enc);
+        let back = grammar.compile().unwrap();
+        assert!(
+            back.equivalent(&original),
+            "decompile round trip failed for:\n{dtd_text}\ngot grammar:\n{grammar}"
+        );
+    }
+
+    #[test]
+    fn round_trips_simple_dtds() {
+        round_trip("root := a*\na := @eps");
+        round_trip("a := b*.c.e\nb := @eps\nc := d*\nd := @eps\ne := @eps");
+        round_trip("root := (a.a)*\na := @eps");
+        round_trip("r := a?.b+\na := b*\nb := @eps");
+    }
+
+    #[test]
+    fn decompiles_recursive_dtds() {
+        round_trip("a := a*");
+        round_trip("root := item*\nitem := item*");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let dtd = Dtd::parse_text("root := a*\na := @eps").unwrap();
+        let enc = EncodedAlphabet::new(dtd.alphabet());
+        let grammar = decompile(&dtd.compile(&enc).unwrap(), &enc);
+        let s = grammar.to_string();
+        assert!(s.contains("<root>"), "{s}");
+        assert!(s.contains("<a>"), "{s}");
+        assert!(s.contains("roots:"), "{s}");
+    }
+
+    #[test]
+    fn empty_language_has_no_roots() {
+        let dtd = Dtd::parse_text("root := a*\na := @eps").unwrap();
+        let enc = EncodedAlphabet::new(dtd.alphabet());
+        let a = dtd.compile(&enc).unwrap();
+        let empty = a.intersect(&a.complement().to_nta());
+        let grammar = decompile(&empty, &enc);
+        assert!(grammar.roots().is_empty());
+        assert!(grammar.compile().is_err());
+    }
+}

@@ -1,0 +1,347 @@
+//! Plain DTDs: one content model per tag, direct validation, text syntax.
+
+use crate::error::DtdError;
+use crate::specialized::{SpecializedDtd, TypeId};
+use std::sync::Arc;
+use xmltc_automata::Nta;
+use xmltc_regex::{Dfa, Regex};
+use xmltc_trees::{Alphabet, EncodedAlphabet, FxHashMap, Rank, Symbol, UnrankedTree};
+
+/// A Document Type Definition: an extended context-free grammar with
+/// nonterminals `Σ` (Section 2.3). `inst(D)` is the set of derivation
+/// trees: the root is labeled `root`, and every node's children word
+/// matches its tag's content model. Tags without an explicit rule are
+/// leaves (content model `ε`).
+#[derive(Clone, Debug)]
+pub struct Dtd {
+    alphabet: Arc<Alphabet>,
+    root: Symbol,
+    rules: FxHashMap<Symbol, Regex<Symbol>>,
+}
+
+impl Dtd {
+    /// Creates a DTD with the given root and no rules.
+    pub fn new(alphabet: &Arc<Alphabet>, root: Symbol) -> Dtd {
+        Dtd {
+            alphabet: Arc::clone(alphabet),
+            root,
+            rules: FxHashMap::default(),
+        }
+    }
+
+    /// Sets the content model of a tag (replacing any previous one).
+    pub fn set_rule(&mut self, tag: Symbol, content: Regex<Symbol>) {
+        self.rules.insert(tag, content);
+    }
+
+    /// Parses the paper's notation, e.g. the DTD of Figure 1:
+    ///
+    /// ```text
+    /// a := b*.c.e
+    /// b := @eps
+    /// c := d*
+    /// d := @eps
+    /// e := @eps
+    /// ```
+    ///
+    /// The first rule's left-hand side is the root. `//` starts a comment.
+    /// A fresh unranked alphabet is built from all names that appear.
+    pub fn parse_text(text: &str) -> Result<Dtd, DtdError> {
+        Self::parse_entries(text, None)
+    }
+
+    /// Like [`Dtd::parse_text`] but over a pre-existing alphabet — required
+    /// when the DTD must type trees produced by a machine that already
+    /// fixed its (output) alphabet. All names in the text must exist in
+    /// `alphabet`.
+    pub fn parse_text_with(
+        text: &str,
+        alphabet: &Arc<Alphabet>,
+    ) -> Result<Dtd, DtdError> {
+        Self::parse_entries(text, Some(alphabet))
+    }
+
+    fn parse_entries(text: &str, fixed: Option<&Arc<Alphabet>>) -> Result<Dtd, DtdError> {
+        let mut entries: Vec<(String, Regex<String>)> = Vec::new();
+        for (lineno, raw_line) in text.lines().enumerate() {
+            let line = match raw_line.find("//") {
+                Some(i) => &raw_line[..i],
+                None => raw_line,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((lhs, rhs)) = line.split_once(":=") else {
+                return Err(DtdError::Parse {
+                    line: lineno + 1,
+                    message: "expected `name := content-model`".into(),
+                });
+            };
+            let name = lhs.trim().to_string();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                return Err(DtdError::Parse {
+                    line: lineno + 1,
+                    message: format!("invalid tag name `{name}`"),
+                });
+            }
+            let regex = xmltc_regex::parse(rhs.trim()).map_err(|e| DtdError::Parse {
+                line: lineno + 1,
+                message: e.to_string(),
+            })?;
+            entries.push((name, regex));
+        }
+        if entries.is_empty() {
+            return Err(DtdError::Parse {
+                line: 0,
+                message: "empty DTD".into(),
+            });
+        }
+        // Build the alphabet (all rule names plus all names in content
+        // models, in order of first appearance) unless one was supplied.
+        let alphabet = match fixed {
+            Some(al) => Arc::clone(al),
+            None => {
+                let mut builder = xmltc_trees::AlphabetBuilder::new();
+                for (name, regex) in &entries {
+                    builder.add(name, Rank::Unranked);
+                    for s in regex.symbols() {
+                        builder.add(&s, Rank::Unranked);
+                    }
+                }
+                builder.finish()
+            }
+        };
+        let root = alphabet.get(&entries[0].0).ok_or_else(|| DtdError::Parse {
+            line: 1,
+            message: format!("root tag `{}` not in the supplied alphabet", entries[0].0),
+        })?;
+        let mut dtd = Dtd::new(&alphabet, root);
+        for (name, regex) in &entries {
+            let tag = alphabet.get(name).ok_or_else(|| DtdError::Parse {
+                line: 0,
+                message: format!("tag `{name}` not in the supplied alphabet"),
+            })?;
+            let content =
+                regex.try_map(&mut |n: &String| alphabet.require(n))?;
+            dtd.set_rule(tag, content);
+        }
+        Ok(dtd)
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    /// The root tag.
+    pub fn root(&self) -> Symbol {
+        self.root
+    }
+
+    /// The content model of a tag (`None` = implicit `ε`).
+    pub fn rule(&self, tag: Symbol) -> Option<&Regex<Symbol>> {
+        self.rules.get(&tag)
+    }
+
+    /// Validates an unranked tree, returning the first violation found (in
+    /// pre-order).
+    pub fn validate(&self, t: &UnrankedTree) -> Result<(), DtdError> {
+        if !Alphabet::same(&self.alphabet, t.alphabet()) {
+            return Err(DtdError::Tree(xmltc_trees::TreeError::AlphabetMismatch));
+        }
+        if t.symbol(t.root()) != self.root {
+            return Err(DtdError::WrongRoot {
+                expected: self.alphabet.name(self.root).to_string(),
+                got: self.alphabet.name(t.symbol(t.root())).to_string(),
+            });
+        }
+        // Compile each used content model once.
+        let universe: Vec<Symbol> = self.alphabet.symbols().collect();
+        let mut dfas: FxHashMap<Symbol, Dfa<Symbol>> = FxHashMap::default();
+        for n in t.preorder() {
+            let tag = t.symbol(n);
+            let word = t.child_word(n);
+            let ok = match self.rules.get(&tag) {
+                None => word.is_empty(),
+                Some(r) => {
+                    let dfa = dfas
+                        .entry(tag)
+                        .or_insert_with(|| Dfa::from_regex(r, &universe));
+                    dfa.accepts(&word)
+                }
+            };
+            if !ok {
+                return Err(DtdError::InvalidContent {
+                    element: self.alphabet.name(tag).to_string(),
+                    word: word
+                        .iter()
+                        .map(|&s| self.alphabet.name(s).to_string())
+                        .collect(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the tree is valid.
+    pub fn is_valid(&self, t: &UnrankedTree) -> bool {
+        self.validate(t).is_ok()
+    }
+
+    /// Views the DTD as a specialized DTD with one type per tag.
+    pub fn to_specialized(&self) -> SpecializedDtd {
+        let n = self.alphabet.len();
+        let names = self
+            .alphabet
+            .symbols()
+            .map(|s| self.alphabet.name(s).to_string())
+            .collect();
+        let labels = self.alphabet.symbols().collect();
+        let rules = self
+            .alphabet
+            .symbols()
+            .map(|s| match self.rules.get(&s) {
+                None => Regex::Epsilon,
+                Some(r) => r.map(&mut |sym: &Symbol| TypeId(sym.0)),
+            })
+            .collect();
+        let _ = n;
+        SpecializedDtd::new(&self.alphabet, names, labels, rules, TypeId(self.root.0))
+    }
+
+    /// Compiles to a bottom-up tree automaton over the binary encoding.
+    pub fn compile(&self, enc: &EncodedAlphabet) -> Result<Nta, DtdError> {
+        self.to_specialized().compile(enc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltc_trees::encode;
+
+    /// The DTD of Figure 1 / Section 2.3.
+    fn figure_one() -> Dtd {
+        Dtd::parse_text(
+            "a := b*.c.e // root rule
+             b := @eps
+             c := d*
+             d := @eps
+             e := @eps",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validates_figure_one_document() {
+        let d = figure_one();
+        let al = d.alphabet().clone();
+        let t = UnrankedTree::parse("a(b, b, c(d), e)", &al).unwrap();
+        assert!(d.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        let d = figure_one();
+        let al = d.alphabet().clone();
+        for (doc, why) in [
+            ("a(c(d), b, e)", "b after c"),
+            ("a(b, b)", "missing c.e"),
+            ("a(b, c(b), e)", "b inside c"),
+            ("b", "wrong root"),
+            ("a(b(b), c, e)", "b must be empty"),
+        ] {
+            let t = UnrankedTree::parse(doc, &al).unwrap();
+            assert!(d.validate(&t).is_err(), "{doc}: {why}");
+        }
+    }
+
+    #[test]
+    fn error_reports_are_specific() {
+        let d = figure_one();
+        let al = d.alphabet().clone();
+        let t = UnrankedTree::parse("a(b, b)", &al).unwrap();
+        match d.validate(&t) {
+            Err(DtdError::InvalidContent { element, word }) => {
+                assert_eq!(element, "a");
+                assert_eq!(word, vec!["b", "b"]);
+            }
+            other => panic!("expected InvalidContent, got {other:?}"),
+        }
+        let t = UnrankedTree::parse("b", &al).unwrap();
+        assert!(matches!(d.validate(&t), Err(DtdError::WrongRoot { .. })));
+    }
+
+    #[test]
+    fn compiled_automaton_agrees_with_validator() {
+        let d = figure_one();
+        let al = d.alphabet().clone();
+        let enc = EncodedAlphabet::new(&al);
+        let a = d.compile(&enc).unwrap();
+        for doc in [
+            "a(b, b, c(d), e)",
+            "a(c, e)",
+            "a(c(d, d, d), e)",
+            "a(b, c(d), e)",
+            "a(c(d), b, e)",
+            "a(b, b)",
+            "b",
+            "a(b(b), c, e)",
+            "a(b, c(b), e)",
+        ] {
+            let t = UnrankedTree::parse(doc, &al).unwrap();
+            let bt = encode(&t, &enc).unwrap();
+            assert_eq!(
+                a.accepts(&bt).unwrap(),
+                d.is_valid(&t),
+                "disagreement on {doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_rejects_non_encodings() {
+        let d = figure_one();
+        let enc = EncodedAlphabet::new(d.alphabet());
+        let a = d.compile(&enc).unwrap();
+        // `-` at the root is never a valid encoding.
+        let junk =
+            xmltc_trees::BinaryTree::parse("-(a(#, #), #)", enc.encoded()).unwrap();
+        assert!(!a.accepts(&junk).unwrap());
+    }
+
+    #[test]
+    fn example_42_dtd() {
+        // Example 4.2: root := a* — the documents a^n.
+        let d = Dtd::parse_text("root := a*\na := @eps").unwrap();
+        let al = d.alphabet().clone();
+        for n in 0..5 {
+            let t = xmltc_trees::generate::flat(
+                d.root(),
+                al.get("a").unwrap(),
+                n,
+                &al,
+            )
+            .unwrap();
+            assert!(d.is_valid(&t), "a^{n}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Dtd::parse_text("").is_err());
+        assert!(Dtd::parse_text("a = b").is_err());
+        assert!(Dtd::parse_text("a := (b").is_err());
+        assert!(Dtd::parse_text("a b := c").is_err());
+    }
+
+    #[test]
+    fn unruled_tags_are_leaves() {
+        let d = Dtd::parse_text("a := b*").unwrap();
+        let al = d.alphabet().clone();
+        assert!(d.is_valid(&UnrankedTree::parse("a(b, b)", &al).unwrap()));
+        assert!(!d.is_valid(&UnrankedTree::parse("a(b(b))", &al).unwrap()));
+    }
+}

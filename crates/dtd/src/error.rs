@@ -1,0 +1,59 @@
+//! DTD errors.
+
+use std::fmt;
+use xmltc_trees::TreeError;
+
+/// Errors from DTD parsing, validation and compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtdError {
+    /// Text-syntax parse error.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A tree node's children violate its content model.
+    InvalidContent {
+        /// The offending element's tag name.
+        element: String,
+        /// The children tag-word that failed to match.
+        word: Vec<String>,
+    },
+    /// The root element's tag does not match the DTD root.
+    WrongRoot {
+        /// Expected root tag.
+        expected: String,
+        /// Actual root tag.
+        got: String,
+    },
+    /// Underlying tree error (alphabet mismatch etc.).
+    Tree(TreeError),
+}
+
+impl fmt::Display for DtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtdError::Parse { line, message } => {
+                write!(f, "DTD parse error on line {line}: {message}")
+            }
+            DtdError::InvalidContent { element, word } => write!(
+                f,
+                "children of <{element}> do not match its content model: [{}]",
+                word.join(", ")
+            ),
+            DtdError::WrongRoot { expected, got } => {
+                write!(f, "root element is <{got}>, DTD requires <{expected}>")
+            }
+            DtdError::Tree(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DtdError {}
+
+impl From<TreeError> for DtdError {
+    fn from(e: TreeError) -> Self {
+        DtdError::Tree(e)
+    }
+}

@@ -1,0 +1,31 @@
+//! # xmltc-dtd
+//!
+//! Document Type Definitions and their automaton-theoretic semantics
+//! (Section 2.3 of the paper).
+//!
+//! * [`Dtd`] — a DTD is an extended context-free grammar with nonterminals
+//!   `Σ`: one regular-expression content model per tag. `inst(D)` is the set
+//!   of unranked trees that are derivation trees of the grammar.
+//! * [`SpecializedDtd`] — DTDs with *decoupled tags* (a.k.a. specialized
+//!   DTDs): finitely many *types*, each carrying a tag label, with content
+//!   models over types. The paper (citing [4, 32, 13]) notes these capture
+//!   exactly the regular tree languages; plain DTDs are strictly weaker
+//!   (the `{a(b(c), b(d))}` example).
+//! * [`compile`](SpecializedDtd::compile) — compilation to a bottom-up tree
+//!   automaton over the binary encoding, so DTD-typed inputs/outputs plug
+//!   directly into the typechecking pipeline.
+//! * A small text syntax ([`Dtd::parse_text`]) mirroring the paper's
+//!   notation: `a := b*.c.e`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decompile;
+pub mod dtd;
+pub mod error;
+pub mod specialized;
+
+pub use decompile::{decompile, InferredGrammar};
+pub use dtd::Dtd;
+pub use error::DtdError;
+pub use specialized::{SpecializedDtd, TypeId};

@@ -1,0 +1,276 @@
+//! Specialized DTDs (decoupled tags) and compilation to tree automata.
+//!
+//! A specialized DTD has a finite set of *types*; each type carries a tag
+//! label from `Σ` and a content model — a regular expression over *types*.
+//! A tree is valid when its nodes can be assigned types so that the root
+//! gets the root type, each node's label matches its type's label, and each
+//! node's children type-word matches its type's content model. As the paper
+//! notes (Section 2.3), specialized DTDs capture exactly the regular tree
+//! languages of encoded binary trees.
+
+use crate::error::DtdError;
+use std::fmt;
+use std::sync::Arc;
+use xmltc_automata::{Nta, State};
+use xmltc_regex::{Dfa, Regex};
+use xmltc_trees::{Alphabet, EncodedAlphabet, Symbol, UnrankedTree};
+
+/// A type (specialization) in a specialized DTD: an index into the DTD's
+/// type table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// The index as usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A specialized DTD over an unranked alphabet.
+#[derive(Clone, Debug)]
+pub struct SpecializedDtd {
+    alphabet: Arc<Alphabet>,
+    /// Human-readable type names (for diagnostics).
+    names: Vec<String>,
+    /// Tag label of each type.
+    labels: Vec<Symbol>,
+    /// Content model of each type, over types.
+    rules: Vec<Regex<TypeId>>,
+    root: TypeId,
+}
+
+impl SpecializedDtd {
+    /// Creates a specialized DTD from parts. `names`, `labels` and `rules`
+    /// must have equal lengths; `root` must index into them.
+    pub fn new(
+        alphabet: &Arc<Alphabet>,
+        names: Vec<String>,
+        labels: Vec<Symbol>,
+        rules: Vec<Regex<TypeId>>,
+        root: TypeId,
+    ) -> SpecializedDtd {
+        assert_eq!(names.len(), labels.len());
+        assert_eq!(names.len(), rules.len());
+        assert!(root.index() < names.len());
+        SpecializedDtd {
+            alphabet: Arc::clone(alphabet),
+            names,
+            labels,
+            rules,
+            root,
+        }
+    }
+
+    /// The unranked source alphabet.
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    /// Number of types.
+    pub fn n_types(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The root type.
+    pub fn root(&self) -> TypeId {
+        self.root
+    }
+
+    /// The tag label of a type.
+    pub fn label(&self, t: TypeId) -> Symbol {
+        self.labels[t.index()]
+    }
+
+    /// The content model of a type.
+    pub fn rule(&self, t: TypeId) -> &Regex<TypeId> {
+        &self.rules[t.index()]
+    }
+
+    /// The name of a type.
+    pub fn name(&self, t: TypeId) -> &str {
+        &self.names[t.index()]
+    }
+
+    /// Compiles to a bottom-up tree automaton over the binary encoding:
+    /// `inst(result) = { encode(t) | t valid w.r.t. self }`.
+    ///
+    /// States: one `E(ty)` per type ("this subtree encodes a valid element
+    /// of type `ty`"), one `F(ty, d)` per type and content-DFA state ("this
+    /// subtree encodes a forest driving `ty`'s content DFA from `d` to a
+    /// final state"), plus `Nil` for the `#` right-child of elements.
+    pub fn compile(&self, enc: &EncodedAlphabet) -> Result<Nta, DtdError> {
+        if !Alphabet::same(&self.alphabet, enc.source()) {
+            return Err(DtdError::Tree(xmltc_trees::TreeError::AlphabetMismatch));
+        }
+        let universe: Vec<TypeId> = (0..self.n_types() as u32).map(TypeId).collect();
+        let dfas: Vec<Dfa<TypeId>> = self
+            .rules
+            .iter()
+            .map(|r| Dfa::from_regex(r, &universe))
+            .collect();
+
+        // State numbering: E(ty) = ty; F(ty, d) = offset[ty] + d; Nil last.
+        let n_types = self.n_types();
+        let mut offset = Vec::with_capacity(n_types);
+        let mut next = n_types as u32;
+        for d in &dfas {
+            offset.push(next);
+            next += d.len() as u32;
+        }
+        let nil = State(next);
+        let n_states = next + 1;
+
+        let e_state = |ty: usize| State(ty as u32);
+        let f_state = |ty: usize, d: u32| State(offset[ty] + d);
+
+        let mut a = Nta::new(enc.encoded(), n_states);
+
+        // `#` is the empty forest for every type whose DFA start... no:
+        // `#` ends any forest: F(ty, d) for every *final* d; and `#` is Nil.
+        a.add_leaf(enc.nil(), nil);
+        for (ty, dfa) in dfas.iter().enumerate() {
+            for d in 0..dfa.len() as u32 {
+                if dfa.is_final(d) {
+                    a.add_leaf(enc.nil(), f_state(ty, d));
+                }
+            }
+        }
+
+        // Element: label(ty)(F(ty, start), Nil) → E(ty).
+        for (ty, dfa) in dfas.iter().enumerate() {
+            a.add_node(
+                self.labels[ty],
+                f_state(ty, dfa.start()),
+                nil,
+                e_state(ty),
+            );
+        }
+
+        // Forest cons: -(E(tb), F(ty, d')) → F(ty, d) whenever
+        // δ_ty(d, tb) = d'.
+        for (ty, dfa) in dfas.iter().enumerate() {
+            for d in 0..dfa.len() as u32 {
+                for tb in 0..n_types {
+                    if let Some(d2) = dfa.step(d, TypeId(tb as u32)) {
+                        a.add_node(
+                            enc.cons(),
+                            e_state(tb),
+                            f_state(ty, d2),
+                            f_state(ty, d),
+                        );
+                    }
+                }
+            }
+        }
+
+        a.add_final(e_state(self.root.index()));
+        Ok(a)
+    }
+
+    /// Validates an unranked tree by encoding it and running the compiled
+    /// automaton. (For plain [`crate::Dtd`]s a direct, diagnostic-friendly
+    /// validator also exists.)
+    pub fn validates(&self, t: &UnrankedTree) -> Result<bool, DtdError> {
+        let enc = EncodedAlphabet::new(&self.alphabet);
+        let a = self.compile(&enc)?;
+        let bt = xmltc_trees::encode(t, &enc)?;
+        Ok(a.accepts(&bt)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's separating example: the singleton `{a(b(c), b(d))}` is
+    /// not DTD-definable (the two `b`s need different content) but is a
+    /// specialized-DTD language.
+    fn separating() -> SpecializedDtd {
+        let al = Alphabet::unranked(&["a", "b", "c", "d"]);
+        let a = al.get("a").unwrap();
+        let b = al.get("b").unwrap();
+        let c = al.get("c").unwrap();
+        let d = al.get("d").unwrap();
+        // types: A=a(Bc.Bd), Bc=b(C), Bd=b(D), C=c(), D=d()
+        SpecializedDtd::new(
+            &al,
+            vec![
+                "A".into(),
+                "Bc".into(),
+                "Bd".into(),
+                "C".into(),
+                "D".into(),
+            ],
+            vec![a, b, b, c, d],
+            vec![
+                Regex::sym(TypeId(1)).concat(Regex::sym(TypeId(2))),
+                Regex::sym(TypeId(3)),
+                Regex::sym(TypeId(4)),
+                Regex::Epsilon,
+                Regex::Epsilon,
+            ],
+            TypeId(0),
+        )
+    }
+
+    #[test]
+    fn decoupled_tags_distinguish_b_types() {
+        let s = separating();
+        let al = s.alphabet().clone();
+        let good = UnrankedTree::parse("a(b(c), b(d))", &al).unwrap();
+        assert!(s.validates(&good).unwrap());
+        for bad in [
+            "a(b(d), b(c))",
+            "a(b(c), b(c))",
+            "a(b(c))",
+            "a(b(c), b(d), b(c))",
+            "a",
+        ] {
+            let t = UnrankedTree::parse(bad, &al).unwrap();
+            assert!(!s.validates(&t).unwrap(), "{bad} should be invalid");
+        }
+    }
+
+    #[test]
+    fn compiled_automaton_accepts_exactly_encodings() {
+        let s = separating();
+        let enc = EncodedAlphabet::new(s.alphabet());
+        let a = s.compile(&enc).unwrap();
+        // The witness of the compiled automaton decodes to the single valid
+        // document.
+        let w = a.witness().unwrap();
+        let back = xmltc_trees::decode(&w, &enc).unwrap();
+        assert_eq!(back.to_string(), "a(b(c), b(d))");
+    }
+
+    #[test]
+    fn starred_content_models() {
+        let al = Alphabet::unranked(&["root", "item"]);
+        let root = al.get("root").unwrap();
+        let item = al.get("item").unwrap();
+        let s = SpecializedDtd::new(
+            &al,
+            vec!["Root".into(), "Item".into()],
+            vec![root, item],
+            vec![Regex::sym(TypeId(1)).star(), Regex::Epsilon],
+            TypeId(0),
+        );
+        for (doc, ok) in [
+            ("root", true),
+            ("root(item)", true),
+            ("root(item, item, item)", true),
+            ("root(item, root)", false),
+            ("item", false),
+        ] {
+            let t = UnrankedTree::parse(doc, &al).unwrap();
+            assert_eq!(s.validates(&t).unwrap(), ok, "{doc}");
+        }
+    }
+}

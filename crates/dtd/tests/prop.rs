@@ -1,0 +1,79 @@
+//! Property test: the direct DTD validator and the compiled tree automaton
+//! over encoded binary trees must agree on every document.
+
+use proptest::prelude::*;
+use xmltc_dtd::Dtd;
+use xmltc_trees::{encode, EncodedAlphabet, RawTree, UnrankedTree};
+
+/// A small pool of content models over tags {a, b, c}.
+const MODELS: [&str; 8] = ["@eps", "a*", "b.c", "(a|b)*", "a?.c*", "b+", "a.b?.c", "(a.b)*"];
+
+fn arb_dtd() -> impl Strategy<Value = Dtd> {
+    // root rule + rules for a, b, c drawn from the pool.
+    (
+        prop::sample::select(&MODELS[..]),
+        prop::sample::select(&MODELS[..]),
+        prop::sample::select(&MODELS[..]),
+        prop::sample::select(&MODELS[..]),
+    )
+        .prop_map(|(r, ra, rb, rc)| {
+            Dtd::parse_text(&format!(
+                "root := {r}\na := {ra}\nb := {rb}\nc := {rc}"
+            ))
+            .unwrap()
+        })
+}
+
+fn arb_doc() -> impl Strategy<Value = RawTree> {
+    let leaf = prop::sample::select(vec!["a", "b", "c"]).prop_map(RawTree::leaf);
+    let tree = leaf.prop_recursive(3, 20, 4, |inner| {
+        (
+            prop::sample::select(vec!["a", "b", "c"]),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, children)| RawTree::node(name, children))
+    });
+    prop::collection::vec(tree, 0..4).prop_map(|children| RawTree::node("root", children))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn validator_agrees_with_compiled_automaton(dtd in arb_dtd(), doc in arb_doc()) {
+        let al = dtd.alphabet().clone();
+        let t = UnrankedTree::from_raw(&doc, &al).unwrap();
+        let enc = EncodedAlphabet::new(&al);
+        let a = dtd.compile(&enc).unwrap();
+        let bt = encode(&t, &enc).unwrap();
+        prop_assert_eq!(a.accepts(&bt).unwrap(), dtd.is_valid(&t));
+    }
+
+    #[test]
+    fn witness_of_compiled_automaton_is_valid(dtd in arb_dtd()) {
+        let enc = EncodedAlphabet::new(dtd.alphabet());
+        let a = dtd.compile(&enc).unwrap();
+        if let Some(w) = a.witness() {
+            let doc = xmltc_trees::decode(&w, &enc).unwrap();
+            prop_assert!(dtd.is_valid(&doc));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// decompile ∘ compile is a language identity on random DTDs.
+    #[test]
+    fn decompile_round_trip(dtd in arb_dtd()) {
+        let enc = EncodedAlphabet::new(dtd.alphabet());
+        let original = dtd.compile(&enc).unwrap();
+        let grammar = xmltc_dtd::decompile(&original, &enc);
+        match grammar.compile() {
+            Ok(back) => prop_assert!(back.equivalent(&original), "grammar:\n{}", grammar),
+            // No roots ⇒ the grammar denotes ∅; the original must be empty
+            // too (unsatisfiable content models, e.g. `b := b+`).
+            Err(_) => prop_assert!(original.is_empty(), "grammar:\n{}", grammar),
+        }
+    }
+}

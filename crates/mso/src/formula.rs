@@ -1,0 +1,348 @@
+//! MSO formula syntax and reference (direct) semantics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use xmltc_trees::{BinaryTree, NodeId, Symbol};
+
+/// Variable order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VarKind {
+    /// First-order: ranges over nodes.
+    First,
+    /// Second-order (monadic): ranges over node sets.
+    Second,
+}
+
+/// An MSO formula over binary trees represented as structures
+/// `(D, succ1, succ2, (R_a)_{a∈Σ})`. Variables are referenced by name and
+/// resolved lexically; a well-formed sentence has no free variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Formula {
+    /// `R_a(x)`: node `x` is labeled `a`.
+    Label(String, Symbol),
+    /// `succ1(x, y)`: `y` is the left child of `x`.
+    Succ1(String, String),
+    /// `succ2(x, y)`: `y` is the right child of `x`.
+    Succ2(String, String),
+    /// `x = y` (both first-order).
+    Eq(String, String),
+    /// `x ∈ S` (first-order in second-order).
+    In(String, String),
+    /// `root(x)`.
+    Root(String),
+    /// `leaf(x)`.
+    Leaf(String),
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Existential quantification.
+    Exists(VarKind, String, Box<Formula>),
+    /// Universal quantification.
+    Forall(VarKind, String, Box<Formula>),
+}
+
+impl Formula {
+    /// `¬φ`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `φ ∧ ψ` (with unit simplification).
+    pub fn and(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::True, r) | (r, Formula::True) => r,
+            (Formula::False, _) | (_, Formula::False) => Formula::False,
+            (a, b) => Formula::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `φ ∨ ψ` (with unit simplification).
+    pub fn or(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::False, r) | (r, Formula::False) => r,
+            (Formula::True, _) | (_, Formula::True) => Formula::True,
+            (a, b) => Formula::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `φ ⇒ ψ`.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// `∃x. φ` (first-order).
+    pub fn exists1(name: impl Into<String>, body: Formula) -> Formula {
+        Formula::Exists(VarKind::First, name.into(), Box::new(body))
+    }
+
+    /// `∀x. φ` (first-order).
+    pub fn forall1(name: impl Into<String>, body: Formula) -> Formula {
+        Formula::Forall(VarKind::First, name.into(), Box::new(body))
+    }
+
+    /// `∃S. φ` (second-order).
+    pub fn exists2(name: impl Into<String>, body: Formula) -> Formula {
+        Formula::Exists(VarKind::Second, name.into(), Box::new(body))
+    }
+
+    /// `∀S. φ` (second-order).
+    pub fn forall2(name: impl Into<String>, body: Formula) -> Formula {
+        Formula::Forall(VarKind::Second, name.into(), Box::new(body))
+    }
+
+    /// Conjunction of many formulas.
+    pub fn all(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        parts.into_iter().fold(Formula::True, Formula::and)
+    }
+
+    /// Quantifier depth (for diagnostics).
+    pub fn quantifier_depth(&self) -> usize {
+        match self {
+            Formula::Not(a) => a.quantifier_depth(),
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                a.quantifier_depth().max(b.quantifier_depth())
+            }
+            Formula::Exists(_, _, a) | Formula::Forall(_, _, a) => 1 + a.quantifier_depth(),
+            _ => 0,
+        }
+    }
+
+    /// Formula size (node count, for diagnostics).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Not(a) => 1 + a.size(),
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                1 + a.size() + b.size()
+            }
+            Formula::Exists(_, _, a) | Formula::Forall(_, _, a) => 1 + a.size(),
+            _ => 1,
+        }
+    }
+
+    /// Reference semantics by direct recursion. `env` maps in-scope
+    /// variables to values. Second-order quantifiers enumerate all `2^|t|`
+    /// subsets — use tiny trees.
+    pub fn eval(&self, t: &BinaryTree, env: &mut BTreeMap<String, Value>) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Label(x, a) => t.symbol(env[x].node()) == *a,
+            Formula::Succ1(x, y) => t.children(env[x].node()).map(|(l, _)| l) == Some(env[y].node()),
+            Formula::Succ2(x, y) => t.children(env[x].node()).map(|(_, r)| r) == Some(env[y].node()),
+            Formula::Eq(x, y) => env[x].node() == env[y].node(),
+            Formula::In(x, s) => env[s].set().contains(&env[x].node()),
+            Formula::Root(x) => t.is_root(env[x].node()),
+            Formula::Leaf(x) => t.is_leaf(env[x].node()),
+            Formula::Not(a) => !a.eval(t, env),
+            Formula::And(a, b) => a.eval(t, env) && b.eval(t, env),
+            Formula::Or(a, b) => a.eval(t, env) || b.eval(t, env),
+            Formula::Implies(a, b) => !a.eval(t, env) || b.eval(t, env),
+            Formula::Exists(kind, name, body) => {
+                self::quantify(*kind, name, body, t, env, false)
+            }
+            Formula::Forall(kind, name, body) => {
+                !self::quantify(*kind, name, body, t, env, true)
+            }
+        }
+    }
+}
+
+/// A variable valuation: a node or a node set.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// First-order value.
+    Node(NodeId),
+    /// Second-order value.
+    Set(Vec<NodeId>),
+}
+
+impl Value {
+    fn node(&self) -> NodeId {
+        match self {
+            Value::Node(n) => *n,
+            Value::Set(_) => panic!("second-order variable used as first-order"),
+        }
+    }
+
+    fn set(&self) -> &Vec<NodeId> {
+        match self {
+            Value::Set(s) => s,
+            Value::Node(_) => panic!("first-order variable used as second-order"),
+        }
+    }
+}
+
+/// Shared body of ∃/∀: returns "∃ a witness making body eval to `!negate`".
+/// For `Forall` we ask for a counterexample (`negate = true`) and invert.
+fn quantify(
+    kind: VarKind,
+    name: &str,
+    body: &Formula,
+    t: &BinaryTree,
+    env: &mut BTreeMap<String, Value>,
+    negate: bool,
+) -> bool {
+    let saved = env.get(name).cloned();
+    let result = match kind {
+        VarKind::First => (0..t.len() as u32).any(|i| {
+            env.insert(name.to_string(), Value::Node(NodeId(i)));
+            body.eval(t, env) != negate
+        }),
+        VarKind::Second => {
+            let n = t.len();
+            assert!(n <= 20, "direct SO evaluation limited to 20-node trees");
+            (0u32..(1u32 << n)).any(|bits| {
+                let set: Vec<NodeId> = (0..n as u32)
+                    .filter(|i| bits >> i & 1 == 1)
+                    .map(NodeId)
+                    .collect();
+                env.insert(name.to_string(), Value::Set(set));
+                body.eval(t, env) != negate
+            })
+        }
+    };
+    match saved {
+        Some(v) => {
+            env.insert(name.to_string(), v);
+        }
+        None => {
+            env.remove(name);
+        }
+    }
+    result
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Label(x, a) => write!(f, "R[{}]({x})", a.0),
+            Formula::Succ1(x, y) => write!(f, "succ1({x},{y})"),
+            Formula::Succ2(x, y) => write!(f, "succ2({x},{y})"),
+            Formula::Eq(x, y) => write!(f, "{x}={y}"),
+            Formula::In(x, s) => write!(f, "{x}∈{s}"),
+            Formula::Root(x) => write!(f, "root({x})"),
+            Formula::Leaf(x) => write!(f, "leaf({x})"),
+            Formula::Not(a) => write!(f, "¬({a})"),
+            Formula::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Formula::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Formula::Implies(a, b) => write!(f, "({a} ⇒ {b})"),
+            Formula::Exists(VarKind::First, x, a) => write!(f, "∃{x}.({a})"),
+            Formula::Exists(VarKind::Second, x, a) => write!(f, "∃{x}⊆D.({a})"),
+            Formula::Forall(VarKind::First, x, a) => write!(f, "∀{x}.({a})"),
+            Formula::Forall(VarKind::Second, x, a) => write!(f, "∀{x}⊆D.({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xmltc_trees::Alphabet;
+
+    fn alpha() -> Arc<Alphabet> {
+        Alphabet::ranked(&["x", "y"], &["f"])
+    }
+
+    fn ev(f: &Formula, t: &BinaryTree) -> bool {
+        f.eval(t, &mut BTreeMap::new())
+    }
+
+    #[test]
+    fn simple_sentences() {
+        let al = alpha();
+        let x = al.get("x").unwrap();
+        let y = al.get("y").unwrap();
+        let t = BinaryTree::parse("f(x, y)", &al).unwrap();
+        // ∃v. R_y(v)
+        let some_y = Formula::exists1("v", Formula::Label("v".into(), y));
+        assert!(ev(&some_y, &t));
+        // ∀v. leaf(v) ⇒ R_x(v)
+        let all_leaves_x = Formula::forall1(
+            "v",
+            Formula::Leaf("v".into()).implies(Formula::Label("v".into(), x)),
+        );
+        assert!(!ev(&all_leaves_x, &t));
+        let t2 = BinaryTree::parse("f(x, x)", &al).unwrap();
+        assert!(ev(&all_leaves_x, &t2));
+    }
+
+    #[test]
+    fn succ_and_root() {
+        let al = alpha();
+        let t = BinaryTree::parse("f(x, y)", &al).unwrap();
+        // ∃u∃v. root(u) ∧ succ1(u,v) ∧ leaf(v)
+        let f = Formula::exists1(
+            "u",
+            Formula::exists1(
+                "v",
+                Formula::Root("u".into())
+                    .and(Formula::Succ1("u".into(), "v".into()))
+                    .and(Formula::Leaf("v".into())),
+            ),
+        );
+        assert!(ev(&f, &t));
+        let single = BinaryTree::parse("x", &al).unwrap();
+        assert!(!ev(&f, &single));
+    }
+
+    #[test]
+    fn second_order_descendant() {
+        // The warm-up from the paper: y is a descendant of x iff y belongs
+        // to every succ-closed set containing x. Here: check "every node is
+        // a descendant of the root".
+        let al = alpha();
+        let closed = Formula::forall1(
+            "u",
+            Formula::forall1(
+                "v",
+                Formula::In("u".into(), "S".into())
+                    .and(
+                        Formula::Succ1("u".into(), "v".into())
+                            .or(Formula::Succ2("u".into(), "v".into())),
+                    )
+                    .implies(Formula::In("v".into(), "S".into())),
+            ),
+        );
+        let descendant_of_root = Formula::forall1(
+            "y",
+            Formula::forall2(
+                "S",
+                Formula::exists1(
+                    "r",
+                    Formula::Root("r".into()).and(Formula::In("r".into(), "S".into())),
+                )
+                .and(closed.clone())
+                .implies(Formula::In("y".into(), "S".into())),
+            ),
+        );
+        let t = BinaryTree::parse("f(x, f(x, y))", &al).unwrap();
+        assert!(ev(&descendant_of_root, &t));
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let f = Formula::exists1("v", Formula::forall2("S", Formula::True));
+        assert_eq!(f.quantifier_depth(), 2);
+        assert!(f.size() >= 3);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let f = Formula::exists1("v", Formula::Root("v".into()).not());
+        let s = f.to_string();
+        assert!(s.contains('∃') && s.contains("root"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # xmltc-mso
+//!
+//! Monadic second-order logic (MSO) on complete binary trees, compiled to
+//! tree automata — the engine behind Theorem 4.7 of the paper ("k-pebble
+//! tree automata accept precisely the regular tree languages"), whose proof
+//! translates a k-pebble automaton into an MSO sentence and appeals to the
+//! classical equivalence MSO ≡ regular tree languages.
+//!
+//! This crate makes that appeal *effective*, MONA-style:
+//!
+//! * Trees are represented as first-order structures
+//!   `(D, succ1, succ2, (R_a)_{a∈Σ})` exactly as in the proof of
+//!   Theorem 4.7.
+//! * [`Formula`]s have first-order variables (ranging over nodes) and
+//!   second-order variables (ranging over node *sets*), with atoms
+//!   `R_a(x)`, `succ1(x,y)`, `succ2(x,y)`, `x = y`, `x ∈ S`, `root(x)`,
+//!   `leaf(x)`, closed under `¬ ∧ ∨ ⇒ ∃ ∀` at both orders.
+//! * Compilation ([`compile_sentence`]) produces a [`SymTa`]: a tree
+//!   automaton over `Σ × {0,1}ⁿ` whose transitions carry **cube guards**
+//!   (mask/bits pairs over the variable tracks) instead of an exploded
+//!   alphabet. Negation determinizes by subset construction with on-demand
+//!   minterm enumeration; quantifiers project tracks (first-order ones
+//!   conjoin a singleton-track constraint first).
+//! * A closed formula compiles down to zero tracks and converts to a plain
+//!   [`xmltc_automata::Nta`] over `Σ`.
+//! * A direct recursive [`eval`](Formula::eval) provides reference
+//!   semantics for differential testing (exponential in the tree size for
+//!   second-order quantifiers — test-sized trees only).
+//!
+//! The compilation is non-elementary in quantifier alternation depth, as it
+//! must be (Theorem 4.8 gives the matching lower bound for the pebble
+//! pipeline built on top of it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod cube;
+pub mod formula;
+pub mod symta;
+
+pub use compile::{compile_sentence, compile_sentence_limited, CompileError, CompileStats};
+pub use cube::Cube;
+pub use formula::{Formula, VarKind};
+pub use symta::SymTa;

@@ -1,0 +1,96 @@
+//! Differential testing of the MSO compiler: on random first-order
+//! formulas (with an occasional second-order quantifier) and random small
+//! trees, the compiled tree automaton must agree with the direct
+//! recursive evaluator.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use xmltc_mso::{compile_sentence, Formula};
+use xmltc_trees::{Alphabet, BinaryTree, Symbol};
+
+fn alpha() -> Arc<Alphabet> {
+    Alphabet::ranked(&["x", "y"], &["f", "g"])
+}
+
+/// Quantifier-free kernels over two first-order variables u, v and one
+/// second-order variable S.
+fn arb_kernel(syms: Vec<Symbol>) -> impl Strategy<Value = Formula> {
+    let atom = prop_oneof![
+        prop::sample::select(syms.clone())
+            .prop_map(|s| Formula::Label("u".into(), s)),
+        prop::sample::select(syms)
+            .prop_map(|s| Formula::Label("v".into(), s)),
+        Just(Formula::Succ1("u".into(), "v".into())),
+        Just(Formula::Succ2("u".into(), "v".into())),
+        Just(Formula::Eq("u".into(), "v".into())),
+        Just(Formula::Root("u".into())),
+        Just(Formula::Leaf("v".into())),
+        Just(Formula::In("u".into(), "S".into())),
+        Just(Formula::In("v".into(), "S".into())),
+    ];
+    atom.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| a.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::And(
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::Or(
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::Implies(
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+/// Close the kernel: quantify u, v (mixing ∃/∀) and S (∃ or ∀).
+fn arb_sentence() -> impl Strategy<Value = Formula> {
+    let al = alpha();
+    let syms: Vec<Symbol> = al.symbols().collect();
+    (arb_kernel(syms), 0u8..2, 0u8..2, 0u8..2).prop_map(|(kernel, qu, qv, qs)| {
+        let inner = match qv {
+            0 => Formula::exists1("v", kernel),
+            _ => Formula::forall1("v", kernel),
+        };
+        let mid = match qu {
+            0 => Formula::exists1("u", inner),
+            _ => Formula::forall1("u", inner),
+        };
+        match qs {
+            0 => Formula::exists2("S", mid),
+            _ => Formula::forall2("S", mid),
+        }
+    })
+}
+
+fn arb_tree(al: Arc<Alphabet>) -> impl Strategy<Value = BinaryTree> {
+    let leaf = prop::sample::select(vec!["x", "y"]).prop_map(String::from);
+    let expr = leaf.prop_recursive(2, 7, 2, |inner| {
+        (
+            prop::sample::select(vec!["f", "g"]),
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(s, l, r)| format!("{s}({l}, {r})"))
+    });
+    expr.prop_map(move |src| BinaryTree::parse(&src, &al).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compiled_agrees_with_direct_eval(f in arb_sentence(), t in arb_tree(alpha())) {
+        // Direct SO evaluation is 2^|t|: the tree strategy caps at 7 nodes.
+        let al = t.alphabet().clone();
+        let nta = compile_sentence(&f, &al).expect("compiles");
+        let direct = f.eval(&t, &mut BTreeMap::new());
+        let automaton = nta.accepts(&t).unwrap();
+        prop_assert_eq!(automaton, direct, "disagreement on {} for {}", t, f);
+    }
+}

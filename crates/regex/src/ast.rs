@@ -1,0 +1,302 @@
+//! Regular expression syntax trees with smart constructors.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::Hash;
+
+/// A regular expression over symbols of type `S`.
+///
+/// The variants mirror the classical grammar; `Plus` and `Opt` are kept as
+/// first-class constructors (XML DTDs use `+` and `?` heavily) rather than
+/// desugared, so printed expressions stay readable.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Regex<S> {
+    /// The empty language `∅`.
+    Empty,
+    /// The language `{ε}`.
+    Epsilon,
+    /// A single symbol.
+    Sym(S),
+    /// Concatenation `r.s`.
+    Concat(Box<Regex<S>>, Box<Regex<S>>),
+    /// Alternation `r|s`.
+    Alt(Box<Regex<S>>, Box<Regex<S>>),
+    /// Kleene star `r*`.
+    Star(Box<Regex<S>>),
+    /// One-or-more `r+`.
+    Plus(Box<Regex<S>>),
+    /// Zero-or-one `r?`.
+    Opt(Box<Regex<S>>),
+}
+
+impl<S: Clone + Eq + Hash> Regex<S> {
+    /// Single-symbol expression.
+    pub fn sym(s: S) -> Regex<S> {
+        Regex::Sym(s)
+    }
+
+    /// Concatenation with the obvious simplifications
+    /// (`∅.r = ∅`, `ε.r = r`).
+    pub fn concat(self, other: Regex<S>) -> Regex<S> {
+        match (self, other) {
+            (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+            (Regex::Epsilon, r) | (r, Regex::Epsilon) => r,
+            (a, b) => Regex::Concat(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Alternation with the obvious simplifications (`∅|r = r`).
+    pub fn alt(self, other: Regex<S>) -> Regex<S> {
+        match (self, other) {
+            (Regex::Empty, r) | (r, Regex::Empty) => r,
+            (a, b) if a == b => a,
+            (a, b) => Regex::Alt(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Kleene star with simplifications (`∅* = ε* = ε`, `(r*)* = r*`).
+    pub fn star(self) -> Regex<S> {
+        match self {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            r @ Regex::Star(_) => r,
+            r => Regex::Star(Box::new(r)),
+        }
+    }
+
+    /// One-or-more.
+    pub fn plus(self) -> Regex<S> {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            r => Regex::Plus(Box::new(r)),
+        }
+    }
+
+    /// Zero-or-one.
+    pub fn opt(self) -> Regex<S> {
+        match self {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            r => Regex::Opt(Box::new(r)),
+        }
+    }
+
+    /// Concatenation of a sequence of expressions.
+    pub fn seq(parts: impl IntoIterator<Item = Regex<S>>) -> Regex<S> {
+        parts
+            .into_iter()
+            .fold(Regex::Epsilon, |acc, r| acc.concat(r))
+    }
+
+    /// Alternation of a sequence of expressions (empty sequence = `∅`).
+    pub fn any(parts: impl IntoIterator<Item = Regex<S>>) -> Regex<S> {
+        parts.into_iter().fold(Regex::Empty, |acc, r| acc.alt(r))
+    }
+
+    /// Whether `ε` is in the language.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Sym(_) | Regex::Plus(_) => match self {
+                Regex::Plus(r) => r.nullable(),
+                _ => false,
+            },
+            Regex::Epsilon | Regex::Star(_) | Regex::Opt(_) => true,
+            Regex::Concat(a, b) => a.nullable() && b.nullable(),
+            Regex::Alt(a, b) => a.nullable() || b.nullable(),
+        }
+    }
+
+    /// The mirror-image expression: `L(rev(r)) = { reverse(w) | w ∈ L(r) }`.
+    /// Used by pattern matching, which checks path expressions "in reverse,
+    /// along the way" up the tree (Example 3.5).
+    pub fn reverse(&self) -> Regex<S> {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Sym(s) => Regex::Sym(s.clone()),
+            Regex::Concat(a, b) => b.reverse().concat(a.reverse()),
+            Regex::Alt(a, b) => a.reverse().alt(b.reverse()),
+            Regex::Star(r) => r.reverse().star(),
+            Regex::Plus(r) => r.reverse().plus(),
+            Regex::Opt(r) => r.reverse().opt(),
+        }
+    }
+
+    /// Maps symbols, preserving structure.
+    pub fn map<T: Clone + Eq + Hash>(&self, f: &mut impl FnMut(&S) -> T) -> Regex<T> {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Sym(s) => Regex::Sym(f(s)),
+            Regex::Concat(a, b) => Regex::Concat(Box::new(a.map(f)), Box::new(b.map(f))),
+            Regex::Alt(a, b) => Regex::Alt(Box::new(a.map(f)), Box::new(b.map(f))),
+            Regex::Star(r) => Regex::Star(Box::new(r.map(f))),
+            Regex::Plus(r) => Regex::Plus(Box::new(r.map(f))),
+            Regex::Opt(r) => Regex::Opt(Box::new(r.map(f))),
+        }
+    }
+
+    /// Maps symbols fallibly.
+    pub fn try_map<T: Clone + Eq + Hash, E>(
+        &self,
+        f: &mut impl FnMut(&S) -> Result<T, E>,
+    ) -> Result<Regex<T>, E> {
+        Ok(match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Sym(s) => Regex::Sym(f(s)?),
+            Regex::Concat(a, b) => {
+                Regex::Concat(Box::new(a.try_map(f)?), Box::new(b.try_map(f)?))
+            }
+            Regex::Alt(a, b) => Regex::Alt(Box::new(a.try_map(f)?), Box::new(b.try_map(f)?)),
+            Regex::Star(r) => Regex::Star(Box::new(r.try_map(f)?)),
+            Regex::Plus(r) => Regex::Plus(Box::new(r.try_map(f)?)),
+            Regex::Opt(r) => Regex::Opt(Box::new(r.try_map(f)?)),
+        })
+    }
+}
+
+impl<S: Clone + Ord + Eq + Hash> Regex<S> {
+    /// The set of symbols occurring in the expression.
+    pub fn symbols(&self) -> BTreeSet<S> {
+        let mut out = BTreeSet::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut BTreeSet<S>) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Sym(s) => {
+                out.insert(s.clone());
+            }
+            Regex::Concat(a, b) | Regex::Alt(a, b) => {
+                a.collect_symbols(out);
+                b.collect_symbols(out);
+            }
+            Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) => r.collect_symbols(out),
+        }
+    }
+}
+
+impl<S: fmt::Display> Regex<S> {
+    fn prec(&self) -> u8 {
+        match self {
+            Regex::Alt(..) => 0,
+            Regex::Concat(..) => 1,
+            _ => 2,
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, min: u8) -> fmt::Result {
+        let p = self.prec();
+        if p < min {
+            write!(f, "(")?;
+        }
+        match self {
+            Regex::Empty => write!(f, "@empty")?,
+            Regex::Epsilon => write!(f, "@eps")?,
+            Regex::Sym(s) => write!(f, "{s}")?,
+            // `.` and `|` are associative: print both operands at their own
+            // precedence so nesting direction does not force parentheses.
+            Regex::Concat(a, b) => {
+                a.fmt_prec(f, 1)?;
+                write!(f, ".")?;
+                b.fmt_prec(f, 1)?;
+            }
+            Regex::Alt(a, b) => {
+                a.fmt_prec(f, 0)?;
+                write!(f, "|")?;
+                b.fmt_prec(f, 0)?;
+            }
+            Regex::Star(r) => {
+                r.fmt_prec(f, 3)?;
+                write!(f, "*")?;
+            }
+            Regex::Plus(r) => {
+                r.fmt_prec(f, 3)?;
+                write!(f, "+")?;
+            }
+            Regex::Opt(r) => {
+                r.fmt_prec(f, 3)?;
+                write!(f, "?")?;
+            }
+        }
+        if p < min {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl<S: fmt::Display> fmt::Display for Regex<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(c: char) -> Regex<char> {
+        Regex::sym(c)
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(s('a').concat(Regex::Empty), Regex::Empty);
+        assert_eq!(s('a').concat(Regex::Epsilon), s('a'));
+        assert_eq!(Regex::Empty.alt(s('b')), s('b'));
+        assert_eq!(s('a').alt(s('a')), s('a'));
+        assert_eq!(Regex::<char>::Epsilon.star(), Regex::Epsilon);
+        assert_eq!(s('a').star().star(), s('a').star());
+        assert_eq!(Regex::<char>::Empty.plus(), Regex::Empty);
+        assert_eq!(Regex::<char>::Epsilon.opt(), Regex::Epsilon);
+    }
+
+    #[test]
+    fn nullable() {
+        assert!(!s('a').nullable());
+        assert!(s('a').star().nullable());
+        assert!(s('a').opt().nullable());
+        assert!(!s('a').plus().nullable());
+        assert!(s('a').star().concat(s('b').opt()).nullable());
+        assert!(!s('a').concat(s('b').star()).nullable());
+        assert!(s('a').alt(Regex::Epsilon).nullable());
+        assert!(!Regex::<char>::Empty.nullable());
+    }
+
+    #[test]
+    fn reverse() {
+        let r = s('a').concat(s('b')).concat(s('c'));
+        assert_eq!(r.reverse().to_string(), "c.b.a");
+        let r2 = s('a').concat(s('b').alt(s('c')).star());
+        assert_eq!(r2.reverse().to_string(), "(b|c)*.a");
+        assert_eq!(r2.reverse().reverse(), r2);
+    }
+
+    #[test]
+    fn display_precedence() {
+        let r = s('a').alt(s('b')).concat(s('c')).star();
+        assert_eq!(r.to_string(), "((a|b).c)*");
+        let r2 = s('a').concat(s('b').alt(s('c')));
+        assert_eq!(r2.to_string(), "a.(b|c)");
+    }
+
+    #[test]
+    fn symbols_collected() {
+        let r = s('a').concat(s('b').alt(s('a')).star());
+        let syms = r.symbols();
+        assert_eq!(syms.into_iter().collect::<Vec<_>>(), vec!['a', 'b']);
+    }
+
+    #[test]
+    fn seq_and_any() {
+        let r = Regex::seq([s('a'), s('b'), s('c')]);
+        assert_eq!(r.to_string(), "a.b.c");
+        let r = Regex::any([s('a'), s('b')]);
+        assert_eq!(r.to_string(), "a|b");
+        assert_eq!(Regex::<char>::any([]), Regex::Empty);
+        assert_eq!(Regex::<char>::seq([]), Regex::Epsilon);
+    }
+}

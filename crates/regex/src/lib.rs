@@ -1,0 +1,39 @@
+//! # xmltc-regex
+//!
+//! Regular expressions and finite word automata over *generic* alphabets.
+//!
+//! In the paper, word-regular machinery appears in three places:
+//!
+//! * **DTD content models** (Section 2.3): a DTD is an extended context-free
+//!   grammar whose productions have regular expressions on the right-hand
+//!   side;
+//! * **(regular) path expressions** (Section 2.1) used by all XML query
+//!   languages and by tree patterns (Section 2.2, Example 3.5);
+//! * the **star-free generalized expressions** of the Theorem 4.8 lower
+//!   bound.
+//!
+//! The alphabet is a type parameter (`S: Copy + Eq + Hash + Ord`) so that the
+//! same engine serves interned tree symbols, automaton states (in silent
+//! closure computations) and plain chars in tests.
+//!
+//! Provided: an AST with smart constructors ([`Regex`]), a parser for the
+//! paper's dotted syntax (`a.(b|c)*.d`), the Glushkov position-automaton
+//! construction ([`Nfa`]), subset-construction [`Dfa`]s, boolean operations
+//! (product, union, complement relative to an explicit universe), decision
+//! procedures (emptiness with witness, membership, inclusion, equivalence),
+//! Moore minimization, reversal, and bounded word enumeration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod dfa;
+pub mod nfa;
+pub mod parse;
+pub mod starfree;
+
+pub use ast::Regex;
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+pub use parse::{parse, ParseError};
+pub use starfree::StarFree;

@@ -1,0 +1,297 @@
+//! Nondeterministic finite word automata via the Glushkov (position)
+//! construction — no epsilon transitions, one state per symbol occurrence.
+
+use crate::ast::Regex;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+
+/// A nondeterministic finite automaton over symbols `S`, without epsilon
+/// transitions. State `0` is always the unique start state.
+#[derive(Clone, Debug)]
+pub struct Nfa<S> {
+    /// `trans[q]` maps a symbol to the successor states of `q`.
+    trans: Vec<HashMap<S, Vec<usize>>>,
+    /// `finals[q]` is true when `q` accepts.
+    finals: Vec<bool>,
+}
+
+impl<S: Copy + Eq + Hash + Ord> Nfa<S> {
+    /// Builds the Glushkov automaton of a regular expression.
+    ///
+    /// The automaton has `1 + |positions|` states and recognizes exactly
+    /// `L(regex)`.
+    pub fn from_regex(regex: &Regex<S>) -> Nfa<S> {
+        // Linearize: collect positions (occurrences of symbols) in order.
+        let mut positions = Vec::new();
+        linearize(regex, &mut positions);
+        let info = glushkov(regex, &mut 0);
+
+        let n = positions.len() + 1;
+        let mut trans: Vec<HashMap<S, Vec<usize>>> = vec![HashMap::new(); n];
+        for &p in &info.first {
+            trans[0].entry(positions[p]).or_default().push(p + 1);
+        }
+        for (p, follows) in info.follow.iter().enumerate() {
+            for &q in follows {
+                trans[p + 1].entry(positions[q]).or_default().push(q + 1);
+            }
+        }
+        let mut finals = vec![false; n];
+        finals[0] = info.nullable;
+        for &p in &info.last {
+            finals[p + 1] = true;
+        }
+        Nfa { trans, finals }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// True when the automaton has no states (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.trans.is_empty()
+    }
+
+    /// Whether state `q` is accepting.
+    pub fn is_final(&self, q: usize) -> bool {
+        self.finals[q]
+    }
+
+    /// The successors of `q` on `s`.
+    pub fn step(&self, q: usize, s: S) -> &[usize] {
+        self.trans[q].get(&s).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All symbols labeling at least one transition.
+    pub fn alphabet(&self) -> BTreeSet<S> {
+        self.trans
+            .iter()
+            .flat_map(|m| m.keys().copied())
+            .collect()
+    }
+
+    /// Subset-simulation membership test.
+    pub fn accepts(&self, word: &[S]) -> bool {
+        let mut cur: BTreeSet<usize> = BTreeSet::from([0]);
+        for &s in word {
+            let mut next = BTreeSet::new();
+            for &q in &cur {
+                next.extend(self.step(q, s).iter().copied());
+            }
+            if next.is_empty() {
+                return false;
+            }
+            cur = next;
+        }
+        cur.iter().any(|&q| self.finals[q])
+    }
+
+    /// The successor set of a state set on a symbol (used by the subset
+    /// construction).
+    pub fn step_set(&self, set: &BTreeSet<usize>, s: S) -> BTreeSet<usize> {
+        let mut next = BTreeSet::new();
+        for &q in set {
+            next.extend(self.step(q, s).iter().copied());
+        }
+        next
+    }
+}
+
+struct Glushkov {
+    nullable: bool,
+    first: BTreeSet<usize>,
+    last: BTreeSet<usize>,
+    /// `follow[p]` = positions that may follow position `p`.
+    follow: Vec<BTreeSet<usize>>,
+}
+
+fn linearize<S: Copy>(r: &Regex<S>, out: &mut Vec<S>) {
+    match r {
+        Regex::Empty | Regex::Epsilon => {}
+        Regex::Sym(s) => out.push(*s),
+        Regex::Concat(a, b) | Regex::Alt(a, b) => {
+            linearize(a, out);
+            linearize(b, out);
+        }
+        Regex::Star(a) | Regex::Plus(a) | Regex::Opt(a) => linearize(a, out),
+    }
+}
+
+fn glushkov<S>(r: &Regex<S>, next_pos: &mut usize) -> Glushkov {
+    match r {
+        Regex::Empty => Glushkov {
+            nullable: false,
+            first: BTreeSet::new(),
+            last: BTreeSet::new(),
+            follow: Vec::new(),
+        },
+        Regex::Epsilon => Glushkov {
+            nullable: true,
+            first: BTreeSet::new(),
+            last: BTreeSet::new(),
+            follow: Vec::new(),
+        },
+        Regex::Sym(_) => {
+            let p = *next_pos;
+            *next_pos += 1;
+            Glushkov {
+                nullable: false,
+                first: BTreeSet::from([p]),
+                last: BTreeSet::from([p]),
+                follow: vec![BTreeSet::new()],
+            }
+        }
+        Regex::Concat(a, b) => {
+            let base_a = *next_pos;
+            let ga = glushkov(a, next_pos);
+            let gb = glushkov(b, next_pos);
+            let mut follow = ga.follow;
+            follow.extend(gb.follow);
+            // last(a) × first(b)
+            for &p in &ga.last {
+                follow[p - base_a].extend(gb.first.iter().copied());
+            }
+            // Reindex: follow is indexed relative to base_a; positions are
+            // global already because next_pos is threaded through.
+            let mut first = ga.first.clone();
+            if ga.nullable {
+                first.extend(gb.first.iter().copied());
+            }
+            let mut last = gb.last.clone();
+            if gb.nullable {
+                last.extend(ga.last.iter().copied());
+            }
+            Glushkov {
+                nullable: ga.nullable && gb.nullable,
+                first,
+                last,
+                follow,
+            }
+        }
+        Regex::Alt(a, b) => {
+            let ga = glushkov(a, next_pos);
+            let gb = glushkov(b, next_pos);
+            let mut follow = ga.follow;
+            follow.extend(gb.follow);
+            Glushkov {
+                nullable: ga.nullable || gb.nullable,
+                first: ga.first.union(&gb.first).copied().collect(),
+                last: ga.last.union(&gb.last).copied().collect(),
+                follow,
+            }
+        }
+        Regex::Star(a) | Regex::Plus(a) => {
+            let base = *next_pos;
+            let ga = glushkov(a, next_pos);
+            let mut follow = ga.follow;
+            for &p in &ga.last {
+                follow[p - base].extend(ga.first.iter().copied());
+            }
+            Glushkov {
+                nullable: matches!(r, Regex::Star(_)) || ga.nullable,
+                first: ga.first,
+                last: ga.last,
+                follow,
+            }
+        }
+        Regex::Opt(a) => {
+            let ga = glushkov(a, next_pos);
+            Glushkov {
+                nullable: true,
+                first: ga.first,
+                last: ga.last,
+                follow: ga.follow,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn nfa(src: &str) -> Nfa<char> {
+        let r = parse(src).unwrap();
+        let r = r.map(&mut |name: &String| {
+            assert_eq!(name.len(), 1);
+            name.chars().next().unwrap()
+        });
+        Nfa::from_regex(&r)
+    }
+
+    fn accepts(n: &Nfa<char>, w: &str) -> bool {
+        n.accepts(&w.chars().collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn simple_word() {
+        let n = nfa("a.b.c");
+        assert!(accepts(&n, "abc"));
+        assert!(!accepts(&n, "ab"));
+        assert!(!accepts(&n, "abcc"));
+        assert!(!accepts(&n, ""));
+    }
+
+    #[test]
+    fn star_and_alt() {
+        let n = nfa("a.(b|c)*.d");
+        assert!(accepts(&n, "ad"));
+        assert!(accepts(&n, "abd"));
+        assert!(accepts(&n, "abcbccd"));
+        assert!(!accepts(&n, "abca"));
+        assert!(!accepts(&n, "d"));
+    }
+
+    #[test]
+    fn nullable_expressions() {
+        let n = nfa("a*");
+        assert!(accepts(&n, ""));
+        assert!(accepts(&n, "aaaa"));
+        assert!(!accepts(&n, "ab"));
+        let n = nfa("a?");
+        assert!(accepts(&n, ""));
+        assert!(accepts(&n, "a"));
+        assert!(!accepts(&n, "aa"));
+        let n = nfa("a+");
+        assert!(!accepts(&n, ""));
+        assert!(accepts(&n, "a"));
+        assert!(accepts(&n, "aaa"));
+    }
+
+    #[test]
+    fn even_pairs() {
+        // (b.b)* — the output type of Example 4.2.
+        let n = nfa("(b.b)*");
+        for (w, want) in [("", true), ("b", false), ("bb", true), ("bbb", false), ("bbbb", true)] {
+            assert_eq!(accepts(&n, w), want, "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn empty_language() {
+        let n = nfa("@empty");
+        assert!(!accepts(&n, ""));
+        assert!(!accepts(&n, "a"));
+        let n = nfa("@eps");
+        assert!(accepts(&n, ""));
+        assert!(!accepts(&n, "a"));
+    }
+
+    #[test]
+    fn glushkov_state_count() {
+        // 1 + number of symbol occurrences.
+        let n = nfa("a.(b|(c.d))*.e");
+        assert_eq!(n.len(), 6);
+    }
+
+    #[test]
+    fn duplicate_symbols() {
+        let n = nfa("a.a|a");
+        assert!(accepts(&n, "a"));
+        assert!(accepts(&n, "aa"));
+        assert!(!accepts(&n, "aaa"));
+    }
+}

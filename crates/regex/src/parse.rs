@@ -1,0 +1,232 @@
+//! Parser for the paper's dotted regular-expression syntax.
+//!
+//! Grammar (whitespace insignificant):
+//!
+//! ```text
+//! alt  := cat ('|' cat)*
+//! cat  := rep ('.' rep)*
+//! rep  := atom ('*' | '+' | '?')*
+//! atom := name | '(' alt ')' | '@eps' | '@empty'
+//! name := [A-Za-z0-9_]+ | '-' | '#'
+//! ```
+//!
+//! Examples from the paper parse directly: `a.(b|(c.d))*.e`,
+//! `a.(-)*.c.(-)*.d`, `(b.b)*`.
+
+use crate::ast::Regex;
+use std::fmt;
+
+/// Regular-expression parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the failure.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the dotted syntax into a `Regex<String>` over symbol names.
+pub fn parse(input: &str) -> Result<Regex<String>, ParseError> {
+    let mut p = P {
+        s: input.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    let r = p.alt()?;
+    p.ws();
+    if p.i != p.s.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(r)
+}
+
+struct P<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, m: &str) -> ParseError {
+        ParseError {
+            message: m.to_string(),
+            offset: self.i,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn alt(&mut self) -> Result<Regex<String>, ParseError> {
+        let mut r = self.cat()?;
+        loop {
+            self.ws();
+            if self.peek() == Some(b'|') {
+                self.i += 1;
+                self.ws();
+                r = r.alt(self.cat()?);
+            } else {
+                return Ok(r);
+            }
+        }
+    }
+
+    fn cat(&mut self) -> Result<Regex<String>, ParseError> {
+        let mut r = self.rep()?;
+        loop {
+            self.ws();
+            if self.peek() == Some(b'.') {
+                self.i += 1;
+                self.ws();
+                r = r.concat(self.rep()?);
+            } else {
+                return Ok(r);
+            }
+        }
+    }
+
+    fn rep(&mut self) -> Result<Regex<String>, ParseError> {
+        let mut r = self.atom()?;
+        loop {
+            self.ws();
+            match self.peek() {
+                Some(b'*') => {
+                    self.i += 1;
+                    r = r.star();
+                }
+                Some(b'+') => {
+                    self.i += 1;
+                    r = r.plus();
+                }
+                Some(b'?') => {
+                    self.i += 1;
+                    r = r.opt();
+                }
+                _ => return Ok(r),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Regex<String>, ParseError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.i += 1;
+                self.ws();
+                let r = self.alt()?;
+                self.ws();
+                if self.peek() != Some(b')') {
+                    return Err(self.err("expected `)`"));
+                }
+                self.i += 1;
+                Ok(r)
+            }
+            Some(b'@') => {
+                let start = self.i;
+                self.i += 1;
+                while self
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+                {
+                    self.i += 1;
+                }
+                match &self.s[start..self.i] {
+                    b"@eps" => Ok(Regex::Epsilon),
+                    b"@empty" => Ok(Regex::Empty),
+                    _ => Err(self.err("unknown @-keyword (expected @eps or @empty)")),
+                }
+            }
+            Some(b'-') | Some(b'#') => {
+                let c = self.s[self.i] as char;
+                self.i += 1;
+                Ok(Regex::Sym(c.to_string()))
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = self.i;
+                while self
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+                {
+                    self.i += 1;
+                }
+                Ok(Regex::Sym(
+                    std::str::from_utf8(&self.s[start..self.i])
+                        .expect("ascii")
+                        .to_string(),
+                ))
+            }
+            _ => Err(self.err("expected a symbol, `(`, `@eps` or `@empty`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        // Patterns used throughout the paper.
+        for src in [
+            "a.b",
+            "c.(a|b)",
+            "c*.a",
+            "a.(b|(c.d))*.e",
+            "a.(-)*.c.(-)*.d",
+            "(b.b)*",
+            "b*.c.e",
+        ] {
+            let r = parse(src).expect(src);
+            // printing re-parses to the same AST
+            let r2 = parse(&r.to_string()).unwrap();
+            assert_eq!(r, r2, "round trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn keywords() {
+        assert_eq!(parse("@eps").unwrap(), Regex::Epsilon);
+        assert_eq!(parse("@empty").unwrap(), Regex::Empty);
+        assert!(parse("@bogus").is_err());
+    }
+
+    #[test]
+    fn postfix_operators() {
+        let r = parse("a+?").unwrap();
+        assert_eq!(r, Regex::sym("a".to_string()).plus().opt());
+        let r = parse("(a.b)+").unwrap();
+        assert_eq!(
+            r,
+            Regex::sym("a".to_string())
+                .concat(Regex::sym("b".to_string()))
+                .plus()
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("a.(b").is_err());
+        assert!(parse("a |").is_err());
+        assert!(parse("a)").is_err());
+        assert!(parse("*a").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(parse(" a . b "), parse("a.b"));
+    }
+}

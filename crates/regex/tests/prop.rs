@@ -1,0 +1,117 @@
+//! Property tests: the regex AST, Glushkov NFA, subset-construction DFA and
+//! minimized DFA must all agree on membership; boolean operations must obey
+//! their set-algebra laws.
+
+use proptest::prelude::*;
+use xmltc_regex::{Dfa, Nfa, Regex};
+
+const UNIVERSE: [char; 3] = ['a', 'b', 'c'];
+
+fn arb_regex() -> impl Strategy<Value = Regex<char>> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        prop::sample::select(&UNIVERSE[..]).prop_map(Regex::Sym),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Regex::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Regex::Alt(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Regex::Star(Box::new(a))),
+            inner.clone().prop_map(|a| Regex::Plus(Box::new(a))),
+            inner.prop_map(|a| Regex::Opt(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_word() -> impl Strategy<Value = Vec<char>> {
+    prop::collection::vec(prop::sample::select(&UNIVERSE[..]), 0..8)
+}
+
+/// Reference semantics: naive recursive matcher with memoized splits.
+fn matches(r: &Regex<char>, w: &[char]) -> bool {
+    match r {
+        Regex::Empty => false,
+        Regex::Epsilon => w.is_empty(),
+        Regex::Sym(s) => w.len() == 1 && w[0] == *s,
+        Regex::Concat(a, b) => (0..=w.len()).any(|i| matches(a, &w[..i]) && matches(b, &w[i..])),
+        Regex::Alt(a, b) => matches(a, w) || matches(b, w),
+        Regex::Star(a) => {
+            w.is_empty()
+                || (1..=w.len()).any(|i| matches(a, &w[..i]) && matches(&Regex::Star(a.clone()), &w[i..]))
+        }
+        Regex::Plus(a) => (1..=w.len())
+            .any(|i| matches(a, &w[..i]) && (i == w.len() || matches(&Regex::Star(a.clone()), &w[i..])))
+            || (w.is_empty() && matches(a, &[])),
+        Regex::Opt(a) => w.is_empty() || matches(a, w),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nfa_matches_reference(r in arb_regex(), w in arb_word()) {
+        let nfa = Nfa::from_regex(&r);
+        prop_assert_eq!(nfa.accepts(&w), matches(&r, &w));
+    }
+
+    #[test]
+    fn dfa_matches_nfa(r in arb_regex(), w in arb_word()) {
+        let nfa = Nfa::from_regex(&r);
+        let dfa = Dfa::from_nfa(&nfa, &UNIVERSE);
+        prop_assert_eq!(dfa.accepts(&w), nfa.accepts(&w));
+    }
+
+    #[test]
+    fn minimized_dfa_equivalent(r in arb_regex()) {
+        let dfa = Dfa::from_regex(&r, &UNIVERSE);
+        let min = dfa.minimize();
+        prop_assert!(min.equivalent(&dfa));
+        prop_assert!(min.len() <= dfa.complete().len());
+    }
+
+    #[test]
+    fn complement_involution(r in arb_regex(), w in arb_word()) {
+        let dfa = Dfa::from_regex(&r, &UNIVERSE);
+        let comp = dfa.complement(&UNIVERSE);
+        prop_assert_eq!(comp.accepts(&w), !dfa.accepts(&w));
+        prop_assert!(comp.complement(&UNIVERSE).equivalent(&dfa));
+    }
+
+    #[test]
+    fn product_laws(r1 in arb_regex(), r2 in arb_regex(), w in arb_word()) {
+        let d1 = Dfa::from_regex(&r1, &UNIVERSE);
+        let d2 = Dfa::from_regex(&r2, &UNIVERSE);
+        prop_assert_eq!(d1.intersect(&d2).accepts(&w), d1.accepts(&w) && d2.accepts(&w));
+        prop_assert_eq!(d1.union(&d2).accepts(&w), d1.accepts(&w) || d2.accepts(&w));
+        prop_assert_eq!(d1.difference(&d2).accepts(&w), d1.accepts(&w) && !d2.accepts(&w));
+    }
+
+    #[test]
+    fn witness_is_accepted(r in arb_regex()) {
+        let dfa = Dfa::from_regex(&r, &UNIVERSE);
+        if let Some(w) = dfa.witness() {
+            prop_assert!(dfa.accepts(&w));
+            prop_assert!(matches(&r, &w));
+        }
+    }
+
+    #[test]
+    fn reversal_matches_reversed_words(r in arb_regex(), w in arb_word()) {
+        let rev = r.reverse();
+        let dfa = Dfa::from_regex(&rev, &UNIVERSE);
+        let mut rw = w.clone();
+        rw.reverse();
+        prop_assert_eq!(dfa.accepts(&rw), matches(&r, &w));
+    }
+
+    #[test]
+    fn enumerated_words_accepted(r in arb_regex()) {
+        let dfa = Dfa::from_regex(&r, &UNIVERSE);
+        for w in dfa.words_up_to(4, 50) {
+            prop_assert!(matches(&r, &w));
+        }
+    }
+}

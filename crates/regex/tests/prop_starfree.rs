@@ -1,0 +1,78 @@
+//! Property tests for star-free generalized expressions: the DFA
+//! compilation must agree with the direct recursive semantics (complement
+//! by negation, concatenation by split enumeration).
+
+use proptest::prelude::*;
+use xmltc_regex::StarFree;
+
+const UNIVERSE: [char; 2] = ['a', 'b'];
+
+fn matches(e: &StarFree<char>, w: &[char]) -> bool {
+    match e {
+        StarFree::Empty => false,
+        StarFree::Epsilon => w.is_empty(),
+        StarFree::Sym(s) => w.len() == 1 && w[0] == *s,
+        StarFree::Concat(a, b) => {
+            (0..=w.len()).any(|i| matches(a, &w[..i]) && matches(b, &w[i..]))
+        }
+        StarFree::Union(a, b) => matches(a, w) || matches(b, w),
+        StarFree::Not(a) => !matches(a, w),
+    }
+}
+
+fn arb_starfree() -> impl Strategy<Value = StarFree<char>> {
+    let leaf = prop_oneof![
+        Just(StarFree::Empty),
+        Just(StarFree::Epsilon),
+        prop::sample::select(&UNIVERSE[..]).prop_map(StarFree::Sym),
+    ];
+    leaf.prop_recursive(4, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| StarFree::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| StarFree::Union(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| StarFree::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_word() -> impl Strategy<Value = Vec<char>> {
+    prop::collection::vec(prop::sample::select(&UNIVERSE[..]), 0..7)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dfa_matches_reference(e in arb_starfree(), w in arb_word()) {
+        let dfa = e.to_dfa(&UNIVERSE);
+        prop_assert_eq!(dfa.accepts(&w), matches(&e, &w), "on {:?} for {}", w, e);
+    }
+
+    #[test]
+    fn witness_is_accepted(e in arb_starfree()) {
+        match e.witness(&UNIVERSE) {
+            Some(w) => prop_assert!(matches(&e, &w)),
+            None => {
+                // empty language: no word up to length 4 matches.
+                for n in 0..=4usize {
+                    for bits in 0..(1u32 << n) {
+                        let w: Vec<char> = (0..n)
+                            .map(|i| if bits >> i & 1 == 1 { 'b' } else { 'a' })
+                            .collect();
+                        prop_assert!(!matches(&e, &w));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_complement_is_identity(e in arb_starfree(), w in arb_word()) {
+        let nn = e.clone().not().not();
+        let d1 = e.to_dfa(&UNIVERSE);
+        let d2 = nn.to_dfa(&UNIVERSE);
+        prop_assert_eq!(d1.accepts(&w), d2.accepts(&w));
+    }
+}

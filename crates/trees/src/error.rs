@@ -1,0 +1,79 @@
+//! Error type shared by the tree structures.
+
+use std::fmt;
+
+/// Errors produced while building, parsing or converting trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// A symbol name was looked up in an alphabet that does not contain it.
+    UnknownSymbol(String),
+    /// A symbol was used with the wrong number of children for its rank.
+    RankMismatch {
+        /// The offending symbol name.
+        symbol: String,
+        /// The rank recorded in the alphabet (0 or 2; unranked is never a
+        /// mismatch).
+        expected: usize,
+        /// The number of children actually supplied.
+        got: usize,
+    },
+    /// Term-syntax parse error with a human-readable description and byte
+    /// offset into the input.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// Byte offset of the error in the input string.
+        offset: usize,
+    },
+    /// A tree claimed to be a paper-style binary encoding was malformed
+    /// (e.g. a `#` in an element position, or a `-` spine ending wrongly).
+    MalformedEncoding(String),
+    /// An operation mixing trees/automata over different alphabets.
+    AlphabetMismatch,
+    /// The alphabet has no symbol of the required rank (e.g. generating a
+    /// ranked tree from an alphabet with no leaf symbols).
+    NoSymbolOfRank(&'static str),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::UnknownSymbol(name) => write!(f, "unknown symbol `{name}`"),
+            TreeError::RankMismatch {
+                symbol,
+                expected,
+                got,
+            } => write!(
+                f,
+                "symbol `{symbol}` has rank {expected} but was given {got} children"
+            ),
+            TreeError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            TreeError::MalformedEncoding(msg) => write!(f, "malformed binary encoding: {msg}"),
+            TreeError::AlphabetMismatch => write!(f, "operands use different alphabets"),
+            TreeError::NoSymbolOfRank(rank) => {
+                write!(f, "alphabet has no symbol of rank `{rank}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TreeError::RankMismatch {
+            symbol: "a".into(),
+            expected: 2,
+            got: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains('a') && s.contains('2') && s.contains('3'));
+        assert!(TreeError::UnknownSymbol("zz".into()).to_string().contains("zz"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Tree generators for property tests and benchmark workloads.
+
+use crate::error::TreeError;
+use crate::symbol::{Alphabet, Symbol};
+use crate::tree::{BinaryTree, BinaryTreeBuilder, NodeId};
+use crate::unranked::UnrankedTree;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Generates a random complete binary tree of depth at most `max_depth`.
+///
+/// Internal nodes are generated with probability `branch_prob` while depth
+/// remains; labels are drawn uniformly from the symbols of matching rank.
+/// Errors if the alphabet lacks leaf symbols (or binary symbols when
+/// `max_depth > 1` would require them — binary symbols are only needed if
+/// branching actually happens).
+pub fn random_binary<R: Rng>(
+    alphabet: &Arc<Alphabet>,
+    max_depth: usize,
+    branch_prob: f64,
+    rng: &mut R,
+) -> Result<BinaryTree, TreeError> {
+    let leaves = alphabet.leaves();
+    let binaries = alphabet.binaries();
+    if leaves.is_empty() {
+        return Err(TreeError::NoSymbolOfRank("leaf"));
+    }
+    let mut b = BinaryTreeBuilder::new(alphabet);
+    let root = gen_binary(&leaves, &binaries, max_depth, branch_prob, rng, &mut b)?;
+    Ok(b.finish(root))
+}
+
+fn gen_binary<R: Rng>(
+    leaves: &[Symbol],
+    binaries: &[Symbol],
+    depth: usize,
+    branch_prob: f64,
+    rng: &mut R,
+    b: &mut BinaryTreeBuilder,
+) -> Result<NodeId, TreeError> {
+    let branch = depth > 1 && !binaries.is_empty() && rng.gen_bool(branch_prob);
+    if branch {
+        let l = gen_binary(leaves, binaries, depth - 1, branch_prob, rng, b)?;
+        let r = gen_binary(leaves, binaries, depth - 1, branch_prob, rng, b)?;
+        b.node(binaries[rng.gen_range(0..binaries.len())], l, r)
+    } else {
+        b.leaf(leaves[rng.gen_range(0..leaves.len())])
+    }
+}
+
+/// Generates a random unranked tree with at most `max_depth` levels and at
+/// most `max_children` children per node.
+pub fn random_unranked<R: Rng>(
+    alphabet: &Arc<Alphabet>,
+    max_depth: usize,
+    max_children: usize,
+    rng: &mut R,
+) -> Result<UnrankedTree, TreeError> {
+    if alphabet.is_empty() {
+        return Err(TreeError::NoSymbolOfRank("any"));
+    }
+    let raw = gen_unranked(alphabet, max_depth, max_children, rng);
+    UnrankedTree::from_raw(&raw, alphabet)
+}
+
+fn gen_unranked<R: Rng>(
+    alphabet: &Arc<Alphabet>,
+    depth: usize,
+    max_children: usize,
+    rng: &mut R,
+) -> crate::raw::RawTree {
+    let sym = Symbol(rng.gen_range(0..alphabet.len() as u32));
+    let n_children = if depth <= 1 {
+        0
+    } else {
+        rng.gen_range(0..=max_children)
+    };
+    crate::raw::RawTree {
+        name: alphabet.name(sym).to_string(),
+        children: (0..n_children)
+            .map(|_| gen_unranked(alphabet, depth - 1, max_children, rng))
+            .collect(),
+    }
+}
+
+/// Builds the right-linear "comb" encoding of a string, as in the proof of
+/// Theorem 4.8: `enc(a·v) = a₂(filler, enc(v))`, `enc(a) = a₀`.
+///
+/// `word` gives, for each position except the last, the binary symbol; the
+/// final position is `last` (a leaf symbol); `filler` labels the dangling
+/// left leaves.
+pub fn right_comb(
+    word: &[Symbol],
+    last: Symbol,
+    filler: Symbol,
+    alphabet: &Arc<Alphabet>,
+) -> Result<BinaryTree, TreeError> {
+    let mut b = BinaryTreeBuilder::new(alphabet);
+    let mut acc = b.leaf(last)?;
+    for &s in word.iter().rev() {
+        let f = b.leaf(filler)?;
+        acc = b.node(s, f, acc)?;
+    }
+    Ok(b.finish(acc))
+}
+
+/// Builds the full (perfect) binary tree of the given depth: all internal
+/// nodes labeled `internal`, all leaves labeled `leaf`. Depth 1 is a single
+/// leaf.
+pub fn full_binary(
+    depth: usize,
+    internal: Symbol,
+    leaf: Symbol,
+    alphabet: &Arc<Alphabet>,
+) -> Result<BinaryTree, TreeError> {
+    assert!(depth >= 1, "depth must be at least 1");
+    let mut b = BinaryTreeBuilder::new(alphabet);
+    let root = full_at(depth, internal, leaf, &mut b)?;
+    Ok(b.finish(root))
+}
+
+fn full_at(
+    depth: usize,
+    internal: Symbol,
+    leaf: Symbol,
+    b: &mut BinaryTreeBuilder,
+) -> Result<NodeId, TreeError> {
+    if depth == 1 {
+        b.leaf(leaf)
+    } else {
+        let l = full_at(depth - 1, internal, leaf, b)?;
+        let r = full_at(depth - 1, internal, leaf, b)?;
+        b.node(internal, l, r)
+    }
+}
+
+/// Builds the flat unranked tree `root(a, a, …, a)` with `n` identical
+/// children — the `a^n` documents of Examples 4.2/4.3.
+pub fn flat(
+    root: Symbol,
+    child: Symbol,
+    n: usize,
+    alphabet: &Arc<Alphabet>,
+) -> Result<UnrankedTree, TreeError> {
+    let raw = crate::raw::RawTree {
+        name: alphabet.name(root).to_string(),
+        children: vec![crate::raw::RawTree::leaf(alphabet.name(child)); n],
+    };
+    UnrankedTree::from_raw(&raw, alphabet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_binary_respects_depth() {
+        let al = Alphabet::ranked(&["x", "y"], &["f"]);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let t = random_binary(&al, 5, 0.7, &mut rng).unwrap();
+            assert!(t.depth() <= 5);
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn random_binary_needs_leaves() {
+        let al = Alphabet::ranked::<&str>(&[], &["f"]);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(random_binary(&al, 3, 0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn random_unranked_respects_bounds() {
+        let al = Alphabet::unranked(&["a", "b"]);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let t = random_unranked(&al, 4, 3, &mut rng).unwrap();
+            assert!(t.depth() <= 4);
+            for n in t.preorder() {
+                assert!(t.children(n).len() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn right_comb_shape() {
+        let al = Alphabet::ranked(&["z", "pad"], &["a", "b"]);
+        let a = al.get("a").unwrap();
+        let b = al.get("b").unwrap();
+        let z = al.get("z").unwrap();
+        let pad = al.get("pad").unwrap();
+        let t = right_comb(&[a, b, a], z, pad, &al).unwrap();
+        assert_eq!(t.to_string(), "a(pad, b(pad, a(pad, z)))");
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn full_binary_size() {
+        let al = Alphabet::ranked(&["x"], &["f"]);
+        let f = al.get("f").unwrap();
+        let x = al.get("x").unwrap();
+        let t = full_binary(4, f, x, &al).unwrap();
+        assert_eq!(t.len(), 15);
+        assert_eq!(t.depth(), 4);
+    }
+
+    #[test]
+    fn flat_tree() {
+        let al = Alphabet::unranked(&["root", "a"]);
+        let t = flat(al.get("root").unwrap(), al.get("a").unwrap(), 3, &al).unwrap();
+        assert_eq!(t.to_string(), "root(a, a, a)");
+        let t0 = flat(al.get("root").unwrap(), al.get("a").unwrap(), 0, &al).unwrap();
+        assert_eq!(t0.to_string(), "root");
+    }
+}

@@ -1,0 +1,221 @@
+//! Term syntax: a tiny, alphabet-agnostic tree notation.
+//!
+//! `a(b, c(d), e)` denotes the unranked tree the paper writes the same way;
+//! leaves may omit the parentheses (`a` ≡ `a()`). Symbol names are
+//! identifiers (`[A-Za-z0-9_@]+`) or the single-character specials `-`, `#`,
+//! `|` used by the binary encoding. Whitespace is insignificant.
+
+use crate::error::TreeError;
+use std::fmt;
+
+/// An uninterned tree: names as strings, arbitrary arity.
+///
+/// [`RawTree`] is the lingua franca between the parser, the printers, and
+/// the typed tree builders ([`crate::BinaryTree::from_raw`],
+/// [`crate::UnrankedTree::from_raw`]).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RawTree {
+    /// The node's symbol name.
+    pub name: String,
+    /// Child subtrees, in order.
+    pub children: Vec<RawTree>,
+}
+
+impl RawTree {
+    /// A leaf node.
+    pub fn leaf(name: impl Into<String>) -> RawTree {
+        RawTree {
+            name: name.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// An internal node.
+    pub fn node(name: impl Into<String>, children: Vec<RawTree>) -> RawTree {
+        RawTree {
+            name: name.into(),
+            children,
+        }
+    }
+
+    /// Total number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(RawTree::size).sum::<usize>()
+    }
+
+    /// Height of the tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(RawTree::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Parses term syntax.
+    pub fn parse(input: &str) -> Result<RawTree, TreeError> {
+        let mut p = Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let t = p.tree()?;
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return Err(p.err("trailing input"));
+        }
+        Ok(t)
+    }
+}
+
+impl fmt::Display for RawTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.children.is_empty() {
+            write!(f, "(")?;
+            for (i, c) in self.children.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> TreeError {
+        TreeError::Parse {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn name(&mut self) -> Result<String, TreeError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b'-') | Some(b'#') | Some(b'|') => {
+                self.pos += 1;
+                return Ok((self.input[start] as char).to_string());
+            }
+            _ => {}
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'@' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a symbol name"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii")
+            .to_string())
+    }
+
+    fn tree(&mut self) -> Result<RawTree, TreeError> {
+        let name = self.name()?;
+        self.skip_ws();
+        let mut children = Vec::new();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            self.skip_ws();
+            if self.peek() == Some(b')') {
+                self.pos += 1; // `a()` is a leaf
+            } else {
+                loop {
+                    children.push(self.tree()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                            self.skip_ws();
+                        }
+                        Some(b')') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.err("expected `,` or `)`")),
+                    }
+                }
+            }
+        }
+        Ok(RawTree { name, children })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_leaf() {
+        assert_eq!(RawTree::parse("a").unwrap(), RawTree::leaf("a"));
+        assert_eq!(RawTree::parse("a()").unwrap(), RawTree::leaf("a"));
+        assert_eq!(RawTree::parse("  abc_1  ").unwrap(), RawTree::leaf("abc_1"));
+    }
+
+    #[test]
+    fn parse_nested() {
+        let t = RawTree::parse("a(b, c(d), e)").unwrap();
+        assert_eq!(t.name, "a");
+        assert_eq!(t.children.len(), 3);
+        assert_eq!(t.children[1].children[0].name, "d");
+        assert_eq!(t.size(), 5);
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn parse_specials() {
+        let t = RawTree::parse("a(-(b, #), #)").unwrap();
+        assert_eq!(t.children[0].name, "-");
+        assert_eq!(t.children[1].name, "#");
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for src in ["a", "a(b, c)", "a(-(b, -(b, #)), #)", "x(y(z))"] {
+            let t = RawTree::parse(src).unwrap();
+            let t2 = RawTree::parse(&t.to_string()).unwrap();
+            assert_eq!(t, t2);
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(RawTree::parse("").is_err());
+        assert!(RawTree::parse("a(").is_err());
+        assert!(RawTree::parse("a(b,)").is_err());
+        assert!(RawTree::parse("a)b").is_err());
+        assert!(RawTree::parse("a b").is_err());
+        assert!(RawTree::parse("(a)").is_err());
+    }
+
+    #[test]
+    fn error_offsets() {
+        match RawTree::parse("a(b,)") {
+            Err(TreeError::Parse { offset, .. }) => assert_eq!(offset, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Interned symbols and alphabets.
+//!
+//! The paper fixes a finite alphabet `Σ` of XML tags (Section 2.2: "Fixed
+//! set of tags"). For ranked trees the alphabet is partitioned as
+//! `Σ = Σ₀ ∪ Σ₂` (Section 2.1). We intern symbol names once into an
+//! [`Alphabet`] and pass around `u32` [`Symbol`] ids, per the performance
+//! guidance of keeping strings out of hot paths.
+
+use crate::error::TreeError;
+use crate::fx::FxHashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned symbol: an index into its [`Alphabet`].
+///
+/// Symbols from different alphabets must not be mixed; structures carrying
+/// symbols also carry an `Arc<Alphabet>` and compare them with
+/// [`Alphabet::same`] where it matters.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The index of the symbol within its alphabet.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The rank of a symbol.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Rank {
+    /// A leaf symbol (`Σ₀`): labels nodes with no children.
+    Leaf,
+    /// A binary symbol (`Σ₂`): labels nodes with exactly two children.
+    Binary,
+    /// An unranked symbol: labels unranked-tree nodes with any number of
+    /// children (the XML model of Section 2.2).
+    Unranked,
+}
+
+impl Rank {
+    /// Number of children demanded by this rank, if fixed.
+    pub fn arity(self) -> Option<usize> {
+        match self {
+            Rank::Leaf => Some(0),
+            Rank::Binary => Some(2),
+            Rank::Unranked => None,
+        }
+    }
+}
+
+/// A finite alphabet of interned symbols with per-symbol ranks.
+///
+/// Alphabets are immutable once built (see [`AlphabetBuilder`]) and shared
+/// via `Arc`. Two independently built alphabets are never considered the
+/// same, even with identical contents — this catches cross-alphabet mix-ups
+/// early.
+#[derive(Debug)]
+pub struct Alphabet {
+    names: Vec<String>,
+    ranks: Vec<Rank>,
+    index: FxHashMap<String, Symbol>,
+}
+
+impl Alphabet {
+    /// Builds a ranked alphabet from leaf names and binary names, in order:
+    /// leaves first, then binary symbols.
+    pub fn ranked<S: AsRef<str>>(leaves: &[S], binary: &[S]) -> Arc<Alphabet> {
+        let mut b = AlphabetBuilder::new();
+        for n in leaves {
+            b.add(n.as_ref(), Rank::Leaf);
+        }
+        for n in binary {
+            b.add(n.as_ref(), Rank::Binary);
+        }
+        b.finish()
+    }
+
+    /// Builds an unranked alphabet (every symbol may have any number of
+    /// children).
+    pub fn unranked<S: AsRef<str>>(names: &[S]) -> Arc<Alphabet> {
+        let mut b = AlphabetBuilder::new();
+        for n in names {
+            b.add(n.as_ref(), Rank::Unranked);
+        }
+        b.finish()
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name of a symbol.
+    pub fn name(&self, s: Symbol) -> &str {
+        &self.names[s.index()]
+    }
+
+    /// The rank of a symbol.
+    pub fn rank(&self, s: Symbol) -> Rank {
+        self.ranks[s.index()]
+    }
+
+    /// Looks a symbol up by name.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.index.get(name).copied()
+    }
+
+    /// Looks a symbol up by name, or errors.
+    pub fn require(&self, name: &str) -> Result<Symbol, TreeError> {
+        self.get(name)
+            .ok_or_else(|| TreeError::UnknownSymbol(name.to_string()))
+    }
+
+    /// Iterates over all symbols in id order.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.names.len() as u32).map(Symbol)
+    }
+
+    /// Iterates over symbols of a given rank.
+    pub fn symbols_of_rank(&self, rank: Rank) -> impl Iterator<Item = Symbol> + '_ {
+        self.symbols().filter(move |s| self.rank(*s) == rank)
+    }
+
+    /// All leaf symbols (`Σ₀`).
+    pub fn leaves(&self) -> Vec<Symbol> {
+        self.symbols_of_rank(Rank::Leaf).collect()
+    }
+
+    /// All binary symbols (`Σ₂`).
+    pub fn binaries(&self) -> Vec<Symbol> {
+        self.symbols_of_rank(Rank::Binary).collect()
+    }
+
+    /// Pointer identity of alphabets: the only sanctioned notion of alphabet
+    /// equality across structures.
+    pub fn same(a: &Arc<Alphabet>, b: &Arc<Alphabet>) -> bool {
+        Arc::ptr_eq(a, b)
+    }
+
+    /// Checks that `s` has the expected number of children, per its rank.
+    pub fn check_arity(&self, s: Symbol, children: usize) -> Result<(), TreeError> {
+        match self.rank(s).arity() {
+            Some(a) if a != children => Err(TreeError::RankMismatch {
+                symbol: self.name(s).to_string(),
+                expected: a,
+                got: children,
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Incremental construction of an [`Alphabet`].
+#[derive(Default)]
+pub struct AlphabetBuilder {
+    names: Vec<String>,
+    ranks: Vec<Rank>,
+    index: FxHashMap<String, Symbol>,
+}
+
+impl AlphabetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a symbol with the given rank, returning its id. Adding an
+    /// existing name with the same rank is idempotent; with a different rank
+    /// it panics (programming error — alphabets are fixed per Section 2.2).
+    pub fn add(&mut self, name: &str, rank: Rank) -> Symbol {
+        if let Some(&s) = self.index.get(name) {
+            assert_eq!(
+                self.ranks[s.index()],
+                rank,
+                "symbol `{name}` re-added with different rank"
+            );
+            return s;
+        }
+        let s = Symbol(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.ranks.push(rank);
+        self.index.insert(name.to_string(), s);
+        s
+    }
+
+    /// Number of symbols added so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no symbols have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Finalizes the alphabet.
+    pub fn finish(self) -> Arc<Alphabet> {
+        Arc::new(Alphabet {
+            names: self.names,
+            ranks: self.ranks,
+            index: self.index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranked_alphabet_partitions() {
+        let a = Alphabet::ranked(&["x", "y"], &["f", "g"]);
+        assert_eq!(a.len(), 4);
+        let x = a.get("x").unwrap();
+        let f = a.get("f").unwrap();
+        assert_eq!(a.rank(x), Rank::Leaf);
+        assert_eq!(a.rank(f), Rank::Binary);
+        assert_eq!(a.leaves().len(), 2);
+        assert_eq!(a.binaries().len(), 2);
+        assert_eq!(a.name(x), "x");
+    }
+
+    #[test]
+    fn lookup_and_require() {
+        let a = Alphabet::unranked(&["a", "b"]);
+        assert!(a.get("a").is_some());
+        assert!(a.get("zz").is_none());
+        assert!(matches!(
+            a.require("zz"),
+            Err(TreeError::UnknownSymbol(n)) if n == "zz"
+        ));
+    }
+
+    #[test]
+    fn idempotent_add() {
+        let mut b = AlphabetBuilder::new();
+        let s1 = b.add("a", Rank::Leaf);
+        let s2 = b.add("a", Rank::Leaf);
+        assert_eq!(s1, s2);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different rank")]
+    fn conflicting_rank_panics() {
+        let mut b = AlphabetBuilder::new();
+        b.add("a", Rank::Leaf);
+        b.add("a", Rank::Binary);
+    }
+
+    #[test]
+    fn arity_checks() {
+        let a = Alphabet::ranked(&["x"], &["f"]);
+        let x = a.get("x").unwrap();
+        let f = a.get("f").unwrap();
+        assert!(a.check_arity(x, 0).is_ok());
+        assert!(a.check_arity(x, 1).is_err());
+        assert!(a.check_arity(f, 2).is_ok());
+        assert!(a.check_arity(f, 0).is_err());
+        let u = Alphabet::unranked(&["e"]);
+        let e = u.get("e").unwrap();
+        for n in 0..5 {
+            assert!(u.check_arity(e, n).is_ok());
+        }
+    }
+
+    #[test]
+    fn identity_not_structural() {
+        let a = Alphabet::unranked(&["a"]);
+        let b = Alphabet::unranked(&["a"]);
+        assert!(Alphabet::same(&a, &a.clone()));
+        assert!(!Alphabet::same(&a, &b));
+    }
+}

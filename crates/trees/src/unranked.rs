@@ -1,0 +1,270 @@
+//! Unranked ordered trees — the paper's model of XML documents.
+//!
+//! Section 2.1: unranked trees over `Σ` have node labels from `Σ` and no
+//! bound on the number of children; children are ordered. A *forest* is a
+//! list of trees. XML documents are identified with unranked trees
+//! (Section 2.2).
+
+use crate::error::TreeError;
+use crate::raw::RawTree;
+use crate::symbol::{Alphabet, Symbol};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+pub use crate::tree::NodeId;
+
+#[derive(Clone, Debug)]
+struct UNode {
+    symbol: Symbol,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+}
+
+/// An ordered unranked tree over an (unranked) alphabet.
+///
+/// Equality and hashing are structural.
+#[derive(Clone)]
+pub struct UnrankedTree {
+    alphabet: Arc<Alphabet>,
+    nodes: Vec<UNode>,
+    root: NodeId,
+}
+
+impl UnrankedTree {
+    /// Parses from term syntax, e.g. `"a(b, b, c(d), e)"` (the tree of
+    /// Figure 1 in the paper).
+    pub fn parse(input: &str, alphabet: &Arc<Alphabet>) -> Result<Self, TreeError> {
+        let raw = RawTree::parse(input)?;
+        Self::from_raw(&raw, alphabet)
+    }
+
+    /// Builds from a [`RawTree`], validating symbol names.
+    pub fn from_raw(raw: &RawTree, alphabet: &Arc<Alphabet>) -> Result<Self, TreeError> {
+        let mut nodes = Vec::with_capacity(raw.size());
+        let root = Self::build(raw, alphabet, None, &mut nodes)?;
+        Ok(UnrankedTree {
+            alphabet: Arc::clone(alphabet),
+            nodes,
+            root,
+        })
+    }
+
+    fn build(
+        raw: &RawTree,
+        alphabet: &Arc<Alphabet>,
+        parent: Option<NodeId>,
+        nodes: &mut Vec<UNode>,
+    ) -> Result<NodeId, TreeError> {
+        let symbol = alphabet.require(&raw.name)?;
+        alphabet.check_arity(symbol, raw.children.len())?;
+        let id = NodeId(nodes.len() as u32);
+        nodes.push(UNode {
+            symbol,
+            parent,
+            children: Vec::with_capacity(raw.children.len()),
+        });
+        for c in &raw.children {
+            let cid = Self::build(c, alphabet, Some(id), nodes)?;
+            nodes[id.index()].children.push(cid);
+        }
+        Ok(id)
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the arena is empty (never for a constructed tree).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The label of a node.
+    #[inline]
+    pub fn symbol(&self, n: NodeId) -> Symbol {
+        self.nodes[n.index()].symbol
+    }
+
+    /// The ordered children of a node.
+    #[inline]
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.nodes[n.index()].children
+    }
+
+    /// The parent of a node.
+    #[inline]
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()].parent
+    }
+
+    /// True if the node has no children.
+    #[inline]
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        self.nodes[n.index()].children.is_empty()
+    }
+
+    /// Depth of the tree (a single node has depth 1).
+    pub fn depth(&self) -> usize {
+        self.depth_at(self.root)
+    }
+
+    fn depth_at(&self, n: NodeId) -> usize {
+        1 + self
+            .children(n)
+            .iter()
+            .map(|&c| self.depth_at(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Pre-order traversal of all nodes.
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// The children symbol word of a node — the word checked against DTD
+    /// content models.
+    pub fn child_word(&self, n: NodeId) -> Vec<Symbol> {
+        self.children(n).iter().map(|&c| self.symbol(c)).collect()
+    }
+
+    /// Converts back to [`RawTree`].
+    pub fn to_raw(&self) -> RawTree {
+        self.raw_at(self.root)
+    }
+
+    fn raw_at(&self, n: NodeId) -> RawTree {
+        RawTree {
+            name: self.alphabet.name(self.symbol(n)).to_string(),
+            children: self.children(n).iter().map(|&c| self.raw_at(c)).collect(),
+        }
+    }
+
+    /// Structural subtree equality.
+    pub fn subtree_eq(&self, a: NodeId, other: &UnrankedTree, b: NodeId) -> bool {
+        if self.symbol(a) != other.symbol(b)
+            || self.children(a).len() != other.children(b).len()
+        {
+            return false;
+        }
+        self.children(a)
+            .iter()
+            .zip(other.children(b))
+            .all(|(&x, &y)| self.subtree_eq(x, other, y))
+    }
+}
+
+impl PartialEq for UnrankedTree {
+    fn eq(&self, other: &Self) -> bool {
+        Alphabet::same(&self.alphabet, &other.alphabet)
+            && self.subtree_eq(self.root, other, other.root)
+    }
+}
+
+impl Eq for UnrankedTree {}
+
+impl Hash for UnrankedTree {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for n in self.preorder() {
+            self.symbol(n).hash(state);
+            self.children(n).len().hash(state);
+        }
+    }
+}
+
+impl fmt::Display for UnrankedTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_raw())
+    }
+}
+
+impl fmt::Debug for UnrankedTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UnrankedTree({})", self.to_raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alpha() -> Arc<Alphabet> {
+        Alphabet::unranked(&["a", "b", "c", "d", "e"])
+    }
+
+    #[test]
+    fn figure_one_tree() {
+        // The unranked tree of Figure 1: a(b, b, c(d), e).
+        let al = alpha();
+        let t = UnrankedTree::parse("a(b, b, c(d), e)", &al).unwrap();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.depth(), 3);
+        let kids = t.children(t.root());
+        assert_eq!(kids.len(), 4);
+        let names: Vec<&str> = kids.iter().map(|&c| al.name(t.symbol(c))).collect();
+        assert_eq!(names, vec!["b", "b", "c", "e"]);
+        assert_eq!(t.child_word(t.root()).len(), 4);
+    }
+
+    #[test]
+    fn preorder_matches_document_order() {
+        let al = alpha();
+        let t = UnrankedTree::parse("a(b(c, d), e)", &al).unwrap();
+        let names: Vec<&str> = t
+            .preorder()
+            .into_iter()
+            .map(|n| al.name(t.symbol(n)))
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn equality_and_display() {
+        let al = alpha();
+        let t1 = UnrankedTree::parse("a(b, c)", &al).unwrap();
+        let t2 = UnrankedTree::parse(" a ( b , c ) ", &al).unwrap();
+        let t3 = UnrankedTree::parse("a(c, b)", &al).unwrap();
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+        assert_eq!(t1.to_string(), "a(b, c)");
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let al = alpha();
+        assert!(UnrankedTree::parse("a(zz)", &al).is_err());
+    }
+
+    #[test]
+    fn parents_linked() {
+        let al = alpha();
+        let t = UnrankedTree::parse("a(b(c))", &al).unwrap();
+        let b = t.children(t.root())[0];
+        let c = t.children(b)[0];
+        assert_eq!(t.parent(c), Some(b));
+        assert_eq!(t.parent(b), Some(t.root()));
+        assert_eq!(t.parent(t.root()), None);
+        assert!(t.is_leaf(c));
+        assert!(!t.is_leaf(b));
+    }
+}

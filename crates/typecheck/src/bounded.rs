@@ -1,0 +1,117 @@
+//! Bounded exhaustive typechecking — the cross-validation oracle.
+//!
+//! Enumerates input trees of `τ₁` up to a depth bound and checks each one
+//! *exactly* via Proposition 3.8: `inst(A_t) ⊆ τ₂` is a regular-language
+//! inclusion. Sound for counterexample finding; complete only up to the
+//! bound. Used by property tests to validate the exact (unbounded)
+//! pipeline, and available as a pragmatic fallback when the exact routes
+//! exceed their budgets.
+
+use crate::error::TypecheckError;
+use xmltc_automata::enumerate::trees_up_to;
+use xmltc_automata::Nta;
+use xmltc_core::{eval, PebbleTransducer};
+use xmltc_trees::BinaryTree;
+
+/// Result of a bounded check.
+#[derive(Clone, Debug)]
+pub enum BoundedOutcome {
+    /// No violation among inputs of depth ≤ the bound (NOT a proof).
+    NoViolationFound {
+        /// How many inputs were checked.
+        inputs_checked: usize,
+    },
+    /// A concrete violation.
+    CounterExample {
+        /// The offending input.
+        input: BinaryTree,
+        /// An output of the transducer on `input` outside `τ₂`.
+        bad_output: Option<BinaryTree>,
+    },
+}
+
+/// Checks all `τ₁`-trees of depth ≤ `max_depth` (at most `max_inputs` of
+/// them) exactly.
+pub fn bounded_typecheck(
+    t: &PebbleTransducer,
+    input_type: &Nta,
+    output_type: &Nta,
+    max_depth: usize,
+    max_inputs: usize,
+) -> Result<BoundedOutcome, TypecheckError> {
+    let complement = output_type.complement().to_nta();
+    let inputs = trees_up_to(input_type, max_depth, max_inputs);
+    let n = inputs.len();
+    for input in inputs {
+        let out_lang = eval::output_automaton(t, &input)?.to_nta();
+        let bad = out_lang.intersect(&complement);
+        if let Some(bad_output) = bad.witness() {
+            return Ok(BoundedOutcome::CounterExample {
+                input,
+                bad_output: Some(bad_output),
+            });
+        }
+    }
+    Ok(BoundedOutcome::NoViolationFound { inputs_checked: n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xmltc_automata::State;
+    use xmltc_core::library;
+    use xmltc_trees::Alphabet;
+
+    fn alpha() -> Arc<Alphabet> {
+        Alphabet::ranked(&["x", "y"], &["f"])
+    }
+
+    fn top(al: &Arc<Alphabet>) -> Nta {
+        let mut a = Nta::new(al, 1);
+        for l in al.leaves() {
+            a.add_leaf(l, State(0));
+        }
+        for b in al.binaries() {
+            a.add_node(b, State(0), State(0), State(0));
+        }
+        a.add_final(State(0));
+        a
+    }
+
+    fn all_x(al: &Arc<Alphabet>) -> Nta {
+        let x = al.get("x").unwrap();
+        let mut a = Nta::new(al, 1);
+        a.add_leaf(x, State(0));
+        for b in al.binaries() {
+            a.add_node(b, State(0), State(0), State(0));
+        }
+        a.add_final(State(0));
+        a
+    }
+
+    #[test]
+    fn finds_counterexample() {
+        let al = alpha();
+        let t = library::copy(&al).unwrap();
+        match bounded_typecheck(&t, &top(&al), &all_x(&al), 3, 500).unwrap() {
+            BoundedOutcome::CounterExample { input, bad_output } => {
+                assert_eq!(input, bad_output.unwrap());
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_no_violation() {
+        let al = alpha();
+        let t = library::copy(&al).unwrap();
+        let tau = all_x(&al);
+        match bounded_typecheck(&t, &tau, &tau, 3, 500).unwrap() {
+            BoundedOutcome::NoViolationFound { inputs_checked } => {
+                assert!(inputs_checked > 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! The end-to-end typechecking decision procedure (Theorem 4.4), with
+//! counterexample extraction.
+
+use crate::error::TypecheckError;
+use crate::inverse::violation_nta;
+use xmltc_automata::Nta;
+use xmltc_core::{eval, PebbleTransducer};
+use xmltc_trees::{Alphabet, BinaryTree};
+
+/// Which Theorem 4.7 construction to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Route {
+    /// Pick automatically: behaviour composition when `k = 1`, MSO
+    /// otherwise.
+    Auto,
+    /// Force the k = 1 behaviour-composition route (errors when `k > 1`).
+    ForceWalk,
+    /// Force the paper's MSO route (any `k`, non-elementary).
+    ForceMso,
+}
+
+/// Resolved route (post-`Auto`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ResolvedRoute {
+    /// Behaviour composition.
+    Walk,
+    /// MSO compilation.
+    Mso,
+}
+
+/// Options for [`typecheck`].
+#[derive(Clone, Copy, Debug)]
+pub struct TypecheckOptions {
+    /// Route selection.
+    pub route: Route,
+    /// Budget for intermediate automata (MSO subset constructions,
+    /// behaviour classes). `u32::MAX` = unlimited.
+    pub state_limit: u32,
+}
+
+impl Default for TypecheckOptions {
+    fn default() -> Self {
+        TypecheckOptions {
+            route: Route::Auto,
+            state_limit: 4_000_000,
+        }
+    }
+}
+
+impl TypecheckOptions {
+    /// Resolves `Auto` against the machine's pebble count.
+    pub fn route_for(&self, k: u8) -> ResolvedRoute {
+        match self.route {
+            Route::ForceWalk => ResolvedRoute::Walk,
+            Route::ForceMso => ResolvedRoute::Mso,
+            Route::Auto => {
+                if k == 1 {
+                    ResolvedRoute::Walk
+                } else {
+                    ResolvedRoute::Mso
+                }
+            }
+        }
+    }
+}
+
+/// The verdict of the typechecker.
+#[derive(Clone, Debug)]
+pub enum TypecheckOutcome {
+    /// `T(τ₁) ⊆ τ₂`: every output of every valid input conforms.
+    Ok,
+    /// The transformation can violate the output type.
+    CounterExample {
+        /// A valid input tree (`∈ τ₁`) on which `T` can produce output
+        /// outside `τ₂`.
+        input: BinaryTree,
+        /// A concrete offending output (`∈ T(input) ∖ τ₂`), when one could
+        /// be extracted (always, unless enumeration limits are hit).
+        bad_output: Option<BinaryTree>,
+    },
+}
+
+impl TypecheckOutcome {
+    /// True when the program typechecks.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TypecheckOutcome::Ok)
+    }
+}
+
+/// **Theorem 4.4** — decides whether `T(τ₁) ⊆ τ₂`.
+///
+/// Steps: build the Proposition 4.6 violation automaton, convert it to a
+/// regular tree language (Theorem 4.7), intersect with `τ₁` and test
+/// emptiness. A nonempty intersection yields a counterexample input; the
+/// Proposition 3.8 output automaton of that input, intersected with the
+/// complement of `τ₂`, yields a concrete bad output.
+pub fn typecheck(
+    t: &PebbleTransducer,
+    input_type: &Nta,
+    output_type: &Nta,
+    opts: &TypecheckOptions,
+) -> Result<TypecheckOutcome, TypecheckError> {
+    if !Alphabet::same(t.input_alphabet(), input_type.alphabet()) {
+        return Err(TypecheckError::Tree(
+            xmltc_trees::TreeError::AlphabetMismatch,
+        ));
+    }
+    let violations = violation_nta(t, output_type, opts)?;
+    let offending_inputs = input_type.intersect(&violations);
+    match offending_inputs.witness() {
+        None => Ok(TypecheckOutcome::Ok),
+        Some(input) => {
+            let bad_output = extract_bad_output(t, &input, output_type)?;
+            Ok(TypecheckOutcome::CounterExample { input, bad_output })
+        }
+    }
+}
+
+/// A member of `T(input) ∖ τ₂` via Proposition 3.8.
+pub fn extract_bad_output(
+    t: &PebbleTransducer,
+    input: &BinaryTree,
+    output_type: &Nta,
+) -> Result<Option<BinaryTree>, TypecheckError> {
+    let out_lang = eval::output_automaton(t, input)?.to_nta();
+    let bad = out_lang.intersect(&output_type.complement().to_nta());
+    Ok(bad.witness())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xmltc_automata::State;
+    use xmltc_core::library;
+    use xmltc_trees::Symbol;
+
+    fn alpha() -> Arc<Alphabet> {
+        Alphabet::ranked(&["x", "y"], &["f"])
+    }
+
+    /// NTA for "all leaves labeled `leaf_sym`".
+    fn all_leaves(al: &Arc<Alphabet>, leaf_sym: Symbol) -> Nta {
+        let mut a = Nta::new(al, 1);
+        a.add_leaf(leaf_sym, State(0));
+        for b in al.binaries() {
+            a.add_node(b, State(0), State(0), State(0));
+        }
+        a.add_final(State(0));
+        a
+    }
+
+    /// NTA for all trees.
+    fn top(al: &Arc<Alphabet>) -> Nta {
+        let mut a = Nta::new(al, 1);
+        for l in al.leaves() {
+            a.add_leaf(l, State(0));
+        }
+        for b in al.binaries() {
+            a.add_node(b, State(0), State(0), State(0));
+        }
+        a.add_final(State(0));
+        a
+    }
+
+    #[test]
+    fn copy_typechecks_against_itself() {
+        // copy: T(τ) = τ, so T typechecks w.r.t. (τ, τ).
+        let al = alpha();
+        let t = library::copy(&al).unwrap();
+        let x = al.get("x").unwrap();
+        let tau = all_leaves(&al, x);
+        let out = typecheck(&t, &tau, &tau, &TypecheckOptions::default()).unwrap();
+        assert!(out.is_ok());
+    }
+
+    #[test]
+    fn copy_fails_against_smaller_type_with_counterexample() {
+        // inputs: all trees; outputs must have all-x leaves: fails, and the
+        // counterexample must be a tree with a y, mapped to itself.
+        let al = alpha();
+        let t = library::copy(&al).unwrap();
+        let x = al.get("x").unwrap();
+        let tau1 = top(&al);
+        let tau2 = all_leaves(&al, x);
+        match typecheck(&t, &tau1, &tau2, &TypecheckOptions::default()).unwrap() {
+            TypecheckOutcome::Ok => panic!("should not typecheck"),
+            TypecheckOutcome::CounterExample { input, bad_output } => {
+                assert!(tau1.accepts(&input).unwrap());
+                assert!(!tau2.accepts(&input).unwrap(), "copy: bad input maps to itself");
+                let bad = bad_output.expect("bad output extracted");
+                assert_eq!(bad, input, "copy's output is its input");
+                assert!(!tau2.accepts(&bad).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn relabel_fixes_violation() {
+        // Relabel y ↦ x: now all outputs have x leaves: typechecks.
+        let al = alpha();
+        let x = al.get("x").unwrap();
+        let y = al.get("y").unwrap();
+        let t = library::relabel(&al, &al, |s| if s == y { x } else { s }).unwrap();
+        let tau1 = top(&al);
+        let tau2 = all_leaves(&al, x);
+        let out = typecheck(&t, &tau1, &tau2, &TypecheckOptions::default()).unwrap();
+        assert!(out.is_ok());
+    }
+
+    #[test]
+    fn mso_route_agrees_on_k1() {
+        let al = alpha();
+        let t = library::copy(&al).unwrap();
+        let x = al.get("x").unwrap();
+        let tau1 = top(&al);
+        let tau2 = all_leaves(&al, x);
+        let walk = typecheck(
+            &t,
+            &tau1,
+            &tau2,
+            &TypecheckOptions {
+                route: Route::ForceWalk,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mso = typecheck(
+            &t,
+            &tau1,
+            &tau2,
+            &TypecheckOptions {
+                route: Route::ForceMso,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(walk.is_ok(), mso.is_ok());
+        assert!(!walk.is_ok());
+        // And on the passing instance:
+        let tau_x = all_leaves(&al, x);
+        for route in [Route::ForceWalk, Route::ForceMso] {
+            let out = typecheck(
+                &t,
+                &tau_x,
+                &tau_x,
+                &TypecheckOptions {
+                    route,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(out.is_ok(), "{route:?}");
+        }
+    }
+
+    #[test]
+    fn duplicator_typechecks() {
+        // duplicator over all-x inputs: outputs are trees over {z, f, x}
+        // with all leaves x: typechecks against that type; fails against
+        // "no z" type.
+        let al = alpha();
+        let (t, out_al) = library::duplicator(&al).unwrap();
+        let x_in = al.get("x").unwrap();
+        let tau1 = all_leaves(&al, x_in);
+        let x_out = out_al.get("x").unwrap();
+        let tau2 = all_leaves(&out_al, x_out);
+        let out = typecheck(&t, &tau1, &tau2, &TypecheckOptions::default()).unwrap();
+        assert!(out.is_ok());
+
+        // Now forbid z at the root: "root must be f" — duplicator always
+        // outputs z at the root, so every input is a counterexample.
+        let f_out = out_al.get("f").unwrap();
+        let mut no_z_root = Nta::new(&out_al, 2);
+        // state 0: any subtree; state 1: root-accepting only via f.
+        for l in out_al.leaves() {
+            no_z_root.add_leaf(l, State(0));
+        }
+        for b in out_al.binaries() {
+            no_z_root.add_node(b, State(0), State(0), State(0));
+        }
+        no_z_root.add_node(f_out, State(0), State(0), State(1));
+        no_z_root.add_final(State(1));
+        match typecheck(&t, &tau1, &no_z_root, &TypecheckOptions::default()).unwrap() {
+            TypecheckOutcome::CounterExample { input, bad_output } => {
+                assert!(tau1.accepts(&input).unwrap());
+                let bad = bad_output.unwrap();
+                assert!(!no_z_root.accepts(&bad).unwrap());
+            }
+            TypecheckOutcome::Ok => panic!("should fail"),
+        }
+    }
+}

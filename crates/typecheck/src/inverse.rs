@@ -1,0 +1,49 @@
+//! Inverse type inference: the type `τ₂⁻¹ = {t | T(t) ⊆ τ₂}`.
+//!
+//! This is the problem the paper solves in place of (impossible) forward
+//! type inference: the preimage-style type is always regular and
+//! effectively computable. Example 4.2's punchline — the inverse of the
+//! even-`b` output DTD `(b.b)*` under query Q1 (`aⁿ ↦ bⁿ²`) is exactly the
+//! even-`a` input DTD `(a.a)*` — is an integration test of this module.
+
+use crate::check::{ResolvedRoute, TypecheckOptions};
+use crate::error::TypecheckError;
+use crate::mso_route;
+use crate::product::violation_automaton;
+use crate::walk;
+use xmltc_automata::Nta;
+use xmltc_core::PebbleTransducer;
+
+/// Computes a tree automaton for `τ₂⁻¹ = {t | T(t) ⊆ τ₂}`.
+///
+/// Pipeline: Proposition 4.6 gives a k-pebble automaton for the complement
+/// `{t | T(t) ⊈ τ₂}`; Theorem 4.7 converts it to a regular tree automaton;
+/// complementing yields the inverse type.
+pub fn inverse_type(
+    t: &PebbleTransducer,
+    output_type: &Nta,
+    opts: &TypecheckOptions,
+) -> Result<Nta, TypecheckError> {
+    let violations = violation_nta(t, output_type, opts)?;
+    Ok(violations.complement().to_nta().trim())
+}
+
+/// The regular tree automaton for `{t | T(t) ⊈ τ₂}` (the violation
+/// language), by whichever Theorem 4.7 route the options select.
+pub fn violation_nta(
+    t: &PebbleTransducer,
+    output_type: &Nta,
+    opts: &TypecheckOptions,
+) -> Result<Nta, TypecheckError> {
+    let v = violation_automaton(t, output_type)?.trim_states();
+    match opts.route_for(t.k()) {
+        ResolvedRoute::Walk => {
+            let d = walk::walking_to_dbta_limited(&v, opts.state_limit)?;
+            Ok(d.to_nta().trim())
+        }
+        ResolvedRoute::Mso => {
+            let (nta, _stats) = mso_route::pebble_to_nta(&v, opts.state_limit)?;
+            Ok(nta.trim())
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! **Theorem 4.7, efficient route for k = 1**: branching tree-walking
+//! automata → deterministic bottom-up tree automata by subtree-behaviour
+//! composition.
+//!
+//! At `k = 1` the place/pick transitions are unusable (the stack discipline
+//! forbids them), so a 1-pebble automaton is exactly a *branching
+//! tree-walking automaton*: a head walking up and down the tree with
+//! or-nondeterminism and and-branching. This covers the paper's practical
+//! cases (Section 5): top-down transducers, the XSLT fragment, selection
+//! queries — after the Proposition 4.6 product these yield 1-pebble
+//! violation automata.
+//!
+//! For a subtree `s` and entry state `q`, a *resolution* is a finite run of
+//! the branch process started at `(q, root(s))` in which every branch
+//! either accepts (branch0) inside `s` or exits upward from `root(s)` to
+//! its parent in some state. The **behaviour** of `s` maps each entry state
+//! to the ⊆-minimal antichain of achievable *exit-state sets* (as bitset
+//! masks); resolving to the empty set means outright acceptance inside `s`.
+//! Whether up-moves may exit depends on which child position `s` occupies,
+//! so a subtree carries a behaviour for each position (left/right), plus an
+//! "accepts as a whole tree" bit. This triple is a finite congruence:
+//! composing a node from its children's triples is a small least fixpoint
+//! over the node's local rules. The resulting deterministic bottom-up
+//! automaton, built lazily over reachable triples, recognizes exactly
+//! `inst(A)`.
+
+use crate::error::TypecheckError;
+use xmltc_automata::state::StateSet;
+use xmltc_automata::{Dbta, State};
+use xmltc_core::machine::{Action, Move, PebbleAutomaton};
+use xmltc_trees::{FxHashMap, Symbol};
+
+/// A fixed-width (per walker) bitset of machine states — an exit set.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+struct Mask(Vec<u64>);
+
+impl Mask {
+    fn empty(words: usize) -> Mask {
+        Mask(vec![0; words])
+    }
+
+    fn singleton(q: usize, words: usize) -> Mask {
+        let mut m = Mask::empty(words);
+        m.0[q / 64] |= 1u64 << (q % 64);
+        m
+    }
+
+    fn is_empty(&self) -> bool {
+        self.0.iter().all(|&w| w == 0)
+    }
+
+    fn or(&self, other: &Mask) -> Mask {
+        Mask(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| a | b)
+                .collect(),
+        )
+    }
+
+    fn is_subset(&self, other: &Mask) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over set bit positions.
+    fn bits(&self) -> impl Iterator<Item = usize> + '_ {
+        self.0.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+/// A ⊆-minimal antichain of exit-set masks, kept sorted for canonical
+/// hashing.
+type Antichain = Vec<Mask>;
+
+/// Inserts `m`, keeping the antichain minimal. Returns true when the
+/// represented upward-closed set grew.
+fn insert_min(ac: &mut Antichain, m: Mask) -> bool {
+    if ac.iter().any(|x| x.is_subset(&m)) {
+        return false; // a subset of m is already present
+    }
+    ac.retain(|x| !m.is_subset(x)); // drop supersets of m
+    ac.push(m);
+    true
+}
+
+/// All minimal unions `x ∪ y`, `x ∈ a`, `y ∈ b`.
+fn cross_union(a: &Antichain, b: &Antichain) -> Antichain {
+    let mut out = Antichain::new();
+    for x in a {
+        for y in b {
+            insert_min(&mut out, x.or(y));
+        }
+    }
+    out
+}
+
+/// Entry-state-indexed behaviour.
+type Behavior = Vec<Antichain>;
+
+fn canon(mut b: Behavior) -> Behavior {
+    for ac in &mut b {
+        ac.sort_unstable();
+    }
+    b
+}
+
+/// Which child position the subtree occupies (the root has no exits).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Chi {
+    Left,
+    Right,
+    Root,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Triple {
+    left: Behavior,
+    right: Behavior,
+    accepting: bool,
+}
+
+struct Walker<'a> {
+    rules: FxHashMap<(Symbol, State), Vec<&'a Action>>,
+    n_states: usize,
+    words: usize,
+    initial: State,
+}
+
+impl<'a> Walker<'a> {
+    fn new(a: &'a PebbleAutomaton) -> Result<Walker<'a>, TypecheckError> {
+        if a.k() != 1 {
+            return Err(TypecheckError::NeedsOnePebble { k: a.k() });
+        }
+        let mut rules: FxHashMap<(Symbol, State), Vec<&Action>> = FxHashMap::default();
+        for (sym, q, guard, action) in a.core().rules() {
+            debug_assert!(guard.0.is_empty(), "k = 1 guards are trivial");
+            rules.entry((sym, q)).or_default().push(action);
+        }
+        let n_states = a.core().n_states() as usize;
+        Ok(Walker {
+            rules,
+            n_states,
+            words: n_states.div_ceil(64).max(1),
+            initial: a.core().initial(),
+        })
+    }
+
+    /// Least fixpoint of the local resolution relation at a node labeled
+    /// `sym`, with the given child behaviours (`None` for a leaf) and child
+    /// position `chi`.
+    fn fixpoint(
+        &self,
+        sym: Symbol,
+        chi: Chi,
+        children: Option<(&Behavior, &Behavior)>,
+    ) -> Behavior {
+        let mut r: Behavior = vec![Antichain::new(); self.n_states];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for q in 0..self.n_states {
+                let Some(actions) = self.rules.get(&(sym, State(q as u32))) else {
+                    continue;
+                };
+                // Candidates are computed against the current `r` and then
+                // merged; two-phase to appease the borrow checker.
+                let mut candidates: Vec<Mask> = Vec::new();
+                for action in actions {
+                    match action {
+                        Action::Branch0 => candidates.push(Mask::empty(self.words)),
+                        Action::Branch2(q1, q2) => {
+                            for m in cross_union(&r[q1.index()], &r[q2.index()]) {
+                                candidates.push(m);
+                            }
+                        }
+                        Action::Move(m, target) => match m {
+                            Move::Stay => candidates.extend(r[target.index()].iter().cloned()),
+                            Move::UpLeft => {
+                                if chi == Chi::Left {
+                                    candidates.push(Mask::singleton(target.index(), self.words));
+                                }
+                            }
+                            Move::UpRight => {
+                                if chi == Chi::Right {
+                                    candidates.push(Mask::singleton(target.index(), self.words));
+                                }
+                            }
+                            Move::DownLeft | Move::DownRight => {
+                                let Some((bl, br)) = children else { continue };
+                                let child = if matches!(m, Move::DownLeft) { bl } else { br };
+                                for exits in &child[target.index()] {
+                                    candidates.extend(self.resolve_exits(exits, &r));
+                                }
+                            }
+                            Move::PlaceNew | Move::PickCurrent => {
+                                unreachable!("unusable at k = 1")
+                            }
+                        },
+                        Action::Output0(..) | Action::Output2(..) => {
+                            unreachable!("automata have no output transitions")
+                        }
+                    }
+                }
+                for m in candidates {
+                    changed |= insert_min(&mut r[q], m);
+                }
+            }
+        }
+        canon(r)
+    }
+
+    /// Exit states returned by a child must all resolve at the current
+    /// node: the minimal unions over one choice of resolution per exit
+    /// state.
+    fn resolve_exits(&self, exits: &Mask, r: &Behavior) -> Vec<Mask> {
+        let mut acc: Antichain = vec![Mask::empty(self.words)];
+        for q in exits.bits() {
+            if r[q].is_empty() {
+                return Vec::new(); // this exit state cannot resolve (yet)
+            }
+            acc = cross_union(&acc, &r[q]);
+        }
+        acc
+    }
+
+    fn triple(&self, sym: Symbol, children: Option<(&Triple, &Triple)>) -> Triple {
+        let kids = children.map(|(l, r)| (&l.left, &r.right));
+        let left = self.fixpoint(sym, Chi::Left, kids);
+        let right = self.fixpoint(sym, Chi::Right, kids);
+        let root = self.fixpoint(sym, Chi::Root, kids);
+        // Accepting iff the initial configuration resolves with no exits.
+        let accepting = root[self.initial.index()]
+            .iter()
+            .any(Mask::is_empty);
+        Triple {
+            left,
+            right,
+            accepting,
+        }
+    }
+}
+
+/// Converts a 1-pebble (branching tree-walking) automaton into an
+/// equivalent deterministic bottom-up tree automaton.
+///
+/// Errors when `k ≠ 1`. The `limit` bounds the number of behaviour classes
+/// (congruence states) explored.
+pub fn walking_to_dbta_limited(
+    a: &PebbleAutomaton,
+    limit: u32,
+) -> Result<Dbta, TypecheckError> {
+    let walker = Walker::new(a)?;
+    let alphabet = a.input_alphabet();
+
+    let mut index: FxHashMap<Triple, State> = FxHashMap::default();
+    let mut triples: Vec<Triple> = Vec::new();
+    let mut intern = |t: Triple, triples: &mut Vec<Triple>| -> Result<State, TypecheckError> {
+        if let Some(&q) = index.get(&t) {
+            return Ok(q);
+        }
+        let q = State(triples.len() as u32);
+        if q.0 >= limit {
+            return Err(TypecheckError::TooManyStates { n: q.0 + 1 });
+        }
+        index.insert(t.clone(), q);
+        triples.push(t);
+        Ok(q)
+    };
+
+    let mut leaf: FxHashMap<Symbol, State> = FxHashMap::default();
+    let mut node: FxHashMap<(Symbol, State, State), State> = FxHashMap::default();
+
+    for sym in alphabet.leaves() {
+        let t = walker.triple(sym, None);
+        leaf.insert(sym, intern(t, &mut triples)?);
+    }
+    let binaries = alphabet.binaries();
+    let mut processed = 0usize;
+    while processed < triples.len() {
+        let s1 = State(processed as u32);
+        processed += 1;
+        let mut p2 = 0usize;
+        while p2 < triples.len() {
+            let s2 = State(p2 as u32);
+            p2 += 1;
+            for &sym in &binaries {
+                for (x, y) in [(s1, s2), (s2, s1)] {
+                    if node.contains_key(&(sym, x, y)) {
+                        continue;
+                    }
+                    let t = {
+                        let tx = &triples[x.index()];
+                        let ty = &triples[y.index()];
+                        walker.triple(sym, Some((tx, ty)))
+                    };
+                    let q = intern(t, &mut triples)?;
+                    node.insert((sym, x, y), q);
+                }
+            }
+        }
+    }
+
+    let finals: StateSet = triples
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.accepting)
+        .map(|(i, _)| State(i as u32))
+        .collect();
+    Ok(Dbta::from_parts(
+        alphabet,
+        triples.len() as u32,
+        leaf,
+        node,
+        finals,
+    ))
+}
+
+/// [`walking_to_dbta_limited`] without a class budget.
+pub fn walking_to_dbta(a: &PebbleAutomaton) -> Result<Dbta, TypecheckError> {
+    walking_to_dbta_limited(a, u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xmltc_core::machine::{AutomatonBuilder, Guard, SymSpec};
+    use xmltc_core::accepts;
+    use xmltc_trees::{Alphabet, BinaryTree};
+
+    fn alpha() -> Arc<Alphabet> {
+        Alphabet::ranked(&["x", "y"], &["f"])
+    }
+
+    const TREES: [&str; 10] = [
+        "x",
+        "y",
+        "f(x, y)",
+        "f(y, x)",
+        "f(x, x)",
+        "f(x, f(x, x))",
+        "f(f(y, x), x)",
+        "f(f(x, x), f(x, y))",
+        "f(f(x, y), f(y, x))",
+        "f(f(f(x, x), x), y)",
+    ];
+
+    fn agree(a: &PebbleAutomaton) {
+        let al = a.input_alphabet().clone();
+        let d = walking_to_dbta(a).unwrap();
+        for src in TREES {
+            let t = BinaryTree::parse(src, &al).unwrap();
+            assert_eq!(
+                d.accepts(&t).unwrap(),
+                accepts(a, &t).unwrap(),
+                "disagreement on {src}"
+            );
+        }
+    }
+
+    /// Walks down-left-only to check the leftmost leaf is x.
+    #[test]
+    fn leftmost_leaf_x() {
+        let al = alpha();
+        let x = al.get("x").unwrap();
+        let mut b = AutomatonBuilder::new(&al, 1);
+        let q = b.state("walk", 1).unwrap();
+        b.set_initial(q);
+        b.move_rule(SymSpec::Binaries, q, Guard::any(), Move::DownLeft, q)
+            .unwrap();
+        b.branch0(SymSpec::One(x), q, Guard::any()).unwrap();
+        agree(&b.build().unwrap());
+    }
+
+    /// Or-search: some y leaf exists.
+    #[test]
+    fn some_y() {
+        let al = alpha();
+        let y = al.get("y").unwrap();
+        let mut b = AutomatonBuilder::new(&al, 1);
+        let q = b.state("search", 1).unwrap();
+        b.set_initial(q);
+        b.branch0(SymSpec::One(y), q, Guard::any()).unwrap();
+        b.move_rule(SymSpec::Binaries, q, Guard::any(), Move::DownLeft, q)
+            .unwrap();
+        b.move_rule(SymSpec::Binaries, q, Guard::any(), Move::DownRight, q)
+            .unwrap();
+        agree(&b.build().unwrap());
+    }
+
+    /// And-branching: all leaves x.
+    #[test]
+    fn all_x() {
+        let al = alpha();
+        let x = al.get("x").unwrap();
+        let mut b = AutomatonBuilder::new(&al, 1);
+        let q = b.state("check", 1).unwrap();
+        let l = b.state("left", 1).unwrap();
+        let r = b.state("right", 1).unwrap();
+        b.set_initial(q);
+        b.branch0(SymSpec::One(x), q, Guard::any()).unwrap();
+        b.branch2(SymSpec::Binaries, q, Guard::any(), l, r).unwrap();
+        b.move_rule(SymSpec::Binaries, l, Guard::any(), Move::DownLeft, q)
+            .unwrap();
+        b.move_rule(SymSpec::Binaries, r, Guard::any(), Move::DownRight, q)
+            .unwrap();
+        agree(&b.build().unwrap());
+    }
+
+    /// A genuinely two-way machine: walk to the leftmost leaf; if it is y,
+    /// walk all the way back up and then check the rightmost leaf is also
+    /// y. Exercises up-moves and exit composition.
+    #[test]
+    fn two_way_walk() {
+        let al = alpha();
+        let y = al.get("y").unwrap();
+        let mut b = AutomatonBuilder::new(&al, 1);
+        let down = b.state("down", 1).unwrap();
+        let up = b.state("up", 1).unwrap();
+        let right = b.state("right", 1).unwrap();
+        b.set_initial(down);
+        b.move_rule(SymSpec::Binaries, down, Guard::any(), Move::DownLeft, down)
+            .unwrap();
+        // On a y leftmost leaf: climb.
+        b.move_rule(SymSpec::One(y), down, Guard::any(), Move::UpLeft, up)
+            .unwrap();
+        b.move_rule(SymSpec::One(y), down, Guard::any(), Move::UpRight, up)
+            .unwrap();
+        b.move_rule(SymSpec::Any, up, Guard::any(), Move::UpLeft, up).unwrap();
+        b.move_rule(SymSpec::Any, up, Guard::any(), Move::UpRight, up).unwrap();
+        // From wherever climbing stops... we can't test rootness, so `up`
+        // also nondeterministically switches to descending right.
+        b.move_rule(SymSpec::Binaries, up, Guard::any(), Move::Stay, right)
+            .unwrap();
+        b.move_rule(SymSpec::Binaries, right, Guard::any(), Move::DownRight, right)
+            .unwrap();
+        b.branch0(SymSpec::One(y), right, Guard::any()).unwrap();
+        // Degenerate single-leaf tree: y alone accepts via the right state?
+        // No — initial `down` on a leaf y has no applicable rule except the
+        // up-moves, which fail at the root: single y is rejected. That is
+        // the machine's semantics; the theorem only asks for agreement.
+        agree(&b.build().unwrap());
+    }
+
+    /// Stay-cycles must not diverge or accept spuriously.
+    #[test]
+    fn stay_cycle() {
+        let al = alpha();
+        let mut b = AutomatonBuilder::new(&al, 1);
+        let q = b.state("a", 1).unwrap();
+        let p = b.state("b", 1).unwrap();
+        b.set_initial(q);
+        b.move_rule(SymSpec::Any, q, Guard::any(), Move::Stay, p).unwrap();
+        b.move_rule(SymSpec::Any, p, Guard::any(), Move::Stay, q).unwrap();
+        agree(&b.build().unwrap());
+    }
+
+    /// k = 2 machines are rejected by this route.
+    #[test]
+    fn requires_one_pebble() {
+        let al = alpha();
+        let mut b = AutomatonBuilder::new(&al, 2);
+        let q = b.state("q", 1).unwrap();
+        let q2 = b.state("q2", 2).unwrap();
+        b.set_initial(q);
+        b.move_rule(SymSpec::Any, q, Guard::any(), Move::PlaceNew, q2)
+            .unwrap();
+        b.branch0(SymSpec::Any, q2, Guard::any()).unwrap();
+        let a = b.build().unwrap();
+        assert!(matches!(
+            walking_to_dbta(&a),
+            Err(TypecheckError::NeedsOnePebble { k: 2 })
+        ));
+    }
+}

@@ -1,0 +1,244 @@
+//! # xmltc-xml
+//!
+//! Minimal XML concrete syntax for the paper's data model (Section 2.2):
+//! element-only documents — nested tags, no attributes, no text content,
+//! no references, exactly the simplifying assumptions the paper makes.
+//!
+//! ```
+//! use xmltc_xml::{parse_document, to_xml};
+//! use xmltc_trees::Alphabet;
+//!
+//! let al = Alphabet::unranked(&["a", "b", "c", "d", "e"]);
+//! let doc = parse_document("<a> <b/> <b></b> <c><d/></c> <e/> </a>", &al).unwrap();
+//! assert_eq!(doc.to_string(), "a(b, b, c(d), e)");
+//! assert_eq!(to_xml(&doc), "<a><b/><b/><c><d/></c><e/></a>");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::Arc;
+use xmltc_trees::{Alphabet, RawTree, UnrankedTree};
+
+/// XML parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Description.
+    pub message: String,
+    /// Byte offset.
+    pub offset: usize,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parses an element-only XML document into a [`RawTree`].
+pub fn parse_raw(input: &str) -> Result<RawTree, XmlError> {
+    let mut p = Parser {
+        s: input.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    let t = p.element()?;
+    p.ws();
+    if p.i != p.s.len() {
+        return Err(p.err("trailing content after the root element"));
+    }
+    Ok(t)
+}
+
+/// Parses an XML document into an [`UnrankedTree`] over the given alphabet.
+pub fn parse_document(
+    input: &str,
+    alphabet: &Arc<Alphabet>,
+) -> Result<UnrankedTree, XmlError> {
+    let raw = parse_raw(input)?;
+    UnrankedTree::from_raw(&raw, alphabet).map_err(|e| XmlError {
+        message: e.to_string(),
+        offset: 0,
+    })
+}
+
+/// Serializes an unranked tree as compact XML (self-closing empty
+/// elements).
+pub fn to_xml(t: &UnrankedTree) -> String {
+    let mut out = String::new();
+    write_raw(&t.to_raw(), &mut out);
+    out
+}
+
+/// Serializes a [`RawTree`] as compact XML.
+pub fn raw_to_xml(t: &RawTree) -> String {
+    let mut out = String::new();
+    write_raw(t, &mut out);
+    out
+}
+
+fn write_raw(t: &RawTree, out: &mut String) {
+    if t.children.is_empty() {
+        out.push('<');
+        out.push_str(&t.name);
+        out.push_str("/>");
+    } else {
+        out.push('<');
+        out.push_str(&t.name);
+        out.push('>');
+        for c in &t.children {
+            write_raw(c, out);
+        }
+        out.push_str("</");
+        out.push_str(&t.name);
+        out.push('>');
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, m: &str) -> XmlError {
+        XmlError {
+            message: m.to_string(),
+            offset: self.i,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.i;
+        while self
+            .s
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_' || *c == b'-' || *c == b'.')
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(self.err("expected a tag name"));
+        }
+        Ok(std::str::from_utf8(&self.s[start..self.i])
+            .expect("ascii")
+            .to_string())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), XmlError> {
+        if self.s.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn element(&mut self) -> Result<RawTree, XmlError> {
+        self.expect(b'<')?;
+        let name = self.name()?;
+        self.ws();
+        // Self-closing?
+        if self.s.get(self.i) == Some(&b'/') {
+            self.i += 1;
+            self.expect(b'>')?;
+            return Ok(RawTree::leaf(name));
+        }
+        self.expect(b'>')?;
+        let mut children = Vec::new();
+        loop {
+            self.ws();
+            if self.s.get(self.i) == Some(&b'<') && self.s.get(self.i + 1) == Some(&b'/') {
+                self.i += 2;
+                let close = self.name()?;
+                if close != name {
+                    return Err(self.err(&format!(
+                        "mismatched close tag: expected </{name}>, found </{close}>"
+                    )));
+                }
+                self.ws();
+                self.expect(b'>')?;
+                return Ok(RawTree::node(name, children));
+            }
+            if self.s.get(self.i) == Some(&b'<') {
+                children.push(self.element()?);
+            } else {
+                return Err(self.err("expected a child element or a close tag"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alpha() -> Arc<Alphabet> {
+        Alphabet::unranked(&["a", "b", "c", "d", "e"])
+    }
+
+    #[test]
+    fn paper_example_document() {
+        // Section 2.2's serialization of the Figure 1 tree.
+        let al = alpha();
+        let doc = parse_document("<a> <b></b> <b></b> <c><d></d></c> <e></e> </a>", &al)
+            .unwrap();
+        assert_eq!(doc.to_string(), "a(b, b, c(d), e)");
+    }
+
+    #[test]
+    fn self_closing_and_mixed() {
+        let al = alpha();
+        let doc = parse_document("<a><b/><c><d/></c></a>", &al).unwrap();
+        assert_eq!(doc.to_string(), "a(b, c(d))");
+    }
+
+    #[test]
+    fn round_trip() {
+        let al = alpha();
+        for src in ["<a/>", "<a><b/></a>", "<a><b/><b/><c><d/></c><e/></a>"] {
+            let doc = parse_document(src, &al).unwrap();
+            let xml = to_xml(&doc);
+            let doc2 = parse_document(&xml, &al).unwrap();
+            assert_eq!(doc, doc2, "{src}");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_raw("").is_err());
+        assert!(parse_raw("<a>").is_err());
+        assert!(parse_raw("<a></b>").is_err());
+        assert!(parse_raw("<a/><b/>").is_err());
+        assert!(parse_raw("<a>text</a>").is_err());
+        assert!(parse_raw("< a/>").is_err());
+    }
+
+    #[test]
+    fn unknown_tags_rejected_by_alphabet() {
+        let al = alpha();
+        assert!(parse_document("<zz/>", &al).is_err());
+    }
+
+    #[test]
+    fn validate_against_dtd() {
+        let dtd = xmltc_dtd::Dtd::parse_text("a := b*.c.e\nb := @eps\nc := d*\nd := @eps\ne := @eps").unwrap();
+        let doc = parse_document(
+            "<a><b/><b/><c><d/></c><e/></a>",
+            dtd.alphabet(),
+        )
+        .unwrap();
+        assert!(dtd.validate(&doc).is_ok());
+        let bad = parse_document("<a><e/><b/></a>", dtd.alphabet()).unwrap();
+        assert!(dtd.validate(&bad).is_err());
+    }
+}

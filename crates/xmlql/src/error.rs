@@ -1,0 +1,45 @@
+//! Errors for the query front-ends.
+
+use std::fmt;
+use xmltc_core::MachineError;
+use xmltc_trees::TreeError;
+
+/// Errors from query construction, interpretation, or compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// No template matches a tag encountered while interpreting a
+    /// stylesheet.
+    NoTemplate(String),
+    /// A query/stylesheet element references a tag missing from the output
+    /// alphabet.
+    UnknownTag(String),
+    /// The compiled machine would be ill-formed.
+    Machine(MachineError),
+    /// Tree-level failure.
+    Tree(TreeError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::NoTemplate(tag) => write!(f, "no template matches tag `{tag}`"),
+            QueryError::UnknownTag(tag) => write!(f, "unknown tag `{tag}`"),
+            QueryError::Machine(e) => write!(f, "{e}"),
+            QueryError::Tree(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<MachineError> for QueryError {
+    fn from(e: MachineError) -> Self {
+        QueryError::Machine(e)
+    }
+}
+
+impl From<TreeError> for QueryError {
+    fn from(e: TreeError) -> Self {
+        QueryError::Tree(e)
+    }
+}

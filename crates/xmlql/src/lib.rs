@@ -1,0 +1,45 @@
+//! # xmltc-xmlql
+//!
+//! XML query-language front-ends compiled to k-pebble tree transducers —
+//! the embedding claimed by Section 3.2 of the paper ("all transformations
+//! … expressed in existing XML query languages … can be expressed as
+//! k-pebble transducers"), realized for two concrete fragments:
+//!
+//! * **An XSLT fragment** ([`xslt`]): match-by-tag templates whose bodies
+//!   are element trees with `apply-templates` holes (exactly the shape of
+//!   the paper's Example 4.3 query Q2). Compiles to a **1-pebble**
+//!   transducer over encoded binary trees, so the efficient
+//!   behaviour-composition typechecking route applies.
+//! * **Select/construct queries** ([`query`]): XML-QL-style queries binding
+//!   `n` variables to nodes matched by regular path expressions and
+//!   emitting one constant element per binding tuple — Example 4.2's Q1
+//!   (`aⁿ ↦ bⁿ²`) is the canonical instance. Compiles to an
+//!   **(n+1)-pebble** transducer following Example 3.5: pebbles `1..n`
+//!   enumerate candidate tuples in pre-order lexicographic order, and the
+//!   extra pebble verifies each path condition by climbing from the
+//!   candidate to the root running the reversed path automaton.
+//!
+//! Shared infrastructure: [`path`] — the paper's (regular) path
+//! expressions over unranked trees, with the Section 2.1 translation onto
+//! the binary encoding.
+//!
+//! Both compilers require the document root tag to label only the root
+//! (non-recursive root rule). The paper makes the same assumption: its
+//! pre-order subroutine (Example 3.4) needs a distinguished root symbol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod path;
+pub mod pipeline;
+pub mod query;
+pub mod xslt;
+
+pub use error::QueryError;
+
+/// Re-export: the DTD type consumed by [`xslt::Stylesheet::infer_image`].
+pub use xmltc_dtd::Dtd as DtdRef;
+pub use pipeline::{DocumentPipeline, DocumentVerdict};
+pub use query::SelectConstructQuery;
+pub use xslt::{Stylesheet, Template, TemplateNode};

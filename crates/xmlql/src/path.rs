@@ -1,0 +1,203 @@
+//! (Regular) path expressions — Section 2.1.
+//!
+//! A path expression is a word `w ∈ Σ*`; a regular path expression is a
+//! regular expression over `Σ`. Evaluation selects the nodes of an
+//! unranked tree whose root-to-node label sequence belongs to the
+//! language. The module also implements the paper's translation of path
+//! expressions onto the binary encoding
+//! (`translate(a.c.d) = a.(−)*.c.(−)*.d`), satisfying
+//! `eval(translate(r), encode(t)) = encode(eval(r, t))`.
+
+use xmltc_regex::{Dfa, Regex};
+use xmltc_trees::unranked::NodeId as UNodeId;
+use xmltc_trees::{BinaryTree, EncodedAlphabet, NodeId, Symbol, UnrankedTree};
+
+/// Evaluates a regular path expression over tags on an unranked tree:
+/// the set of nodes whose root path matches, in pre-order.
+pub fn eval(r: &Regex<Symbol>, t: &UnrankedTree) -> Vec<UNodeId> {
+    let universe: Vec<Symbol> = t.alphabet().symbols().collect();
+    let dfa = Dfa::from_regex(r, &universe);
+    let mut out = Vec::new();
+    // Walk top-down carrying the DFA state after reading the node's label.
+    let mut stack: Vec<(UNodeId, u32)> = Vec::new();
+    if let Some(d) = dfa.step(dfa.start(), t.symbol(t.root())) {
+        stack.push((t.root(), d));
+    }
+    while let Some((n, d)) = stack.pop() {
+        if dfa.is_final(d) {
+            out.push(n);
+        }
+        for &c in t.children(n).iter().rev() {
+            if let Some(d2) = dfa.step(d, t.symbol(c)) {
+                stack.push((c, d2));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The Section 2.1 translation of a (regular) path expression over tags to
+/// one over the encoded alphabet `Σ ∪ {-}`: every symbol `a` becomes
+/// `(-)*.a`, accounting for the list-cons spine between an element and its
+/// children. (The `#` symbol never appears, as in the paper.)
+pub fn translate(r: &Regex<Symbol>, enc: &EncodedAlphabet) -> Regex<Symbol> {
+    match r {
+        Regex::Empty => Regex::Empty,
+        Regex::Epsilon => Regex::Epsilon,
+        Regex::Sym(a) => Regex::sym(enc.cons()).star().concat(Regex::sym(*a)),
+        Regex::Concat(a, b) => translate(a, enc).concat(translate(b, enc)),
+        Regex::Alt(a, b) => translate(a, enc).alt(translate(b, enc)),
+        Regex::Star(a) => translate(a, enc).star(),
+        Regex::Plus(a) => translate(a, enc).plus(),
+        Regex::Opt(a) => translate(a, enc).opt(),
+    }
+}
+
+/// Evaluates a path expression over the encoded alphabet directly on a
+/// binary tree (descending through children), in pre-order.
+pub fn eval_encoded(r: &Regex<Symbol>, t: &BinaryTree) -> Vec<NodeId> {
+    let universe: Vec<Symbol> = t.alphabet().symbols().collect();
+    let dfa = Dfa::from_regex(r, &universe);
+    let mut out = Vec::new();
+    let mut stack: Vec<(NodeId, u32)> = Vec::new();
+    if let Some(d) = dfa.step(dfa.start(), t.symbol(t.root())) {
+        stack.push((t.root(), d));
+    }
+    while let Some((n, d)) = stack.pop() {
+        if dfa.is_final(d) {
+            out.push(n);
+        }
+        if let Some((l, rgt)) = t.children(n) {
+            for c in [rgt, l] {
+                if let Some(d2) = dfa.step(d, t.symbol(c)) {
+                    stack.push((c, d2));
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Parses a regular path expression over tag names and interns the tags in
+/// the given (unranked) alphabet.
+pub fn parse_path(
+    src: &str,
+    alphabet: &std::sync::Arc<xmltc_trees::Alphabet>,
+) -> Result<Regex<Symbol>, crate::error::QueryError> {
+    let named = xmltc_regex::parse(src).map_err(|e| {
+        crate::error::QueryError::Tree(xmltc_trees::TreeError::Parse {
+            message: e.message,
+            offset: e.offset,
+        })
+    })?;
+    named
+        .try_map(&mut |name: &String| {
+            alphabet
+                .get(name)
+                .ok_or_else(|| crate::error::QueryError::UnknownTag(name.clone()))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xmltc_trees::{encode, Alphabet};
+
+    fn setup() -> (Arc<Alphabet>, EncodedAlphabet) {
+        let al = Alphabet::unranked(&["a", "b", "c", "d", "e"]);
+        let enc = EncodedAlphabet::new(&al);
+        (al, enc)
+    }
+
+    #[test]
+    fn simple_path_eval() {
+        let (al, _) = setup();
+        let t = UnrankedTree::parse("a(b, b, c(d), e)", &al).unwrap();
+        let r = parse_path("a.b", &al).unwrap();
+        let hits = eval(&r, &t);
+        assert_eq!(hits.len(), 2);
+        for n in hits {
+            assert_eq!(al.name(t.symbol(n)), "b");
+        }
+        let r = parse_path("a.c.d", &al).unwrap();
+        assert_eq!(eval(&r, &t).len(), 1);
+        let r = parse_path("a.c.e", &al).unwrap();
+        assert!(eval(&r, &t).is_empty());
+    }
+
+    #[test]
+    fn regular_path_eval() {
+        let (al, _) = setup();
+        let t = UnrankedTree::parse("a(b(c(d)), c(d))", &al).unwrap();
+        // all d's at any depth below a: a.(b|c)*.d
+        let r = parse_path("a.(b|c)*.d", &al).unwrap();
+        assert_eq!(eval(&r, &t).len(), 2);
+        // the root itself:
+        let r = parse_path("a", &al).unwrap();
+        let hits = eval(&r, &t);
+        assert_eq!(hits, vec![t.root()]);
+    }
+
+    #[test]
+    fn translation_commutes_with_encoding() {
+        // eval(translate(r), encode(t)) = encode-image of eval(r, t):
+        // check via label multisets and counts on several (r, t) pairs.
+        let (al, enc) = setup();
+        for (rs, ts) in [
+            ("a.b", "a(b, b, c(d), e)"),
+            ("a.c.d", "a(b, b, c(d), e)"),
+            ("a.(b|c)*.d", "a(b(c(d)), c(d), d)"),
+            ("a.c*.a", "a(c(c(a)), a, b)"),
+            ("a", "a(b)"),
+        ] {
+            let t = UnrankedTree::parse(ts, &al).unwrap();
+            let r = parse_path(rs, &al).unwrap();
+            let direct = eval(&r, &t);
+            let bt = encode(&t, &enc).unwrap();
+            let tr = translate(&r, &enc);
+            let encoded_hits = eval_encoded(&tr, &bt);
+            assert_eq!(
+                direct.len(),
+                encoded_hits.len(),
+                "cardinality mismatch for {rs} on {ts}"
+            );
+            // Every encoded hit is an element node with the same label
+            // multiset as the direct hits.
+            let mut direct_labels: Vec<Symbol> =
+                direct.iter().map(|&n| t.symbol(n)).collect();
+            let mut enc_labels: Vec<Symbol> =
+                encoded_hits.iter().map(|&n| bt.symbol(n)).collect();
+            direct_labels.sort_unstable();
+            enc_labels.sort_unstable();
+            assert_eq!(direct_labels, enc_labels, "{rs} on {ts}");
+        }
+    }
+
+    #[test]
+    fn paper_translation_example() {
+        let (al, enc) = setup();
+        let r = parse_path("a.c.d", &al).unwrap();
+        let tr = translate(&r, &enc);
+        // Shape: (-)*.a.(-)*.c.(-)*.d — leading (-)* is harmless at the
+        // root (matches zero).
+        let step = |tag: &str| {
+            Regex::sym(enc.cons())
+                .star()
+                .concat(Regex::sym(al.get(tag).unwrap()))
+        };
+        let expected = step("a").concat(step("c")).concat(step("d"));
+        assert_eq!(tr, expected);
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let (al, _) = setup();
+        assert!(matches!(
+            parse_path("a.zz", &al),
+            Err(crate::error::QueryError::UnknownTag(t)) if t == "zz"
+        ));
+    }
+}

@@ -1,0 +1,928 @@
+//! XML-QL-style select/construct queries compiled to (n+1)-pebble
+//! transducers — the Example 3.5 architecture.
+//!
+//! A [`SelectConstructQuery`] binds `n` variables to input nodes, each
+//! constrained by a regular path expression from the root, and emits one
+//! constant element per binding tuple under a fresh output root
+//! (`CONSTRUCT <result> … </result>`). Example 4.2's query Q1 —
+//! `WHERE <root> <a>$X</a> <a>$Y</a> </root> CONSTRUCT <b/>` —
+//! is [`example_q1`], realizing the paper's `aⁿ ↦ bⁿ²` map whose image is
+//! not a regular tree language.
+//!
+//! Compilation follows Example 3.5: pebbles `1..n` enumerate all n-tuples
+//! of input nodes in lexicographic pre-order (using the Example 3.4
+//! traversal subroutine); for each tuple, pebble `n+1` verifies each
+//! condition by locating variable `j`'s pebble (testable via the presence
+//! guards), then climbing to the root running the *reversed* translated
+//! path automaton. Matching tuples append one item to the output list.
+//!
+//! Restriction (also implicit in the paper's Example 3.4): the document
+//! root tag must label only the root.
+
+use crate::error::QueryError;
+use crate::path::translate;
+use std::sync::Arc;
+use xmltc_automata::State;
+use xmltc_core::library::add_preorder_next;
+use xmltc_core::machine::{Guard, Move, PebbleTransducer, SymSpec, TransducerBuilder};
+use xmltc_regex::{Dfa, Regex};
+use xmltc_trees::tree::NodeId;
+use xmltc_trees::{
+    encode, Alphabet, AlphabetBuilder, EncodedAlphabet, Rank, RawTree, Symbol,
+    UnrankedTree,
+};
+
+/// One variable's binding condition: a regular path expression, rooted at
+/// the document root or at another (earlier) variable's node — the
+/// hierarchical tree patterns of Example 3.5.
+#[derive(Clone, Debug)]
+pub struct Condition {
+    /// `None`: the path runs from the document root. `Some(p)`: from
+    /// variable `p`'s node (0-based; must be an earlier variable).
+    pub parent: Option<usize>,
+    /// The regular path expression over tags; the path includes both
+    /// endpoints' labels.
+    pub path: Regex<Symbol>,
+}
+
+/// One piece of a CONSTRUCT clause, emitted per matching tuple.
+#[derive(Clone, Debug)]
+pub enum ConstructItem {
+    /// A constant element.
+    Constant(RawTree),
+    /// A copy of the subtree bound to variable `j` (0-based) —
+    /// `CONSTRUCT <result> $X </result>`.
+    CopyVar(usize),
+}
+
+/// A select/construct query without data-value joins.
+#[derive(Clone, Debug)]
+pub struct SelectConstructQuery {
+    input: Arc<Alphabet>,
+    root_tag: Symbol,
+    conditions: Vec<Condition>,
+    output_root: String,
+    items: Vec<ConstructItem>,
+}
+
+impl SelectConstructQuery {
+    /// Creates a query over documents rooted at `root_tag` (which must not
+    /// occur below the root). `conditions[j]` is the regular path
+    /// expression variable `j` must satisfy; `item` is the constant
+    /// element emitted per binding tuple under `output_root`.
+    pub fn new(
+        input: &Arc<Alphabet>,
+        root_tag: Symbol,
+        conditions: Vec<Regex<Symbol>>,
+        output_root: &str,
+        item: RawTree,
+    ) -> SelectConstructQuery {
+        Self::with_pattern(
+            input,
+            root_tag,
+            conditions
+                .into_iter()
+                .map(|path| Condition { parent: None, path })
+                .collect(),
+            output_root,
+            item,
+        )
+    }
+
+    /// Creates a query with an explicit CONSTRUCT clause: per matching
+    /// tuple, each item contributes one child of the output root —
+    /// constants and `$X`-style subtree copies.
+    pub fn with_construct(
+        input: &Arc<Alphabet>,
+        root_tag: Symbol,
+        conditions: Vec<Condition>,
+        output_root: &str,
+        items: Vec<ConstructItem>,
+    ) -> SelectConstructQuery {
+        assert!(!conditions.is_empty(), "a query needs at least one variable");
+        assert!(!items.is_empty(), "the CONSTRUCT clause needs at least one item");
+        for (j, c) in conditions.iter().enumerate() {
+            if let Some(p) = c.parent {
+                assert!(p < j, "condition {j} must reference an earlier variable");
+            }
+        }
+        for item in &items {
+            if let ConstructItem::CopyVar(j) = item {
+                assert!(*j < conditions.len(), "CopyVar references variable {j}");
+            }
+        }
+        SelectConstructQuery {
+            input: Arc::clone(input),
+            root_tag,
+            conditions,
+            output_root: output_root.to_string(),
+            items,
+        }
+    }
+
+    /// Creates a query with a hierarchical tree pattern (Example 3.5):
+    /// each condition may be rooted at an earlier variable's node.
+    pub fn with_pattern(
+        input: &Arc<Alphabet>,
+        root_tag: Symbol,
+        conditions: Vec<Condition>,
+        output_root: &str,
+        item: RawTree,
+    ) -> SelectConstructQuery {
+        assert!(!conditions.is_empty(), "a query needs at least one variable");
+        for (j, c) in conditions.iter().enumerate() {
+            if let Some(p) = c.parent {
+                assert!(p < j, "condition {j} must reference an earlier variable");
+            }
+        }
+        Self::with_construct(
+            input,
+            root_tag,
+            conditions,
+            output_root,
+            vec![ConstructItem::Constant(item)],
+        )
+    }
+
+    /// The number of variables `n` (the compiled machine has `n+1`
+    /// pebbles).
+    pub fn n_vars(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// Reference semantics: the output document. The number of emitted
+    /// items is the number of variable tuples satisfying every condition
+    /// (brute-force enumeration — exponential, test-sized inputs only).
+    pub fn interpret(&self, t: &UnrankedTree) -> RawTree {
+        let nodes = t.preorder();
+        let n = self.conditions.len();
+        let mut out: Vec<RawTree> = Vec::new();
+        let mut tuple: Vec<xmltc_trees::unranked::NodeId> = Vec::with_capacity(n);
+        self.emit_tuples(t, &nodes, &mut tuple, &mut out);
+        RawTree::node(self.output_root.clone(), out)
+    }
+
+    fn emit_tuples(
+        &self,
+        t: &UnrankedTree,
+        nodes: &[xmltc_trees::unranked::NodeId],
+        tuple: &mut Vec<xmltc_trees::unranked::NodeId>,
+        out: &mut Vec<RawTree>,
+    ) {
+        let j = tuple.len();
+        if j == self.conditions.len() {
+            for item in &self.items {
+                match item {
+                    ConstructItem::Constant(raw) => out.push(raw.clone()),
+                    ConstructItem::CopyVar(v) => out.push(subtree_raw(t, tuple[*v])),
+                }
+            }
+            return;
+        }
+        for &cand in nodes {
+            if self.condition_holds(t, tuple, j, cand) {
+                tuple.push(cand);
+                self.emit_tuples(t, nodes, tuple, out);
+                tuple.pop();
+            }
+        }
+    }
+
+    /// Does `cand` satisfy condition `j` given the earlier bindings?
+    fn condition_holds(
+        &self,
+        t: &UnrankedTree,
+        tuple: &[xmltc_trees::unranked::NodeId],
+        j: usize,
+        cand: xmltc_trees::unranked::NodeId,
+    ) -> bool {
+        let cond = &self.conditions[j];
+        // Collect the label path from the condition's origin down to cand.
+        let origin = match cond.parent {
+            None => t.root(),
+            Some(p) => tuple[p],
+        };
+        // Walk up from cand to origin, collecting labels.
+        let mut labels = vec![t.symbol(cand)];
+        let mut cur = cand;
+        while cur != origin {
+            match t.parent(cur) {
+                Some(par) => {
+                    labels.push(t.symbol(par));
+                    cur = par;
+                }
+                None => return false, // cand is not a descendant of origin
+            }
+        }
+        labels.reverse();
+        let universe: Vec<Symbol> = t.alphabet().symbols().collect();
+        Dfa::from_regex(&cond.path, &universe).accepts(&labels)
+    }
+
+    /// The unranked output alphabet: the output root, all constant-item
+    /// tags, plus (when the CONSTRUCT clause copies variables) every input
+    /// tag.
+    pub fn output_alphabet(&self) -> Arc<Alphabet> {
+        let mut b = AlphabetBuilder::new();
+        b.add(&self.output_root, Rank::Unranked);
+        fn collect(n: &RawTree, b: &mut AlphabetBuilder) {
+            b.add(&n.name, Rank::Unranked);
+            for c in &n.children {
+                collect(c, b);
+            }
+        }
+        for item in &self.items {
+            match item {
+                ConstructItem::Constant(raw) => collect(raw, &mut b),
+                ConstructItem::CopyVar(_) => {
+                    for s in self.input.symbols() {
+                        b.add(self.input.name(s), Rank::Unranked);
+                    }
+                }
+            }
+        }
+        b.finish()
+    }
+
+    /// Compiles to an (n+1)-pebble transducer from encoded inputs to
+    /// encoded outputs.
+    pub fn compile(
+        &self,
+    ) -> Result<(PebbleTransducer, EncodedAlphabet, EncodedAlphabet), QueryError> {
+        let n = self.conditions.len() as u8;
+        let k = n + 1;
+        let enc_in = EncodedAlphabet::new(&self.input);
+        let out_unranked = self.output_alphabet();
+        let enc_out = EncodedAlphabet::new(&out_unranked);
+        let in_al = enc_in.encoded();
+
+        // Reversed, translated path DFAs over the encoded alphabet.
+        let universe: Vec<Symbol> = in_al.symbols().collect();
+        let dfas: Vec<Dfa<Symbol>> = self
+            .conditions
+            .iter()
+            .map(|c| {
+                Dfa::from_regex(&translate(&c.path, &enc_in).reverse(), &universe).complete()
+            })
+            .collect();
+
+        let mut b = TransducerBuilder::new(in_al, enc_out.encoded(), k);
+
+        // ---- output plumbing -------------------------------------------
+        let start = b.state("start", 1)?;
+        b.set_initial(start);
+        let out_root_sym = enc_out
+            .source()
+            .get(&self.output_root)
+            .expect("added to output alphabet");
+
+        // Constant-item emitter states (at level n, spawned by `emit`):
+        // per constant item, one state per node of its encoded tree.
+        let mut const_trees: Vec<Option<(xmltc_trees::BinaryTree, Vec<State>)>> = Vec::new();
+        for (idx, item) in self.items.iter().enumerate() {
+            match item {
+                ConstructItem::Constant(raw) => {
+                    let tree = {
+                        let u = UnrankedTree::from_raw(raw, enc_out.source())?;
+                        encode(&u, &enc_out)?
+                    };
+                    let states: Vec<State> = (0..tree.len())
+                        .map(|i| b.state(&format!("item{idx}_{i}"), n))
+                        .collect::<Result<_, _>>()?;
+                    const_trees.push(Some((tree, states)));
+                }
+                ConstructItem::CopyVar(_) => const_trees.push(None),
+            }
+        }
+
+        // ---- tuple enumeration ------------------------------------------
+        // launch(j): place pebble j+1 (level j → j+1).
+        let launch: Vec<State> = (1..=n)
+            .map(|j| b.state(&format!("launch{j}"), j))
+            .collect::<Result<_, _>>()?;
+        // find(j): pebble n+1 searching for pebble j (level n+1).
+        let find: Vec<State> = (1..=n as usize)
+            .map(|j| b.state(&format!("find{j}"), k))
+            .collect::<Result<_, _>>()?;
+        let all_passed = b.state("all_passed", k)?;
+        let fail = b.state("fail", k)?;
+        let emit = b.state("emit", n)?;
+        // advance(j) / exhausted(j) (level j).
+        let exhausted: Vec<State> = (1..=n)
+            .map(|j| b.state(&format!("exhausted{j}"), j))
+            .collect::<Result<_, _>>()?;
+        // launch chain: launch(j) places pebble j+1; next j<n → launch(j+1),
+        // j=n → find(1).
+        for j in 1..=n {
+            let target = if j < n {
+                launch[j as usize]
+            } else {
+                find[0]
+            };
+            b.move_rule(
+                SymSpec::Any,
+                launch[(j - 1) as usize],
+                Guard::any(),
+                Move::PlaceNew,
+                target,
+            )?;
+        }
+
+        // start: emit the output root.
+        let nil_out = b.state("nil_out", 1)?;
+        b.output0(SymSpec::Any, nil_out, Guard::any(), enc_out.nil())?;
+        b.output2(
+            SymSpec::Any,
+            start,
+            Guard::any(),
+            out_root_sym,
+            launch[0],
+            nil_out,
+        )?;
+
+        // Constant-item emitter rules.
+        for entry in const_trees.iter().flatten() {
+            let (tree, states) = entry;
+            for (i, &st) in states.iter().enumerate() {
+                let node = NodeId(i as u32);
+                match tree.children(node) {
+                    None => b.output0(SymSpec::Any, st, Guard::any(), tree.symbol(node))?,
+                    Some((l, r)) => b.output2(
+                        SymSpec::Any,
+                        st,
+                        Guard::any(),
+                        tree.symbol(node),
+                        states[l.index()],
+                        states[r.index()],
+                    )?,
+                }
+            }
+        }
+
+        // Symbol map input-encoded → output-encoded (by name), for copies.
+        let out_enc_al = enc_out.encoded();
+        let sym_map: Vec<Option<Symbol>> = in_al
+            .symbols()
+            .map(|s| out_enc_al.get(in_al.name(s)))
+            .collect();
+
+        // advance(j): pre-order step of pebble j, then re-place pebbles
+        // j+1..n+1 and re-check; root exhaustion pops to pebble j-1.
+        let mut advance: Vec<State> = Vec::new();
+        for j in 1..=n {
+            // After advancing pebble j, re-enter launch(j) (same level j),
+            // which re-places pebbles j+1 … n and the checker n+1, ending
+            // in find(1).
+            let entry = add_preorder_next(
+                &mut b,
+                &format!("adv{j}"),
+                j,
+                self.root_tag,
+                launch[(j - 1) as usize],
+                exhausted[(j - 1) as usize],
+            )?;
+            advance.push(entry);
+        }
+
+        // exhausted(j): pebble j is back on the root with the tuple space
+        // below it spent.
+        for j in 1..=n {
+            if j == 1 {
+                // Whole enumeration done: close the output list.
+                b.output0(SymSpec::Any, exhausted[0], Guard::any(), enc_out.nil())?;
+            } else {
+                b.move_rule(
+                    SymSpec::Any,
+                    exhausted[(j - 1) as usize],
+                    Guard::any(),
+                    Move::PickCurrent,
+                    advance[(j - 2) as usize],
+                )?;
+            }
+        }
+
+        // Shared subtree-copy machinery (for CopyVar items): a level-(n+1)
+        // walker that re-emits the encoded subtree under the found pebble,
+        // mapping symbols by name into the output alphabet.
+        let needs_copy = self
+            .items
+            .iter()
+            .any(|i| matches!(i, ConstructItem::CopyVar(_)));
+        let ccopy = if needs_copy {
+            let ccopy = b.state("ccopy", k)?;
+            let cleft = b.state("ccopy_l", k)?;
+            let cright = b.state("ccopy_r", k)?;
+            for sym in in_al.symbols() {
+                let Some(mapped) = sym_map[sym.index()] else {
+                    continue;
+                };
+                match in_al.rank(sym) {
+                    xmltc_trees::Rank::Binary => {
+                        b.output2(SymSpec::One(sym), ccopy, Guard::any(), mapped, cleft, cright)?;
+                    }
+                    _ => {
+                        b.output0(SymSpec::One(sym), ccopy, Guard::any(), mapped)?;
+                    }
+                }
+            }
+            b.move_rule(SymSpec::Binaries, cleft, Guard::any(), Move::DownLeft, ccopy)?;
+            b.move_rule(SymSpec::Binaries, cright, Guard::any(), Move::DownRight, ccopy)?;
+            Some(ccopy)
+        } else {
+            None
+        };
+
+        // Per copied variable: place the checker pebble, locate the
+        // variable's pebble, and copy from there.
+        let mut copy_entry: Vec<Option<State>> = vec![None; self.conditions.len()];
+        for item in &self.items {
+            let ConstructItem::CopyVar(v) = item else { continue };
+            if copy_entry[*v].is_some() {
+                continue;
+            }
+            let start = b.state(&format!("copy_start{v}"), n)?;
+            let find = b.state(&format!("copy_find{v}"), k)?;
+            b.move_rule(SymSpec::Any, start, Guard::any(), Move::PlaceNew, find)?;
+            b.move_rule(
+                SymSpec::Any,
+                find,
+                Guard::present(*v + 1),
+                Move::Stay,
+                ccopy.expect("copy machinery built"),
+            )?;
+            let seek = add_preorder_next(
+                &mut b,
+                &format!("cseek{v}"),
+                k,
+                self.root_tag,
+                find,
+                fail, // unreachable: the pebble exists
+            )?;
+            b.move_rule(SymSpec::Any, find, Guard::absent(*v + 1), Move::Stay, seek)?;
+            copy_entry[*v] = Some(start);
+        }
+
+        // emit: per matching tuple, one output-list cons cell per CONSTRUCT
+        // item, then advance pebble n.
+        let mut link = emit;
+        for (idx, item) in self.items.iter().enumerate() {
+            let next_link = if idx + 1 < self.items.len() {
+                b.state(&format!("emit{}", idx + 1), n)?
+            } else {
+                advance[(n - 1) as usize]
+            };
+            let entry = match item {
+                ConstructItem::Constant(_) => {
+                    let (tree, states) = const_trees[idx].as_ref().expect("constant");
+                    states[tree.root().index()]
+                }
+                ConstructItem::CopyVar(v) => copy_entry[*v].expect("built above"),
+            };
+            b.output2(SymSpec::Any, link, Guard::any(), enc_out.cons(), entry, next_link)?;
+            link = next_link;
+        }
+
+        // all_passed / fail: return control to pebble n.
+        b.move_rule(SymSpec::Any, all_passed, Guard::any(), Move::PickCurrent, emit)?;
+        b.move_rule(
+            SymSpec::Any,
+            fail,
+            Guard::any(),
+            Move::PickCurrent,
+            advance[(n - 1) as usize],
+        )?;
+
+        // ---- condition checking (pebble n+1) ----------------------------
+        for (jz, dfa) in dfas.iter().enumerate() {
+            let j = jz + 1; // 1-based variable index
+            // climb(j, d): DFA state d before consuming the current symbol.
+            let climb: Vec<State> = (0..dfa.len())
+                .map(|d| b.state(&format!("climb{j}_{d}"), k))
+                .collect::<Result<_, _>>()?;
+
+            // find(j): where pebble j sits, start climbing; elsewhere, walk
+            // pre-order.
+            b.move_rule(
+                SymSpec::Any,
+                find[jz],
+                Guard::present(j),
+                Move::Stay,
+                climb[dfa.start() as usize],
+            )?;
+            let seek = add_preorder_next(
+                &mut b,
+                &format!("seek{j}"),
+                k,
+                self.root_tag,
+                find[jz],
+                fail, // unreachable: pebble j is always found
+            )?;
+            b.move_rule(SymSpec::Any, find[jz], Guard::absent(j), Move::Stay, seek)?;
+
+            let parent = self.conditions[jz].parent;
+            for d in 0..dfa.len() as u32 {
+                for sym in in_al.symbols() {
+                    let d2 = dfa.step(d, sym).expect("completed DFA");
+                    let verdict = if dfa.is_final(d2) {
+                        if j < self.conditions.len() {
+                            find[jz + 1]
+                        } else {
+                            all_passed
+                        }
+                    } else {
+                        fail
+                    };
+                    match parent {
+                        None => {
+                            // Path rooted at the document root: terminate
+                            // at the root symbol (non-recursive-root
+                            // assumption).
+                            if sym == self.root_tag {
+                                b.move_rule(
+                                    SymSpec::One(sym),
+                                    climb[d as usize],
+                                    Guard::any(),
+                                    Move::Stay,
+                                    verdict,
+                                )?;
+                            } else {
+                                for m in [Move::UpLeft, Move::UpRight] {
+                                    b.move_rule(
+                                        SymSpec::One(sym),
+                                        climb[d as usize],
+                                        Guard::any(),
+                                        m,
+                                        climb[d2 as usize],
+                                    )?;
+                                }
+                            }
+                        }
+                        Some(pvar) => {
+                            // Path rooted at variable pvar's node: the
+                            // climb terminates where that pebble sits —
+                            // detected by the presence guard, exactly the
+                            // Example 3.5 technique.
+                            let pebble = pvar + 1; // 1-based pebble index
+                            b.move_rule(
+                                SymSpec::One(sym),
+                                climb[d as usize],
+                                Guard::present(pebble),
+                                Move::Stay,
+                                verdict,
+                            )?;
+                            if sym == self.root_tag {
+                                // Reached the root without meeting the
+                                // parent pebble: not a descendant.
+                                b.move_rule(
+                                    SymSpec::One(sym),
+                                    climb[d as usize],
+                                    Guard::absent(pebble),
+                                    Move::Stay,
+                                    fail,
+                                )?;
+                            } else {
+                                for m in [Move::UpLeft, Move::UpRight] {
+                                    b.move_rule(
+                                        SymSpec::One(sym),
+                                        climb[d as usize],
+                                        Guard::absent(pebble),
+                                        m,
+                                        climb[d2 as usize],
+                                    )?;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok((b.build()?, enc_in, enc_out))
+    }
+}
+
+/// The unranked subtree at `n`, as a RawTree.
+fn subtree_raw(t: &UnrankedTree, n: xmltc_trees::unranked::NodeId) -> RawTree {
+    RawTree {
+        name: t.alphabet().name(t.symbol(n)).to_string(),
+        children: t.children(n).iter().map(|&c| subtree_raw(t, c)).collect(),
+    }
+}
+
+/// **Example 4.2 — query Q1** over the DTD `root := a*`:
+/// two variables bound to `<a>` children of the root, one `<b/>` emitted
+/// per pair; maps `aⁿ` to `bⁿ²` under a `<result>` root.
+pub fn example_q1() -> (SelectConstructQuery, Arc<Alphabet>) {
+    let al = Alphabet::unranked(&["root", "a"]);
+    let root = al.get("root").unwrap();
+    let a = al.get("a").unwrap();
+    let cond = Regex::sym(root).concat(Regex::sym(a));
+    let q = SelectConstructQuery::new(
+        &al,
+        root,
+        vec![cond.clone(), cond],
+        "result",
+        RawTree::leaf("b"),
+    );
+    (q, al)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltc_core::eval;
+    use xmltc_trees::decode;
+
+    #[test]
+    fn q1_interpreter() {
+        let (q, al) = example_q1();
+        for n in 0..5 {
+            let t = xmltc_trees::generate::flat(
+                al.get("root").unwrap(),
+                al.get("a").unwrap(),
+                n,
+                &al,
+            )
+            .unwrap();
+            let out = q.interpret(&t);
+            assert_eq!(out.name, "result");
+            assert_eq!(out.children.len(), n * n, "a^{n} must give b^{}", n * n);
+        }
+    }
+
+    #[test]
+    fn q1_compiled_matches_interpreter() {
+        let (q, al) = example_q1();
+        let (t, enc_in, enc_out) = q.compile().unwrap();
+        assert_eq!(t.k(), 3);
+        for n in 0..4 {
+            let input = xmltc_trees::generate::flat(
+                al.get("root").unwrap(),
+                al.get("a").unwrap(),
+                n,
+                &al,
+            )
+            .unwrap();
+            let expected = q.interpret(&input);
+            let encoded = encode(&input, &enc_in).unwrap();
+            let out = eval(&t, &encoded).unwrap();
+            let decoded = decode(&out, &enc_out).unwrap();
+            assert_eq!(decoded.to_raw(), expected, "a^{n}");
+        }
+    }
+
+    #[test]
+    fn single_variable_query() {
+        // One variable over all c-descendants; input tree nested.
+        let al = Alphabet::unranked(&["root", "a", "c"]);
+        let root = al.get("root").unwrap();
+        let a = al.get("a").unwrap();
+        let c = al.get("c").unwrap();
+        // condition: root.(a|c)*.c — any c strictly below the root.
+        let cond = Regex::sym(root)
+            .concat(Regex::sym(a).alt(Regex::sym(c)).star())
+            .concat(Regex::sym(c));
+        let q = SelectConstructQuery::new(&al, root, vec![cond], "result", RawTree::leaf("hit"));
+        let (t, enc_in, enc_out) = q.compile().unwrap();
+        assert_eq!(t.k(), 2);
+        for (doc, hits) in [
+            ("root", 0),
+            ("root(c)", 1),
+            ("root(a(c), c)", 2),
+            ("root(a(c(c)), a)", 2),
+            ("root(a, a)", 0),
+        ] {
+            let input = UnrankedTree::parse(doc, &al).unwrap();
+            assert_eq!(q.interpret(&input).children.len(), hits, "interp {doc}");
+            let out = eval(&t, &encode(&input, &enc_in).unwrap()).unwrap();
+            let decoded = decode(&out, &enc_out).unwrap();
+            assert_eq!(
+                decoded.children(decoded.root()).len(),
+                hits,
+                "compiled {doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn structured_item() {
+        // The emitted item is a small subtree, not a single leaf.
+        let al = Alphabet::unranked(&["root", "a"]);
+        let root = al.get("root").unwrap();
+        let a = al.get("a").unwrap();
+        let cond = Regex::sym(root).concat(Regex::sym(a));
+        let item = RawTree::parse("pair(l, r)").unwrap();
+        let q = SelectConstructQuery::new(&al, root, vec![cond], "out", item);
+        let (t, enc_in, enc_out) = q.compile().unwrap();
+        let input = UnrankedTree::parse("root(a, a)", &al).unwrap();
+        let out = eval(&t, &encode(&input, &enc_in).unwrap()).unwrap();
+        let decoded = decode(&out, &enc_out).unwrap();
+        assert_eq!(decoded.to_string(), "out(pair(l, r), pair(l, r))");
+    }
+}
+
+#[cfg(test)]
+mod pattern_tests {
+    use super::*;
+    use xmltc_core::eval;
+    use xmltc_trees::decode;
+
+    /// A 2-variable hierarchical pattern, Example 3.5 style:
+    /// x₁ is a `sec` anywhere below the root; x₂ is a `fig` anywhere
+    /// inside x₁'s subtree.
+    fn figures_in_sections() -> (SelectConstructQuery, Arc<Alphabet>) {
+        let al = Alphabet::unranked(&["doc", "sec", "fig", "par"]);
+        let doc = al.get("doc").unwrap();
+        let sec = al.get("sec").unwrap();
+        let fig = al.get("fig").unwrap();
+        let par = al.get("par").unwrap();
+        let any = Regex::any([sec, fig, par].map(Regex::sym));
+        // x1: doc.(any)*.sec ; x2 (relative to x1): sec.(any)*.fig
+        let c1 = Condition {
+            parent: None,
+            path: Regex::sym(doc)
+                .concat(any.clone().star())
+                .concat(Regex::sym(sec)),
+        };
+        let c2 = Condition {
+            parent: Some(0),
+            path: Regex::sym(sec)
+                .concat(any.star())
+                .concat(Regex::sym(fig)),
+        };
+        let q = SelectConstructQuery::with_pattern(
+            &al,
+            doc,
+            vec![c1, c2],
+            "hits",
+            RawTree::leaf("hit"),
+        );
+        (q, al)
+    }
+
+    #[test]
+    fn hierarchical_interpreter() {
+        let (q, al) = figures_in_sections();
+        // doc(sec(fig, par(fig)), fig, sec): pairs = (sec1,fig1),
+        // (sec1,fig2) — the top-level fig is in no section; the empty sec
+        // has none. Note sec-inside-sec would double-count, none here.
+        let t = UnrankedTree::parse("doc(sec(fig, par(fig)), fig, sec)", &al).unwrap();
+        let out = q.interpret(&t);
+        assert_eq!(out.children.len(), 2);
+    }
+
+    #[test]
+    fn hierarchical_compiled_matches_interpreter() {
+        let (q, al) = figures_in_sections();
+        let (t, enc_in, enc_out) = q.compile().unwrap();
+        assert_eq!(t.k(), 3);
+        for src in [
+            "doc",
+            "doc(fig)",
+            "doc(sec)",
+            "doc(sec(fig))",
+            "doc(sec(fig, fig), sec(par(fig)))",
+            "doc(sec(sec(fig)))", // nested sections: inner fig counts for both
+            "doc(par(fig), sec(par))",
+        ] {
+            let input = UnrankedTree::parse(src, &al).unwrap();
+            let expected = q.interpret(&input);
+            let encoded = encode(&input, &enc_in).unwrap();
+            let out = eval::eval(&t, &encoded).unwrap();
+            let decoded = decode(&out, &enc_out).unwrap();
+            assert_eq!(
+                decoded.children(decoded.root()).len(),
+                expected.children.len(),
+                "tuple count mismatch on {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_sections_count_twice() {
+        let (q, al) = figures_in_sections();
+        // doc(sec(sec(fig))): x1 ∈ {outer sec, inner sec}, fig inside both.
+        let t = UnrankedTree::parse("doc(sec(sec(fig)))", &al).unwrap();
+        assert_eq!(q.interpret(&t).children.len(), 2);
+    }
+
+    #[test]
+    fn pattern_ordering_validated() {
+        let al = Alphabet::unranked(&["doc", "a"]);
+        let doc = al.get("doc").unwrap();
+        let a = al.get("a").unwrap();
+        let c_bad = Condition {
+            parent: Some(1), // forward reference
+            path: Regex::sym(a),
+        };
+        let c0 = Condition {
+            parent: None,
+            path: Regex::sym(doc),
+        };
+        let result = std::panic::catch_unwind(|| {
+            SelectConstructQuery::with_pattern(
+                &al,
+                doc,
+                vec![c_bad.clone(), c0.clone()],
+                "out",
+                RawTree::leaf("x"),
+            )
+        });
+        assert!(result.is_err(), "forward parent references must panic");
+    }
+}
+
+#[cfg(test)]
+mod construct_tests {
+    use super::*;
+    use xmltc_core::eval;
+    use xmltc_trees::decode;
+
+    /// `WHERE $X ← doc.(σ)*.sec CONSTRUCT <hits> marker $X </hits>`:
+    /// per section, a constant marker followed by a copy of the section.
+    fn copy_query() -> (SelectConstructQuery, Arc<Alphabet>) {
+        let al = Alphabet::unranked(&["doc", "sec", "par"]);
+        let doc = al.get("doc").unwrap();
+        let sec = al.get("sec").unwrap();
+        let par = al.get("par").unwrap();
+        let any = Regex::any([sec, par].map(Regex::sym));
+        let cond = Condition {
+            parent: None,
+            path: Regex::sym(doc).concat(any.star()).concat(Regex::sym(sec)),
+        };
+        let q = SelectConstructQuery::with_construct(
+            &al,
+            doc,
+            vec![cond],
+            "hits",
+            vec![
+                ConstructItem::Constant(RawTree::leaf("marker")),
+                ConstructItem::CopyVar(0),
+            ],
+        );
+        (q, al)
+    }
+
+    #[test]
+    fn interpreter_copies_subtrees() {
+        let (q, al) = copy_query();
+        let t = UnrankedTree::parse("doc(sec(par, sec), par)", &al).unwrap();
+        let out = q.interpret(&t);
+        // Two sections (outer and inner), each preceded by a marker.
+        assert_eq!(
+            out.to_string(),
+            "hits(marker, sec(par, sec), marker, sec)"
+        );
+    }
+
+    #[test]
+    fn compiled_copies_agree_with_interpreter() {
+        let (q, al) = copy_query();
+        let (t, enc_in, enc_out) = q.compile().unwrap();
+        for src in [
+            "doc",
+            "doc(sec)",
+            "doc(par(sec(par)), sec)",
+            "doc(sec(sec))",
+            "doc(par, par)",
+        ] {
+            let input = UnrankedTree::parse(src, &al).unwrap();
+            let expected = q.interpret(&input);
+            let encoded = encode(&input, &enc_in).unwrap();
+            let out = eval::eval(&t, &encoded).unwrap();
+            let decoded = decode(&out, &enc_out).unwrap();
+            assert_eq!(decoded.to_raw(), expected, "on {src}");
+        }
+    }
+
+    #[test]
+    fn multi_item_construct_ordering() {
+        // Three items per tuple: constant, copy, constant.
+        let al = Alphabet::unranked(&["doc", "a"]);
+        let doc = al.get("doc").unwrap();
+        let a = al.get("a").unwrap();
+        let cond = Condition {
+            parent: None,
+            path: Regex::sym(doc).concat(Regex::sym(a)),
+        };
+        let q = SelectConstructQuery::with_construct(
+            &al,
+            doc,
+            vec![cond],
+            "out",
+            vec![
+                ConstructItem::Constant(RawTree::leaf("pre")),
+                ConstructItem::CopyVar(0),
+                ConstructItem::Constant(RawTree::leaf("post")),
+            ],
+        );
+        let (t, enc_in, enc_out) = q.compile().unwrap();
+        let input = UnrankedTree::parse("doc(a, a)", &al).unwrap();
+        assert_eq!(
+            q.interpret(&input).to_string(),
+            "out(pre, a, post, pre, a, post)"
+        );
+        let out = eval::eval(&t, &encode(&input, &enc_in).unwrap()).unwrap();
+        assert_eq!(decode(&out, &enc_out).unwrap().to_raw(), q.interpret(&input));
+    }
+}

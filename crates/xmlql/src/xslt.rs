@@ -1,0 +1,656 @@
+//! An XSLT fragment compiled to 1-pebble transducers.
+//!
+//! The fragment (matching the paper's Example 4.3 and the XSL subset
+//! Section 3.2 refers to): a stylesheet is a list of templates, each
+//! matching a tag and producing an element tree whose leaves may be
+//! `apply-templates` instructions; `apply-templates` processes the current
+//! input node's children in order and splices the results.
+//!
+//! Because processing is strictly top-down (template instantiation only
+//! recurses into children), a stylesheet compiles to a **1-pebble**
+//! transducer over the binary encoding — so both the behaviour-composition
+//! typechecking route and the forward-inference baseline apply to it.
+
+use crate::error::QueryError;
+use std::sync::Arc;
+use xmltc_core::machine::{Guard, Move, PebbleTransducer, SymSpec, TransducerBuilder};
+use xmltc_trees::{
+    Alphabet, AlphabetBuilder, EncodedAlphabet, Rank, RawTree, Symbol, UnrankedTree,
+};
+
+/// A node of a template body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TemplateNode {
+    /// An output element with child items.
+    Element(String, Vec<TemplateNode>),
+    /// `<xsl:apply-templates/>`: process the current input node's children
+    /// and splice the outputs here.
+    ApplyTemplates,
+}
+
+impl TemplateNode {
+    fn from_raw(raw: &RawTree) -> TemplateNode {
+        if raw.name == "@apply" {
+            TemplateNode::ApplyTemplates
+        } else {
+            TemplateNode::Element(
+                raw.name.clone(),
+                raw.children.iter().map(TemplateNode::from_raw).collect(),
+            )
+        }
+    }
+}
+
+/// A template: matches a tag, produces one element.
+#[derive(Clone, Debug)]
+pub struct Template {
+    /// The tag this template matches.
+    pub match_tag: String,
+    /// The body (must be an [`TemplateNode::Element`]).
+    pub body: TemplateNode,
+}
+
+impl Template {
+    /// Parses a template body from term syntax where `@apply` denotes
+    /// `apply-templates`, e.g. `result(b, @apply, b, @apply, b, @apply)`.
+    pub fn parse(match_tag: &str, body: &str) -> Result<Template, QueryError> {
+        let raw = RawTree::parse(body)?;
+        let body = TemplateNode::from_raw(&raw);
+        if matches!(body, TemplateNode::ApplyTemplates) {
+            return Err(QueryError::UnknownTag(
+                "template body must be an element".into(),
+            ));
+        }
+        Ok(Template {
+            match_tag: match_tag.to_string(),
+            body,
+        })
+    }
+}
+
+/// A stylesheet: an ordered list of templates (first match wins).
+#[derive(Clone, Debug)]
+pub struct Stylesheet {
+    templates: Vec<Template>,
+}
+
+impl Stylesheet {
+    /// Creates a stylesheet.
+    pub fn new(templates: Vec<Template>) -> Stylesheet {
+        Stylesheet { templates }
+    }
+
+    /// Parses a compact text syntax: one template per line,
+    /// `match-tag -> body`, with `//` comments. Example:
+    ///
+    /// ```text
+    /// root -> result(b, @apply, b, @apply, b, @apply)   // Q2
+    /// a -> a
+    /// ```
+    pub fn parse_text(text: &str) -> Result<Stylesheet, QueryError> {
+        let mut templates = Vec::new();
+        for (lineno, raw_line) in text.lines().enumerate() {
+            let line = match raw_line.find("//") {
+                Some(i) => &raw_line[..i],
+                None => raw_line,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((tag, body)) = line.split_once("->") else {
+                return Err(QueryError::Tree(xmltc_trees::TreeError::Parse {
+                    message: format!("line {}: expected `tag -> body`", lineno + 1),
+                    offset: 0,
+                }));
+            };
+            templates.push(Template::parse(tag.trim(), body.trim())?);
+        }
+        if templates.is_empty() {
+            return Err(QueryError::Tree(xmltc_trees::TreeError::Parse {
+                message: "empty stylesheet".into(),
+                offset: 0,
+            }));
+        }
+        Ok(Stylesheet::new(templates))
+    }
+
+    /// The templates.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    fn template_for(&self, tag: &str) -> Option<&Template> {
+        self.templates.iter().find(|t| t.match_tag == tag)
+    }
+
+    /// Reference interpreter: applies the stylesheet to an unranked input
+    /// document, producing the output document.
+    pub fn apply(&self, t: &UnrankedTree) -> Result<RawTree, QueryError> {
+        self.process(t, t.root())
+    }
+
+    fn process(
+        &self,
+        t: &UnrankedTree,
+        n: xmltc_trees::unranked::NodeId,
+    ) -> Result<RawTree, QueryError> {
+        let tag = t.alphabet().name(t.symbol(n)).to_string();
+        let template = self
+            .template_for(&tag)
+            .ok_or(QueryError::NoTemplate(tag))?;
+        self.instantiate(&template.body, t, n)
+    }
+
+    fn instantiate(
+        &self,
+        body: &TemplateNode,
+        t: &UnrankedTree,
+        n: xmltc_trees::unranked::NodeId,
+    ) -> Result<RawTree, QueryError> {
+        match body {
+            TemplateNode::ApplyTemplates => unreachable!("handled by the parent element"),
+            TemplateNode::Element(tag, items) => {
+                let mut children = Vec::new();
+                for item in items {
+                    match item {
+                        TemplateNode::Element(..) => {
+                            children.push(self.instantiate(item, t, n)?)
+                        }
+                        TemplateNode::ApplyTemplates => {
+                            for &c in t.children(n) {
+                                children.push(self.process(t, c)?);
+                            }
+                        }
+                    }
+                }
+                Ok(RawTree::node(tag.clone(), children))
+            }
+        }
+    }
+
+    /// The unranked output alphabet: all tags appearing in template bodies.
+    pub fn output_alphabet(&self) -> Arc<Alphabet> {
+        let mut b = AlphabetBuilder::new();
+        fn collect(n: &TemplateNode, b: &mut AlphabetBuilder) {
+            if let TemplateNode::Element(tag, items) = n {
+                b.add(tag, Rank::Unranked);
+                for i in items {
+                    collect(i, b);
+                }
+            }
+        }
+        for t in &self.templates {
+            collect(&t.body, &mut b);
+        }
+        b.finish()
+    }
+
+    /// Compiles the stylesheet to a 1-pebble transducer from encoded input
+    /// trees (over `input`'s encoded alphabet) to encoded output trees.
+    ///
+    /// Returns the transducer together with both encoded alphabets. Inputs
+    /// containing a tag with no matching template make the transducer
+    /// *stuck* (the transformation is partial), mirroring the interpreter.
+    pub fn compile(
+        &self,
+        input: &Arc<Alphabet>,
+    ) -> Result<(PebbleTransducer, EncodedAlphabet, EncodedAlphabet), QueryError> {
+        let enc_in = EncodedAlphabet::new(input);
+        let out_unranked = self.output_alphabet();
+        let enc_out = EncodedAlphabet::new(&out_unranked);
+
+        let mut b = TransducerBuilder::new(enc_in.encoded(), enc_out.encoded(), 1);
+
+        // Global states.
+        let dispatch = b.state("dispatch", 1)?;
+        let nil = b.state("nil", 1)?;
+        let pchild = b.state("process_child", 1)?;
+        b.set_initial(dispatch);
+        b.output0(SymSpec::Any, nil, Guard::any(), enc_out.nil())?;
+        // process_child: at a cons cell, descend to the child element and
+        // dispatch.
+        b.move_rule(
+            SymSpec::One(enc_in.cons()),
+            pchild,
+            Guard::any(),
+            Move::DownLeft,
+            dispatch,
+        )?;
+
+        // Flatten template bodies: one element record per body element.
+        struct Elem {
+            tag: Symbol,                  // output tag (encoded alphabet)
+            items: Vec<Item>,             // child items
+        }
+        #[derive(Clone, Copy)]
+        enum Item {
+            Child(usize), // index into elems
+            Apply,
+        }
+        let mut elems: Vec<Elem> = Vec::new();
+        fn flatten(
+            n: &TemplateNode,
+            enc_out: &EncodedAlphabet,
+            elems: &mut Vec<Elem>,
+        ) -> Result<usize, QueryError> {
+            let TemplateNode::Element(tag, items) = n else {
+                unreachable!("apply handled by caller")
+            };
+            let sym = enc_out
+                .source()
+                .get(tag)
+                .ok_or_else(|| QueryError::UnknownTag(tag.clone()))?;
+            let id = elems.len();
+            elems.push(Elem {
+                tag: sym,
+                items: Vec::new(),
+            });
+            let mut resolved = Vec::new();
+            for item in items {
+                match item {
+                    TemplateNode::ApplyTemplates => resolved.push(Item::Apply),
+                    e @ TemplateNode::Element(..) => {
+                        resolved.push(Item::Child(flatten(e, enc_out, elems)?))
+                    }
+                }
+            }
+            elems[id].items = resolved;
+            Ok(id)
+        }
+        let mut roots: Vec<(Symbol, usize)> = Vec::new(); // (input tag, body elem id)
+        for t in &self.templates {
+            let tag = input
+                .get(&t.match_tag)
+                .ok_or_else(|| QueryError::UnknownTag(t.match_tag.clone()))?;
+            // Skip shadowed templates (first match wins).
+            if roots.iter().any(|(s, _)| *s == tag) {
+                continue;
+            }
+            let id = flatten(&t.body, &enc_out, &mut elems)?;
+            roots.push((tag, id));
+        }
+
+        // Per-element states.
+        let el: Vec<_> = (0..elems.len())
+            .map(|i| b.state(&format!("el{i}"), 1))
+            .collect::<Result<_, _>>()?;
+        // Per (element, list position) states: emit the children list of
+        // element `i` starting at item `j`.
+        let mut list: Vec<Vec<xmltc_automata::State>> = Vec::new();
+        for (i, e) in elems.iter().enumerate() {
+            let mut row = Vec::new();
+            for j in 0..=e.items.len() {
+                row.push(b.state(&format!("list{i}_{j}"), 1)?);
+            }
+            list.push(row);
+        }
+
+        // Dispatch: input tag → its template's root element.
+        for &(tag, id) in &roots {
+            b.move_rule(SymSpec::One(tag), dispatch, Guard::any(), Move::Stay, el[id])?;
+        }
+
+        for (i, e) in elems.iter().enumerate() {
+            // el_i: emit tag(list_{i,0}, #).
+            b.output2(SymSpec::Any, el[i], Guard::any(), e.tag, list[i][0], nil)?;
+            for (j, item) in e.items.iter().enumerate() {
+                match item {
+                    Item::Child(c) => {
+                        // Emit cons(el_c, rest).
+                        b.output2(
+                            SymSpec::Any,
+                            list[i][j],
+                            Guard::any(),
+                            enc_out.cons(),
+                            el[*c],
+                            list[i][j + 1],
+                        )?;
+                    }
+                    Item::Apply => {
+                        // Walk the input forest. The pebble sits on the
+                        // matched input element; descend to the forest.
+                        let walk = b.state(&format!("walk{i}_{j}"), 1)?;
+                        let advance = b.state(&format!("adv{i}_{j}"), 1)?;
+                        let climb = b.state(&format!("climb{i}_{j}"), 1)?;
+                        b.move_rule(
+                            SymSpec::Any,
+                            list[i][j],
+                            Guard::any(),
+                            Move::DownLeft,
+                            walk,
+                        )?;
+                        // At a cons cell: one output element per child.
+                        b.output2(
+                            SymSpec::One(enc_in.cons()),
+                            walk,
+                            Guard::any(),
+                            enc_out.cons(),
+                            pchild,
+                            advance,
+                        )?;
+                        b.move_rule(
+                            SymSpec::One(enc_in.cons()),
+                            advance,
+                            Guard::any(),
+                            Move::DownRight,
+                            walk,
+                        )?;
+                        // At `#`: input children exhausted; climb back to
+                        // the element node and continue with the next item.
+                        // `#` as a left child sits directly under the
+                        // element (empty forest); otherwise parents are
+                        // cons cells until the element.
+                        b.move_rule(
+                            SymSpec::One(enc_in.nil()),
+                            walk,
+                            Guard::any(),
+                            Move::UpLeft,
+                            list[i][j + 1],
+                        )?;
+                        b.move_rule(
+                            SymSpec::One(enc_in.nil()),
+                            walk,
+                            Guard::any(),
+                            Move::UpRight,
+                            climb,
+                        )?;
+                        b.move_rule(
+                            SymSpec::One(enc_in.cons()),
+                            climb,
+                            Guard::any(),
+                            Move::UpRight,
+                            climb,
+                        )?;
+                        b.move_rule(
+                            SymSpec::One(enc_in.cons()),
+                            climb,
+                            Guard::any(),
+                            Move::UpLeft,
+                            list[i][j + 1],
+                        )?;
+                    }
+                }
+            }
+            // End of list.
+            b.output0(SymSpec::Any, list[i][e.items.len()], Guard::any(), enc_out.nil())?;
+        }
+
+        Ok((b.build()?, enc_in, enc_out))
+    }
+}
+
+impl Stylesheet {
+    /// **Forward type inference** (the XDuce/XQuery-style baseline the
+    /// paper's Related Work discusses): infers a *specialized DTD*
+    /// over-approximating the stylesheet's image on `input_dtd`-valid
+    /// documents.
+    ///
+    /// One output type per template-body element; an `apply-templates`
+    /// item contributes the matched tag's content model with every tag
+    /// substituted by its template's root type. The approximation is the
+    /// classical decoupling: sibling `apply-templates` within one template
+    /// forget that they iterate the *same* children — exactly why forward
+    /// inference rejects correct programs like Q2 against specs relating
+    /// the copies (Example 4.3 / experiment E6).
+    ///
+    /// The result is over `out_alphabet`, which must contain every tag the
+    /// stylesheet can emit (use [`Stylesheet::output_alphabet`] or the
+    /// alphabet from [`Stylesheet::compile`]).
+    pub fn infer_image(
+        &self,
+        input_dtd: &crate::DtdRef,
+        out_alphabet: &Arc<Alphabet>,
+    ) -> Result<xmltc_dtd::SpecializedDtd, QueryError> {
+        use xmltc_dtd::TypeId;
+        use xmltc_regex::Regex;
+
+        // Flatten bodies; remember each element's owning template tag.
+        struct TElem {
+            tag: Symbol,
+            items: Vec<TItem>,
+            template_tag: Symbol,
+        }
+        enum TItem {
+            Child(usize),
+            Apply,
+        }
+        let mut elems: Vec<TElem> = Vec::new();
+        // root body element per input tag.
+        let mut roots: Vec<(Symbol, usize)> = Vec::new();
+
+        fn flatten(
+            n: &TemplateNode,
+            template_tag: Symbol,
+            out_alphabet: &Arc<Alphabet>,
+            elems: &mut Vec<TElem>,
+        ) -> Result<usize, QueryError> {
+            let TemplateNode::Element(tag, items) = n else {
+                unreachable!("apply handled by caller")
+            };
+            let sym = out_alphabet
+                .get(tag)
+                .ok_or_else(|| QueryError::UnknownTag(tag.clone()))?;
+            let id = elems.len();
+            elems.push(TElem {
+                tag: sym,
+                items: Vec::new(),
+                template_tag,
+            });
+            let mut resolved = Vec::new();
+            for item in items {
+                match item {
+                    TemplateNode::ApplyTemplates => resolved.push(TItem::Apply),
+                    e @ TemplateNode::Element(..) => resolved.push(TItem::Child(flatten(
+                        e,
+                        template_tag,
+                        out_alphabet,
+                        elems,
+                    )?)),
+                }
+            }
+            elems[id].items = resolved;
+            Ok(id)
+        }
+
+        let in_al = input_dtd.alphabet();
+        for t in &self.templates {
+            let tag = in_al
+                .get(&t.match_tag)
+                .ok_or_else(|| QueryError::UnknownTag(t.match_tag.clone()))?;
+            if roots.iter().any(|(s, _)| *s == tag) {
+                continue; // first match wins
+            }
+            let id = flatten(&t.body, tag, out_alphabet, &mut elems)?;
+            roots.push((tag, id));
+        }
+        let root_type_of = |tag: Symbol| -> Result<usize, QueryError> {
+            roots
+                .iter()
+                .find(|(s, _)| *s == tag)
+                .map(|&(_, id)| id)
+                .ok_or_else(|| {
+                    QueryError::NoTemplate(in_al.name(tag).to_string())
+                })
+        };
+
+        // Content models over types.
+        let mut names = Vec::new();
+        let mut labels = Vec::new();
+        let mut rules = Vec::new();
+        for (i, e) in elems.iter().enumerate() {
+            names.push(format!("t{i}"));
+            labels.push(e.tag);
+            let mut content = Regex::Epsilon;
+            for item in &e.items {
+                let part = match item {
+                    TItem::Child(c) => Regex::sym(TypeId(*c as u32)),
+                    TItem::Apply => {
+                        // The matched input tag's content model, tags
+                        // replaced by their template root types.
+                        let model = input_dtd
+                            .rule(e.template_tag)
+                            .cloned()
+                            .unwrap_or(Regex::Epsilon);
+                        model.try_map(&mut |tag: &Symbol| {
+                            root_type_of(*tag).map(|id| TypeId(id as u32))
+                        })?
+                    }
+                };
+                content = content.concat(part);
+            }
+            rules.push(content);
+        }
+        let doc_root = root_type_of(input_dtd.root())?;
+        Ok(xmltc_dtd::SpecializedDtd::new(
+            out_alphabet,
+            names,
+            labels,
+            rules,
+            TypeId(doc_root as u32),
+        ))
+    }
+}
+
+/// The paper's Example 4.3 query **Q2**: on documents `root(aⁿ)` produces
+/// `result(b, aⁿ, b, aⁿ, b, aⁿ)` — i.e. the word `b aⁿ b aⁿ b aⁿ`, a
+/// non-regular image family.
+pub fn example_q2() -> Stylesheet {
+    Stylesheet::new(vec![
+        Template::parse("root", "result(b, @apply, b, @apply, b, @apply)").expect("valid"),
+        Template::parse("a", "a").expect("valid"),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltc_core::eval;
+    use xmltc_trees::{decode, encode};
+
+    fn input_alphabet() -> Arc<Alphabet> {
+        Alphabet::unranked(&["root", "a"])
+    }
+
+    #[test]
+    fn interpreter_q2() {
+        let q2 = example_q2();
+        let al = input_alphabet();
+        let t = UnrankedTree::parse("root(a, a)", &al).unwrap();
+        let out = q2.apply(&t).unwrap();
+        assert_eq!(out.to_string(), "result(b, a, a, b, a, a, b, a, a)");
+        let t0 = UnrankedTree::parse("root", &al).unwrap();
+        assert_eq!(q2.apply(&t0).unwrap().to_string(), "result(b, b, b)");
+    }
+
+    #[test]
+    fn compiled_agrees_with_interpreter() {
+        let q2 = example_q2();
+        let al = input_alphabet();
+        let (t, enc_in, enc_out) = q2.compile(&al).unwrap();
+        assert_eq!(t.k(), 1);
+        for doc in ["root", "root(a)", "root(a, a)", "root(a, a, a)"] {
+            let input = UnrankedTree::parse(doc, &al).unwrap();
+            let expected = q2.apply(&input).unwrap();
+            let encoded_in = encode(&input, &enc_in).unwrap();
+            let encoded_out = eval(&t, &encoded_in).unwrap();
+            let decoded = decode(&encoded_out, &enc_out).unwrap();
+            assert_eq!(decoded.to_raw(), expected, "on {doc}");
+        }
+    }
+
+    #[test]
+    fn nested_templates_and_elements() {
+        // Nested input; body with nested elements around apply.
+        let sheet = Stylesheet::new(vec![
+            Template::parse("root", "out(wrap(@apply))").unwrap(),
+            Template::parse("a", "item(@apply)").unwrap(),
+            Template::parse("b", "leaf").unwrap(),
+        ]);
+        let al = Alphabet::unranked(&["root", "a", "b"]);
+        let t = UnrankedTree::parse("root(a(b, b), b)", &al).unwrap();
+        let expected = sheet.apply(&t).unwrap();
+        assert_eq!(
+            expected.to_string(),
+            "out(wrap(item(leaf, leaf), leaf))"
+        );
+        let (trans, enc_in, enc_out) = sheet.compile(&al).unwrap();
+        let out = eval(&trans, &encode(&t, &enc_in).unwrap()).unwrap();
+        assert_eq!(decode(&out, &enc_out).unwrap().to_raw(), expected);
+    }
+
+    #[test]
+    fn missing_template_is_partial() {
+        let sheet = Stylesheet::new(vec![Template::parse("root", "out(@apply)").unwrap()]);
+        let al = Alphabet::unranked(&["root", "a"]);
+        let t = UnrankedTree::parse("root(a)", &al).unwrap();
+        assert!(matches!(sheet.apply(&t), Err(QueryError::NoTemplate(tag)) if tag == "a"));
+        let (trans, enc_in, _) = sheet.compile(&al).unwrap();
+        let encoded = encode(&t, &enc_in).unwrap();
+        assert!(eval(&trans, &encoded).is_err());
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let sheet = Stylesheet::new(vec![
+            Template::parse("root", "x").unwrap(),
+            Template::parse("root", "y").unwrap(),
+        ]);
+        let al = Alphabet::unranked(&["root"]);
+        let t = UnrankedTree::parse("root", &al).unwrap();
+        assert_eq!(sheet.apply(&t).unwrap().to_string(), "x");
+        let (trans, enc_in, enc_out) = sheet.compile(&al).unwrap();
+        let out = eval(&trans, &encode(&t, &enc_in).unwrap()).unwrap();
+        assert_eq!(
+            decode(&out, &enc_out).unwrap().to_string(),
+            "x"
+        );
+    }
+
+    #[test]
+    fn deep_documents() {
+        // Recursion through many levels: a copies itself.
+        let sheet = Stylesheet::new(vec![
+            Template::parse("root", "root(@apply)").unwrap(),
+            Template::parse("a", "a(@apply)").unwrap(),
+        ]);
+        let al = Alphabet::unranked(&["root", "a"]);
+        let t = UnrankedTree::parse("root(a(a(a)), a(a), a)", &al).unwrap();
+        let expected = sheet.apply(&t).unwrap();
+        assert_eq!(expected.to_string(), "root(a(a(a)), a(a), a)");
+        let (trans, enc_in, enc_out) = sheet.compile(&al).unwrap();
+        let out = eval(&trans, &encode(&t, &enc_in).unwrap()).unwrap();
+        assert_eq!(decode(&out, &enc_out).unwrap().to_raw(), expected);
+    }
+}
+
+#[cfg(test)]
+mod parse_text_tests {
+    use super::*;
+
+    #[test]
+    fn parses_templates_and_comments() {
+        let sheet = Stylesheet::parse_text(
+            "// Q2, Example 4.3
+             root -> result(b, @apply, b, @apply, b, @apply)
+             a -> a  // copy a's",
+        )
+        .unwrap();
+        assert_eq!(sheet.templates().len(), 2);
+        assert_eq!(sheet.templates()[0].match_tag, "root");
+        let al = Alphabet::unranked(&["root", "a"]);
+        let t = UnrankedTree::parse("root(a)", &al).unwrap();
+        assert_eq!(
+            sheet.apply(&t).unwrap().to_string(),
+            "result(b, a, b, a, b, a)"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        assert!(Stylesheet::parse_text("").is_err());
+        assert!(Stylesheet::parse_text("root result").is_err());
+        assert!(Stylesheet::parse_text("root -> @apply").is_err());
+        assert!(Stylesheet::parse_text("root -> out(").is_err());
+    }
+}

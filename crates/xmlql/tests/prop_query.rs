@@ -1,0 +1,139 @@
+//! Property tests for select/construct queries: the compiled
+//! (n+1)-pebble machine must agree with the brute-force interpreter on
+//! random documents and random pattern shapes.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xmltc_regex::Regex;
+use xmltc_trees::{decode, encode, Alphabet, RawTree, Symbol, UnrankedTree};
+use xmltc_xmlql::query::{Condition, ConstructItem, SelectConstructQuery};
+
+fn alphabet() -> Arc<Alphabet> {
+    Alphabet::unranked(&["doc", "a", "b", "c"])
+}
+
+fn sym(al: &Arc<Alphabet>, n: &str) -> Symbol {
+    al.get(n).unwrap()
+}
+
+/// Random documents rooted at `doc` (which never recurs).
+fn arb_doc() -> impl Strategy<Value = RawTree> {
+    let leaf = prop::sample::select(vec!["a", "b", "c"]).prop_map(RawTree::leaf);
+    let tree = leaf.prop_recursive(3, 12, 3, |inner| {
+        (
+            prop::sample::select(vec!["a", "b", "c"]),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(name, children)| RawTree::node(name, children))
+    });
+    prop::collection::vec(tree, 0..3).prop_map(|children| RawTree::node("doc", children))
+}
+
+/// A small pool of path regexes (over tags, any-depth searches).
+fn paths(al: &Arc<Alphabet>) -> Vec<Regex<Symbol>> {
+    let any = Regex::any(["a", "b", "c"].map(|n| Regex::sym(sym(al, n))));
+    let from_doc = |target: &str| {
+        Regex::sym(sym(al, "doc"))
+            .concat(any.clone().star())
+            .concat(Regex::sym(sym(al, target)))
+    };
+    let rel = |origin: &str, target: &str| {
+        Regex::sym(sym(al, origin))
+            .concat(any.clone().star())
+            .concat(Regex::sym(sym(al, target)))
+    };
+    vec![
+        from_doc("a"),
+        from_doc("b"),
+        rel("a", "b"),
+        rel("a", "c"),
+        rel("b", "c"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn single_variable_agrees(doc in arb_doc(), pidx in 0usize..2) {
+        let al = alphabet();
+        let q = SelectConstructQuery::with_pattern(
+            &al,
+            sym(&al, "doc"),
+            vec![Condition { parent: None, path: paths(&al)[pidx].clone() }],
+            "out",
+            RawTree::leaf("hit"),
+        );
+        check(&q, &al, &doc)?;
+    }
+
+    #[test]
+    fn two_variable_hierarchical_agrees(doc in arb_doc(), rel in 2usize..5) {
+        let al = alphabet();
+        let ps = paths(&al);
+        // x1 bound by a root path targeting the relative path's origin tag.
+        let origin = match rel { 2 | 3 => "a", _ => "b" };
+        let c1 = Condition {
+            parent: None,
+            path: Regex::sym(sym(&al, "doc"))
+                .concat(Regex::any(["a", "b", "c"].map(|n| Regex::sym(sym(&al, n)))).star())
+                .concat(Regex::sym(sym(&al, origin))),
+        };
+        let c2 = Condition { parent: Some(0), path: ps[rel].clone() };
+        let q = SelectConstructQuery::with_pattern(
+            &al,
+            sym(&al, "doc"),
+            vec![c1, c2],
+            "out",
+            RawTree::leaf("hit"),
+        );
+        check(&q, &al, &doc)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CONSTRUCT clauses with subtree copies agree with the interpreter.
+    #[test]
+    fn copyvar_construct_agrees(doc in arb_doc(), pidx in 0usize..2) {
+        let al = alphabet();
+        let q = SelectConstructQuery::with_construct(
+            &al,
+            sym(&al, "doc"),
+            vec![Condition { parent: None, path: paths(&al)[pidx].clone() }],
+            "out",
+            vec![
+                ConstructItem::Constant(RawTree::leaf("hit")),
+                ConstructItem::CopyVar(0),
+            ],
+        );
+        let input = UnrankedTree::from_raw(&doc, &al).unwrap();
+        let expected = q.interpret(&input);
+        let (t, enc_in, enc_out) = q.compile().unwrap();
+        let encoded = encode(&input, &enc_in).unwrap();
+        let out = xmltc_core::eval(&t, &encoded).unwrap();
+        let decoded = decode(&out, &enc_out).unwrap();
+        prop_assert_eq!(decoded.to_raw(), expected, "on {}", doc);
+    }
+}
+
+fn check(
+    q: &SelectConstructQuery,
+    al: &Arc<Alphabet>,
+    doc: &RawTree,
+) -> Result<(), TestCaseError> {
+    let input = UnrankedTree::from_raw(doc, al).unwrap();
+    let expected = q.interpret(&input);
+    let (t, enc_in, enc_out) = q.compile().unwrap();
+    let encoded = encode(&input, &enc_in).unwrap();
+    let out = xmltc_core::eval(&t, &encoded).unwrap();
+    let decoded = decode(&out, &enc_out).unwrap();
+    prop_assert_eq!(
+        decoded.children(decoded.root()).len(),
+        expected.children.len(),
+        "tuple count mismatch on {}",
+        doc
+    );
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Section 5 "Data Values": typechecking a transformation that inspects
+//! #PCDATA through unary predicates — decidable via the signature-constant
+//! abstraction (one alphabet symbol per realizable predicate signature).
+//!
+//! A person list is split into adults and minors by an `age ≥ 18` test;
+//! the typechecker proves, for EVERY assignment of ages, that the adults
+//! list only ever contains adults.
+//!
+//! Run with: `cargo run --example data_filter`
+
+use xmltc::automata::{Nta, State};
+use xmltc::core::data::{abstract_leaves, DataAbstraction, LeafContent, UnaryPredicates};
+use xmltc::core::machine::{Guard, Move, SymSpec, TransducerBuilder};
+use xmltc::trees::{Alphabet, BinaryTree};
+
+fn main() {
+    // One predicate: adult(age) = age ≥ 18. Signatures: {0, 1}.
+    let base = Alphabet::ranked(&["person", "end"], &["cons"]);
+    let mut preds = UnaryPredicates::new();
+    preds.add("adult", |age: &i64| *age >= 18);
+    let abs = DataAbstraction::build(&base, "person", &preds);
+    println!(
+        "abstract alphabet: {:?}",
+        abs.alphabet()
+            .symbols()
+            .map(|s| abs.alphabet().name(s).to_string())
+            .collect::<Vec<_>>()
+    );
+
+    // Output: adults(list) — keep only adults.
+    let mut ob = xmltc::trees::AlphabetBuilder::new();
+    let al = abs.alphabet();
+    for s in al.symbols() {
+        ob.add(al.name(s), al.rank(s));
+    }
+    let out_al = ob.finish();
+    let cons = al.get("cons").unwrap();
+    let end = al.get("end").unwrap();
+
+    let mut b = TransducerBuilder::new(al, &out_al, 1);
+    let walk = b.state("walk", 1).unwrap();
+    let peek = b.state("peek", 1).unwrap();
+    let next = b.state("next", 1).unwrap();
+    b.set_initial(walk);
+    b.move_rule(SymSpec::One(cons), walk, Guard::any(), Move::DownLeft, peek)
+        .unwrap();
+    // Adult: emit cons(value, rest); minor: skip.
+    for &sig in abs.data_symbols() {
+        let is_adult = matches!(&abs.sym_if(0, true), SymSpec::AnyOf(v) if v.contains(&sig));
+        if is_adult {
+            let copy = b.state("copy", 1).unwrap();
+            b.output2(SymSpec::One(sig), peek, Guard::any(), cons, copy, next)
+                .unwrap();
+            b.output0(SymSpec::One(sig), copy, Guard::any(), sig).unwrap();
+        } else {
+            b.move_rule(SymSpec::One(sig), peek, Guard::any(), Move::UpLeft, next)
+                .unwrap();
+        }
+    }
+    b.move_rule(abs.sym_any_data(), next, Guard::any(), Move::UpLeft, next)
+        .unwrap();
+    b.move_rule(SymSpec::One(cons), next, Guard::any(), Move::DownRight, walk)
+        .unwrap();
+    b.output0(SymSpec::One(end), walk, Guard::any(), end).unwrap();
+    let t = b.build().unwrap();
+
+    // τ₁: any person list; τ₂: lists whose every person is an adult.
+    let list = |leaves: &[&str]| -> Nta {
+        let mut a = Nta::new(&out_al, 2);
+        a.add_leaf(out_al.get("end").unwrap(), State(0));
+        for n in leaves {
+            a.add_leaf(out_al.get(n).unwrap(), State(1));
+        }
+        a.add_node(out_al.get("cons").unwrap(), State(1), State(0), State(0));
+        a.add_final(State(0));
+        a
+    };
+    let tau1 = {
+        let mut a = Nta::new(al, 2);
+        a.add_leaf(end, State(0));
+        for &s in abs.data_symbols() {
+            a.add_leaf(s, State(1));
+        }
+        a.add_node(cons, State(1), State(0), State(0));
+        a.add_final(State(0));
+        a
+    };
+    let tau2_adults = list(&["person@1"]);
+    let verdict = xmltc::typecheck::typecheck(
+        &t,
+        &tau1,
+        &tau2_adults,
+        &xmltc::typecheck::TypecheckOptions::default(),
+    )
+    .unwrap();
+    println!(
+        "\n\"the filtered list contains only adults\" — for EVERY age assignment: {}",
+        if verdict.is_ok() { "PROVED" } else { "failed" }
+    );
+
+    // Run it on a concrete list [25, 7, 40].
+    let shape = BinaryTree::parse("cons(person, cons(person, cons(person, end)))", &base).unwrap();
+    let person = base.get("person").unwrap();
+    let ages = [25i64, 7, 40];
+    let mut idx = 0;
+    let order: Vec<_> = shape.preorder().collect();
+    let mut assigned = std::collections::HashMap::new();
+    for &n in &order {
+        if shape.symbol(n) == person {
+            assigned.insert(n, ages[idx]);
+            idx += 1;
+        }
+    }
+    let abstracted = abstract_leaves(&shape, &abs, &preds, |n| match assigned.get(&n) {
+        Some(v) => LeafContent::Value(*v),
+        None => LeafContent::Symbol(base.name(shape.symbol(n)).to_string()),
+    })
+    .unwrap();
+    let out = xmltc::core::eval(&t, &abstracted).unwrap();
+    println!("ages [25, 7, 40] filtered: {out}");
+}

@@ -1,0 +1,44 @@
+//! Example 4.2's query Q1 as a compiled 3-pebble transducer:
+//! `root(aⁿ) ↦ result(bⁿ²)` — the classic witness that XML transformation
+//! images are not regular, so forward type inference cannot be exact.
+//!
+//! Run with: `cargo run --example q1_query`
+
+use xmltc::core::eval::{self, output_automaton};
+use xmltc::dtd::Dtd;
+use xmltc::trees::{decode, encode, generate};
+use xmltc::xmlql::query::example_q1;
+
+fn main() {
+    let (q, al) = example_q1();
+    let (t, enc_in, enc_out) = q.compile().unwrap();
+    println!(
+        "Q1 compiled per Example 3.5: k = {} pebbles (2 variables + 1 checker), {} states\n",
+        t.k(),
+        t.core().n_states()
+    );
+
+    println!("n  | output       | |T(aⁿ)| even-b?");
+    println!("---+--------------+----------------");
+    let tau2 = Dtd::parse_text_with("result := (b.b)*\nb := @eps", enc_out.source())
+        .unwrap()
+        .compile(&enc_out)
+        .unwrap();
+    for n in 0..5usize {
+        let doc = generate::flat(al.get("root").unwrap(), al.get("a").unwrap(), n, &al).unwrap();
+        let encoded = encode(&doc, &enc_in).unwrap();
+        let out = eval::eval(&t, &encoded).unwrap();
+        let decoded = decode(&out, &enc_out).unwrap();
+        let m = decoded.children(decoded.root()).len();
+        // Exact per-input typecheck via the Prop 3.8 output automaton.
+        let lang = output_automaton(&t, &encoded).unwrap().to_nta();
+        let conforms = lang.intersect(&tau2.complement().to_nta()).is_empty();
+        println!(
+            "{n}  | result(b^{m:<2}) | {}",
+            if conforms { "yes" } else { "no " }
+        );
+        assert_eq!(m, n * n);
+        assert_eq!(conforms, n % 2 == 0);
+    }
+    println!("\nT(aⁿ) ⊆ (b.b)* exactly when n is even: the inverse type of (b.b)* is (a.a)*.");
+}

@@ -1,0 +1,88 @@
+//! Quickstart: parse an XML document, validate it against a DTD, run an
+//! XSLT-fragment transformation compiled to a 1-pebble transducer, and
+//! statically typecheck the transformation — including a counterexample
+//! when the spec is wrong.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use xmltc::dtd::Dtd;
+use xmltc::trees::{decode, encode};
+use xmltc::typecheck::{typecheck, TypecheckOptions, TypecheckOutcome};
+use xmltc::xml::{parse_document, raw_to_xml};
+use xmltc::xmlql::{Stylesheet, Template};
+
+fn main() {
+    // 1. An input schema: catalogs of items, each item holding notes.
+    let input_dtd = Dtd::parse_text(
+        "catalog := item*
+         item := note*
+         note := @eps",
+    )
+    .expect("valid DTD");
+    println!("input DTD : catalog := item*; item := note*");
+
+    // 2. An input document, from XML.
+    let doc = parse_document(
+        "<catalog> <item><note/><note/></item> <item/> </catalog>",
+        input_dtd.alphabet(),
+    )
+    .expect("well-formed XML");
+    input_dtd.validate(&doc).expect("valid document");
+    println!("document  : {doc}");
+
+    // 3. A transformation: wrap the catalog in a report, one entry per
+    //    item, copying nothing else.
+    let sheet = Stylesheet::new(vec![
+        Template::parse("catalog", "report(header, @apply)").unwrap(),
+        Template::parse("item", "entry").unwrap(),
+    ]);
+    let (transducer, enc_in, enc_out) = sheet.compile(input_dtd.alphabet()).unwrap();
+    println!("transducer: k = {} pebbles, {} states", transducer.k(),
+        transducer.core().n_states());
+
+    // 4. Run it (dynamically) on the document.
+    let encoded = encode(&doc, &enc_in).unwrap();
+    let output = xmltc::core::eval(&transducer, &encoded).unwrap();
+    let decoded = decode(&output, &enc_out).unwrap();
+    println!("output    : {}", raw_to_xml(&decoded.to_raw()));
+
+    // 5. Statically typecheck: every valid catalog must map into this
+    //    output schema.
+    let tau1 = input_dtd.compile(&enc_in).unwrap();
+    let good_spec = Dtd::parse_text_with(
+        "report := header.entry*
+         header := @eps
+         entry := @eps",
+        enc_out.source(),
+    )
+    .unwrap()
+    .compile(&enc_out)
+    .unwrap();
+    let verdict = typecheck(&transducer, &tau1, &good_spec, &TypecheckOptions::default())
+        .expect("pipeline runs");
+    println!("typecheck vs `report := header.entry*`: {}",
+        if verdict.is_ok() { "OK (holds for ALL valid inputs)" } else { "FAILED" });
+
+    // 6. A wrong spec — at most one entry — yields a counterexample input.
+    let wrong_spec = Dtd::parse_text_with(
+        "report := header.entry?
+         header := @eps
+         entry := @eps",
+        enc_out.source(),
+    )
+    .unwrap()
+    .compile(&enc_out)
+    .unwrap();
+    match typecheck(&transducer, &tau1, &wrong_spec, &TypecheckOptions::default()).unwrap() {
+        TypecheckOutcome::CounterExample { input, bad_output } => {
+            let cex = decode(&input, &enc_in).unwrap();
+            println!("typecheck vs `report := header.entry?`: counterexample found");
+            println!("  offending input : {}", raw_to_xml(&cex.to_raw()));
+            if let Some(bad) = bad_output {
+                let bad_doc = decode(&bad, &enc_out).unwrap();
+                println!("  its bad output  : {}", raw_to_xml(&bad_doc.to_raw()));
+            }
+        }
+        TypecheckOutcome::Ok => unreachable!("two items break the spec"),
+    }
+}

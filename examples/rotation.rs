@@ -1,0 +1,48 @@
+//! The Example 3.7 / Figure 2 rotation transducer: re-rooting a tree
+//! around its first `s`-labeled leaf — a transformation far beyond
+//! top-down transducers, expressed with a single pebble.
+//!
+//! Also demonstrates the paper's closing remark: on right-linear combs the
+//! rotation *reverses a string*.
+//!
+//! Run with: `cargo run --example rotation`
+
+use xmltc::core::{eval, library};
+use xmltc::trees::{Alphabet, BinaryTree};
+
+fn main() {
+    // Figure 2's setting: leaves s, x, y; binary symbols; the root tag `r`
+    // labels only the root.
+    let al = Alphabet::ranked(&["s", "x", "y"], &["r", "f", "g", "s2"]);
+    let s0 = al.get("s").unwrap();
+    let s2 = al.get("s2").unwrap();
+    let r = al.get("r").unwrap();
+    let (t, _out_al) = library::rotation(&al, s0, s2, r).unwrap();
+    println!(
+        "rotation transducer: k = {}, {} states, {} rules\n",
+        t.k(),
+        t.core().n_states(),
+        t.core().n_rules()
+    );
+
+    for src in ["r(f(s, x), y)", "r(f(x, s), y)", "r(g(f(x, s), x), f(y, y))"] {
+        let input = BinaryTree::parse(src, &al).unwrap();
+        let output = eval(&t, &input).unwrap();
+        println!("{src}\n  ↦ {output}\n");
+    }
+
+    // String reversal: encode "abc" on the spine of a right comb and
+    // rotate around the terminating s leaf.
+    let al2 = Alphabet::ranked(&["s", "pad"], &["r", "a", "b", "c", "s2"]);
+    let (t2, _) = library::rotation(
+        &al2,
+        al2.get("s").unwrap(),
+        al2.get("s2").unwrap(),
+        al2.get("r").unwrap(),
+    )
+    .unwrap();
+    let comb = BinaryTree::parse("r(pad, a(pad, b(pad, c(pad, s))))", &al2).unwrap();
+    let out = eval(&t2, &comb).unwrap();
+    println!("string 'abc' as a comb: {comb}");
+    println!("rotated (= reversed)  : {out}");
+}

@@ -1,0 +1,154 @@
+//! `xmltc` — command-line front door to the typechecker.
+//!
+//! ```text
+//! xmltc validate    <input.dtd> <doc.xml>
+//! xmltc transform   <input.dtd> <sheet.xsl> <doc.xml>
+//! xmltc typecheck   <input.dtd> <sheet.xsl> <output.dtd>
+//! xmltc forward     <input.dtd> <sheet.xsl> <output.dtd>
+//! ```
+//!
+//! File formats:
+//! * `.dtd` — the paper's notation, one rule per line: `a := b*.c.e`
+//!   (first rule's left-hand side is the root; `//` comments);
+//! * `.xsl` — one template per line: `tag -> body`, where bodies use term
+//!   syntax with `@apply` for `<xsl:apply-templates/>`;
+//! * `.xml` — element-only XML.
+//!
+//! Exit code 0 = success / typechecks; 1 = validation or typecheck
+//! failure (details on stdout); 2 = usage or input errors.
+
+use std::process::ExitCode;
+use xmltc::dtd::Dtd;
+use xmltc::xml::{parse_document, raw_to_xml};
+use xmltc::xmlql::pipeline::{DocumentPipeline, DocumentVerdict};
+use xmltc::xmlql::Stylesheet;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let usage = "usage: xmltc <validate|transform|typecheck|forward> <files...> (see --help)";
+    let cmd = args.first().ok_or(usage)?;
+    match cmd.as_str() {
+        "--help" | "-h" | "help" => {
+            println!("{}", HELP);
+            Ok(ExitCode::SUCCESS)
+        }
+        "validate" => {
+            let [dtd_path, xml_path] = two(&args[1..])?;
+            let dtd = Dtd::parse_text(&read(dtd_path)?).map_err(|e| e.to_string())?;
+            let doc = parse_document(&read(xml_path)?, dtd.alphabet())
+                .map_err(|e| e.to_string())?;
+            match dtd.validate(&doc) {
+                Ok(()) => {
+                    println!("valid");
+                    Ok(ExitCode::SUCCESS)
+                }
+                Err(e) => {
+                    println!("invalid: {e}");
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        "transform" => {
+            let [dtd_path, xsl_path, xml_path] = three(&args[1..])?;
+            let dtd = Dtd::parse_text(&read(dtd_path)?).map_err(|e| e.to_string())?;
+            let sheet =
+                Stylesheet::parse_text(&read(xsl_path)?).map_err(|e| e.to_string())?;
+            let doc = parse_document(&read(xml_path)?, dtd.alphabet())
+                .map_err(|e| e.to_string())?;
+            let pipeline = DocumentPipeline::new(sheet, dtd).map_err(|e| e.to_string())?;
+            let out = pipeline.transform(&doc).map_err(|e| e.to_string())?;
+            println!("{}", raw_to_xml(&out));
+            Ok(ExitCode::SUCCESS)
+        }
+        "typecheck" => {
+            let [dtd_path, xsl_path, out_dtd_path] = three(&args[1..])?;
+            let dtd = Dtd::parse_text(&read(dtd_path)?).map_err(|e| e.to_string())?;
+            let sheet =
+                Stylesheet::parse_text(&read(xsl_path)?).map_err(|e| e.to_string())?;
+            let pipeline = DocumentPipeline::new(sheet, dtd).map_err(|e| e.to_string())?;
+            match pipeline
+                .typecheck_against(&read(out_dtd_path)?)
+                .map_err(|e| e.to_string())?
+            {
+                DocumentVerdict::Ok => {
+                    println!("typechecks: every valid input maps into the output DTD");
+                    Ok(ExitCode::SUCCESS)
+                }
+                DocumentVerdict::CounterExample { input, bad_output } => {
+                    println!("DOES NOT typecheck");
+                    println!("counterexample input: {}", raw_to_xml(&input));
+                    if let Some(bad) = bad_output {
+                        println!("offending output:     {}", raw_to_xml(&bad));
+                    }
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        "forward" => {
+            let [dtd_path, xsl_path, out_dtd_path] = three(&args[1..])?;
+            let dtd = Dtd::parse_text(&read(dtd_path)?).map_err(|e| e.to_string())?;
+            let sheet =
+                Stylesheet::parse_text(&read(xsl_path)?).map_err(|e| e.to_string())?;
+            let pipeline = DocumentPipeline::new(sheet, dtd).map_err(|e| e.to_string())?;
+            match pipeline
+                .forward_check(&read(out_dtd_path)?)
+                .map_err(|e| e.to_string())?
+            {
+                None => {
+                    println!("forward inference proves the spec (sound)");
+                    Ok(ExitCode::SUCCESS)
+                }
+                Some(w) => {
+                    println!("forward inference cannot prove the spec");
+                    println!("image witness (possibly spurious): {}", raw_to_xml(&w));
+                    println!("(run `xmltc typecheck` for the exact verdict)");
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        other => Err(format!("unknown command `{other}`\n{usage}")),
+    }
+}
+
+fn two(rest: &[String]) -> Result<[&str; 2], String> {
+    match rest {
+        [a, b] => Ok([a, b]),
+        _ => Err("expected exactly 2 file arguments".into()),
+    }
+}
+
+fn three(rest: &[String]) -> Result<[&str; 3], String> {
+    match rest {
+        [a, b, c] => Ok([a, b, c]),
+        _ => Err("expected exactly 3 file arguments".into()),
+    }
+}
+
+const HELP: &str = "\
+xmltc — static typechecking for XML transformations
+(Milo, Suciu, Vianu: Typechecking for XML Transformers, PODS 2000)
+
+commands:
+  validate  <input.dtd> <doc.xml>                dynamic DTD validation
+  transform <input.dtd> <sheet.xsl> <doc.xml>    run the transformation
+  typecheck <input.dtd> <sheet.xsl> <output.dtd> EXACT static typecheck
+  forward   <input.dtd> <sheet.xsl> <output.dtd> forward-inference baseline
+
+formats:
+  .dtd   one rule per line:  a := b*.c.e     (first rule = root; // comments)
+  .xsl   one template per line:  tag -> body(@apply)
+  .xml   element-only XML";

@@ -1,0 +1,38 @@
+//! # xmltc — Typechecking for XML Transformers
+//!
+//! A complete Rust implementation of *Typechecking for XML Transformers*
+//! (Milo, Suciu, Vianu; PODS 2000): k-pebble tree transducers, regular
+//! tree-language types, and the decidable typechecking pipeline built on
+//! inverse type inference.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`trees`] — alphabets, binary/unranked trees, the Figure 1 encoding;
+//! * [`regex`] — word regular expressions, NFAs/DFAs, star-free
+//!   generalized expressions (Theorem 4.8);
+//! * [`automata`] — regular tree languages with full boolean/decision
+//!   machinery and witness extraction;
+//! * [`dtd`] — DTDs, specialized DTDs, compilation to automata over
+//!   encodings, and the grammar decompiler;
+//! * [`mso`] — monadic second-order logic on trees compiled to symbolic
+//!   tree automata (the Theorem 4.7 engine);
+//! * [`core`] — the paper's machine model: k-pebble transducers and
+//!   automata, evaluation, Proposition 3.8, the example machines;
+//! * [`typecheck`] — the paper's algorithm: Proposition 4.6 products,
+//!   Theorem 4.7 both ways, inverse type inference, counterexamples;
+//! * [`xmlql`] — XSLT-fragment and XML-QL-style front-ends compiled to
+//!   pebble transducers, plus the one-call [`xmlql::DocumentPipeline`];
+//! * [`xml`] — minimal element-only XML parsing/serialization.
+//!
+//! Start with the `quickstart` example or the `xmltc` CLI binary; see
+//! README.md, DESIGN.md and EXPERIMENTS.md for the full map.
+
+pub use xmltc_automata as automata;
+pub use xmltc_core as core;
+pub use xmltc_dtd as dtd;
+pub use xmltc_mso as mso;
+pub use xmltc_regex as regex;
+pub use xmltc_trees as trees;
+pub use xmltc_typecheck as typecheck;
+pub use xmltc_xml as xml;
+pub use xmltc_xmlql as xmlql;

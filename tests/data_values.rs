@@ -1,0 +1,264 @@
+//! Section 5 "Data Values": typechecking transducers that test unary
+//! predicates on data values, via the signature-constants abstraction.
+//!
+//! Scenario: documents are lists of persons, each carrying an age value.
+//! The transformation copies adults (`age ≥ 18`) into an `adults` list and
+//! minors into a `minors` list — a selection with unary predicates, no
+//! joins. We typecheck it *exactly* over every possible value assignment:
+//! "every entry under `adults` satisfies the predicate" holds; the
+//! converse spec fails with a counterexample.
+//!
+//! (The input here is already in binary-encoded shape; the abstraction is
+//! orthogonal to the unranked encoding.)
+
+use std::sync::Arc;
+use xmltc::automata::{Nta, State};
+use xmltc::core::data::{DataAbstraction, UnaryPredicates};
+use xmltc::core::machine::{Guard, Move, SymSpec, TransducerBuilder};
+use xmltc::trees::Alphabet;
+use xmltc::typecheck::{typecheck, TypecheckOptions, TypecheckOutcome};
+
+/// Input alphabet (pre-abstraction): a right-list of person leaves.
+/// Encoded shape: list = cons(person-value, list) | end.
+fn setup() -> (
+    Arc<Alphabet>,
+    DataAbstraction,
+    UnaryPredicates<i64>,
+) {
+    let base = Alphabet::ranked(&["person", "end"], &["cons"]);
+    let mut preds = UnaryPredicates::new();
+    preds.add("adult", |age: &i64| *age >= 18);
+    let abs = DataAbstraction::build(&base, "person", &preds);
+    (base, abs, preds)
+}
+
+/// Output alphabet: split(adults-list, minors-list) with the same
+/// signature leaves, plus list cons/end.
+fn output_alphabet(abs: &DataAbstraction) -> Arc<Alphabet> {
+    let mut b = xmltc::trees::AlphabetBuilder::new();
+    let al = abs.alphabet();
+    for s in al.symbols() {
+        b.add(al.name(s), al.rank(s));
+    }
+    b.add("split", xmltc::trees::Rank::Binary);
+    b.finish()
+}
+
+/// The splitter: walks the input list twice — once keeping adults, once
+/// keeping minors — copying data values (signature-exactly) to the output.
+fn splitter(
+    abs: &DataAbstraction,
+    out_al: &Arc<Alphabet>,
+) -> xmltc::core::PebbleTransducer {
+    let in_al = abs.alphabet();
+    let cons_in = in_al.get("cons").unwrap();
+    let end_in = in_al.get("end").unwrap();
+    let cons_out = out_al.get("cons").unwrap();
+    let end_out = out_al.get("end").unwrap();
+    let split = out_al.get("split").unwrap();
+
+    let mut b = TransducerBuilder::new(in_al, out_al, 1);
+    let start = b.state("start", 1).unwrap();
+    let adults = b.state("adults", 1).unwrap();
+    let minors = b.state("minors", 1).unwrap();
+    let a_emit = b.state("a_emit", 1).unwrap();
+    let m_emit = b.state("m_emit", 1).unwrap();
+    let a_next = b.state("a_next", 1).unwrap();
+    let m_next = b.state("m_next", 1).unwrap();
+    b.set_initial(start);
+    b.output2(SymSpec::Any, start, Guard::any(), split, adults, minors)
+        .unwrap();
+
+    for (walk, emit, next, pred_val) in [
+        (adults, a_emit, a_next, true),
+        (minors, m_emit, m_next, false),
+    ] {
+        // At a cons cell: peek the person (left child) — if it matches the
+        // predicate, emit a cons with the copied value; otherwise skip.
+        b.move_rule(SymSpec::One(cons_in), walk, Guard::any(), Move::DownLeft, {
+            // dispatch state at the person leaf
+            emit
+        })
+        .unwrap();
+        // Keep: copy the value (exact at signature level) and continue.
+        for &sig_sym in abs.data_symbols() {
+            let spec_matches = match abs.sym_if(0, pred_val) {
+                SymSpec::AnyOf(v) => v.contains(&sig_sym),
+                _ => unreachable!(),
+            };
+            if spec_matches {
+                // value leaf output: out alphabet shares symbol names; ids
+                // match because out_al extends in_al in order.
+                let copy = b.state(
+                    &format!("copy_{}_{}", out_al.name(sig_sym), pred_val),
+                    1,
+                )
+                .unwrap();
+                b.output2(
+                    SymSpec::One(sig_sym),
+                    emit,
+                    Guard::any(),
+                    cons_out,
+                    copy,
+                    next,
+                )
+                .unwrap();
+                b.output0(SymSpec::One(sig_sym), copy, Guard::any(), sig_sym)
+                    .unwrap();
+            }
+        }
+        // Skip: move back up and on.
+        b.move_rule(abs.sym_if(0, !pred_val), emit, Guard::any(), Move::UpLeft, {
+            next
+        })
+        .unwrap();
+        // next: from the person leaf (after keep) or cons (after skip),
+        // advance to the tail.
+        b.move_rule(abs.sym_any_data(), next, Guard::any(), Move::UpLeft, next)
+            .unwrap();
+        b.move_rule(SymSpec::One(cons_in), next, Guard::any(), Move::DownRight, walk)
+            .unwrap();
+        b.output0(SymSpec::One(end_in), walk, Guard::any(), end_out)
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// τ₁: any person list. τ₂ builder: adult lists on the left, any/minor
+/// lists on the right, configurable.
+fn list_type(al: &Arc<Alphabet>, leaf_pred: impl Fn(&str) -> bool, sym_names: &[&str]) -> Nta {
+    // state 0 = valid list; leaves allowed per pred.
+    let mut a = Nta::new(al, 2);
+    let cons = al.get("cons").unwrap();
+    let end = al.get("end").unwrap();
+    a.add_leaf(end, State(0));
+    for &n in sym_names {
+        if leaf_pred(n) {
+            if let Some(s) = al.get(n) {
+                a.add_leaf(s, State(1));
+            }
+        }
+    }
+    a.add_node(cons, State(1), State(0), State(0));
+    a.add_final(State(0));
+    a
+}
+
+#[test]
+fn splitter_typechecks_over_all_values() {
+    let (_base, abs, _preds) = setup();
+    let out_al = output_alphabet(&abs);
+    let t = splitter(&abs, &out_al);
+
+    // τ₁: any input list.
+    let tau1 = {
+        let al = abs.alphabet().clone();
+        list_type(&al, |_| true, &["person@0", "person@1"])
+    };
+    // τ₂: split(adult-only list, minor-only list).
+    let tau2 = {
+        let adults = list_type(&out_al, |n| n == "person@1", &["person@0", "person@1"]);
+        let minors = list_type(&out_al, |n| n == "person@0", &["person@0", "person@1"]);
+        // split(adults, minors) rooted automaton: product-free composition.
+        let mut a = adults.union(&minors);
+        // adult-final = 0 within `adults` block; minor-final offset.
+        // Simpler: rebuild with a fresh root transition.
+        let split = out_al.get("split").unwrap();
+        let root = a.add_state();
+        // finals of the union: one from each operand — connect via split.
+        let finals: Vec<State> = a.finals().iter().collect();
+        assert_eq!(finals.len(), 2);
+        a.add_node(split, finals[0], finals[1], root);
+        // Which final is the adults one? The union puts `adults` first
+        // (offset 0): finals[0] < finals[1] iff it came from `adults`.
+        let mut a2 = a.clone();
+        // Keep only the composite root as final.
+        let mut rebuilt = Nta::new(&out_al, a.n_states());
+        for (sym, q) in a.leaf_transitions() {
+            rebuilt.add_leaf(sym, q);
+        }
+        for (sym, q1, q2, q) in a.node_transitions() {
+            rebuilt.add_node(sym, q1, q2, q);
+        }
+        rebuilt.add_final(root);
+        let _ = &mut a2;
+        rebuilt
+    };
+
+    match typecheck(&t, &tau1, &tau2, &TypecheckOptions::default()).unwrap() {
+        TypecheckOutcome::Ok => {}
+        TypecheckOutcome::CounterExample { input, bad_output } => {
+            panic!("splitter must typecheck; cex input {input} output {bad_output:?}")
+        }
+    }
+
+    // Swapped spec — split(minors, adults) — must fail, with a concrete
+    // input whose adult entry lands on the wrong side.
+    let tau2_swapped = {
+        let adults = list_type(&out_al, |n| n == "person@1", &["person@0", "person@1"]);
+        let minors = list_type(&out_al, |n| n == "person@0", &["person@0", "person@1"]);
+        let mut a = minors.union(&adults);
+        let split = out_al.get("split").unwrap();
+        let root = a.add_state();
+        let finals: Vec<State> = a.finals().iter().collect();
+        let mut rebuilt = Nta::new(&out_al, a.n_states());
+        for (sym, q) in a.leaf_transitions() {
+            rebuilt.add_leaf(sym, q);
+        }
+        for (sym, q1, q2, q) in a.node_transitions() {
+            rebuilt.add_node(sym, q1, q2, q);
+        }
+        rebuilt.add_node(split, finals[0], finals[1], root);
+        rebuilt.add_final(root);
+        rebuilt
+    };
+    match typecheck(&t, &tau1, &tau2_swapped, &TypecheckOptions::default()).unwrap() {
+        TypecheckOutcome::CounterExample { input, .. } => {
+            // The counterexample must contain at least one person.
+            assert!(input.len() > 1, "counterexample {input}");
+        }
+        TypecheckOutcome::Ok => panic!("swapped spec cannot hold"),
+    }
+}
+
+#[test]
+fn concrete_values_flow_through_abstraction() {
+    use xmltc::core::data::{abstract_leaves, LeafContent};
+    let (base, abs, preds) = setup();
+    let out_al = output_alphabet(&abs);
+    let t = splitter(&abs, &out_al);
+
+    // Concrete list [25, 7, 40]: shape cons(person, cons(person,
+    // cons(person, end))) with values attached.
+    let shape = xmltc::trees::BinaryTree::parse(
+        "cons(person, cons(person, cons(person, end)))",
+        &base,
+    )
+    .unwrap();
+    let person = base.get("person").unwrap();
+    let values = [25i64, 7, 40];
+    let mut next_value = 0usize;
+    // Arena order: builder creates leaves/nodes bottom-up; find persons in
+    // pre-order for deterministic assignment.
+    let pre: Vec<_> = shape.preorder().collect();
+    let mut assigned = std::collections::HashMap::new();
+    for &n in &pre {
+        if shape.symbol(n) == person {
+            assigned.insert(n, values[next_value]);
+            next_value += 1;
+        }
+    }
+    let abstracted = abstract_leaves(&shape, &abs, &preds, |n| match assigned.get(&n) {
+        Some(v) => LeafContent::Value(*v),
+        None => LeafContent::Symbol(base.name(shape.symbol(n)).to_string()),
+    })
+    .unwrap();
+
+    let out = xmltc::core::eval(&t, &abstracted).unwrap();
+    // Adults list: two person@1 entries; minors: one person@0.
+    let printed = out.to_string();
+    assert_eq!(
+        printed,
+        "split(cons(person@1, cons(person@1, end)), cons(person@0, end))"
+    );
+}

@@ -1,0 +1,100 @@
+//! **Example 4.2 end-to-end**: query Q1 maps documents `root(aⁿ)` (DTD
+//! `root := a*`) to `result(bⁿ²)`. The image `{bⁿ²}` is not regular, so
+//! forward type inference cannot be exact; inverse reasoning works: the
+//! inputs whose outputs satisfy the even-`b` DTD `(b.b)*` are exactly the
+//! even-`a` documents `(a.a)*`.
+//!
+//! Q1 compiles to a 3-pebble transducer, so the exact Theorem 4.7 pipeline
+//! would go through the non-elementary MSO route; here we certify the
+//! example's claims on all documents up to `a⁸` using the exact per-input
+//! Proposition 3.8 check (see EXPERIMENTS.md E5/E9 for the blow-up story).
+
+use xmltc_core::eval::{self, output_automaton};
+use xmltc_dtd::Dtd;
+use xmltc_trees::{decode, encode, generate, UnrankedTree};
+use xmltc_xmlql::query::example_q1;
+
+fn doc(al: &std::sync::Arc<xmltc_trees::Alphabet>, n: usize) -> UnrankedTree {
+    generate::flat(al.get("root").unwrap(), al.get("a").unwrap(), n, al).unwrap()
+}
+
+#[test]
+fn q1_maps_a_n_to_b_n_squared() {
+    let (q, al) = example_q1();
+    let (t, enc_in, enc_out) = q.compile().unwrap();
+    for n in 0..5usize {
+        let input = doc(&al, n);
+        let encoded = encode(&input, &enc_in).unwrap();
+        let out = eval::eval(&t, &encoded).unwrap();
+        let decoded = decode(&out, &enc_out).unwrap();
+        assert_eq!(
+            decoded.children(decoded.root()).len(),
+            n * n,
+            "a^{n} must map to b^(n²)"
+        );
+        assert_eq!(
+            enc_out.source().name(decoded.symbol(decoded.root())),
+            "result"
+        );
+    }
+}
+
+#[test]
+fn inverse_of_even_b_is_even_a() {
+    // For each n ≤ 8: T(aⁿ) ⊆ (b.b)*-outputs iff n is even — the paper's
+    // "(a.a)* is the inverse type of (b.b)*" claim, certified pointwise
+    // with the exact Prop 3.8 automaton and regular-language inclusion.
+    let (q, al) = example_q1();
+    let (t, enc_in, enc_out) = q.compile().unwrap();
+    // Output type: result := (b.b)* over the transducer's output alphabet.
+    let out_dtd = Dtd::parse_text_with("result := (b.b)*\nb := @eps", enc_out.source()).unwrap();
+    let tau2 = out_dtd.compile(&enc_out).unwrap();
+    for n in 0..=8usize {
+        let input = doc(&al, n);
+        let encoded = encode(&input, &enc_in).unwrap();
+        let out_lang = output_automaton(&t, &encoded).unwrap().to_nta();
+        let violates = !out_lang.intersect(&tau2.complement().to_nta()).is_empty();
+        assert_eq!(
+            violates,
+            n % 2 == 1,
+            "T(a^{n}) ⊆ (b.b)* should hold iff n even"
+        );
+    }
+}
+
+#[test]
+fn bounded_typecheck_distinguishes_input_types() {
+    // Bounded exhaustive typechecking over τ₁ = (a.a)* inputs passes; over
+    // τ₁ = a* it finds the counterexample a¹.
+    let (q, _al) = example_q1();
+    let (t, enc_in, enc_out) = q.compile().unwrap();
+    let even_inputs = Dtd::parse_text_with("root := (a.a)*\na := @eps", enc_in.source())
+        .unwrap()
+        .compile(&enc_in)
+        .unwrap();
+    let all_inputs = Dtd::parse_text_with("root := a*\na := @eps", enc_in.source())
+        .unwrap()
+        .compile(&enc_in)
+        .unwrap();
+    let tau2 = Dtd::parse_text_with("result := (b.b)*\nb := @eps", enc_out.source())
+        .unwrap()
+        .compile(&enc_out)
+        .unwrap();
+
+    // Depth bound 12 covers root(a⁴) encodings (spine depth n+2).
+    match xmltc_typecheck::bounded::bounded_typecheck(&t, &even_inputs, &tau2, 8, 200).unwrap() {
+        xmltc_typecheck::bounded::BoundedOutcome::NoViolationFound { inputs_checked } => {
+            assert!(inputs_checked >= 3, "checked {inputs_checked}");
+        }
+        other => panic!("even-a inputs must pass, got {other:?}"),
+    }
+    match xmltc_typecheck::bounded::bounded_typecheck(&t, &all_inputs, &tau2, 8, 200).unwrap() {
+        xmltc_typecheck::bounded::BoundedOutcome::CounterExample { input, bad_output } => {
+            // The smallest violator is root(a): 1 a-child → 1 b (odd).
+            let dec = decode(&input, &enc_in).expect("counterexample must decode");
+            assert_eq!(dec.children(dec.root()).len() % 2, 1);
+            assert!(bad_output.is_some());
+        }
+        other => panic!("a* inputs must fail, got {other:?}"),
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based cross-validation of the exact typechecking pipeline:
+//! random XSLT-fragment stylesheets and random output specs, checked three
+//! ways —
+//!
+//! * exact (Prop 4.6 product → behaviour route → emptiness),
+//! * bounded-exhaustive (enumerate `τ₁`, per-input Prop 3.8 inclusion),
+//! * concrete verification of any counterexample the exact route emits.
+
+use proptest::prelude::*;
+use xmltc::automata::Nta;
+use xmltc::dtd::Dtd;
+use xmltc::trees::encode;
+use xmltc::typecheck::bounded::{bounded_typecheck, BoundedOutcome};
+use xmltc::typecheck::{typecheck, TypecheckOptions, TypecheckOutcome};
+use xmltc::xmlql::{Stylesheet, Template};
+
+/// Template bodies for the `root` tag.
+const ROOT_BODIES: [&str; 5] = [
+    "out(@apply)",
+    "out(b, @apply)",
+    "out(@apply, @apply)",
+    "out(b, @apply, b)",
+    "out",
+];
+
+/// Template bodies for the `a` tag.
+const A_BODIES: [&str; 4] = ["a", "b", "a(@apply)", "b(@apply, b)"];
+
+/// Output content models for `out`.
+const SPECS: [&str; 6] = [
+    "(a|b)*",
+    "b*",
+    "b.(a|b)*",
+    "((a|b).(a|b))*",
+    "a*",
+    "b?.(a|b)*",
+];
+
+fn pipeline(root_body: &str, a_body: &str, spec: &str) -> (
+    xmltc::core::PebbleTransducer,
+    Nta,
+    Nta,
+) {
+    let sheet = Stylesheet::new(vec![
+        Template::parse("root", root_body).unwrap(),
+        Template::parse("a", a_body).unwrap(),
+    ]);
+    let input_dtd = Dtd::parse_text("root := a*\na := a*").unwrap();
+    let (t, enc_in, enc_out) = sheet.compile(input_dtd.alphabet()).unwrap();
+    let tau1 = input_dtd.compile(&enc_in).unwrap();
+    // Build the spec over whatever tags this stylesheet can output; tags
+    // the stylesheet can never emit become `@empty` in the content model.
+    let out_src = enc_out.source();
+    let mut spec_text = spec.to_string();
+    let avail: Vec<&str> = ["a", "b"]
+        .into_iter()
+        .filter(|t| out_src.get(t).is_some())
+        .collect();
+    let mut lines = Vec::new();
+    for tag in ["a", "b"] {
+        if avail.contains(&tag) {
+            // Nested content unconstrained (any available tags).
+            if avail.is_empty() {
+                lines.push(format!("{tag} := @eps"));
+            } else {
+                lines.push(format!("{tag} := ({})*", avail.join("|")));
+            }
+        } else {
+            spec_text = spec_text.replace(tag, "@empty");
+        }
+    }
+    lines.insert(0, format!("out := {spec_text}"));
+    let tau2 = Dtd::parse_text_with(&lines.join("\n"), out_src)
+        .unwrap()
+        .compile(&enc_out)
+        .unwrap();
+    (t, tau1, tau2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_agrees_with_bounded(
+        root_body in prop::sample::select(&ROOT_BODIES[..]),
+        a_body in prop::sample::select(&A_BODIES[..]),
+        spec in prop::sample::select(&SPECS[..]),
+    ) {
+        let (t, tau1, tau2) = pipeline(root_body, a_body, spec);
+        let exact = typecheck(&t, &tau1, &tau2, &TypecheckOptions::default()).unwrap();
+        let bounded = bounded_typecheck(&t, &tau1, &tau2, 9, 60).unwrap();
+        match (&exact, &bounded) {
+            // Exact OK: bounded must not find a violation.
+            (TypecheckOutcome::Ok, BoundedOutcome::CounterExample { input, .. }) => {
+                prop_assert!(false, "exact said OK but bounded found {input}");
+            }
+            // Exact counterexample: verify it concretely.
+            (TypecheckOutcome::CounterExample { input, bad_output }, _) => {
+                prop_assert!(tau1.accepts(input).unwrap(), "cex input must be valid");
+                let out_lang = xmltc::core::output_automaton(&t, input).unwrap().to_nta();
+                let bad = out_lang.intersect(&tau2.complement().to_nta());
+                prop_assert!(!bad.is_empty(), "cex must actually violate the spec");
+                if let Some(b) = bad_output {
+                    prop_assert!(out_lang.accepts(b).unwrap());
+                    prop_assert!(!tau2.accepts(b).unwrap());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn interpreter_agrees_with_compiled_machine(
+        root_body in prop::sample::select(&ROOT_BODIES[..]),
+        a_body in prop::sample::select(&A_BODIES[..]),
+        doc in prop::sample::select(vec![
+            "root", "root(a)", "root(a, a)", "root(a(a))", "root(a(a, a), a)",
+        ]),
+    ) {
+        let sheet = Stylesheet::new(vec![
+            Template::parse("root", root_body).unwrap(),
+            Template::parse("a", a_body).unwrap(),
+        ]);
+        let input_dtd = Dtd::parse_text("root := a*\na := a*").unwrap();
+        let (t, enc_in, enc_out) = sheet.compile(input_dtd.alphabet()).unwrap();
+        let input = xmltc::trees::UnrankedTree::parse(doc, input_dtd.alphabet()).unwrap();
+        let expected = sheet.apply(&input).unwrap();
+        let encoded = encode(&input, &enc_in).unwrap();
+        let out = xmltc::core::eval(&t, &encoded).unwrap();
+        let decoded = xmltc::trees::decode(&out, &enc_out).unwrap();
+        prop_assert_eq!(decoded.to_raw(), expected);
+    }
+}

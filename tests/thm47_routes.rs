@@ -1,0 +1,92 @@
+//! Theorem 4.7 cross-validation: the behaviour-composition route and the
+//! paper's MSO route must produce equivalent tree automata for 1-pebble
+//! machines, and both must agree with direct AGAP acceptance.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xmltc::core::accepts;
+use xmltc::core::machine::{AutomatonBuilder, Guard, Move, PebbleAutomaton, SymSpec};
+use xmltc::trees::{Alphabet, BinaryTree};
+use xmltc::typecheck::mso_route::pebble_to_nta;
+use xmltc::typecheck::walk::walking_to_dbta;
+
+fn alpha() -> Arc<Alphabet> {
+    Alphabet::ranked(&["x", "y"], &["f"])
+}
+
+/// A small random family of 1-pebble automata: a few states, random rules
+/// drawn from moves/branches.
+#[derive(Debug, Clone)]
+struct RawMachine {
+    n_states: u32,
+    rules: Vec<(u8, u32, u8, u32, u32)>, // (symclass, state, action, t1, t2)
+}
+
+fn arb_machine() -> impl Strategy<Value = RawMachine> {
+    (2..=4u32).prop_flat_map(|n| {
+        let rule = (0..3u8, 0..n, 0..8u8, 0..n, 0..n);
+        prop::collection::vec(rule, 1..10).prop_map(move |rules| RawMachine {
+            n_states: n,
+            rules,
+        })
+    })
+}
+
+fn build(raw: &RawMachine, al: &Arc<Alphabet>) -> PebbleAutomaton {
+    let mut b = AutomatonBuilder::new(al, 1);
+    let states: Vec<_> = (0..raw.n_states)
+        .map(|i| b.state(&format!("s{i}"), 1).unwrap())
+        .collect();
+    b.set_initial(states[0]);
+    for &(symclass, q, action, t1, t2) in &raw.rules {
+        let spec = match symclass {
+            0 => SymSpec::Leaves,
+            1 => SymSpec::Binaries,
+            _ => SymSpec::Any,
+        };
+        let q = states[q as usize];
+        let (t1, t2) = (states[t1 as usize], states[t2 as usize]);
+        let r = match action {
+            0 => b.branch0(spec, q, Guard::any()),
+            1 => b.branch2(spec, q, Guard::any(), t1, t2),
+            2 => b.move_rule(spec, q, Guard::any(), Move::Stay, t1),
+            3 => b.move_rule(spec, q, Guard::any(), Move::DownLeft, t1),
+            4 => b.move_rule(spec, q, Guard::any(), Move::DownRight, t1),
+            5 => b.move_rule(spec, q, Guard::any(), Move::UpLeft, t1),
+            6 => b.move_rule(spec, q, Guard::any(), Move::UpRight, t1),
+            _ => b.move_rule(spec, q, Guard::any(), Move::Stay, t2),
+        };
+        r.unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn arb_tree(al: Arc<Alphabet>) -> impl Strategy<Value = BinaryTree> {
+    let leaf = prop::sample::select(vec!["x", "y"]).prop_map(String::from);
+    let expr = leaf.prop_recursive(3, 12, 2, |inner| {
+        (inner.clone(), inner).prop_map(|(l, r)| format!("f({l}, {r})"))
+    });
+    expr.prop_map(move |src| BinaryTree::parse(&src, &al).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn walk_route_agrees_with_agap(raw in arb_machine(), t in arb_tree(alpha())) {
+        let al = t.alphabet().clone();
+        let a = build(&raw, &al);
+        let d = walking_to_dbta(&a).unwrap();
+        prop_assert_eq!(d.accepts(&t).unwrap(), accepts(&a, &t).unwrap());
+    }
+
+    #[test]
+    fn mso_route_agrees_with_walk_route(raw in arb_machine()) {
+        let al = alpha();
+        let a = build(&raw, &al);
+        let d = walking_to_dbta(&a).unwrap().to_nta();
+        let (m, _stats) = pebble_to_nta(&a, 500_000).unwrap();
+        // Full language equivalence, not just sampled agreement.
+        prop_assert!(d.equivalent(&m), "routes disagree for {:?}", raw);
+    }
+}

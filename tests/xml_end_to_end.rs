@@ -1,0 +1,103 @@
+//! End-to-end over the concrete XML syntax: parse → validate → transform →
+//! serialize → typecheck, across every crate in the workspace.
+
+use xmltc::dtd::Dtd;
+use xmltc::trees::{decode, encode};
+use xmltc::typecheck::{typecheck, TypecheckOptions, TypecheckOutcome};
+use xmltc::xml::{parse_document, raw_to_xml, to_xml};
+use xmltc::xmlql::{Stylesheet, Template};
+
+fn library_dtd() -> Dtd {
+    Dtd::parse_text(
+        "library := shelf*
+         shelf := book*
+         book := @eps",
+    )
+    .unwrap()
+}
+
+fn flattener() -> Stylesheet {
+    // Flatten: a catalog of every book, shelves erased.
+    Stylesheet::new(vec![
+        Template::parse("library", "catalog(@apply)").unwrap(),
+        Template::parse("shelf", "group(@apply)").unwrap(),
+        Template::parse("book", "entry").unwrap(),
+    ])
+}
+
+#[test]
+fn parse_validate_transform_serialize() {
+    let dtd = library_dtd();
+    let doc = parse_document(
+        "<library><shelf><book/><book/></shelf><shelf/><shelf><book/></shelf></library>",
+        dtd.alphabet(),
+    )
+    .unwrap();
+    dtd.validate(&doc).unwrap();
+    assert_eq!(
+        to_xml(&doc),
+        "<library><shelf><book/><book/></shelf><shelf/><shelf><book/></shelf></library>"
+    );
+
+    let sheet = flattener();
+    // Interpreter and compiled machine agree; serialize the result.
+    let expected = sheet.apply(&doc).unwrap();
+    let (t, enc_in, enc_out) = sheet.compile(dtd.alphabet()).unwrap();
+    let out = xmltc::core::eval(&t, &encode(&doc, &enc_in).unwrap()).unwrap();
+    let decoded = decode(&out, &enc_out).unwrap();
+    assert_eq!(decoded.to_raw(), expected);
+    assert_eq!(
+        raw_to_xml(&expected),
+        "<catalog><group><entry/><entry/></group><group/><group><entry/></group></catalog>"
+    );
+}
+
+#[test]
+fn typecheck_the_flattener() {
+    let dtd = library_dtd();
+    let sheet = flattener();
+    let (t, enc_in, enc_out) = sheet.compile(dtd.alphabet()).unwrap();
+    let tau1 = dtd.compile(&enc_in).unwrap();
+
+    // Correct spec: a catalog of groups of entries.
+    let good = Dtd::parse_text_with(
+        "catalog := group*
+         group := entry*
+         entry := @eps",
+        enc_out.source(),
+    )
+    .unwrap()
+    .compile(&enc_out)
+    .unwrap();
+    assert!(typecheck(&t, &tau1, &good, &TypecheckOptions::default())
+        .unwrap()
+        .is_ok());
+
+    // Wrong spec: every group must be nonempty — empty shelves break it.
+    let wrong = Dtd::parse_text_with(
+        "catalog := group*
+         group := entry+
+         entry := @eps",
+        enc_out.source(),
+    )
+    .unwrap()
+    .compile(&enc_out)
+    .unwrap();
+    match typecheck(&t, &tau1, &wrong, &TypecheckOptions::default()).unwrap() {
+        TypecheckOutcome::CounterExample { input, bad_output } => {
+            let doc = decode(&input, &enc_in).unwrap();
+            // The offending input must contain an empty shelf.
+            let has_empty_shelf = doc.preorder().iter().any(|&n| {
+                doc.alphabet().name(doc.symbol(n)) == "shelf" && doc.children(n).is_empty()
+            });
+            assert!(has_empty_shelf, "counterexample {doc} must have an empty shelf");
+            let bad = decode(&bad_output.unwrap(), &enc_out).unwrap();
+            assert!(bad
+                .preorder()
+                .iter()
+                .any(|&n| bad.alphabet().name(bad.symbol(n)) == "group"
+                    && bad.children(n).is_empty()));
+        }
+        TypecheckOutcome::Ok => panic!("empty shelves violate entry+"),
+    }
+}
