@@ -95,9 +95,7 @@ impl Dbta {
 
     /// Membership test.
     pub fn accepts(&self, t: &BinaryTree) -> Result<bool, TreeError> {
-        Ok(self
-            .state_of(t)?
-            .is_some_and(|q| self.finals.contains(q)))
+        Ok(self.state_of(t)?.is_some_and(|q| self.finals.contains(q)))
     }
 
     /// Complement by flipping final states.
@@ -224,11 +222,7 @@ impl Dbta {
                 State(class[q.index()]),
             );
         }
-        let finals: StateSet = d
-            .finals
-            .iter()
-            .map(|q| State(class[q.index()]))
-            .collect();
+        let finals: StateSet = d.finals.iter().map(|q| State(class[q.index()])).collect();
         Dbta {
             alphabet: Arc::clone(&d.alphabet),
             n_states: n_classes,
@@ -385,7 +379,11 @@ mod tests {
         assert!(m.n_states() <= 3);
         for src in ["x", "y", "f(x, y)", "f(f(x, y), x)", "f(x, x)"] {
             let tree = t(&al, src);
-            assert_eq!(m.accepts(&tree).unwrap(), d.accepts(&tree).unwrap(), "{src}");
+            assert_eq!(
+                m.accepts(&tree).unwrap(),
+                d.accepts(&tree).unwrap(),
+                "{src}"
+            );
         }
     }
 

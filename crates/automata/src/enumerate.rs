@@ -72,7 +72,7 @@ pub fn count_trees(a: &Nta, max_depth: usize) -> Vec<u128> {
     // exact[d][q] = number of trees of depth exactly d reaching q.
     let mut exact: Vec<Vec<u128>> = Vec::with_capacity(max_depth + 1);
     exact.push(vec![0; n]); // depth 0: none
-    // upto[q] = trees of depth ≤ current.
+                            // upto[q] = trees of depth ≤ current.
     let mut result = Vec::with_capacity(max_depth);
     for depth in 1..=max_depth {
         let mut row = vec![0u128; n];

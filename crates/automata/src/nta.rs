@@ -4,6 +4,7 @@ use crate::dbta::Dbta;
 use crate::state::{State, StateSet};
 use crate::topdown::TdTa;
 use std::sync::Arc;
+use xmltc_obs as obs;
 use xmltc_trees::tree::BinaryTreeBuilder;
 use xmltc_trees::{Alphabet, BinaryTree, FxHashMap, Rank, Symbol, TreeError};
 
@@ -107,9 +108,7 @@ impl Nta {
     }
 
     /// Iterates over all internal transitions `(a, q₁, q₂) → q`.
-    pub fn node_transitions(
-        &self,
-    ) -> impl Iterator<Item = (Symbol, State, State, State)> + '_ {
+    pub fn node_transitions(&self) -> impl Iterator<Item = (Symbol, State, State, State)> + '_ {
         self.node
             .iter()
             .flat_map(|(&(a, q1, q2), qs)| qs.iter().map(move |q| (a, q1, q2, q)))
@@ -206,10 +205,7 @@ impl Nta {
     /// small though not always minimal.
     pub fn witness(&self) -> Option<BinaryTree> {
         let recipes = self.reachability();
-        let q = self
-            .finals
-            .iter()
-            .find(|q| recipes[q.index()].is_some())?;
+        let q = self.finals.iter().find(|q| recipes[q.index()].is_some())?;
         let mut b = BinaryTreeBuilder::new(&self.alphabet);
         let root = build_witness(&recipes, q, &mut b);
         Some(b.finish(root))
@@ -250,6 +246,10 @@ impl Nta {
                     out.add_final(pair(State(qa), State(qb)));
                 }
             }
+        }
+        if obs::is_active() {
+            obs::add("nta.products", 1);
+            obs::record_max("nta.product.peak_states", out.n_states as u64);
         }
         out
     }
@@ -341,11 +341,18 @@ impl Nta {
             .map(|(i, _)| State(i as u32))
             .collect();
 
+        if obs::is_active() {
+            obs::add("nta.determinizations", 1);
+            obs::record_max("nta.determinize.peak_subsets", subsets.len() as u64);
+        }
         Dbta::from_parts(&self.alphabet, subsets.len() as u32, leaf, node, finals)
     }
 
     /// The complement automaton `inst(Ā) = T_Σ ∖ inst(A)` (deterministic).
     pub fn complement(&self) -> Dbta {
+        if obs::is_active() {
+            obs::add("nta.complements", 1);
+        }
         self.determinize().complement()
     }
 
@@ -420,6 +427,11 @@ impl Nta {
                 out.add_final(nq);
             }
         }
+        if obs::is_active() {
+            obs::add("nta.trims", 1);
+            obs::add("nta.trim.states_in", self.n_states as u64);
+            obs::add("nta.trim.states_out", next as u64);
+        }
         out
     }
 
@@ -444,7 +456,11 @@ impl Nta {
     }
 }
 
-fn build_witness(recipes: &[Option<Recipe>], q: State, b: &mut BinaryTreeBuilder) -> xmltc_trees::NodeId {
+fn build_witness(
+    recipes: &[Option<Recipe>],
+    q: State,
+    b: &mut BinaryTreeBuilder,
+) -> xmltc_trees::NodeId {
     match recipes[q.index()].expect("witness state must be reachable") {
         Recipe::Leaf(a) => b.leaf(a).expect("leaf rank"),
         Recipe::Node(a, q1, q2) => {
@@ -492,12 +508,7 @@ mod tests {
         a.add_leaf(x, State(0));
         a.add_leaf(y, State(1));
         for s in [f, g] {
-            for (l, r, out) in [
-                (0, 0, 0),
-                (0, 1, 1),
-                (1, 0, 1),
-                (1, 1, 1),
-            ] {
+            for (l, r, out) in [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 1)] {
                 a.add_node(s, State(l), State(r), State(out));
             }
         }

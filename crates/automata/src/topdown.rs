@@ -107,10 +107,7 @@ impl TdTa {
     /// The regular transitions available from `(a, q)` (ignoring silent
     /// transitions — eliminate them first for complete information).
     pub fn transitions_for(&self, a: Symbol, q: State) -> &[(State, State)] {
-        self.trans
-            .get(&(a, q))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.trans.get(&(a, q)).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Is `(a, q)` a final symbol-state pair?

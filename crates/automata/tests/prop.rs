@@ -1,163 +1,211 @@
 //! Property tests for tree automata: all operations must respect language
 //! semantics on randomly generated automata and trees.
+//!
+//! Driven by the workspace's deterministic [`SmallRng`]; each test runs a
+//! fixed number of seeded cases and reports the failing case on panic.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 use xmltc_automata::{Nta, State};
-use xmltc_trees::{Alphabet, BinaryTree};
+use xmltc_trees::{generate, Alphabet, BinaryTree, SmallRng};
+
+const CASES: usize = 128;
 
 fn alpha() -> Arc<Alphabet> {
     Alphabet::ranked(&["x", "y"], &["f", "g"])
 }
 
-#[derive(Debug, Clone)]
-struct RawNta {
-    n_states: u32,
-    leaf: Vec<(u8, u32)>,           // (leaf symbol idx, state)
-    node: Vec<(u8, u32, u32, u32)>, // (binary symbol idx, q1, q2, q)
-    finals: Vec<u32>,
-}
-
-fn arb_nta(max_states: u32) -> impl Strategy<Value = RawNta> {
-    (1..=max_states).prop_flat_map(move |n| {
-        let leaf = prop::collection::vec((0..2u8, 0..n), 0..6);
-        let node = prop::collection::vec((0..2u8, 0..n, 0..n, 0..n), 0..10);
-        let finals = prop::collection::vec(0..n, 0..=n as usize);
-        (Just(n), leaf, node, finals).prop_map(|(n_states, leaf, node, finals)| RawNta {
-            n_states,
-            leaf,
-            node,
-            finals,
-        })
-    })
-}
-
-fn build(raw: &RawNta, al: &Arc<Alphabet>) -> Nta {
+/// A random NTA over [`alpha`] with at most `max_states` states.
+fn rand_nta(rng: &mut SmallRng, max_states: u32, al: &Arc<Alphabet>) -> Nta {
     let leaves = al.leaves();
     let bins = al.binaries();
-    let mut a = Nta::new(al, raw.n_states);
-    for &(s, q) in &raw.leaf {
-        a.add_leaf(leaves[s as usize], State(q));
+    let n = 1 + rng.below(max_states as u64) as u32;
+    let mut a = Nta::new(al, n);
+    for _ in 0..rng.gen_range(0..6) {
+        a.add_leaf(*rng.choose(&leaves), State(rng.below(n as u64) as u32));
     }
-    for &(s, q1, q2, q) in &raw.node {
-        a.add_node(bins[s as usize], State(q1), State(q2), State(q));
+    for _ in 0..rng.gen_range(0..10) {
+        a.add_node(
+            *rng.choose(&bins),
+            State(rng.below(n as u64) as u32),
+            State(rng.below(n as u64) as u32),
+            State(rng.below(n as u64) as u32),
+        );
     }
-    for &q in &raw.finals {
-        a.add_final(State(q));
+    for _ in 0..rng.gen_range(0..n as usize + 1) {
+        a.add_final(State(rng.below(n as u64) as u32));
     }
     a
 }
 
-fn arb_tree(al: Arc<Alphabet>) -> impl Strategy<Value = BinaryTree> {
-    let leaf = prop::sample::select(vec!["x", "y"]);
-    let expr = leaf.prop_map(String::from).prop_recursive(3, 16, 2, |inner| {
-        (
-            prop::sample::select(vec!["f", "g"]),
-            inner.clone(),
-            inner,
-        )
-            .prop_map(|(s, l, r)| format!("{s}({l}, {r})"))
-    });
-    expr.prop_map(move |src| BinaryTree::parse(&src, &al).unwrap())
+fn rand_tree(rng: &mut SmallRng, al: &Arc<Alphabet>) -> BinaryTree {
+    generate::random_binary(al, 4, 0.6, rng).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn determinize_preserves_membership(raw in arb_nta(4), t in arb_tree(alpha())) {
-        let al = t.alphabet().clone();
-        let a = build(&raw, &al);
+#[test]
+fn determinize_preserves_membership() {
+    let al = alpha();
+    let mut rng = SmallRng::seed_from_u64(0xA001);
+    for case in 0..CASES {
+        let a = rand_nta(&mut rng, 4, &al);
+        let t = rand_tree(&mut rng, &al);
         let d = a.determinize();
-        prop_assert_eq!(d.accepts(&t).unwrap(), a.accepts(&t).unwrap());
+        assert_eq!(
+            d.accepts(&t).unwrap(),
+            a.accepts(&t).unwrap(),
+            "case {case} on {t}"
+        );
     }
+}
 
-    #[test]
-    fn complement_flips_membership(raw in arb_nta(4), t in arb_tree(alpha())) {
-        let al = t.alphabet().clone();
-        let a = build(&raw, &al);
+#[test]
+fn complement_flips_membership() {
+    let al = alpha();
+    let mut rng = SmallRng::seed_from_u64(0xA002);
+    for case in 0..CASES {
+        let a = rand_nta(&mut rng, 4, &al);
+        let t = rand_tree(&mut rng, &al);
         let c = a.complement();
-        prop_assert_eq!(c.accepts(&t).unwrap(), !a.accepts(&t).unwrap());
+        assert_eq!(
+            c.accepts(&t).unwrap(),
+            !a.accepts(&t).unwrap(),
+            "case {case} on {t}"
+        );
     }
+}
 
-    #[test]
-    fn boolean_operation_laws(r1 in arb_nta(3), r2 in arb_nta(3), t in arb_tree(alpha())) {
-        let al = t.alphabet().clone();
-        let a = build(&r1, &al);
-        let b = build(&r2, &al);
+#[test]
+fn boolean_operation_laws() {
+    let al = alpha();
+    let mut rng = SmallRng::seed_from_u64(0xA003);
+    for case in 0..CASES {
+        let a = rand_nta(&mut rng, 3, &al);
+        let b = rand_nta(&mut rng, 3, &al);
+        let t = rand_tree(&mut rng, &al);
         let in_a = a.accepts(&t).unwrap();
         let in_b = b.accepts(&t).unwrap();
-        prop_assert_eq!(a.intersect(&b).accepts(&t).unwrap(), in_a && in_b);
-        prop_assert_eq!(a.union(&b).accepts(&t).unwrap(), in_a || in_b);
+        assert_eq!(
+            a.intersect(&b).accepts(&t).unwrap(),
+            in_a && in_b,
+            "case {case} ∩ on {t}"
+        );
+        assert_eq!(
+            a.union(&b).accepts(&t).unwrap(),
+            in_a || in_b,
+            "case {case} ∪ on {t}"
+        );
     }
+}
 
-    #[test]
-    fn witness_is_accepted(raw in arb_nta(4)) {
-        let al = alpha();
-        let a = build(&raw, &al);
+#[test]
+fn witness_is_accepted() {
+    let al = alpha();
+    let mut rng = SmallRng::seed_from_u64(0xA004);
+    for case in 0..CASES {
+        let a = rand_nta(&mut rng, 4, &al);
         match a.witness() {
-            Some(w) => prop_assert!(a.accepts(&w).unwrap()),
-            None => prop_assert!(a.is_empty()),
+            Some(w) => assert!(a.accepts(&w).unwrap(), "case {case}: witness {w}"),
+            None => assert!(a.is_empty(), "case {case}: no witness but nonempty"),
         }
     }
+}
 
-    #[test]
-    fn trim_preserves_language(raw in arb_nta(4), t in arb_tree(alpha())) {
-        let al = t.alphabet().clone();
-        let a = build(&raw, &al);
+#[test]
+fn trim_preserves_language() {
+    let al = alpha();
+    let mut rng = SmallRng::seed_from_u64(0xA005);
+    for case in 0..CASES {
+        let a = rand_nta(&mut rng, 4, &al);
+        let t = rand_tree(&mut rng, &al);
         let trimmed = a.trim();
-        prop_assert_eq!(trimmed.accepts(&t).unwrap(), a.accepts(&t).unwrap());
-        prop_assert!(trimmed.n_states() <= a.n_states());
+        assert_eq!(
+            trimmed.accepts(&t).unwrap(),
+            a.accepts(&t).unwrap(),
+            "case {case} on {t}"
+        );
+        assert!(trimmed.n_states() <= a.n_states());
     }
+}
 
-    #[test]
-    fn tdta_conversion_preserves_language(raw in arb_nta(4), t in arb_tree(alpha())) {
-        let al = t.alphabet().clone();
-        let a = build(&raw, &al);
+#[test]
+fn tdta_conversion_preserves_language() {
+    let al = alpha();
+    let mut rng = SmallRng::seed_from_u64(0xA006);
+    for case in 0..CASES {
+        let a = rand_nta(&mut rng, 4, &al);
+        let t = rand_tree(&mut rng, &al);
         let td = a.to_tdta();
-        prop_assert_eq!(td.accepts(&t).unwrap(), a.accepts(&t).unwrap());
+        assert_eq!(
+            td.accepts(&t).unwrap(),
+            a.accepts(&t).unwrap(),
+            "case {case} tdta on {t}"
+        );
         // And back.
         let back = td.to_nta();
-        prop_assert_eq!(back.accepts(&t).unwrap(), a.accepts(&t).unwrap());
+        assert_eq!(
+            back.accepts(&t).unwrap(),
+            a.accepts(&t).unwrap(),
+            "case {case} back on {t}"
+        );
     }
+}
 
-    #[test]
-    fn minimize_preserves_language(raw in arb_nta(3), t in arb_tree(alpha())) {
-        let al = t.alphabet().clone();
-        let a = build(&raw, &al);
+#[test]
+fn minimize_preserves_language() {
+    let al = alpha();
+    let mut rng = SmallRng::seed_from_u64(0xA007);
+    for case in 0..CASES {
+        let a = rand_nta(&mut rng, 3, &al);
+        let t = rand_tree(&mut rng, &al);
         let d = a.determinize();
         let m = d.minimize();
-        prop_assert_eq!(m.accepts(&t).unwrap(), a.accepts(&t).unwrap());
-        prop_assert!(m.n_states() <= d.complete().n_states());
+        assert_eq!(
+            m.accepts(&t).unwrap(),
+            a.accepts(&t).unwrap(),
+            "case {case} on {t}"
+        );
+        assert!(m.n_states() <= d.complete().n_states());
     }
+}
 
-    #[test]
-    fn inclusion_is_sound(r1 in arb_nta(3), r2 in arb_nta(3), t in arb_tree(alpha())) {
-        let al = t.alphabet().clone();
-        let a = build(&r1, &al);
-        let b = build(&r2, &al);
+#[test]
+fn inclusion_is_sound() {
+    let al = alpha();
+    let mut rng = SmallRng::seed_from_u64(0xA008);
+    for case in 0..CASES {
+        let a = rand_nta(&mut rng, 3, &al);
+        let b = rand_nta(&mut rng, 3, &al);
+        let t = rand_tree(&mut rng, &al);
         if a.subset_of(&b) && a.accepts(&t).unwrap() {
-            prop_assert!(b.accepts(&t).unwrap());
+            assert!(
+                b.accepts(&t).unwrap(),
+                "case {case}: subset violated on {t}"
+            );
         }
         if let Some(cex) = a.inclusion_counterexample(&b) {
-            prop_assert!(a.accepts(&cex).unwrap());
-            prop_assert!(!b.accepts(&cex).unwrap());
+            assert!(a.accepts(&cex).unwrap(), "case {case}: cex not in a");
+            assert!(!b.accepts(&cex).unwrap(), "case {case}: cex in b");
         }
     }
+}
 
-    #[test]
-    fn enumeration_sound_and_complete(raw in arb_nta(3)) {
-        let al = alpha();
-        let a = build(&raw, &al);
+#[test]
+fn enumeration_sound_and_complete() {
+    let al = alpha();
+    let mut rng = SmallRng::seed_from_u64(0xA009);
+    for case in 0..CASES {
+        let a = rand_nta(&mut rng, 3, &al);
         let enumerated = xmltc_automata::enumerate::trees_up_to(&a, 3, 2000);
         for t in &enumerated {
-            prop_assert!(a.accepts(t).unwrap());
+            assert!(
+                a.accepts(t).unwrap(),
+                "case {case}: enumerated {t} rejected"
+            );
         }
         // Spot-check completeness: the witness (if of depth ≤ 3) must be
         // among the enumerated trees.
         if let Some(w) = a.witness() {
             if w.depth() <= 3 {
-                prop_assert!(enumerated.contains(&w));
+                assert!(enumerated.contains(&w), "case {case}: witness {w} missing");
             }
         }
     }

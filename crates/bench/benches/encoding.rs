@@ -1,29 +1,21 @@
 //! E1 — Figure 1 / Section 2.1: the binary encoding is a linear-time
 //! bijection. Timing series for encode and decode over growing documents.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use xmltc_trees::{decode, encode, Alphabet, EncodedAlphabet};
+use xmltc_bench::harness::Group;
+use xmltc_trees::{decode, encode, Alphabet, EncodedAlphabet, SmallRng};
 
-fn bench_encoding(c: &mut Criterion) {
+fn main() {
     let al = Alphabet::unranked(&["a", "b", "c"]);
     let enc = EncodedAlphabet::new(&al);
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
+    let mut rng = SmallRng::seed_from_u64(42);
 
-    let mut group = c.benchmark_group("E1_encoding");
-    group.sample_size(20);
+    let mut group = Group::new("E1_encoding");
     for depth in [4usize, 6, 8, 10] {
         let doc = xmltc_trees::generate::random_unranked(&al, depth, 4, &mut rng).unwrap();
         let n = doc.len();
-        group.bench_with_input(BenchmarkId::new("encode", n), &doc, |b, doc| {
-            b.iter(|| encode(doc, &enc).unwrap())
-        });
+        group.bench(format!("encode/{n}"), || encode(&doc, &enc).unwrap());
         let bt = encode(&doc, &enc).unwrap();
-        group.bench_with_input(BenchmarkId::new("decode", n), &bt, |b, bt| {
-            b.iter(|| decode(bt, &enc).unwrap())
-        });
+        group.bench(format!("decode/{n}"), || decode(&bt, &enc).unwrap());
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_encoding);
-criterion_main!(benches);

@@ -2,69 +2,53 @@
 //! complexity. Timing vs input size for the copy machine, the Example 3.7
 //! rotation, and the Example 4.3 XSLT query.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmltc_bench::harness::Group;
 use xmltc_bench::{flat_doc, full_tree, q2_fixture, ranked_alphabet};
 use xmltc_core::{eval, library};
 use xmltc_trees::{encode, Alphabet};
 
-fn bench_eval(c: &mut Criterion) {
+fn main() {
     let al = ranked_alphabet();
     let copy = library::copy(&al).unwrap();
-    let mut group = c.benchmark_group("E12_eval_copy");
-    group.sample_size(20);
+    let mut group = Group::new("E12_eval_copy");
     for depth in [6usize, 9, 12] {
         let t = full_tree(&al, depth);
-        group.bench_with_input(BenchmarkId::from_parameter(t.len()), &t, |b, t| {
-            b.iter(|| eval(&copy, t).unwrap())
-        });
+        group.bench(format!("{}", t.len()), || eval(&copy, &t).unwrap());
     }
     group.finish();
-}
 
-fn bench_rotation(c: &mut Criterion) {
     // E4: rotation on right combs of growing length.
-    let al = Alphabet::ranked(&["s", "pad"], &["r", "a", "s2"]);
+    let al2 = Alphabet::ranked(&["s", "pad"], &["r", "a", "s2"]);
     let (rot, _) = library::rotation(
-        &al,
-        al.get("s").unwrap(),
-        al.get("s2").unwrap(),
-        al.get("r").unwrap(),
+        &al2,
+        al2.get("s").unwrap(),
+        al2.get("s2").unwrap(),
+        al2.get("r").unwrap(),
     )
     .unwrap();
-    let a = al.get("a").unwrap();
-    let mut group = c.benchmark_group("E4_rotation");
-    group.sample_size(20);
+    let a = al2.get("a").unwrap();
+    let mut group = Group::new("E4_rotation");
     for len in [8usize, 32, 128] {
-        let mut word = vec![al.get("r").unwrap()];
+        let mut word = vec![al2.get("r").unwrap()];
         word.extend(std::iter::repeat_n(a, len));
         let comb = xmltc_trees::generate::right_comb(
             &word,
-            al.get("s").unwrap(),
-            al.get("pad").unwrap(),
-            &al,
+            al2.get("s").unwrap(),
+            al2.get("pad").unwrap(),
+            &al2,
         )
         .unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(comb.len()), &comb, |b, t| {
-            b.iter(|| eval(&rot, t).unwrap())
-        });
+        group.bench(format!("{}", comb.len()), || eval(&rot, &comb).unwrap());
     }
     group.finish();
-}
 
-fn bench_xslt(c: &mut Criterion) {
     let fx = q2_fixture();
-    let al = fx.enc_in.source().clone();
-    let mut group = c.benchmark_group("E12_eval_q2");
-    group.sample_size(20);
+    let doc_al = fx.enc_in.source().clone();
+    let mut group = Group::new("E12_eval_q2");
     for n in [8usize, 64, 256] {
-        let doc = flat_doc(&al, n);
+        let doc = flat_doc(&doc_al, n);
         let encoded = encode(&doc, &fx.enc_in).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &encoded, |b, t| {
-            b.iter(|| eval(&fx.transducer, t).unwrap())
-        });
+        group.bench(format!("{n}"), || eval(&fx.transducer, &encoded).unwrap());
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_eval, bench_rotation, bench_xslt);
-criterion_main!(benches);

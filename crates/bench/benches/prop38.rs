@@ -3,21 +3,20 @@
 //! space `O(|t|^k)`; meanwhile the *materialized* output of Example 3.6's
 //! duplicator grows exponentially while its automaton stays polynomial.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmltc_bench::harness::Group;
 use xmltc_bench::{full_tree, ranked_alphabet};
 use xmltc_core::eval::{eval_with_limit, output_automaton};
 use xmltc_core::library;
 
-fn bench_prop38_scaling(c: &mut Criterion) {
+fn main() {
     let al = ranked_alphabet();
     let copy = library::copy(&al).unwrap();
 
-    let mut group = c.benchmark_group("E2_prop38_copy_k1");
-    group.sample_size(10);
+    let mut group = Group::new("E2_prop38_copy_k1");
     for depth in [4usize, 6, 8, 10] {
         let t = full_tree(&al, depth);
-        group.bench_with_input(BenchmarkId::from_parameter(t.len()), &t, |b, t| {
-            b.iter(|| output_automaton(&copy, t).unwrap())
+        group.bench(format!("{}", t.len()), || {
+            output_automaton(&copy, &t).unwrap()
         });
     }
     group.finish();
@@ -26,8 +25,7 @@ fn bench_prop38_scaling(c: &mut Criterion) {
     let (q1, _) = xmltc_xmlql::query::example_q1();
     let (trans, enc_in, _) = q1.compile().unwrap();
     let doc_al = enc_in.source().clone();
-    let mut group = c.benchmark_group("E2_prop38_q1_k3");
-    group.sample_size(10);
+    let mut group = Group::new("E2_prop38_q1_k3");
     for n in [2usize, 4, 6] {
         let doc = xmltc_trees::generate::flat(
             doc_al.get("root").unwrap(),
@@ -37,32 +35,24 @@ fn bench_prop38_scaling(c: &mut Criterion) {
         )
         .unwrap();
         let encoded = xmltc_trees::encode(&doc, &enc_in).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(encoded.len()), &encoded, |b, t| {
-            b.iter(|| output_automaton(&trans, t).unwrap())
+        group.bench(format!("{}", encoded.len()), || {
+            output_automaton(&trans, &encoded).unwrap()
         });
     }
     group.finish();
-}
 
-fn bench_exponential_output(c: &mut Criterion) {
-    let al = ranked_alphabet();
     let (dup, _) = library::duplicator(&al).unwrap();
-
-    let mut group = c.benchmark_group("E3_duplicator");
-    group.sample_size(10);
+    let mut group = Group::new("E3_duplicator");
     for depth in [3usize, 5, 7] {
         let t = full_tree(&al, depth);
         // Materializing the exponential output…
-        group.bench_with_input(BenchmarkId::new("materialize", t.len()), &t, |b, t| {
-            b.iter(|| eval_with_limit(&dup, t, 200_000_000).unwrap())
+        group.bench(format!("materialize/{}", t.len()), || {
+            eval_with_limit(&dup, &t, 200_000_000).unwrap()
         });
         // …vs the DAG-sized Prop 3.8 automaton.
-        group.bench_with_input(BenchmarkId::new("dag_automaton", t.len()), &t, |b, t| {
-            b.iter(|| output_automaton(&dup, t).unwrap())
+        group.bench(format!("dag_automaton/{}", t.len()), || {
+            output_automaton(&dup, &t).unwrap()
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_prop38_scaling, bench_exponential_output);
-criterion_main!(benches);

@@ -5,43 +5,30 @@
 //! * MSO-route cost as the machine grows — the non-elementary trend, with
 //!   a state budget so the bench terminates.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmltc_bench::harness::Group;
 use xmltc_bench::{ranked_alphabet, walking_chain};
 use xmltc_typecheck::mso_route::pebble_to_nta;
 use xmltc_typecheck::walk::walking_to_dbta;
 
-fn bench_routes(c: &mut Criterion) {
+fn main() {
     let al = ranked_alphabet();
 
-    let mut group = c.benchmark_group("E8_walk_route");
-    group.sample_size(10);
+    let mut group = Group::new("E8_walk_route");
     for m in [1usize, 3, 5, 7] {
         let a = walking_chain(&al, m);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(a.core().n_states()),
-            &a,
-            |b, a| b.iter(|| walking_to_dbta(a).unwrap()),
-        );
+        group.bench(format!("{}", a.core().n_states()), || {
+            walking_to_dbta(&a).unwrap()
+        });
     }
     group.finish();
 
-    let mut group = c.benchmark_group("E9_mso_route");
-    group.sample_size(10);
+    let mut group = Group::new("E9_mso_route");
     for m in [1usize, 2, 3] {
         let a = walking_chain(&al, m);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(a.core().n_states()),
-            &a,
-            |b, a| {
-                b.iter(|| {
-                    // A generous budget; growth in max_states is the story.
-                    pebble_to_nta(a, 2_000_000).unwrap()
-                })
-            },
-        );
+        group.bench(format!("{}", a.core().n_states()), || {
+            // A generous budget; growth in max_states is the story.
+            pebble_to_nta(&a, 2_000_000).unwrap()
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_routes);
-criterion_main!(benches);

@@ -1,41 +1,48 @@
 //! E6/E7 — Theorem 4.4 in practice: end-to-end typechecking cost for the
 //! Example 4.3 pipeline, exact (behaviour route) vs the forward-inference
 //! baseline, on passing and failing specs.
+//!
+//! Besides the timing table, this bench dumps a full machine-readable
+//! [`PipelineReport`](xmltc_obs::PipelineReport) of one instrumented exact
+//! run to `BENCH_typecheck.json` at the workspace root — the same shape
+//! `xmltc typecheck --json` emits.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use xmltc_bench::harness::Group;
 use xmltc_bench::q2_fixture;
+use xmltc_obs as obs;
 use xmltc_typecheck::{typecheck, TypecheckOptions};
 
-fn bench_typecheck(c: &mut Criterion) {
+fn main() {
     let fx = q2_fixture();
     let opts = TypecheckOptions::default();
 
-    let mut group = c.benchmark_group("E7_typecheck_q2");
-    group.sample_size(10);
-    group.bench_function("exact_mod3_pass", |b| {
-        b.iter(|| {
-            let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_mod3, &opts).unwrap();
-            assert!(out.is_ok());
-        })
+    let mut group = Group::new("E7_typecheck_q2");
+    group.bench("exact_mod3_pass", || {
+        let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_mod3, &opts).unwrap();
+        assert!(out.is_ok());
     });
-    group.bench_function("exact_coarse_pass", |b| {
-        b.iter(|| {
-            let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_coarse, &opts).unwrap();
-            assert!(out.is_ok());
-        })
+    group.bench("exact_coarse_pass", || {
+        let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_coarse, &opts).unwrap();
+        assert!(out.is_ok());
     });
-    group.bench_function("forward_coarse_pass", |b| {
-        b.iter(|| {
-            assert!(fx.forward_image.subset_of(&fx.tau2_coarse));
-        })
+    group.bench("forward_coarse_pass", || {
+        assert!(fx.forward_image.subset_of(&fx.tau2_coarse));
     });
-    group.bench_function("forward_mod3_spurious_reject", |b| {
-        b.iter(|| {
-            assert!(!fx.forward_image.subset_of(&fx.tau2_mod3));
-        })
+    group.bench("forward_mod3_spurious_reject", || {
+        assert!(!fx.forward_image.subset_of(&fx.tau2_mod3));
     });
     group.finish();
-}
 
-criterion_group!(benches, bench_typecheck);
-criterion_main!(benches);
+    // One instrumented run, dumped in the `--json` report shape.
+    let (outcome, report) = obs::with_report(|| {
+        let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_mod3, &opts).unwrap();
+        obs::record("verdict.ok", out.is_ok() as u64);
+        out
+    });
+    assert!(outcome.is_ok());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_typecheck.json");
+    match std::fs::write(path, report.to_json_string()) {
+        Ok(()) => println!("\n(pipeline report written to {path})"),
+        Err(e) => eprintln!("\n(could not write {path}: {e})"),
+    }
+}

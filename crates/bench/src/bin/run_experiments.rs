@@ -8,21 +8,21 @@
 //! experiment index); output is markdown, and a machine-readable JSON dump
 //! is written to `target/experiments.json`.
 
-use serde::Serialize;
 use std::time::Instant;
 use xmltc_bench::*;
 use xmltc_core::eval::{eval_with_limit, output_automaton};
 use xmltc_core::{eval, library};
 use xmltc_dtd::{Dtd, SpecializedDtd, TypeId};
+use xmltc_obs::{Json, ToJson};
 use xmltc_regex::Regex;
-use xmltc_trees::{decode, encode, Alphabet, EncodedAlphabet, UnrankedTree};
+use xmltc_trees::{decode, encode, Alphabet, EncodedAlphabet, SmallRng, UnrankedTree};
 use xmltc_typecheck::mso_route::pebble_to_nta;
 use xmltc_typecheck::walk::walking_to_dbta;
 use xmltc_typecheck::{typecheck, TypecheckOptions, TypecheckOutcome};
 
-#[derive(Serialize, Default)]
+#[derive(Default)]
 struct Report {
-    rows: Vec<(String, serde_json::Value)>,
+    rows: Vec<(String, Json)>,
 }
 
 fn ms(t: Instant) -> f64 {
@@ -44,7 +44,14 @@ fn main() {
     e11_separation(&mut report);
     e12_eval(&mut report);
 
-    let json = serde_json::to_string_pretty(&report.rows).expect("serializable");
+    let json = Json::Array(
+        report
+            .rows
+            .iter()
+            .map(|(k, v)| Json::Array(vec![Json::Str(k.clone()), v.clone()]))
+            .collect(),
+    )
+    .encode_pretty();
     let path = std::path::Path::new("target");
     let _ = std::fs::create_dir_all(path);
     let file = path.join("experiments.json");
@@ -53,10 +60,8 @@ fn main() {
     }
 }
 
-fn record(report: &mut Report, key: &str, value: impl Serialize) {
-    report
-        .rows
-        .push((key.to_string(), serde_json::to_value(value).expect("serializable")));
+fn record(report: &mut Report, key: &str, value: impl ToJson) {
+    report.rows.push((key.to_string(), value.to_json()));
 }
 
 /// E1 — Figure 1: the encoding is a linear-time bijection.
@@ -66,7 +71,7 @@ fn e1_encoding(report: &mut Report) {
     println!("|---|---|---|---|");
     let al = Alphabet::unranked(&["a", "b", "c"]);
     let enc = EncodedAlphabet::new(&al);
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+    let mut rng = SmallRng::seed_from_u64(7);
     for depth in [6usize, 9, 12, 14] {
         let doc = xmltc_trees::generate::random_unranked(&al, depth, 3, &mut rng).unwrap();
         let t0 = Instant::now();
@@ -76,7 +81,11 @@ fn e1_encoding(report: &mut Report) {
         let back = decode(&bt, &enc).unwrap();
         let t_dec = ms(t0);
         let ok = back == doc;
-        println!("| {} | {t_enc:.3} | {t_dec:.3} | {} |", doc.len(), if ok { "ok" } else { "FAIL" });
+        println!(
+            "| {} | {t_enc:.3} | {t_dec:.3} | {} |",
+            doc.len(),
+            if ok { "ok" } else { "FAIL" }
+        );
         record(report, "E1", (doc.len(), t_enc, t_dec, ok));
         assert!(ok);
     }
@@ -94,7 +103,11 @@ fn e2_prop38(report: &mut Report) {
         let t0 = Instant::now();
         let a = output_automaton(&copy, &t).unwrap();
         let dt = ms(t0);
-        println!("| copy (Ex 3.3) | 1 | {} | {} | {dt:.2} |", t.len(), a.n_states());
+        println!(
+            "| copy (Ex 3.3) | 1 | {} | {} | {dt:.2} |",
+            t.len(),
+            a.n_states()
+        );
         record(report, "E2.copy", (t.len(), a.n_states(), dt));
     }
     let (q1, doc_al) = xmltc_xmlql::query::example_q1();
@@ -135,7 +148,11 @@ fn e3_duplicator(report: &mut Report) {
             out.len(),
             a.n_states()
         );
-        record(report, "E3", (t.len(), out.len(), a.n_states(), t_mat, t_aut));
+        record(
+            report,
+            "E3",
+            (t.len(), out.len(), a.n_states(), t_mat, t_aut),
+        );
     }
 }
 
@@ -231,11 +248,7 @@ fn e6_precision(report: &mut Report) {
             .unwrap()
             .is_ok();
         let fwd = fx.forward_image.subset_of(tau2);
-        println!(
-            "| {name} | holds | {} | {} |",
-            verdict(exact),
-            verdict(fwd)
-        );
+        println!("| {name} | holds | {} | {} |", verdict(exact), verdict(fwd));
         record(report, "E6", (name, truth, exact, fwd));
         assert!(exact, "exact typechecker must prove a true spec");
     }
@@ -293,7 +306,9 @@ fn e7_suite(report: &mut Report) {
 /// E8 — Theorem 4.7: behaviour route vs MSO route, same machines.
 fn e8_routes(report: &mut Report) {
     println!("\n## E8 — Theorem 4.7: k-pebble → regular, two constructions\n");
-    println!("| machine states | walk (ms) | walk result states | MSO (ms) | MSO peak states | agree |");
+    println!(
+        "| machine states | walk (ms) | walk result states | MSO (ms) | MSO peak states | agree |"
+    );
     println!("|---|---|---|---|---|---|");
     let al = ranked_alphabet();
     for m in [1usize, 2, 3, 4] {
@@ -306,7 +321,7 @@ fn e8_routes(report: &mut Report) {
         let t_mso = ms(t0);
         // Agreement on a tree sample.
         let mut agree = true;
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..30 {
             let t = xmltc_trees::generate::random_binary(&al, 4, 0.7, &mut rng).unwrap();
             agree &= d.accepts(&t).unwrap() == nta.accepts(&t).unwrap();
@@ -321,7 +336,14 @@ fn e8_routes(report: &mut Report) {
         record(
             report,
             "E8",
-            (a.core().n_states(), t_walk, d.n_states(), t_mso, stats.max_states, agree),
+            (
+                a.core().n_states(),
+                t_walk,
+                d.n_states(),
+                t_mso,
+                stats.max_states,
+                agree,
+            ),
         );
         assert!(agree);
     }
@@ -383,7 +405,11 @@ fn run_mso_case(
                 stats.max_states,
                 stats.determinizations
             );
-            record(report, "E9", (name, a.core().n_states(), a.k(), stats.max_states, dt, true));
+            record(
+                report,
+                "E9",
+                (name, a.core().n_states(), a.k(), stats.max_states, dt, true),
+            );
         }
         Err(e) => {
             let dt = ms(t0);
@@ -392,7 +418,11 @@ fn run_mso_case(
                 a.core().n_states(),
                 a.k()
             );
-            record(report, "E9", (name, a.core().n_states(), a.k(), budget, dt, false));
+            record(
+                report,
+                "E9",
+                (name, a.core().n_states(), a.k(), budget, dt, false),
+            );
         }
     }
 }
@@ -422,25 +452,66 @@ fn e10_datajoin(report: &mut Report) {
     let out = out_al.get("out").unwrap();
     let eq = out_al.get("eq").unwrap();
     let neq = out_al.get("neq").unwrap();
-    b.output0(SymSpec::Any, nil, Guard::any(), enc_out.nil()).unwrap();
-    b.output2(SymSpec::Any, s0, Guard::any(), out, enter, nil).unwrap();
-    b.move_rule(SymSpec::Any, enter, Guard::any(), Move::DownLeft, walk).unwrap();
+    b.output0(SymSpec::Any, nil, Guard::any(), enc_out.nil())
+        .unwrap();
+    b.output2(SymSpec::Any, s0, Guard::any(), out, enter, nil)
+        .unwrap();
+    b.move_rule(SymSpec::Any, enter, Guard::any(), Move::DownLeft, walk)
+        .unwrap();
     // At a cons cell: one guessed verdict per pair — the x = y test of the
     // extended transducer replaced by a nondeterministic choice.
-    b.output2(SymSpec::One(enc_in.cons()), walk, Guard::any(), enc_out.cons(), guess, adv)
-        .unwrap();
-    b.output2(SymSpec::One(enc_in.cons()), guess, Guard::any(), eq, nil, nil).unwrap();
-    b.output2(SymSpec::One(enc_in.cons()), guess, Guard::any(), neq, nil, nil).unwrap();
-    b.move_rule(SymSpec::One(enc_in.cons()), adv, Guard::any(), Move::DownRight, walk)
-        .unwrap();
-    b.output0(SymSpec::One(enc_in.nil()), walk, Guard::any(), enc_out.nil()).unwrap();
+    b.output2(
+        SymSpec::One(enc_in.cons()),
+        walk,
+        Guard::any(),
+        enc_out.cons(),
+        guess,
+        adv,
+    )
+    .unwrap();
+    b.output2(
+        SymSpec::One(enc_in.cons()),
+        guess,
+        Guard::any(),
+        eq,
+        nil,
+        nil,
+    )
+    .unwrap();
+    b.output2(
+        SymSpec::One(enc_in.cons()),
+        guess,
+        Guard::any(),
+        neq,
+        nil,
+        nil,
+    )
+    .unwrap();
+    b.move_rule(
+        SymSpec::One(enc_in.cons()),
+        adv,
+        Guard::any(),
+        Move::DownRight,
+        walk,
+    )
+    .unwrap();
+    b.output0(
+        SymSpec::One(enc_in.nil()),
+        walk,
+        Guard::any(),
+        enc_out.nil(),
+    )
+    .unwrap();
     let t = b.build().unwrap();
 
     let tau1 = input_dtd.compile(&enc_in).unwrap();
-    let tau2 = Dtd::parse_text_with("out := (eq|neq)*\neq := @eps\nneq := @eps", enc_out.source())
-        .unwrap()
-        .compile(&enc_out)
-        .unwrap();
+    let tau2 = Dtd::parse_text_with(
+        "out := (eq|neq)*\neq := @eps\nneq := @eps",
+        enc_out.source(),
+    )
+    .unwrap()
+    .compile(&enc_out)
+    .unwrap();
     let t0 = Instant::now();
     let outcome = typecheck(&t, &tau1, &tau2, &TypecheckOptions::default()).unwrap();
     let dt = ms(t0);

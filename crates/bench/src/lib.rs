@@ -1,8 +1,11 @@
 //! Shared fixtures for the experiment harness: the workloads, machines and
-//! types used by both the Criterion benches and `run_experiments`.
+//! types used by both the timing benches (see [`harness`]) and
+//! `run_experiments`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use std::sync::Arc;
 use xmltc_automata::{Nta, State};
@@ -18,13 +21,8 @@ pub fn ranked_alphabet() -> Arc<Alphabet> {
 
 /// A full binary tree with `2^depth - 1` nodes over [`ranked_alphabet`].
 pub fn full_tree(al: &Arc<Alphabet>, depth: usize) -> BinaryTree {
-    xmltc_trees::generate::full_binary(
-        depth,
-        al.get("f").unwrap(),
-        al.get("x").unwrap(),
-        al,
-    )
-    .unwrap()
+    xmltc_trees::generate::full_binary(depth, al.get("f").unwrap(), al.get("x").unwrap(), al)
+        .unwrap()
 }
 
 /// The flat documents `root(aⁿ)` of Examples 4.2/4.3.
@@ -109,7 +107,8 @@ pub fn walking_chain(al: &Arc<Alphabet>, m: usize) -> PebbleAutomaton {
     let last = *states.last().unwrap();
     let lw = b.state("lw", 1).unwrap();
     let rw = b.state("rw", 1).unwrap();
-    b.branch2(SymSpec::Binaries, last, Guard::any(), lw, rw).unwrap();
+    b.branch2(SymSpec::Binaries, last, Guard::any(), lw, rw)
+        .unwrap();
     b.move_rule(SymSpec::One(y), last, Guard::any(), Move::Stay, check)
         .unwrap();
     b.branch0(SymSpec::One(y), check, Guard::any()).unwrap();

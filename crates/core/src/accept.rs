@@ -208,8 +208,10 @@ mod tests {
         let q = b.state("spin", 1).unwrap();
         let p = b.state("spin2", 1).unwrap();
         b.set_initial(q);
-        b.move_rule(SymSpec::Any, q, Guard::any(), Move::Stay, p).unwrap();
-        b.move_rule(SymSpec::Any, p, Guard::any(), Move::Stay, q).unwrap();
+        b.move_rule(SymSpec::Any, q, Guard::any(), Move::Stay, p)
+            .unwrap();
+        b.move_rule(SymSpec::Any, p, Guard::any(), Move::Stay, q)
+            .unwrap();
         let a = b.build().unwrap();
         assert!(!accepts(&a, &t(&al, "x")).unwrap());
         assert!(!accepts(&a, &t(&al, "f(x, y)")).unwrap());

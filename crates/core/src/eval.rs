@@ -33,7 +33,14 @@ pub fn eval_with_limit(
     }
     let mut builder = BinaryTreeBuilder::new(t.output_alphabet());
     let mut steps = 0usize;
-    let root = run_branch(t, tree, t.core().initial_config(tree), &mut builder, &mut steps, limit)?;
+    let root = run_branch(
+        t,
+        tree,
+        t.core().initial_config(tree),
+        &mut builder,
+        &mut steps,
+        limit,
+    )?;
     Ok(builder.finish(root))
 }
 
@@ -156,7 +163,11 @@ pub fn outputs(
     limit: usize,
 ) -> Result<Vec<BinaryTree>, MachineError> {
     let a = output_automaton(t, tree)?;
-    Ok(xmltc_automata::enumerate::trees_up_to(&a.to_nta(), max_depth, limit))
+    Ok(xmltc_automata::enumerate::trees_up_to(
+        &a.to_nta(),
+        max_depth,
+        limit,
+    ))
 }
 
 /// Decision problem from Section 3.3: is `candidate ∈ T(tree)`? Polynomial

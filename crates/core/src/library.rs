@@ -118,8 +118,9 @@ pub fn duplicator_alphabet(input: &Arc<Alphabet>) -> (Arc<Alphabet>, Symbol) {
 /// The output has size exponential in the input size, while the
 /// Proposition 3.8 automaton stays polynomial — the workload for
 /// experiment E3.
-pub fn duplicator(input: &Arc<Alphabet>) -> Result<(PebbleTransducer, Arc<Alphabet>), MachineError>
-{
+pub fn duplicator(
+    input: &Arc<Alphabet>,
+) -> Result<(PebbleTransducer, Arc<Alphabet>), MachineError> {
     let (output, z) = duplicator_alphabet(input);
     let mut b = TransducerBuilder::new(input, &output, 1);
     let q1 = b.state("q1", 1)?;
@@ -235,8 +236,20 @@ pub fn rotation(
     for a in input.leaves() {
         b.output0(SymSpec::One(a), from_parent, Guard::any(), a)?;
     }
-    b.move_rule(SymSpec::Binaries, go_dl, Guard::any(), Move::DownLeft, from_parent)?;
-    b.move_rule(SymSpec::Binaries, go_dr, Guard::any(), Move::DownRight, from_parent)?;
+    b.move_rule(
+        SymSpec::Binaries,
+        go_dl,
+        Guard::any(),
+        Move::DownLeft,
+        from_parent,
+    )?;
+    b.move_rule(
+        SymSpec::Binaries,
+        go_dr,
+        Guard::any(),
+        Move::DownRight,
+        from_parent,
+    )?;
 
     let t = b.build()?;
     Ok((t, output))
@@ -257,7 +270,10 @@ mod tests {
         assert_eq!(out.to_string(), "z(x, x)");
         let tree = BinaryTree::parse("f(x, x)", &al).unwrap();
         let out = eval(&t, &tree).unwrap();
-        assert_eq!(out.to_string(), "z(f(z(x, x), z(x, x)), f(z(x, x), z(x, x)))");
+        assert_eq!(
+            out.to_string(),
+            "z(f(z(x, x), z(x, x)), f(z(x, x), z(x, x)))"
+        );
         let _ = out_al;
     }
 
@@ -325,8 +341,7 @@ mod tests {
         let s2 = al.get("s2").unwrap();
         let r = al.get("r").unwrap();
         let (t, _) = rotation(&al, s0, s2, r).unwrap();
-        let tree =
-            BinaryTree::parse("r(pad, a(pad, b(pad, c(pad, s))))", &al).unwrap();
+        let tree = BinaryTree::parse("r(pad, a(pad, b(pad, c(pad, s))))", &al).unwrap();
         let out = eval(&t, &tree).unwrap();
         // Every spine node is reached from its right child, so it emits
         // (parent, left-child) = (rest-of-spine, pad): the spine reads
@@ -358,10 +373,7 @@ mod tests {
         let r = al.get("r").unwrap();
         let (t, _) = rotation(&al, s0, s2, r).unwrap();
         let tree = BinaryTree::parse("r(x, x)", &al).unwrap();
-        assert!(matches!(
-            eval(&t, &tree),
-            Err(MachineError::Stuck { .. })
-        ));
+        assert!(matches!(eval(&t, &tree), Err(MachineError::Stuck { .. })));
     }
 
     #[test]

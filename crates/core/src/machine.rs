@@ -479,9 +479,7 @@ impl BuilderCore {
 
     fn check_state(&self, q: State) -> Result<(), MachineError> {
         if q.index() >= self.levels.len() {
-            return Err(MachineError::IllTyped(format!(
-                "unknown state {q:?}"
-            )));
+            return Err(MachineError::IllTyped(format!("unknown state {q:?}")));
         }
         Ok(())
     }

@@ -349,16 +349,15 @@ mod tests {
             Fragment::node(f, Fragment::recurse(1, q), Fragment::recurse(1, q)),
         )
         .unwrap();
-        t.add_rule(al.get("g").unwrap(), q, Fragment::Leaf(x)).unwrap();
+        t.add_rule(al.get("g").unwrap(), q, Fragment::Leaf(x))
+            .unwrap();
         t.add_rule(x, q, Fragment::Leaf(x)).unwrap();
-        t.add_rule(al.get("y").unwrap(), q, Fragment::Leaf(x)).unwrap();
+        t.add_rule(al.get("y").unwrap(), q, Fragment::Leaf(x))
+            .unwrap();
         let input = BinaryTree::parse("f(y, x)", &al).unwrap();
         assert_eq!(t.eval(&input).unwrap().to_string(), "f(x, x)");
         let pebble = t.to_pebble().unwrap();
-        assert_eq!(
-            pebble_eval(&pebble, &input).unwrap().to_string(),
-            "f(x, x)"
-        );
+        assert_eq!(pebble_eval(&pebble, &input).unwrap().to_string(), "f(x, x)");
     }
 
     #[test]
@@ -378,7 +377,8 @@ mod tests {
         let q = State(0);
         let mut t = TopDownTransducer::new(&al, &al, 1, q);
         t.add_rule(x, q, Fragment::Leaf(x)).unwrap();
-        t.add_rule(x, q, Fragment::Leaf(al.get("y").unwrap())).unwrap();
+        t.add_rule(x, q, Fragment::Leaf(al.get("y").unwrap()))
+            .unwrap();
         let leaf = BinaryTree::parse("x", &al).unwrap();
         assert!(matches!(
             t.eval(&leaf),

@@ -2,28 +2,21 @@
 //! automaton: for deterministic machines the automaton accepts exactly
 //! the evaluated output; for nondeterministic ones it accepts exactly the
 //! enumerable output set.
+//!
+//! Driven by the workspace's deterministic [`SmallRng`]; runs a fixed
+//! number of seeded cases.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 use xmltc_core::machine::{Guard, SymSpec, TransducerBuilder};
 use xmltc_core::{eval, is_output, library, output_automaton, outputs};
-use xmltc_trees::{Alphabet, BinaryTree};
+use xmltc_trees::{generate, Alphabet, BinaryTree, SmallRng};
 
 fn alpha() -> Arc<Alphabet> {
     Alphabet::ranked(&["x", "y"], &["f", "g"])
 }
 
-fn arb_tree(al: Arc<Alphabet>) -> impl Strategy<Value = BinaryTree> {
-    let leaf = prop::sample::select(vec!["x", "y"]).prop_map(String::from);
-    let expr = leaf.prop_recursive(3, 16, 2, |inner| {
-        (
-            prop::sample::select(vec!["f", "g"]),
-            inner.clone(),
-            inner,
-        )
-            .prop_map(|(s, l, r)| format!("{s}({l}, {r})"))
-    });
-    expr.prop_map(move |src| BinaryTree::parse(&src, &al).unwrap())
+fn rand_tree(rng: &mut SmallRng, al: &Arc<Alphabet>) -> BinaryTree {
+    generate::random_binary(al, 4, 0.6, rng).unwrap()
 }
 
 /// A nondeterministic relabeler: each leaf may come out as x or y.
@@ -36,60 +29,85 @@ fn fuzzy_leaves(al: &Arc<Alphabet>) -> xmltc_core::PebbleTransducer {
     let r = b.state("r", 1).unwrap();
     b.set_initial(q);
     for s in al.binaries() {
-        b.output2(SymSpec::One(s), q, Guard::any(), s, l, r).unwrap();
+        b.output2(SymSpec::One(s), q, Guard::any(), s, l, r)
+            .unwrap();
     }
-    b.move_rule(SymSpec::Binaries, l, Guard::any(), xmltc_core::machine::Move::DownLeft, q)
-        .unwrap();
-    b.move_rule(SymSpec::Binaries, r, Guard::any(), xmltc_core::machine::Move::DownRight, q)
-        .unwrap();
+    b.move_rule(
+        SymSpec::Binaries,
+        l,
+        Guard::any(),
+        xmltc_core::machine::Move::DownLeft,
+        q,
+    )
+    .unwrap();
+    b.move_rule(
+        SymSpec::Binaries,
+        r,
+        Guard::any(),
+        xmltc_core::machine::Move::DownRight,
+        q,
+    )
+    .unwrap();
     b.output0(SymSpec::Leaves, q, Guard::any(), x).unwrap();
     b.output0(SymSpec::Leaves, q, Guard::any(), y).unwrap();
     b.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn eval_result_is_in_output_language(t in arb_tree(alpha())) {
-        let al = t.alphabet().clone();
+#[test]
+fn eval_result_is_in_output_language() {
+    let al = alpha();
+    let mut rng = SmallRng::seed_from_u64(0xC001);
+    for case in 0..64 {
+        let t = rand_tree(&mut rng, &al);
         let copy = library::copy(&al).unwrap();
         let out = eval(&copy, &t).unwrap();
-        prop_assert!(is_output(&copy, &t, &out).unwrap());
+        assert!(is_output(&copy, &t, &out).unwrap(), "case {case} on {t}");
         // And the enumeration finds it.
         let enumerated = outputs(&copy, &t, t.depth() + 1, 10).unwrap();
-        prop_assert_eq!(enumerated.len(), 1);
-        prop_assert_eq!(&enumerated[0], &out);
+        assert_eq!(enumerated.len(), 1, "case {case} on {t}");
+        assert_eq!(&enumerated[0], &out, "case {case} on {t}");
     }
+}
 
-    #[test]
-    fn duplicator_output_in_language(t in arb_tree(alpha())) {
-        let al = t.alphabet().clone();
+#[test]
+fn duplicator_output_in_language() {
+    let al = alpha();
+    let mut rng = SmallRng::seed_from_u64(0xC002);
+    for case in 0..64 {
+        let t = rand_tree(&mut rng, &al);
         let (dup, _) = library::duplicator(&al).unwrap();
         let out = eval(&dup, &t).unwrap();
-        prop_assert!(is_output(&dup, &t, &out).unwrap());
+        assert!(is_output(&dup, &t, &out).unwrap(), "case {case} on {t}");
     }
+}
 
-    #[test]
-    fn nondeterministic_output_set(t in arb_tree(alpha())) {
-        let al = t.alphabet().clone();
+#[test]
+fn nondeterministic_output_set() {
+    let al = alpha();
+    let mut rng = SmallRng::seed_from_u64(0xC003);
+    for case in 0..64 {
+        let t = rand_tree(&mut rng, &al);
         let fuzzy = fuzzy_leaves(&al);
         let leaves = t.preorder().filter(|&n| t.is_leaf(n)).count() as u32;
         // Exactly 2^leaves outputs of the same shape.
         let a = output_automaton(&fuzzy, &t).unwrap();
         let enumerated = outputs(&fuzzy, &t, t.depth(), 1 << leaves.min(8)).unwrap();
         if leaves <= 8 {
-            prop_assert_eq!(enumerated.len() as u32, 1u32 << leaves);
+            assert_eq!(
+                enumerated.len() as u32,
+                1u32 << leaves,
+                "case {case} on {t}"
+            );
         }
         for o in &enumerated {
-            prop_assert!(a.accepts(o).unwrap());
+            assert!(a.accepts(o).unwrap(), "case {case}: {o} rejected");
             // Same shape as the input.
-            prop_assert_eq!(o.len(), t.len());
+            assert_eq!(o.len(), t.len(), "case {case}: {o} misshapen");
         }
         // A wrong-shaped candidate is rejected.
         let single = BinaryTree::parse("x", &al).unwrap();
         if t.len() > 1 {
-            prop_assert!(!a.accepts(&single).unwrap());
+            assert!(!a.accepts(&single).unwrap(), "case {case} on {t}");
         }
     }
 }

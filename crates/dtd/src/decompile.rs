@@ -70,9 +70,9 @@ impl InferredGrammar {
                 message: "grammar has no root types (empty language)".into(),
             })?
             .compile(&self.enc)?;
-        specs.iter().try_fold(first, |acc, s| {
-            Ok(acc.union(&s.compile(&self.enc)?))
-        })
+        specs
+            .iter()
+            .try_fold(first, |acc, s| Ok(acc.union(&s.compile(&self.enc)?)))
     }
 }
 

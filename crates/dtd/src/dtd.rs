@@ -54,10 +54,7 @@ impl Dtd {
     /// when the DTD must type trees produced by a machine that already
     /// fixed its (output) alphabet. All names in the text must exist in
     /// `alphabet`.
-    pub fn parse_text_with(
-        text: &str,
-        alphabet: &Arc<Alphabet>,
-    ) -> Result<Dtd, DtdError> {
+    pub fn parse_text_with(text: &str, alphabet: &Arc<Alphabet>) -> Result<Dtd, DtdError> {
         Self::parse_entries(text, Some(alphabet))
     }
 
@@ -79,8 +76,7 @@ impl Dtd {
                 });
             };
             let name = lhs.trim().to_string();
-            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-            {
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
                 return Err(DtdError::Parse {
                     line: lineno + 1,
                     message: format!("invalid tag name `{name}`"),
@@ -123,8 +119,7 @@ impl Dtd {
                 line: 0,
                 message: format!("tag `{name}` not in the supplied alphabet"),
             })?;
-            let content =
-                regex.try_map(&mut |n: &String| alphabet.require(n))?;
+            let content = regex.try_map(&mut |n: &String| alphabet.require(n))?;
             dtd.set_rule(tag, content);
         }
         Ok(dtd)
@@ -213,7 +208,11 @@ impl Dtd {
 
     /// Compiles to a bottom-up tree automaton over the binary encoding.
     pub fn compile(&self, enc: &EncodedAlphabet) -> Result<Nta, DtdError> {
-        self.to_specialized().compile(enc)
+        let _span = xmltc_obs::span("dtd.compile");
+        let nta = self.to_specialized().compile(enc)?;
+        xmltc_obs::record("dtd.states", nta.n_states() as u64);
+        xmltc_obs::record("dtd.transitions", nta.n_transitions() as u64);
+        Ok(nta)
     }
 }
 
@@ -307,8 +306,7 @@ mod tests {
         let enc = EncodedAlphabet::new(d.alphabet());
         let a = d.compile(&enc).unwrap();
         // `-` at the root is never a valid encoding.
-        let junk =
-            xmltc_trees::BinaryTree::parse("-(a(#, #), #)", enc.encoded()).unwrap();
+        let junk = xmltc_trees::BinaryTree::parse("-(a(#, #), #)", enc.encoded()).unwrap();
         assert!(!a.accepts(&junk).unwrap());
     }
 
@@ -318,13 +316,7 @@ mod tests {
         let d = Dtd::parse_text("root := a*\na := @eps").unwrap();
         let al = d.alphabet().clone();
         for n in 0..5 {
-            let t = xmltc_trees::generate::flat(
-                d.root(),
-                al.get("a").unwrap(),
-                n,
-                &al,
-            )
-            .unwrap();
+            let t = xmltc_trees::generate::flat(d.root(), al.get("a").unwrap(), n, &al).unwrap();
             assert!(d.is_valid(&t), "a^{n}");
         }
     }

@@ -106,6 +106,8 @@ impl SpecializedDtd {
     /// subtree encodes a forest driving `ty`'s content DFA from `d` to a
     /// final state"), plus `Nil` for the `#` right-child of elements.
     pub fn compile(&self, enc: &EncodedAlphabet) -> Result<Nta, DtdError> {
+        let _span = xmltc_obs::span("dtd.specialized.compile");
+        xmltc_obs::record("dtd.types", self.n_types() as u64);
         if !Alphabet::same(&self.alphabet, enc.source()) {
             return Err(DtdError::Tree(xmltc_trees::TreeError::AlphabetMismatch));
         }
@@ -145,12 +147,7 @@ impl SpecializedDtd {
 
         // Element: label(ty)(F(ty, start), Nil) → E(ty).
         for (ty, dfa) in dfas.iter().enumerate() {
-            a.add_node(
-                self.labels[ty],
-                f_state(ty, dfa.start()),
-                nil,
-                e_state(ty),
-            );
+            a.add_node(self.labels[ty], f_state(ty, dfa.start()), nil, e_state(ty));
         }
 
         // Forest cons: -(E(tb), F(ty, d')) → F(ty, d) whenever
@@ -159,18 +156,15 @@ impl SpecializedDtd {
             for d in 0..dfa.len() as u32 {
                 for tb in 0..n_types {
                     if let Some(d2) = dfa.step(d, TypeId(tb as u32)) {
-                        a.add_node(
-                            enc.cons(),
-                            e_state(tb),
-                            f_state(ty, d2),
-                            f_state(ty, d),
-                        );
+                        a.add_node(enc.cons(), e_state(tb), f_state(ty, d2), f_state(ty, d));
                     }
                 }
             }
         }
 
         a.add_final(e_state(self.root.index()));
+        xmltc_obs::record("dtd.states", a.n_states() as u64);
+        xmltc_obs::record("dtd.transitions", a.n_transitions() as u64);
         Ok(a)
     }
 
@@ -201,13 +195,7 @@ mod tests {
         // types: A=a(Bc.Bd), Bc=b(C), Bd=b(D), C=c(), D=d()
         SpecializedDtd::new(
             &al,
-            vec![
-                "A".into(),
-                "Bc".into(),
-                "Bd".into(),
-                "C".into(),
-                "D".into(),
-            ],
+            vec!["A".into(), "Bc".into(), "Bd".into(), "C".into(), "D".into()],
             vec![a, b, b, c, d],
             vec![
                 Regex::sym(TypeId(1)).concat(Regex::sym(TypeId(2))),

@@ -6,6 +6,7 @@ use crate::symta::SymTa;
 use std::fmt;
 use std::sync::Arc;
 use xmltc_automata::{Nta, State};
+use xmltc_obs as obs;
 use xmltc_trees::{Alphabet, Symbol};
 
 /// Compilation failure.
@@ -110,13 +111,20 @@ pub fn compile_sentence_limited(
     alphabet: &Arc<Alphabet>,
     state_limit: u32,
 ) -> Result<(Nta, CompileStats), CompileError> {
+    let _span = obs::span("mso.compile");
     let mut ctx = Ctx {
         alphabet: Arc::clone(alphabet),
         scope: Vec::new(),
         stats: CompileStats::default(),
         state_limit,
     };
-    let a = compile(f, &mut ctx)?;
+    let result = compile(f, &mut ctx);
+    // Record how far the compilation got even when it aborts on its state
+    // budget — the report then shows the partial progress.
+    obs::record("mso.max_states", ctx.stats.max_states as u64);
+    obs::record("mso.determinizations", ctx.stats.determinizations as u64);
+    obs::record("mso.operations", ctx.stats.operations as u64);
+    let a = result?;
     debug_assert_eq!(a.n_tracks(), 0, "sentence left free tracks");
     Ok((a.to_nta(), ctx.stats))
 }
@@ -190,11 +198,8 @@ fn compile(f: &Formula, ctx: &mut Ctx) -> Result<SymTa, CompileError> {
         }
         Formula::Forall(kind, name, body) => {
             // ∀v.φ  =  ¬∃v.¬φ
-            let rewritten = Formula::Exists(
-                *kind,
-                name.clone(),
-                Box::new(Formula::Not(body.clone())),
-            );
+            let rewritten =
+                Formula::Exists(*kind, name.clone(), Box::new(Formula::Not(body.clone())));
             let inner = compile(&rewritten, ctx)?;
             ctx.complement(&inner)?
         }

@@ -137,8 +137,12 @@ impl Formula {
             Formula::True => true,
             Formula::False => false,
             Formula::Label(x, a) => t.symbol(env[x].node()) == *a,
-            Formula::Succ1(x, y) => t.children(env[x].node()).map(|(l, _)| l) == Some(env[y].node()),
-            Formula::Succ2(x, y) => t.children(env[x].node()).map(|(_, r)| r) == Some(env[y].node()),
+            Formula::Succ1(x, y) => {
+                t.children(env[x].node()).map(|(l, _)| l) == Some(env[y].node())
+            }
+            Formula::Succ2(x, y) => {
+                t.children(env[x].node()).map(|(_, r)| r) == Some(env[y].node())
+            }
             Formula::Eq(x, y) => env[x].node() == env[y].node(),
             Formula::In(x, s) => env[s].set().contains(&env[x].node()),
             Formula::Root(x) => t.is_root(env[x].node()),
@@ -147,12 +151,8 @@ impl Formula {
             Formula::And(a, b) => a.eval(t, env) && b.eval(t, env),
             Formula::Or(a, b) => a.eval(t, env) || b.eval(t, env),
             Formula::Implies(a, b) => !a.eval(t, env) || b.eval(t, env),
-            Formula::Exists(kind, name, body) => {
-                self::quantify(*kind, name, body, t, env, false)
-            }
-            Formula::Forall(kind, name, body) => {
-                !self::quantify(*kind, name, body, t, env, true)
-            }
+            Formula::Exists(kind, name, body) => self::quantify(*kind, name, body, t, env, false),
+            Formula::Forall(kind, name, body) => !self::quantify(*kind, name, body, t, env, true),
         }
     }
 }

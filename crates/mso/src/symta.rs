@@ -3,9 +3,19 @@
 use crate::cube::{assignments_of, Cube};
 use std::collections::VecDeque;
 use std::sync::Arc;
-use xmltc_automata::{Nta, State};
 use xmltc_automata::state::StateSet;
+use xmltc_automata::{Nta, State};
+use xmltc_obs as obs;
 use xmltc_trees::{Alphabet, BinaryTree, FxHashMap, NodeId, Symbol};
+
+/// Records the subset-construction frontier as a high-water gauge — kept
+/// up to date even when a budgeted determinization aborts, so reports show
+/// how far the construction got.
+fn note_frontier(n_subsets: usize) {
+    if obs::is_active() {
+        obs::record_max("mso.peak_subset_frontier", n_subsets as u64);
+    }
+}
 
 /// A nondeterministic bottom-up tree automaton whose alphabet is the base
 /// ranked alphabet `Σ` extended with `n_tracks` boolean variable tracks per
@@ -109,7 +119,11 @@ impl SymTa {
         assert!(Alphabet::same(&self.alphabet, &other.alphabet));
         assert_eq!(self.n_tracks, other.n_tracks);
         let pair = |a: State, b: State| State(a.0 * other.n_states + b.0);
-        let mut out = SymTa::new(&self.alphabet, self.n_tracks, self.n_states * other.n_states);
+        let mut out = SymTa::new(
+            &self.alphabet,
+            self.n_tracks,
+            self.n_states * other.n_states,
+        );
         for &(a1, g1, q1) in &self.leaf {
             for &(a2, g2, q2) in &other.leaf {
                 if a1 != a2 {
@@ -205,6 +219,7 @@ impl SymTa {
                 out.add_leaf(a, Cube { mask, bits: v }, q);
             }
             if subsets.len() as u64 > state_limit as u64 {
+                note_frontier(subsets.len());
                 return None;
             }
         }
@@ -247,16 +262,27 @@ impl SymTa {
                                 .map(|&(_, _, _, q)| q)
                                 .collect();
                             let t = intern(set, &mut subsets);
-                            out.add_node(*a, Cube { mask: *mask, bits: v }, x, y, t);
+                            out.add_node(
+                                *a,
+                                Cube {
+                                    mask: *mask,
+                                    bits: v,
+                                },
+                                x,
+                                y,
+                                t,
+                            );
                         }
                     }
                     if subsets.len() as u64 > state_limit as u64 {
+                        note_frontier(subsets.len());
                         return None;
                     }
                 }
             }
         }
 
+        note_frontier(subsets.len());
         out.n_states = subsets.len() as u32;
         for (i, s) in subsets.iter().enumerate() {
             if s.intersects(&self.finals) {
@@ -264,7 +290,8 @@ impl SymTa {
             }
         }
         // Deduplicate node transitions added twice for symmetric pairs.
-        out.node.sort_unstable_by_key(|&(a, g, q1, q2, q)| (a, g.mask, g.bits, q1, q2, q));
+        out.node
+            .sort_unstable_by_key(|&(a, g, q1, q2, q)| (a, g.mask, g.bits, q1, q2, q));
         out.node.dedup();
         Some(out)
     }
@@ -299,9 +326,11 @@ impl SymTa {
             out.add_final(f);
         }
         // Projection can create duplicate transitions.
-        out.leaf.sort_unstable_by_key(|&(a, g, q)| (a, g.mask, g.bits, q));
+        out.leaf
+            .sort_unstable_by_key(|&(a, g, q)| (a, g.mask, g.bits, q));
         out.leaf.dedup();
-        out.node.sort_unstable_by_key(|&(a, g, q1, q2, q)| (a, g.mask, g.bits, q1, q2, q));
+        out.node
+            .sort_unstable_by_key(|&(a, g, q1, q2, q)| (a, g.mask, g.bits, q1, q2, q));
         out.node.dedup();
         out
     }

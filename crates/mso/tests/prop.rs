@@ -2,95 +2,91 @@
 //! formulas (with an occasional second-order quantifier) and random small
 //! trees, the compiled tree automaton must agree with the direct
 //! recursive evaluator.
+//!
+//! Driven by the workspace's deterministic [`SmallRng`]; runs a fixed
+//! number of seeded cases.
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use xmltc_mso::{compile_sentence, Formula};
-use xmltc_trees::{Alphabet, BinaryTree, Symbol};
+use xmltc_trees::{generate, Alphabet, BinaryTree, SmallRng, Symbol};
 
 fn alpha() -> Arc<Alphabet> {
     Alphabet::ranked(&["x", "y"], &["f", "g"])
 }
 
-/// Quantifier-free kernels over two first-order variables u, v and one
-/// second-order variable S.
-fn arb_kernel(syms: Vec<Symbol>) -> impl Strategy<Value = Formula> {
-    let atom = prop_oneof![
-        prop::sample::select(syms.clone())
-            .prop_map(|s| Formula::Label("u".into(), s)),
-        prop::sample::select(syms)
-            .prop_map(|s| Formula::Label("v".into(), s)),
-        Just(Formula::Succ1("u".into(), "v".into())),
-        Just(Formula::Succ2("u".into(), "v".into())),
-        Just(Formula::Eq("u".into(), "v".into())),
-        Just(Formula::Root("u".into())),
-        Just(Formula::Leaf("v".into())),
-        Just(Formula::In("u".into(), "S".into())),
-        Just(Formula::In("v".into(), "S".into())),
-    ];
-    atom.prop_recursive(2, 8, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|a| a.not()),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::And(
-                Box::new(a),
-                Box::new(b)
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::Or(
-                Box::new(a),
-                Box::new(b)
-            )),
-            (inner.clone(), inner).prop_map(|(a, b)| Formula::Implies(
-                Box::new(a),
-                Box::new(b)
-            )),
-        ]
-    })
+/// A random atom over first-order variables u, v and set variable S.
+fn rand_atom(rng: &mut SmallRng, syms: &[Symbol]) -> Formula {
+    match rng.gen_range(0..9) {
+        0 => Formula::Label("u".into(), *rng.choose(syms)),
+        1 => Formula::Label("v".into(), *rng.choose(syms)),
+        2 => Formula::Succ1("u".into(), "v".into()),
+        3 => Formula::Succ2("u".into(), "v".into()),
+        4 => Formula::Eq("u".into(), "v".into()),
+        5 => Formula::Root("u".into()),
+        6 => Formula::Leaf("v".into()),
+        7 => Formula::In("u".into(), "S".into()),
+        _ => Formula::In("v".into(), "S".into()),
+    }
+}
+
+/// Quantifier-free kernels of connective depth at most `depth`.
+fn rand_kernel(rng: &mut SmallRng, syms: &[Symbol], depth: usize) -> Formula {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return rand_atom(rng, syms);
+    }
+    match rng.gen_range(0..4) {
+        0 => rand_kernel(rng, syms, depth - 1).not(),
+        1 => Formula::And(
+            Box::new(rand_kernel(rng, syms, depth - 1)),
+            Box::new(rand_kernel(rng, syms, depth - 1)),
+        ),
+        2 => Formula::Or(
+            Box::new(rand_kernel(rng, syms, depth - 1)),
+            Box::new(rand_kernel(rng, syms, depth - 1)),
+        ),
+        _ => Formula::Implies(
+            Box::new(rand_kernel(rng, syms, depth - 1)),
+            Box::new(rand_kernel(rng, syms, depth - 1)),
+        ),
+    }
 }
 
 /// Close the kernel: quantify u, v (mixing ∃/∀) and S (∃ or ∀).
-fn arb_sentence() -> impl Strategy<Value = Formula> {
+fn rand_sentence(rng: &mut SmallRng, syms: &[Symbol]) -> Formula {
+    let kernel = rand_kernel(rng, syms, 2);
+    let inner = if rng.gen_bool(0.5) {
+        Formula::exists1("v", kernel)
+    } else {
+        Formula::forall1("v", kernel)
+    };
+    let mid = if rng.gen_bool(0.5) {
+        Formula::exists1("u", inner)
+    } else {
+        Formula::forall1("u", inner)
+    };
+    if rng.gen_bool(0.5) {
+        Formula::exists2("S", mid)
+    } else {
+        Formula::forall2("S", mid)
+    }
+}
+
+#[test]
+fn compiled_agrees_with_direct_eval() {
     let al = alpha();
     let syms: Vec<Symbol> = al.symbols().collect();
-    (arb_kernel(syms), 0u8..2, 0u8..2, 0u8..2).prop_map(|(kernel, qu, qv, qs)| {
-        let inner = match qv {
-            0 => Formula::exists1("v", kernel),
-            _ => Formula::forall1("v", kernel),
-        };
-        let mid = match qu {
-            0 => Formula::exists1("u", inner),
-            _ => Formula::forall1("u", inner),
-        };
-        match qs {
-            0 => Formula::exists2("S", mid),
-            _ => Formula::forall2("S", mid),
-        }
-    })
-}
-
-fn arb_tree(al: Arc<Alphabet>) -> impl Strategy<Value = BinaryTree> {
-    let leaf = prop::sample::select(vec!["x", "y"]).prop_map(String::from);
-    let expr = leaf.prop_recursive(2, 7, 2, |inner| {
-        (
-            prop::sample::select(vec!["f", "g"]),
-            inner.clone(),
-            inner,
-        )
-            .prop_map(|(s, l, r)| format!("{s}({l}, {r})"))
-    });
-    expr.prop_map(move |src| BinaryTree::parse(&src, &al).unwrap())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn compiled_agrees_with_direct_eval(f in arb_sentence(), t in arb_tree(alpha())) {
-        // Direct SO evaluation is 2^|t|: the tree strategy caps at 7 nodes.
-        let al = t.alphabet().clone();
+    let mut rng = SmallRng::seed_from_u64(0x3501);
+    for case in 0..64 {
+        let f = rand_sentence(&mut rng, &syms);
+        // Direct SO evaluation is 2^|t|: keep trees at depth ≤ 3 (≤ 7 nodes).
+        let t: BinaryTree = generate::random_binary(&al, 3, 0.6, &mut rng).unwrap();
         let nta = compile_sentence(&f, &al).expect("compiles");
         let direct = f.eval(&t, &mut BTreeMap::new());
         let automaton = nta.accepts(&t).unwrap();
-        prop_assert_eq!(automaton, direct, "disagreement on {} for {}", t, f);
+        assert_eq!(
+            automaton, direct,
+            "case {case}: disagreement on {t} for {f}"
+        );
     }
 }

@@ -1,0 +1,282 @@
+//! The thread-local collector behind spans and metrics.
+//!
+//! Collection is scoped: [`with_report`] installs a collector for the
+//! duration of a closure and returns the assembled [`PipelineReport`].
+//! Outside such a scope every instrumentation call is a cheap no-op (one
+//! thread-local flag read), except that span enter/exit logging to stderr
+//! still happens when the `XMLTC_LOG` environment variable is set.
+
+use crate::report::{PipelineReport, SpanRecord};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Instant;
+
+/// Cached tri-state for the `XMLTC_LOG` environment check:
+/// 0 = not yet read, 1 = logging off, 2 = logging on.
+static LOG_STATE: AtomicU8 = AtomicU8::new(0);
+
+fn logging_enabled() -> bool {
+    match LOG_STATE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            let on = match std::env::var("XMLTC_LOG") {
+                Ok(v) => !v.is_empty() && v != "0" && v != "off",
+                Err(_) => false,
+            };
+            LOG_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+struct Collector {
+    spans: Vec<SpanRecord>,
+    /// Indices into `spans` of the currently open spans, innermost last.
+    open: Vec<usize>,
+    /// Metrics recorded outside any span.
+    root_metrics: Vec<(&'static str, u64)>,
+}
+
+impl Collector {
+    fn new() -> Collector {
+        Collector {
+            spans: Vec::new(),
+            open: Vec::new(),
+            root_metrics: Vec::new(),
+        }
+    }
+
+    fn metrics_here(&mut self) -> &mut Vec<(&'static str, u64)> {
+        match self.open.last() {
+            Some(&i) => &mut self.spans[i].metrics,
+            None => &mut self.root_metrics,
+        }
+    }
+}
+
+thread_local! {
+    /// Fast-path flag mirroring `COLLECTOR.is_some()`.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// True when a [`with_report`] scope is collecting on this thread.
+pub fn is_active() -> bool {
+    ACTIVE.with(Cell::get)
+}
+
+/// Runs `f` with a fresh collector installed, returning its result and the
+/// [`PipelineReport`] assembled from the spans and metrics it recorded.
+/// Scopes may nest; the inner scope shadows the outer one for its duration.
+pub fn with_report<R>(f: impl FnOnce() -> R) -> (R, PipelineReport) {
+    let previous = COLLECTOR.with(|c| c.borrow_mut().replace(Collector::new()));
+    ACTIVE.with(|a| a.set(true));
+    let result = f();
+    let collector = COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        let done = slot.take().expect("collector removed inside with_report");
+        let restored = previous.is_some();
+        *slot = previous;
+        ACTIVE.with(|a| a.set(restored));
+        done
+    });
+    let report = PipelineReport {
+        spans: collector.spans,
+        metrics: collector
+            .root_metrics
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    };
+    (result, report)
+}
+
+/// An RAII guard for one pipeline phase. Created by [`span`]; records the
+/// phase's wall time when dropped.
+pub struct Span {
+    /// Index of this span's record, when a collector is active.
+    rec: Option<usize>,
+    /// Set when either collecting or logging (timing is needed).
+    start: Option<Instant>,
+    name: &'static str,
+    log: bool,
+}
+
+/// Opens a phase span. The returned guard closes the span (recording wall
+/// time) when dropped. Nesting is reflected in the report's `depth` field.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    let log = logging_enabled();
+    if !is_active() && !log {
+        return Span {
+            rec: None,
+            start: None,
+            name,
+            log: false,
+        };
+    }
+    let rec = if is_active() {
+        COLLECTOR.with(|c| {
+            let mut slot = c.borrow_mut();
+            let col = slot.as_mut().expect("ACTIVE implies collector");
+            let depth = col.open.len() as u16;
+            let idx = col.spans.len();
+            col.spans.push(SpanRecord {
+                name: name.to_string(),
+                depth,
+                wall_ns: 0,
+                metrics: Vec::new(),
+            });
+            col.open.push(idx);
+            Some(idx)
+        })
+    } else {
+        None
+    };
+    if log {
+        let depth = COLLECTOR.with(|c| {
+            c.borrow()
+                .as_ref()
+                .map(|col| col.open.len().saturating_sub(1))
+                .unwrap_or(0)
+        });
+        eprintln!("[xmltc] {:indent$}-> {name}", "", indent = depth * 2);
+    }
+    Span {
+        rec,
+        start: Some(Instant::now()),
+        name,
+        log,
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let wall_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if let Some(idx) = self.rec {
+            COLLECTOR.with(|c| {
+                if let Some(col) = c.borrow_mut().as_mut() {
+                    if let Some(&top) = col.open.last() {
+                        if top == idx {
+                            col.open.pop();
+                        }
+                    }
+                    if let Some(r) = col.spans.get_mut(idx) {
+                        r.wall_ns = wall_ns;
+                    }
+                }
+            });
+        }
+        if self.log {
+            let depth =
+                COLLECTOR.with(|c| c.borrow().as_ref().map(|col| col.open.len()).unwrap_or(0));
+            eprintln!(
+                "[xmltc] {:indent$}<- {} ({:.3} ms)",
+                "",
+                self.name,
+                wall_ns as f64 / 1e6,
+                indent = depth * 2
+            );
+        }
+    }
+}
+
+fn with_metrics(f: impl FnOnce(&mut Vec<(&'static str, u64)>)) {
+    if !is_active() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            f(col.metrics_here());
+        }
+    });
+}
+
+/// Sets metric `name` on the innermost open span (last write wins).
+#[inline]
+pub fn record(name: &'static str, value: u64) {
+    with_metrics(|m| match m.iter_mut().find(|(k, _)| *k == name) {
+        Some(slot) => slot.1 = value,
+        None => m.push((name, value)),
+    });
+}
+
+/// Raises metric `name` to at least `value` (a high-water gauge).
+#[inline]
+pub fn record_max(name: &'static str, value: u64) {
+    with_metrics(|m| match m.iter_mut().find(|(k, _)| *k == name) {
+        Some(slot) => slot.1 = slot.1.max(value),
+        None => m.push((name, value)),
+    });
+}
+
+/// Adds `delta` to counter `name`.
+#[inline]
+pub fn add(name: &'static str, delta: u64) {
+    with_metrics(|m| match m.iter_mut().find(|(k, _)| *k == name) {
+        Some(slot) => slot.1 = slot.1.saturating_add(delta),
+        None => m.push((name, delta)),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_calls_are_noops() {
+        assert!(!is_active());
+        let _s = span("nothing");
+        record("x", 1);
+        add("x", 1);
+        record_max("x", 1);
+    }
+
+    #[test]
+    fn collects_nested_spans_and_metrics() {
+        let ((), report) = with_report(|| {
+            record("outside", 7);
+            let _outer = span("outer");
+            record("a", 1);
+            {
+                let _inner = span("inner");
+                record("b", 2);
+                record_max("b", 5);
+                record_max("b", 3);
+                add("c", 1);
+                add("c", 2);
+            }
+            record("a", 10); // overwrite
+        });
+        assert_eq!(report.metrics, vec![("outside".to_string(), 7)]);
+        assert_eq!(report.spans.len(), 2);
+        let outer = &report.spans[0];
+        assert_eq!((outer.name.as_str(), outer.depth), ("outer", 0));
+        assert_eq!(outer.metric("a"), Some(10));
+        let inner = &report.spans[1];
+        assert_eq!((inner.name.as_str(), inner.depth), ("inner", 1));
+        assert_eq!(inner.metric("b"), Some(5));
+        assert_eq!(inner.metric("c"), Some(3));
+        assert!(inner.wall_ns <= outer.wall_ns);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let ((), outer_report) = with_report(|| {
+            record("outer", 1);
+            let ((), inner_report) = with_report(|| {
+                record("inner", 2);
+            });
+            assert_eq!(inner_report.metrics, vec![("inner".to_string(), 2)]);
+            assert!(is_active());
+            record("outer2", 3);
+        });
+        assert!(!is_active());
+        assert_eq!(
+            outer_report.metrics,
+            vec![("outer".to_string(), 1), ("outer2".to_string(), 3)]
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! A minimal JSON value type and encoder.
+//!
+//! The workspace builds offline with no external crates, so the pipeline
+//! report, the CLI `--json` output and the benchmark dumps share this
+//! hand-rolled encoder instead of `serde_json`. Only encoding is provided;
+//! nothing in the workspace parses JSON.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (non-finite values encode as `null`).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for objects.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Encodes compactly (no whitespace).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Encodes with two-space indentation.
+    pub fn encode_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => {
+                if x.is_finite() {
+                    // `{}` prints the shortest representation that round-trips.
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    escape_into(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                if !fields.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into [`Json`], implemented for the primitive types, tuples,
+/// vectors and options that the experiment harness records.
+pub trait ToJson {
+    /// Converts `self` into a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+macro_rules! impl_tojson_uint {
+    ($($t:ty),*) => {
+        $(impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::U64(*self as u64)
+            }
+        })*
+    };
+}
+impl_tojson_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {
+        $(impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::I64(*self as i64)
+            }
+        })*
+    };
+}
+impl_tojson_int!(i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+}
+
+macro_rules! impl_tojson_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    };
+}
+impl_tojson_tuple!(A: 0);
+impl_tojson_tuple!(A: 0, B: 1);
+impl_tojson_tuple!(A: 0, B: 1, C: 2);
+impl_tojson_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_tojson_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tojson_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tojson_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.encode(), "null");
+        assert_eq!(true.to_json().encode(), "true");
+        assert_eq!(42u32.to_json().encode(), "42");
+        assert_eq!((-7i64).to_json().encode(), "-7");
+        assert_eq!(1.5f64.to_json().encode(), "1.5");
+        assert_eq!(f64::NAN.to_json().encode(), "null");
+        assert_eq!("a\"b\\c\n".to_json().encode(), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn composites() {
+        let v = vec![(1u32, "x"), (2u32, "y")];
+        assert_eq!(v.to_json().encode(), r#"[[1,"x"],[2,"y"]]"#);
+        let o = Json::obj(vec![("a", Json::U64(1)), ("b", Json::Array(vec![]))]);
+        assert_eq!(o.encode(), r#"{"a":1,"b":[]}"#);
+        assert_eq!(None::<u32>.to_json().encode(), "null");
+    }
+
+    #[test]
+    fn pretty_is_valid_and_indented() {
+        let o = Json::obj(vec![("k", Json::Array(vec![Json::U64(1), Json::U64(2)]))]);
+        let s = o.encode_pretty();
+        assert!(s.contains("\n  \"k\": [\n    1,\n    2\n  ]"));
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        assert_eq!("\u{1}".to_json().encode(), "\"\\u0001\"");
+    }
+}

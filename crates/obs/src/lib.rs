@@ -1,0 +1,51 @@
+//! # xmltc-obs
+//!
+//! Observability for the `xmltc` typechecking pipeline.
+//!
+//! The paper's decision procedure (Theorem 4.4) chains constructions with
+//! non-elementary worst-case blowup: the Proposition 4.6 product, the MSO
+//! compilation of Theorem 4.7 with its repeated subset constructions, and
+//! the final emptiness check. This crate makes those state-space costs
+//! visible without making any core crate heavier:
+//!
+//! * **Phase-scoped spans** ([`span`]) — RAII guards recording per-phase
+//!   wall time into a thread-local collector, nested like a call tree.
+//!   When `XMLTC_LOG` is set in the environment, span enter/exit lines are
+//!   also printed to stderr.
+//! * **Counters and gauges** ([`add`], [`record`], [`record_max`]) — state
+//!   counts, transition counts, peak subset-construction frontiers, trim
+//!   ratios — attached to the innermost open span.
+//! * **[`PipelineReport`]** — the serializable per-run report assembled by
+//!   [`with_report`], rendered as a human table ([`PipelineReport::render_table`])
+//!   or as JSON ([`PipelineReport::to_json_string`]) with a stable schema
+//!   (`xmltc.pipeline-report/1`).
+//! * **A minimal JSON encoder** ([`json`]) — the workspace is built offline
+//!   and dependency-free, so serialization is hand-rolled here and shared by
+//!   the CLI (`xmltc typecheck --json`) and the benchmark harness
+//!   (`BENCH_typecheck.json`).
+//!
+//! Instrumentation is free when nothing collects: every entry point
+//! fast-paths on one thread-local flag plus one cached environment check,
+//! so the pipeline's default behaviour (and its performance) is unchanged.
+//!
+//! ```
+//! let (answer, report) = xmltc_obs::with_report(|| {
+//!     let _s = xmltc_obs::span("phase.one");
+//!     xmltc_obs::record("states", 42);
+//!     6 * 7
+//! });
+//! assert_eq!(answer, 42);
+//! assert_eq!(report.spans[0].name, "phase.one");
+//! assert_eq!(report.spans[0].metric("states"), Some(42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod json;
+pub mod report;
+
+pub use collect::{add, is_active, record, record_max, span, with_report, Span};
+pub use json::{Json, ToJson};
+pub use report::{PipelineReport, SpanRecord};

@@ -144,9 +144,7 @@ impl<S: Clone + Eq + Hash> Regex<S> {
             Regex::Empty => Regex::Empty,
             Regex::Epsilon => Regex::Epsilon,
             Regex::Sym(s) => Regex::Sym(f(s)?),
-            Regex::Concat(a, b) => {
-                Regex::Concat(Box::new(a.try_map(f)?), Box::new(b.try_map(f)?))
-            }
+            Regex::Concat(a, b) => Regex::Concat(Box::new(a.try_map(f)?), Box::new(b.try_map(f)?)),
             Regex::Alt(a, b) => Regex::Alt(Box::new(a.try_map(f)?), Box::new(b.try_map(f)?)),
             Regex::Star(r) => Regex::Star(Box::new(r.try_map(f)?)),
             Regex::Plus(r) => Regex::Plus(Box::new(r.try_map(f)?)),

@@ -32,7 +32,9 @@ impl<S: Copy + Eq + Hash + Ord> Dfa<S> {
     pub fn from_nfa(nfa: &Nfa<S>, universe: &[S]) -> Dfa<S> {
         let alphabet = sorted_dedup(universe);
         debug_assert!(
-            nfa.alphabet().iter().all(|s| alphabet.binary_search(s).is_ok()),
+            nfa.alphabet()
+                .iter()
+                .all(|s| alphabet.binary_search(s).is_ok()),
             "universe must contain the NFA's alphabet"
         );
         let mut index: HashMap<BTreeSet<usize>, u32> = HashMap::new();
@@ -169,11 +171,7 @@ impl<S: Copy + Eq + Hash + Ord> Dfa<S> {
 
     /// Makes the transition function total by adding a rejecting sink.
     pub fn complete(&self) -> Dfa<S> {
-        if self
-            .trans
-            .iter()
-            .all(|row| row.iter().all(Option::is_some))
-        {
+        if self.trans.iter().all(|row| row.iter().all(Option::is_some)) {
             return self.clone();
         }
         let sink = self.trans.len() as u32;
@@ -399,9 +397,9 @@ impl<S: Copy + Eq + Hash + Ord> Dfa<S> {
         let mut edge: std::collections::HashMap<(usize, usize), Regex<S>> =
             std::collections::HashMap::new();
         let add = |edges: &mut std::collections::HashMap<(usize, usize), Regex<S>>,
-                       from: usize,
-                       to: usize,
-                       r: Regex<S>| {
+                   from: usize,
+                   to: usize,
+                   r: Regex<S>| {
             let slot = edges.entry((from, to)).or_insert(Regex::Empty);
             *slot = std::mem::replace(slot, Regex::Empty).alt(r);
         };

@@ -66,10 +66,7 @@ impl<S: Copy + Eq + Hash + Ord> Nfa<S> {
 
     /// All symbols labeling at least one transition.
     pub fn alphabet(&self) -> BTreeSet<S> {
-        self.trans
-            .iter()
-            .flat_map(|m| m.keys().copied())
-            .collect()
+        self.trans.iter().flat_map(|m| m.keys().copied()).collect()
     }
 
     /// Subset-simulation membership test.
@@ -265,7 +262,13 @@ mod tests {
     fn even_pairs() {
         // (b.b)* — the output type of Example 4.2.
         let n = nfa("(b.b)*");
-        for (w, want) in [("", true), ("b", false), ("bb", true), ("bbb", false), ("bbbb", true)] {
+        for (w, want) in [
+            ("", true),
+            ("b", false),
+            ("bb", true),
+            ("bbb", false),
+            ("bbbb", true),
+        ] {
             assert_eq!(accepts(&n, w), want, "word {w:?}");
         }
     }

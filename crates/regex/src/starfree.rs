@@ -114,7 +114,9 @@ impl<S: Copy + Eq + Hash + Ord> StarFree<S> {
                 let db = b.to_dfa_limited(universe, state_limit)?;
                 da.union(&db)
             }
-            StarFree::Not(a) => a.to_dfa_limited(universe, state_limit)?.complement(universe),
+            StarFree::Not(a) => a
+                .to_dfa_limited(universe, state_limit)?
+                .complement(universe),
         };
         let d = d.minimize();
         if d.len() > state_limit {
@@ -160,10 +162,7 @@ fn concat_dfas<S: Copy + Eq + Hash + Ord>(a: &Dfa<S>, b: &Dfa<S>, universe: &[S]
         let (qa, bs) = cfgs[q as usize].clone();
         for (i, &s) in sorted_universe.iter().enumerate() {
             let na = a.step(qa, s).expect("complete");
-            let mut nb: BTreeSet<u32> = bs
-                .iter()
-                .filter_map(|&qb| b.step(qb, s))
-                .collect();
+            let mut nb: BTreeSet<u32> = bs.iter().filter_map(|&qb| b.step(qb, s)).collect();
             if a.is_final(na) {
                 nb.insert(b.start());
             }
@@ -277,7 +276,9 @@ mod tests {
 
     #[test]
     fn concat_and_union() {
-        let e = StarFree::Sym('a').then(StarFree::Sym('b')).or(StarFree::Epsilon);
+        let e = StarFree::Sym('a')
+            .then(StarFree::Sym('b'))
+            .or(StarFree::Epsilon);
         assert!(accepts(&e, ""));
         assert!(accepts(&e, "ab"));
         assert!(!accepts(&e, "a"));
@@ -326,7 +327,13 @@ mod tests {
         let left = StarFree::Sym('a').or(StarFree::Sym('a').then(StarFree::Sym('b')));
         let right = StarFree::Sym('b').or(StarFree::Epsilon);
         let e = left.then(right);
-        for (w, want) in [("a", true), ("ab", true), ("abb", true), ("b", false), ("abbb", false)] {
+        for (w, want) in [
+            ("a", true),
+            ("ab", true),
+            ("abb", true),
+            ("b", false),
+            ("abbb", false),
+        ] {
             assert_eq!(accepts(&e, w), want, "{w}");
         }
     }
@@ -371,7 +378,7 @@ mod tests {
         assert!(acc("babb")); // 3rd from end = a
         assert!(!acc("bbb"));
         assert!(!acc("ab")); // too short
-        // Minimal DFA has exactly 2^k states.
+                             // Minimal DFA has exactly 2^k states.
         for k in 1..=5usize {
             let (e, universe) = kth_from_end(k);
             let d = e.to_dfa(&universe).minimize();

@@ -1,35 +1,48 @@
 //! Property tests: the regex AST, Glushkov NFA, subset-construction DFA and
 //! minimized DFA must all agree on membership; boolean operations must obey
 //! their set-algebra laws.
+//!
+//! Driven by the workspace's deterministic [`SmallRng`] (no external
+//! property-testing crate): each test runs a fixed number of random cases
+//! from a fixed seed and reports the failing case index + a debug render of
+//! the inputs on assertion failure.
 
-use proptest::prelude::*;
 use xmltc_regex::{Dfa, Nfa, Regex};
+use xmltc_trees::SmallRng;
 
 const UNIVERSE: [char; 3] = ['a', 'b', 'c'];
+const CASES: usize = 256;
 
-fn arb_regex() -> impl Strategy<Value = Regex<char>> {
-    let leaf = prop_oneof![
-        Just(Regex::Epsilon),
-        prop::sample::select(&UNIVERSE[..]).prop_map(Regex::Sym),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Regex::Concat(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Regex::Alt(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| Regex::Star(Box::new(a))),
-            inner.clone().prop_map(|a| Regex::Plus(Box::new(a))),
-            inner.prop_map(|a| Regex::Opt(Box::new(a))),
-        ]
-    })
+/// A random regex of depth at most `depth` over [`UNIVERSE`].
+fn rand_regex(rng: &mut SmallRng, depth: usize) -> Regex<char> {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.25) {
+            Regex::Epsilon
+        } else {
+            Regex::Sym(*rng.choose(&UNIVERSE))
+        };
+    }
+    match rng.gen_range(0..5) {
+        0 => Regex::Concat(
+            Box::new(rand_regex(rng, depth - 1)),
+            Box::new(rand_regex(rng, depth - 1)),
+        ),
+        1 => Regex::Alt(
+            Box::new(rand_regex(rng, depth - 1)),
+            Box::new(rand_regex(rng, depth - 1)),
+        ),
+        2 => Regex::Star(Box::new(rand_regex(rng, depth - 1))),
+        3 => Regex::Plus(Box::new(rand_regex(rng, depth - 1))),
+        _ => Regex::Opt(Box::new(rand_regex(rng, depth - 1))),
+    }
 }
 
-fn arb_word() -> impl Strategy<Value = Vec<char>> {
-    prop::collection::vec(prop::sample::select(&UNIVERSE[..]), 0..8)
+fn rand_word(rng: &mut SmallRng) -> Vec<char> {
+    let n = rng.gen_range(0..8);
+    (0..n).map(|_| *rng.choose(&UNIVERSE)).collect()
 }
 
-/// Reference semantics: naive recursive matcher with memoized splits.
+/// Reference semantics: naive recursive matcher.
 fn matches(r: &Regex<char>, w: &[char]) -> bool {
     match r {
         Regex::Empty => false,
@@ -39,79 +52,125 @@ fn matches(r: &Regex<char>, w: &[char]) -> bool {
         Regex::Alt(a, b) => matches(a, w) || matches(b, w),
         Regex::Star(a) => {
             w.is_empty()
-                || (1..=w.len()).any(|i| matches(a, &w[..i]) && matches(&Regex::Star(a.clone()), &w[i..]))
+                || (1..=w.len())
+                    .any(|i| matches(a, &w[..i]) && matches(&Regex::Star(a.clone()), &w[i..]))
         }
-        Regex::Plus(a) => (1..=w.len())
-            .any(|i| matches(a, &w[..i]) && (i == w.len() || matches(&Regex::Star(a.clone()), &w[i..])))
-            || (w.is_empty() && matches(a, &[])),
+        Regex::Plus(a) => {
+            (1..=w.len()).any(|i| {
+                matches(a, &w[..i]) && (i == w.len() || matches(&Regex::Star(a.clone()), &w[i..]))
+            }) || (w.is_empty() && matches(a, &[]))
+        }
         Regex::Opt(a) => w.is_empty() || matches(a, w),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn nfa_matches_reference(r in arb_regex(), w in arb_word()) {
-        let nfa = Nfa::from_regex(&r);
-        prop_assert_eq!(nfa.accepts(&w), matches(&r, &w));
+/// Runs `f` on `CASES` seeded (regex, word) pairs.
+fn for_cases(seed: u64, mut f: impl FnMut(&Regex<char>, &[char])) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for case in 0..CASES {
+        let r = rand_regex(&mut rng, 4);
+        let w = rand_word(&mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&r, &w)));
+        if let Err(e) = result {
+            eprintln!("case {case}: regex {r:?}, word {w:?}");
+            std::panic::resume_unwind(e);
+        }
     }
+}
 
-    #[test]
-    fn dfa_matches_nfa(r in arb_regex(), w in arb_word()) {
-        let nfa = Nfa::from_regex(&r);
+#[test]
+fn nfa_matches_reference() {
+    for_cases(0xB001, |r, w| {
+        let nfa = Nfa::from_regex(r);
+        assert_eq!(nfa.accepts(w), matches(r, w));
+    });
+}
+
+#[test]
+fn dfa_matches_nfa() {
+    for_cases(0xB002, |r, w| {
+        let nfa = Nfa::from_regex(r);
         let dfa = Dfa::from_nfa(&nfa, &UNIVERSE);
-        prop_assert_eq!(dfa.accepts(&w), nfa.accepts(&w));
-    }
+        assert_eq!(dfa.accepts(w), nfa.accepts(w));
+    });
+}
 
-    #[test]
-    fn minimized_dfa_equivalent(r in arb_regex()) {
-        let dfa = Dfa::from_regex(&r, &UNIVERSE);
+#[test]
+fn minimized_dfa_equivalent() {
+    for_cases(0xB003, |r, _| {
+        let dfa = Dfa::from_regex(r, &UNIVERSE);
         let min = dfa.minimize();
-        prop_assert!(min.equivalent(&dfa));
-        prop_assert!(min.len() <= dfa.complete().len());
-    }
+        assert!(min.equivalent(&dfa));
+        assert!(min.len() <= dfa.complete().len());
+    });
+}
 
-    #[test]
-    fn complement_involution(r in arb_regex(), w in arb_word()) {
-        let dfa = Dfa::from_regex(&r, &UNIVERSE);
+#[test]
+fn complement_involution() {
+    for_cases(0xB004, |r, w| {
+        let dfa = Dfa::from_regex(r, &UNIVERSE);
         let comp = dfa.complement(&UNIVERSE);
-        prop_assert_eq!(comp.accepts(&w), !dfa.accepts(&w));
-        prop_assert!(comp.complement(&UNIVERSE).equivalent(&dfa));
-    }
+        assert_eq!(comp.accepts(w), !dfa.accepts(w));
+        assert!(comp.complement(&UNIVERSE).equivalent(&dfa));
+    });
+}
 
-    #[test]
-    fn product_laws(r1 in arb_regex(), r2 in arb_regex(), w in arb_word()) {
+#[test]
+fn product_laws() {
+    let mut rng = SmallRng::seed_from_u64(0xB005);
+    for case in 0..CASES {
+        let r1 = rand_regex(&mut rng, 4);
+        let r2 = rand_regex(&mut rng, 4);
+        let w = rand_word(&mut rng);
         let d1 = Dfa::from_regex(&r1, &UNIVERSE);
         let d2 = Dfa::from_regex(&r2, &UNIVERSE);
-        prop_assert_eq!(d1.intersect(&d2).accepts(&w), d1.accepts(&w) && d2.accepts(&w));
-        prop_assert_eq!(d1.union(&d2).accepts(&w), d1.accepts(&w) || d2.accepts(&w));
-        prop_assert_eq!(d1.difference(&d2).accepts(&w), d1.accepts(&w) && !d2.accepts(&w));
+        let (a1, a2) = (d1.accepts(&w), d2.accepts(&w));
+        assert_eq!(
+            d1.intersect(&d2).accepts(&w),
+            a1 && a2,
+            "case {case}: {r1:?} ∩ {r2:?} on {w:?}"
+        );
+        assert_eq!(
+            d1.union(&d2).accepts(&w),
+            a1 || a2,
+            "case {case}: {r1:?} ∪ {r2:?} on {w:?}"
+        );
+        assert_eq!(
+            d1.difference(&d2).accepts(&w),
+            a1 && !a2,
+            "case {case}: {r1:?} \\ {r2:?} on {w:?}"
+        );
     }
+}
 
-    #[test]
-    fn witness_is_accepted(r in arb_regex()) {
-        let dfa = Dfa::from_regex(&r, &UNIVERSE);
+#[test]
+fn witness_is_accepted() {
+    for_cases(0xB006, |r, _| {
+        let dfa = Dfa::from_regex(r, &UNIVERSE);
         if let Some(w) = dfa.witness() {
-            prop_assert!(dfa.accepts(&w));
-            prop_assert!(matches(&r, &w));
+            assert!(dfa.accepts(&w));
+            assert!(matches(r, &w));
         }
-    }
+    });
+}
 
-    #[test]
-    fn reversal_matches_reversed_words(r in arb_regex(), w in arb_word()) {
+#[test]
+fn reversal_matches_reversed_words() {
+    for_cases(0xB007, |r, w| {
         let rev = r.reverse();
         let dfa = Dfa::from_regex(&rev, &UNIVERSE);
-        let mut rw = w.clone();
+        let mut rw = w.to_vec();
         rw.reverse();
-        prop_assert_eq!(dfa.accepts(&rw), matches(&r, &w));
-    }
+        assert_eq!(dfa.accepts(&rw), matches(r, w));
+    });
+}
 
-    #[test]
-    fn enumerated_words_accepted(r in arb_regex()) {
-        let dfa = Dfa::from_regex(&r, &UNIVERSE);
+#[test]
+fn enumerated_words_accepted() {
+    for_cases(0xB008, |r, _| {
+        let dfa = Dfa::from_regex(r, &UNIVERSE);
         for w in dfa.words_up_to(4, 50) {
-            prop_assert!(matches(&r, &w));
+            assert!(matches(r, &w), "enumerated {w:?} not matched by {r:?}");
         }
-    }
+    });
 }

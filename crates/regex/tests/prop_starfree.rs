@@ -1,78 +1,99 @@
 //! Property tests for star-free generalized expressions: the DFA
 //! compilation must agree with the direct recursive semantics (complement
 //! by negation, concatenation by split enumeration).
+//!
+//! Driven by the workspace's deterministic [`SmallRng`]; each test runs a
+//! fixed number of seeded cases.
 
-use proptest::prelude::*;
 use xmltc_regex::StarFree;
+use xmltc_trees::SmallRng;
 
 const UNIVERSE: [char; 2] = ['a', 'b'];
+const CASES: usize = 256;
 
 fn matches(e: &StarFree<char>, w: &[char]) -> bool {
     match e {
         StarFree::Empty => false,
         StarFree::Epsilon => w.is_empty(),
         StarFree::Sym(s) => w.len() == 1 && w[0] == *s,
-        StarFree::Concat(a, b) => {
-            (0..=w.len()).any(|i| matches(a, &w[..i]) && matches(b, &w[i..]))
-        }
+        StarFree::Concat(a, b) => (0..=w.len()).any(|i| matches(a, &w[..i]) && matches(b, &w[i..])),
         StarFree::Union(a, b) => matches(a, w) || matches(b, w),
         StarFree::Not(a) => !matches(a, w),
     }
 }
 
-fn arb_starfree() -> impl Strategy<Value = StarFree<char>> {
-    let leaf = prop_oneof![
-        Just(StarFree::Empty),
-        Just(StarFree::Epsilon),
-        prop::sample::select(&UNIVERSE[..]).prop_map(StarFree::Sym),
-    ];
-    leaf.prop_recursive(4, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| StarFree::Concat(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| StarFree::Union(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| StarFree::Not(Box::new(a))),
-        ]
-    })
-}
-
-fn arb_word() -> impl Strategy<Value = Vec<char>> {
-    prop::collection::vec(prop::sample::select(&UNIVERSE[..]), 0..7)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn dfa_matches_reference(e in arb_starfree(), w in arb_word()) {
-        let dfa = e.to_dfa(&UNIVERSE);
-        prop_assert_eq!(dfa.accepts(&w), matches(&e, &w), "on {:?} for {}", w, e);
+fn rand_starfree(rng: &mut SmallRng, depth: usize) -> StarFree<char> {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0..4) {
+            0 => StarFree::Empty,
+            1 => StarFree::Epsilon,
+            _ => StarFree::Sym(*rng.choose(&UNIVERSE)),
+        };
     }
+    match rng.gen_range(0..3) {
+        0 => StarFree::Concat(
+            Box::new(rand_starfree(rng, depth - 1)),
+            Box::new(rand_starfree(rng, depth - 1)),
+        ),
+        1 => StarFree::Union(
+            Box::new(rand_starfree(rng, depth - 1)),
+            Box::new(rand_starfree(rng, depth - 1)),
+        ),
+        _ => StarFree::Not(Box::new(rand_starfree(rng, depth - 1))),
+    }
+}
 
-    #[test]
-    fn witness_is_accepted(e in arb_starfree()) {
+fn rand_word(rng: &mut SmallRng) -> Vec<char> {
+    let n = rng.gen_range(0..7);
+    (0..n).map(|_| *rng.choose(&UNIVERSE)).collect()
+}
+
+#[test]
+fn dfa_matches_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x5F01);
+    for case in 0..CASES {
+        let e = rand_starfree(&mut rng, 4);
+        let w = rand_word(&mut rng);
+        let dfa = e.to_dfa(&UNIVERSE);
+        assert_eq!(
+            dfa.accepts(&w),
+            matches(&e, &w),
+            "case {case}: on {w:?} for {e}"
+        );
+    }
+}
+
+#[test]
+fn witness_is_accepted() {
+    let mut rng = SmallRng::seed_from_u64(0x5F02);
+    for case in 0..CASES {
+        let e = rand_starfree(&mut rng, 4);
         match e.witness(&UNIVERSE) {
-            Some(w) => prop_assert!(matches(&e, &w)),
+            Some(w) => assert!(matches(&e, &w), "case {case}: witness {w:?} for {e}"),
             None => {
-                // empty language: no word up to length 4 matches.
+                // Empty language: no word up to length 4 matches.
                 for n in 0..=4usize {
                     for bits in 0..(1u32 << n) {
                         let w: Vec<char> = (0..n)
                             .map(|i| if bits >> i & 1 == 1 { 'b' } else { 'a' })
                             .collect();
-                        prop_assert!(!matches(&e, &w));
+                        assert!(!matches(&e, &w), "case {case}: {w:?} matches {e}");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn double_complement_is_identity(e in arb_starfree(), w in arb_word()) {
+#[test]
+fn double_complement_is_identity() {
+    let mut rng = SmallRng::seed_from_u64(0x5F03);
+    for case in 0..CASES {
+        let e = rand_starfree(&mut rng, 4);
+        let w = rand_word(&mut rng);
         let nn = e.clone().not().not();
         let d1 = e.to_dfa(&UNIVERSE);
         let d2 = nn.to_dfa(&UNIVERSE);
-        prop_assert_eq!(d1.accepts(&w), d2.accepts(&w));
+        assert_eq!(d1.accepts(&w), d2.accepts(&w), "case {case}: {e} on {w:?}");
     }
 }

@@ -74,6 +74,8 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains('a') && s.contains('2') && s.contains('3'));
-        assert!(TreeError::UnknownSymbol("zz".into()).to_string().contains("zz"));
+        assert!(TreeError::UnknownSymbol("zz".into())
+            .to_string()
+            .contains("zz"));
     }
 }

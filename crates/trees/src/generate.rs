@@ -1,10 +1,10 @@
 //! Tree generators for property tests and benchmark workloads.
 
 use crate::error::TreeError;
+use crate::rng::SmallRng;
 use crate::symbol::{Alphabet, Symbol};
 use crate::tree::{BinaryTree, BinaryTreeBuilder, NodeId};
 use crate::unranked::UnrankedTree;
-use rand::Rng;
 use std::sync::Arc;
 
 /// Generates a random complete binary tree of depth at most `max_depth`.
@@ -14,11 +14,11 @@ use std::sync::Arc;
 /// Errors if the alphabet lacks leaf symbols (or binary symbols when
 /// `max_depth > 1` would require them — binary symbols are only needed if
 /// branching actually happens).
-pub fn random_binary<R: Rng>(
+pub fn random_binary(
     alphabet: &Arc<Alphabet>,
     max_depth: usize,
     branch_prob: f64,
-    rng: &mut R,
+    rng: &mut SmallRng,
 ) -> Result<BinaryTree, TreeError> {
     let leaves = alphabet.leaves();
     let binaries = alphabet.binaries();
@@ -30,31 +30,31 @@ pub fn random_binary<R: Rng>(
     Ok(b.finish(root))
 }
 
-fn gen_binary<R: Rng>(
+fn gen_binary(
     leaves: &[Symbol],
     binaries: &[Symbol],
     depth: usize,
     branch_prob: f64,
-    rng: &mut R,
+    rng: &mut SmallRng,
     b: &mut BinaryTreeBuilder,
 ) -> Result<NodeId, TreeError> {
     let branch = depth > 1 && !binaries.is_empty() && rng.gen_bool(branch_prob);
     if branch {
         let l = gen_binary(leaves, binaries, depth - 1, branch_prob, rng, b)?;
         let r = gen_binary(leaves, binaries, depth - 1, branch_prob, rng, b)?;
-        b.node(binaries[rng.gen_range(0..binaries.len())], l, r)
+        b.node(*rng.choose(binaries), l, r)
     } else {
-        b.leaf(leaves[rng.gen_range(0..leaves.len())])
+        b.leaf(*rng.choose(leaves))
     }
 }
 
 /// Generates a random unranked tree with at most `max_depth` levels and at
 /// most `max_children` children per node.
-pub fn random_unranked<R: Rng>(
+pub fn random_unranked(
     alphabet: &Arc<Alphabet>,
     max_depth: usize,
     max_children: usize,
-    rng: &mut R,
+    rng: &mut SmallRng,
 ) -> Result<UnrankedTree, TreeError> {
     if alphabet.is_empty() {
         return Err(TreeError::NoSymbolOfRank("any"));
@@ -63,17 +63,17 @@ pub fn random_unranked<R: Rng>(
     UnrankedTree::from_raw(&raw, alphabet)
 }
 
-fn gen_unranked<R: Rng>(
+fn gen_unranked(
     alphabet: &Arc<Alphabet>,
     depth: usize,
     max_children: usize,
-    rng: &mut R,
+    rng: &mut SmallRng,
 ) -> crate::raw::RawTree {
-    let sym = Symbol(rng.gen_range(0..alphabet.len() as u32));
+    let sym = Symbol(rng.gen_range(0..alphabet.len()) as u32);
     let n_children = if depth <= 1 {
         0
     } else {
-        rng.gen_range(0..=max_children)
+        rng.gen_range(0..max_children + 1)
     };
     crate::raw::RawTree {
         name: alphabet.name(sym).to_string(),
@@ -152,13 +152,11 @@ pub fn flat(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn random_binary_respects_depth() {
         let al = Alphabet::ranked(&["x", "y"], &["f"]);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SmallRng::seed_from_u64(7);
         for _ in 0..50 {
             let t = random_binary(&al, 5, 0.7, &mut rng).unwrap();
             assert!(t.depth() <= 5);
@@ -169,14 +167,14 @@ mod tests {
     #[test]
     fn random_binary_needs_leaves() {
         let al = Alphabet::ranked::<&str>(&[], &["f"]);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SmallRng::seed_from_u64(7);
         assert!(random_binary(&al, 3, 0.5, &mut rng).is_err());
     }
 
     #[test]
     fn random_unranked_respects_bounds() {
         let al = Alphabet::unranked(&["a", "b"]);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SmallRng::seed_from_u64(42);
         for _ in 0..50 {
             let t = random_unranked(&al, 4, 3, &mut rng).unwrap();
             assert!(t.depth() <= 4);

@@ -16,11 +16,13 @@
 //!   trees, exactly as in Figure 1 of the paper.
 //! * A small **term syntax** (`a(b, c(d))`) parser/printer ([`RawTree`]) used
 //!   pervasively by tests, examples and front-ends.
-//! * **Random generators** ([`generate`]) for property tests and benchmarks.
+//! * **Random generators** ([`generate`]) for property tests and benchmarks,
+//!   driven by the built-in seedable [`rng::SmallRng`].
 //!
-//! The crate is dependency-light by design; the only external dependency is
-//! `rand` for the generators. A deterministic FxHash-style hasher lives in
-//! [`fx`] so that hot paths avoid SipHash without pulling a crate in.
+//! The crate is dependency-free by design (the workspace builds offline). A
+//! deterministic FxHash-style hasher lives in [`fx`] so that hot paths avoid
+//! SipHash, and [`rng`] provides a splitmix64 generator, without pulling a
+//! crate in for either.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +32,7 @@ pub mod error;
 pub mod fx;
 pub mod generate;
 pub mod raw;
+pub mod rng;
 pub mod symbol;
 pub mod tree;
 pub mod unranked;
@@ -38,6 +41,7 @@ pub use encode::{decode, encode, EncodedAlphabet};
 pub use error::TreeError;
 pub use fx::{FxHashMap, FxHashSet};
 pub use raw::RawTree;
+pub use rng::SmallRng;
 pub use symbol::{Alphabet, AlphabetBuilder, Rank, Symbol};
 pub use tree::{BinaryTree, ChildSide, NodeId};
 pub use unranked::UnrankedTree;

@@ -45,12 +45,7 @@ impl RawTree {
 
     /// Height of the tree (a leaf has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self
-            .children
-            .iter()
-            .map(RawTree::depth)
-            .max()
-            .unwrap_or(0)
+        1 + self.children.iter().map(RawTree::depth).max().unwrap_or(0)
     }
 
     /// Parses term syntax.

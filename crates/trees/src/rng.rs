@@ -1,0 +1,120 @@
+//! A small, seedable, deterministic pseudo-random number generator.
+//!
+//! The workspace builds offline with no external crates, so the generators
+//! in [`crate::generate`], the property-test drivers and the benchmark
+//! workloads all draw from this splitmix64-based generator instead of the
+//! `rand` crate. It is emphatically **not** cryptographic — it exists to
+//! produce reproducible test and benchmark inputs from a fixed seed.
+
+/// A splitmix64 pseudo-random generator (Steele, Lea & Flood's mixer; the
+/// same finalizer Java's `SplittableRandom` and xoshiro's seeder use).
+/// Identical seeds yield identical streams on every platform.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a seed.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, n)`. Panics when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        // Multiply-shift with rejection of the biased tail (Lemire).
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = (x as u128) * (n as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return hi;
+            }
+        }
+    }
+
+    /// A uniform `usize` in the half-open `range`. Panics when empty.
+    pub fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        &slice[self.gen_range(0..slice.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.below(5);
+            assert!(v < 5);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit in 200 draws");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn gen_range_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let v = rng.gen_range(4..7);
+            assert!((4..7).contains(&v));
+        }
+        assert_eq!(rng.gen_range(9..10), 9);
+    }
+
+    #[test]
+    fn choose_picks_members() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let items = ["a", "b", "c"];
+        for _ in 0..20 {
+            assert!(items.contains(rng.choose(&items)));
+        }
+    }
+}

@@ -360,7 +360,12 @@ impl BinaryTreeBuilder {
 
     /// Creates an internal node over two previously created children.
     /// Errors if `symbol` is not binary or a child already has a parent.
-    pub fn node(&mut self, symbol: Symbol, left: NodeId, right: NodeId) -> Result<NodeId, TreeError> {
+    pub fn node(
+        &mut self,
+        symbol: Symbol,
+        left: NodeId,
+        right: NodeId,
+    ) -> Result<NodeId, TreeError> {
         match self.alphabet.rank(symbol) {
             Rank::Binary => {}
             other => {

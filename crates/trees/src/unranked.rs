@@ -162,9 +162,7 @@ impl UnrankedTree {
 
     /// Structural subtree equality.
     pub fn subtree_eq(&self, a: NodeId, other: &UnrankedTree, b: NodeId) -> bool {
-        if self.symbol(a) != other.symbol(b)
-            || self.children(a).len() != other.children(b).len()
-        {
+        if self.symbol(a) != other.symbol(b) || self.children(a).len() != other.children(b).len() {
             return false;
         }
         self.children(a)

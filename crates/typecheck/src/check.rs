@@ -5,6 +5,7 @@ use crate::error::TypecheckError;
 use crate::inverse::violation_nta;
 use xmltc_automata::Nta;
 use xmltc_core::{eval, PebbleTransducer};
+use xmltc_obs as obs;
 use xmltc_trees::{Alphabet, BinaryTree};
 
 /// Which Theorem 4.7 construction to use.
@@ -100,16 +101,36 @@ pub fn typecheck(
     output_type: &Nta,
     opts: &TypecheckOptions,
 ) -> Result<TypecheckOutcome, TypecheckError> {
+    let _span = obs::span("typecheck");
+    obs::record("transducer.k", t.k() as u64);
+    obs::record("transducer.states", t.core().n_states() as u64);
+    obs::record(
+        "route.is_mso",
+        matches!(opts.route_for(t.k()), ResolvedRoute::Mso) as u64,
+    );
     if !Alphabet::same(t.input_alphabet(), input_type.alphabet()) {
         return Err(TypecheckError::Tree(
             xmltc_trees::TreeError::AlphabetMismatch,
         ));
     }
     let violations = violation_nta(t, output_type, opts)?;
-    let offending_inputs = input_type.intersect(&violations);
-    match offending_inputs.witness() {
-        None => Ok(TypecheckOutcome::Ok),
+    let witness = {
+        let _span = obs::span("typecheck.emptiness");
+        let offending_inputs = input_type.intersect(&violations);
+        obs::record("intersection.states", offending_inputs.n_states() as u64);
+        obs::record(
+            "intersection.transitions",
+            offending_inputs.n_transitions() as u64,
+        );
+        offending_inputs.witness()
+    };
+    match witness {
+        None => {
+            obs::record("verdict.ok", 1);
+            Ok(TypecheckOutcome::Ok)
+        }
         Some(input) => {
+            obs::record("verdict.ok", 0);
             let bad_output = extract_bad_output(t, &input, output_type)?;
             Ok(TypecheckOutcome::CounterExample { input, bad_output })
         }
@@ -122,6 +143,7 @@ pub fn extract_bad_output(
     input: &BinaryTree,
     output_type: &Nta,
 ) -> Result<Option<BinaryTree>, TypecheckError> {
+    let _span = obs::span("typecheck.bad_output");
     let out_lang = eval::output_automaton(t, input)?.to_nta();
     let bad = out_lang.intersect(&output_type.complement().to_nta());
     Ok(bad.witness())
@@ -187,7 +209,10 @@ mod tests {
             TypecheckOutcome::Ok => panic!("should not typecheck"),
             TypecheckOutcome::CounterExample { input, bad_output } => {
                 assert!(tau1.accepts(&input).unwrap());
-                assert!(!tau2.accepts(&input).unwrap(), "copy: bad input maps to itself");
+                assert!(
+                    !tau2.accepts(&input).unwrap(),
+                    "copy: bad input maps to itself"
+                );
                 let bad = bad_output.expect("bad output extracted");
                 assert_eq!(bad, input, "copy's output is its input");
                 assert!(!tau2.accepts(&bad).unwrap());

@@ -47,10 +47,7 @@ impl ForwardOutcome {
 
 /// Computes a regular over-approximation of `T(τ₁)` for a downward
 /// 1-pebble transducer as a top-down automaton with silent transitions.
-pub fn forward_image(
-    t: &PebbleTransducer,
-    input_type: &Nta,
-) -> Result<TdTa, TypecheckError> {
+pub fn forward_image(t: &PebbleTransducer, input_type: &Nta) -> Result<TdTa, TypecheckError> {
     if t.k() != 1 {
         return Err(TypecheckError::UnsupportedForForward(format!(
             "k = {} (needs k = 1)",
@@ -142,7 +139,9 @@ pub fn forward_image(
 
     while let Some(abs @ (q, a, p)) = queue.pop() {
         let s = index[&abs];
-        let Some(actions) = rules.get(&(a, q)) else { continue };
+        let Some(actions) = rules.get(&(a, q)) else {
+            continue;
+        };
         for action in actions {
             match action {
                 Action::Move(Move::Stay, q2) => {
@@ -157,7 +156,8 @@ pub fn forward_image(
                         let pc = if matches!(m, Move::DownLeft) { p1 } else { p2 };
                         for b in input_al.symbols() {
                             if viable[&(b, pc)] {
-                                let s2 = intern((*q2, b, pc), &mut index, &mut automaton, &mut queue);
+                                let s2 =
+                                    intern((*q2, b, pc), &mut index, &mut automaton, &mut queue);
                                 automaton.add_silent_any(s, s2);
                             }
                         }
@@ -293,7 +293,7 @@ mod tests {
 #[cfg(test)]
 mod topdown_tests {
     use super::*;
-    
+
     use xmltc_automata::State;
     use xmltc_core::topdown_transducer::{Fragment, TopDownTransducer};
     use xmltc_trees::Alphabet;
@@ -341,7 +341,9 @@ mod topdown_tests {
 
         // The relabeling is linear, so the forward image is exact here and
         // the baseline proves the true spec.
-        assert!(forward_typecheck(&pebble, &tau1, &tau2).unwrap().is_proved());
+        assert!(forward_typecheck(&pebble, &tau1, &tau2)
+            .unwrap()
+            .is_proved());
 
         // And rejects an over-tight spec (no g at all) with a witness.
         let mut tau3 = Nta::new(&al, 1);
@@ -354,13 +356,8 @@ mod topdown_tests {
             other => panic!("unexpected {other:?}"),
         }
         // Cross-check with the exact route.
-        let exact = crate::typecheck(
-            &pebble,
-            &tau1,
-            &tau2,
-            &crate::TypecheckOptions::default(),
-        )
-        .unwrap();
+        let exact =
+            crate::typecheck(&pebble, &tau1, &tau2, &crate::TypecheckOptions::default()).unwrap();
         assert!(exact.is_ok());
     }
 }

@@ -13,6 +13,7 @@ use crate::product::violation_automaton;
 use crate::walk;
 use xmltc_automata::Nta;
 use xmltc_core::PebbleTransducer;
+use xmltc_obs as obs;
 
 /// Computes a tree automaton for `τ₂⁻¹ = {t | T(t) ⊆ τ₂}`.
 ///
@@ -25,7 +26,11 @@ pub fn inverse_type(
     opts: &TypecheckOptions,
 ) -> Result<Nta, TypecheckError> {
     let violations = violation_nta(t, output_type, opts)?;
-    Ok(violations.complement().to_nta().trim())
+    let _span = obs::span("typecheck.inverse_complement");
+    let inv = violations.complement().to_nta().trim();
+    obs::record("inverse.states", inv.n_states() as u64);
+    obs::record("inverse.transitions", inv.n_transitions() as u64);
+    Ok(inv)
 }
 
 /// The regular tree automaton for `{t | T(t) ⊈ τ₂}` (the violation
@@ -35,15 +40,30 @@ pub fn violation_nta(
     output_type: &Nta,
     opts: &TypecheckOptions,
 ) -> Result<Nta, TypecheckError> {
-    let v = violation_automaton(t, output_type)?.trim_states();
-    match opts.route_for(t.k()) {
+    let v = {
+        let _span = obs::span("typecheck.violation");
+        let v = violation_automaton(t, output_type)?.trim_states();
+        obs::record("pebble.k", v.k() as u64);
+        obs::record("pebble.states", v.core().n_states() as u64);
+        v
+    };
+    let nta = match opts.route_for(t.k()) {
         ResolvedRoute::Walk => {
+            let _span = obs::span("route.walk");
             let d = walk::walking_to_dbta_limited(&v, opts.state_limit)?;
-            Ok(d.to_nta().trim())
+            obs::record("walk.dbta_states", d.n_states() as u64);
+            d.to_nta().trim()
         }
         ResolvedRoute::Mso => {
-            let (nta, _stats) = mso_route::pebble_to_nta(&v, opts.state_limit)?;
-            Ok(nta.trim())
+            let _span = obs::span("route.mso");
+            let (nta, stats) = mso_route::pebble_to_nta(&v, opts.state_limit)?;
+            obs::record("mso.max_states", stats.max_states as u64);
+            obs::record("mso.determinizations", stats.determinizations as u64);
+            obs::record("mso.operations", stats.operations as u64);
+            nta.trim()
         }
-    }
+    };
+    obs::record("violation.states", nta.n_states() as u64);
+    obs::record("violation.transitions", nta.n_transitions() as u64);
+    Ok(nta)
 }

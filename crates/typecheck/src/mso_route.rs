@@ -215,7 +215,14 @@ mod tests {
         let a = b.build().unwrap();
         agree(
             &a,
-            &["x", "y", "f(x, y)", "f(x, x)", "f(f(x, y), x)", "f(f(x, x), x)"],
+            &[
+                "x",
+                "y",
+                "f(x, y)",
+                "f(x, x)",
+                "f(f(x, y), x)",
+                "f(f(x, x), x)",
+            ],
             2_000_000,
         );
     }

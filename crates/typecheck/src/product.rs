@@ -151,7 +151,12 @@ mod tests {
         let t = library::copy(&al).unwrap();
         let b = all_x(&al).to_tdta();
         let a = product_with_tdta(&t, &b).unwrap();
-        for (src, in_tau) in [("x", true), ("y", false), ("f(x, y)", false), ("f(x, x)", true)] {
+        for (src, in_tau) in [
+            ("x", true),
+            ("y", false),
+            ("f(x, y)", false),
+            ("f(x, x)", true),
+        ] {
             let tree = BinaryTree::parse(src, &al).unwrap();
             assert_eq!(accepts(&a, &tree).unwrap(), in_tau, "{src}");
         }
@@ -172,7 +177,12 @@ mod tests {
         }
         tau2.add_final(State(0));
         let v = violation_automaton(&t, &tau2).unwrap();
-        for (src, has_y) in [("x", false), ("y", true), ("f(x, y)", true), ("f(x, x)", false)] {
+        for (src, has_y) in [
+            ("x", false),
+            ("y", true),
+            ("f(x, y)", true),
+            ("f(x, x)", false),
+        ] {
             let tree = BinaryTree::parse(src, &al).unwrap();
             assert_eq!(accepts(&v, &tree).unwrap(), has_y, "{src}");
         }

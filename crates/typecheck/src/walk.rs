@@ -50,13 +50,7 @@ impl Mask {
     }
 
     fn or(&self, other: &Mask) -> Mask {
-        Mask(
-            self.0
-                .iter()
-                .zip(&other.0)
-                .map(|(a, b)| a | b)
-                .collect(),
-        )
+        Mask(self.0.iter().zip(&other.0).map(|(a, b)| a | b).collect())
     }
 
     fn is_subset(&self, other: &Mask) -> bool {
@@ -241,9 +235,7 @@ impl<'a> Walker<'a> {
         let right = self.fixpoint(sym, Chi::Right, kids);
         let root = self.fixpoint(sym, Chi::Root, kids);
         // Accepting iff the initial configuration resolves with no exits.
-        let accepting = root[self.initial.index()]
-            .iter()
-            .any(Mask::is_empty);
+        let accepting = root[self.initial.index()].iter().any(Mask::is_empty);
         Triple {
             left,
             right,
@@ -257,10 +249,7 @@ impl<'a> Walker<'a> {
 ///
 /// Errors when `k ≠ 1`. The `limit` bounds the number of behaviour classes
 /// (congruence states) explored.
-pub fn walking_to_dbta_limited(
-    a: &PebbleAutomaton,
-    limit: u32,
-) -> Result<Dbta, TypecheckError> {
+pub fn walking_to_dbta_limited(a: &PebbleAutomaton, limit: u32) -> Result<Dbta, TypecheckError> {
     let walker = Walker::new(a)?;
     let alphabet = a.input_alphabet();
 
@@ -336,8 +325,8 @@ pub fn walking_to_dbta(a: &PebbleAutomaton) -> Result<Dbta, TypecheckError> {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use xmltc_core::machine::{AutomatonBuilder, Guard, SymSpec};
     use xmltc_core::accepts;
+    use xmltc_core::machine::{AutomatonBuilder, Guard, SymSpec};
     use xmltc_trees::{Alphabet, BinaryTree};
 
     fn alpha() -> Arc<Alphabet> {
@@ -438,14 +427,22 @@ mod tests {
             .unwrap();
         b.move_rule(SymSpec::One(y), down, Guard::any(), Move::UpRight, up)
             .unwrap();
-        b.move_rule(SymSpec::Any, up, Guard::any(), Move::UpLeft, up).unwrap();
-        b.move_rule(SymSpec::Any, up, Guard::any(), Move::UpRight, up).unwrap();
+        b.move_rule(SymSpec::Any, up, Guard::any(), Move::UpLeft, up)
+            .unwrap();
+        b.move_rule(SymSpec::Any, up, Guard::any(), Move::UpRight, up)
+            .unwrap();
         // From wherever climbing stops... we can't test rootness, so `up`
         // also nondeterministically switches to descending right.
         b.move_rule(SymSpec::Binaries, up, Guard::any(), Move::Stay, right)
             .unwrap();
-        b.move_rule(SymSpec::Binaries, right, Guard::any(), Move::DownRight, right)
-            .unwrap();
+        b.move_rule(
+            SymSpec::Binaries,
+            right,
+            Guard::any(),
+            Move::DownRight,
+            right,
+        )
+        .unwrap();
         b.branch0(SymSpec::One(y), right, Guard::any()).unwrap();
         // Degenerate single-leaf tree: y alone accepts via the right state?
         // No — initial `down` on a leaf y has no applicable rule except the
@@ -462,8 +459,10 @@ mod tests {
         let q = b.state("a", 1).unwrap();
         let p = b.state("b", 1).unwrap();
         b.set_initial(q);
-        b.move_rule(SymSpec::Any, q, Guard::any(), Move::Stay, p).unwrap();
-        b.move_rule(SymSpec::Any, p, Guard::any(), Move::Stay, q).unwrap();
+        b.move_rule(SymSpec::Any, q, Guard::any(), Move::Stay, p)
+            .unwrap();
+        b.move_rule(SymSpec::Any, p, Guard::any(), Move::Stay, q)
+            .unwrap();
         agree(&b.build().unwrap());
     }
 

@@ -54,10 +54,7 @@ pub fn parse_raw(input: &str) -> Result<RawTree, XmlError> {
 }
 
 /// Parses an XML document into an [`UnrankedTree`] over the given alphabet.
-pub fn parse_document(
-    input: &str,
-    alphabet: &Arc<Alphabet>,
-) -> Result<UnrankedTree, XmlError> {
+pub fn parse_document(input: &str, alphabet: &Arc<Alphabet>) -> Result<UnrankedTree, XmlError> {
     let raw = parse_raw(input)?;
     UnrankedTree::from_raw(&raw, alphabet).map_err(|e| XmlError {
         message: e.to_string(),
@@ -190,8 +187,7 @@ mod tests {
     fn paper_example_document() {
         // Section 2.2's serialization of the Figure 1 tree.
         let al = alpha();
-        let doc = parse_document("<a> <b></b> <b></b> <c><d></d></c> <e></e> </a>", &al)
-            .unwrap();
+        let doc = parse_document("<a> <b></b> <b></b> <c><d></d></c> <e></e> </a>", &al).unwrap();
         assert_eq!(doc.to_string(), "a(b, b, c(d), e)");
     }
 
@@ -231,12 +227,10 @@ mod tests {
 
     #[test]
     fn validate_against_dtd() {
-        let dtd = xmltc_dtd::Dtd::parse_text("a := b*.c.e\nb := @eps\nc := d*\nd := @eps\ne := @eps").unwrap();
-        let doc = parse_document(
-            "<a><b/><b/><c><d/></c><e/></a>",
-            dtd.alphabet(),
-        )
-        .unwrap();
+        let dtd =
+            xmltc_dtd::Dtd::parse_text("a := b*.c.e\nb := @eps\nc := d*\nd := @eps\ne := @eps")
+                .unwrap();
+        let doc = parse_document("<a><b/><b/><c><d/></c><e/></a>", dtd.alphabet()).unwrap();
         assert!(dtd.validate(&doc).is_ok());
         let bad = parse_document("<a><e/><b/></a>", dtd.alphabet()).unwrap();
         assert!(dtd.validate(&bad).is_err());

@@ -38,8 +38,8 @@ pub mod xslt;
 
 pub use error::QueryError;
 
-/// Re-export: the DTD type consumed by [`xslt::Stylesheet::infer_image`].
-pub use xmltc_dtd::Dtd as DtdRef;
 pub use pipeline::{DocumentPipeline, DocumentVerdict};
 pub use query::SelectConstructQuery;
+/// Re-export: the DTD type consumed by [`xslt::Stylesheet::infer_image`].
+pub use xmltc_dtd::Dtd as DtdRef;
 pub use xslt::{Stylesheet, Template, TemplateNode};

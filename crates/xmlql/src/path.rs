@@ -92,12 +92,11 @@ pub fn parse_path(
             offset: e.offset,
         })
     })?;
-    named
-        .try_map(&mut |name: &String| {
-            alphabet
-                .get(name)
-                .ok_or_else(|| crate::error::QueryError::UnknownTag(name.clone()))
-        })
+    named.try_map(&mut |name: &String| {
+        alphabet
+            .get(name)
+            .ok_or_else(|| crate::error::QueryError::UnknownTag(name.clone()))
+    })
 }
 
 #[cfg(test)]
@@ -166,10 +165,8 @@ mod tests {
             );
             // Every encoded hit is an element node with the same label
             // multiset as the direct hits.
-            let mut direct_labels: Vec<Symbol> =
-                direct.iter().map(|&n| t.symbol(n)).collect();
-            let mut enc_labels: Vec<Symbol> =
-                encoded_hits.iter().map(|&n| bt.symbol(n)).collect();
+            let mut direct_labels: Vec<Symbol> = direct.iter().map(|&n| t.symbol(n)).collect();
+            let mut enc_labels: Vec<Symbol> = encoded_hits.iter().map(|&n| bt.symbol(n)).collect();
             direct_labels.sort_unstable();
             enc_labels.sort_unstable();
             assert_eq!(direct_labels, enc_labels, "{rs} on {ts}");

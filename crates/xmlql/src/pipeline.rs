@@ -24,6 +24,7 @@ use std::sync::Arc;
 use xmltc_automata::Nta;
 use xmltc_core::{MachineError, PebbleTransducer};
 use xmltc_dtd::{Dtd, DtdError};
+use xmltc_obs as obs;
 use xmltc_trees::{decode, encode, Alphabet, EncodedAlphabet, RawTree, UnrankedTree};
 use xmltc_typecheck::{typecheck, TypecheckError, TypecheckOptions, TypecheckOutcome};
 
@@ -108,8 +109,21 @@ impl From<TypecheckError> for PipelineError {
 impl DocumentPipeline {
     /// Compiles the stylesheet against the input DTD.
     pub fn new(stylesheet: Stylesheet, input_dtd: Dtd) -> Result<DocumentPipeline, PipelineError> {
-        let (transducer, enc_in, enc_out) = stylesheet.compile(input_dtd.alphabet())?;
-        let tau1 = input_dtd.compile(&enc_in)?;
+        let _span = obs::span("pipeline.compile");
+        let (transducer, enc_in, enc_out) = {
+            let _span = obs::span("stylesheet.compile");
+            let out = stylesheet.compile(input_dtd.alphabet())?;
+            obs::record("transducer.k", out.0.k() as u64);
+            obs::record("transducer.states", out.0.core().n_states() as u64);
+            out
+        };
+        let tau1 = {
+            let _span = obs::span("input_dtd.compile");
+            let tau1 = input_dtd.compile(&enc_in)?;
+            obs::record("tau1.states", tau1.n_states() as u64);
+            obs::record("tau1.transitions", tau1.n_transitions() as u64);
+            tau1
+        };
         Ok(DocumentPipeline {
             stylesheet,
             input_dtd,
@@ -143,6 +157,7 @@ impl DocumentPipeline {
     /// Transforms a document (validating it first), through the compiled
     /// machine (not the interpreter).
     pub fn transform(&self, doc: &UnrankedTree) -> Result<RawTree, PipelineError> {
+        let _span = obs::span("pipeline.transform");
         self.input_dtd.validate(doc)?;
         let encoded = encode(doc, &self.enc_in).map_err(QueryError::Tree)?;
         let out = xmltc_core::eval(&self.transducer, &encoded)?;
@@ -152,28 +167,56 @@ impl DocumentPipeline {
 
     /// Statically typechecks the transformation against an output DTD
     /// given in text syntax over the stylesheet's output tags.
-    pub fn typecheck_against(&self, output_dtd_text: &str) -> Result<DocumentVerdict, PipelineError> {
-        let out_dtd = Dtd::parse_text_with(output_dtd_text, self.enc_out.source())?;
-        let tau2 = out_dtd.compile(&self.enc_out)?;
-        self.typecheck_nta(&tau2)
+    pub fn typecheck_against(
+        &self,
+        output_dtd_text: &str,
+    ) -> Result<DocumentVerdict, PipelineError> {
+        self.typecheck_against_with(output_dtd_text, &TypecheckOptions::default())
+    }
+
+    /// [`DocumentPipeline::typecheck_against`] with explicit
+    /// [`TypecheckOptions`] (route selection, state budget).
+    pub fn typecheck_against_with(
+        &self,
+        output_dtd_text: &str,
+        opts: &TypecheckOptions,
+    ) -> Result<DocumentVerdict, PipelineError> {
+        let tau2 = {
+            let _span = obs::span("output_dtd.compile");
+            let out_dtd = Dtd::parse_text_with(output_dtd_text, self.enc_out.source())?;
+            let tau2 = out_dtd.compile(&self.enc_out)?;
+            obs::record("tau2.states", tau2.n_states() as u64);
+            obs::record("tau2.transitions", tau2.n_transitions() as u64);
+            tau2
+        };
+        self.typecheck_nta_with(&tau2, opts)
     }
 
     /// Statically typechecks against a pre-built output automaton over the
     /// encoded output alphabet.
     pub fn typecheck_nta(&self, tau2: &Nta) -> Result<DocumentVerdict, PipelineError> {
-        match typecheck(
-            &self.transducer,
-            &self.tau1,
-            tau2,
-            &TypecheckOptions::default(),
-        )? {
+        self.typecheck_nta_with(tau2, &TypecheckOptions::default())
+    }
+
+    /// [`DocumentPipeline::typecheck_nta`] with explicit
+    /// [`TypecheckOptions`].
+    pub fn typecheck_nta_with(
+        &self,
+        tau2: &Nta,
+        opts: &TypecheckOptions,
+    ) -> Result<DocumentVerdict, PipelineError> {
+        match typecheck(&self.transducer, &self.tau1, tau2, opts)? {
             TypecheckOutcome::Ok => Ok(DocumentVerdict::Ok),
             TypecheckOutcome::CounterExample { input, bad_output } => {
                 let input = decode(&input, &self.enc_in)
                     .map_err(QueryError::Tree)?
                     .to_raw();
                 let bad_output = match bad_output {
-                    Some(b) => Some(decode(&b, &self.enc_out).map_err(QueryError::Tree)?.to_raw()),
+                    Some(b) => Some(
+                        decode(&b, &self.enc_out)
+                            .map_err(QueryError::Tree)?
+                            .to_raw(),
+                    ),
                     None => None,
                 };
                 Ok(DocumentVerdict::CounterExample { input, bad_output })
@@ -184,10 +227,8 @@ impl DocumentPipeline {
     /// The forward-inference baseline verdict (sound, incomplete): `Some
     /// witness` when the inferred image leaks outside the DTD (possibly
     /// spuriously), `None` when the image proves the spec.
-    pub fn forward_check(
-        &self,
-        output_dtd_text: &str,
-    ) -> Result<Option<RawTree>, PipelineError> {
+    pub fn forward_check(&self, output_dtd_text: &str) -> Result<Option<RawTree>, PipelineError> {
+        let _span = obs::span("pipeline.forward");
         let out_dtd = Dtd::parse_text_with(output_dtd_text, self.enc_out.source())?;
         let tau2 = out_dtd.compile(&self.enc_out)?;
         let image = self
@@ -197,7 +238,9 @@ impl DocumentPipeline {
         match image.inclusion_counterexample(&tau2) {
             None => Ok(None),
             Some(w) => Ok(Some(
-                decode(&w, &self.enc_out).map_err(QueryError::Tree)?.to_raw(),
+                decode(&w, &self.enc_out)
+                    .map_err(QueryError::Tree)?
+                    .to_raw(),
             )),
         }
     }

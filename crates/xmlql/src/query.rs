@@ -28,8 +28,7 @@ use xmltc_core::machine::{Guard, Move, PebbleTransducer, SymSpec, TransducerBuil
 use xmltc_regex::{Dfa, Regex};
 use xmltc_trees::tree::NodeId;
 use xmltc_trees::{
-    encode, Alphabet, AlphabetBuilder, EncodedAlphabet, Rank, RawTree, Symbol,
-    UnrankedTree,
+    encode, Alphabet, AlphabetBuilder, EncodedAlphabet, Rank, RawTree, Symbol, UnrankedTree,
 };
 
 /// One variable's binding condition: a regular path expression, rooted at
@@ -99,8 +98,14 @@ impl SelectConstructQuery {
         output_root: &str,
         items: Vec<ConstructItem>,
     ) -> SelectConstructQuery {
-        assert!(!conditions.is_empty(), "a query needs at least one variable");
-        assert!(!items.is_empty(), "the CONSTRUCT clause needs at least one item");
+        assert!(
+            !conditions.is_empty(),
+            "a query needs at least one variable"
+        );
+        assert!(
+            !items.is_empty(),
+            "the CONSTRUCT clause needs at least one item"
+        );
         for (j, c) in conditions.iter().enumerate() {
             if let Some(p) = c.parent {
                 assert!(p < j, "condition {j} must reference an earlier variable");
@@ -129,7 +134,10 @@ impl SelectConstructQuery {
         output_root: &str,
         item: RawTree,
     ) -> SelectConstructQuery {
-        assert!(!conditions.is_empty(), "a query needs at least one variable");
+        assert!(
+            !conditions.is_empty(),
+            "a query needs at least one variable"
+        );
         for (j, c) in conditions.iter().enumerate() {
             if let Some(p) = c.parent {
                 assert!(p < j, "condition {j} must reference an earlier variable");
@@ -261,9 +269,7 @@ impl SelectConstructQuery {
         let dfas: Vec<Dfa<Symbol>> = self
             .conditions
             .iter()
-            .map(|c| {
-                Dfa::from_regex(&translate(&c.path, &enc_in).reverse(), &universe).complete()
-            })
+            .map(|c| Dfa::from_regex(&translate(&c.path, &enc_in).reverse(), &universe).complete())
             .collect();
 
         let mut b = TransducerBuilder::new(in_al, enc_out.encoded(), k);
@@ -314,11 +320,7 @@ impl SelectConstructQuery {
         // launch chain: launch(j) places pebble j+1; next j<n → launch(j+1),
         // j=n → find(1).
         for j in 1..=n {
-            let target = if j < n {
-                launch[j as usize]
-            } else {
-                find[0]
-            };
+            let target = if j < n { launch[j as usize] } else { find[0] };
             b.move_rule(
                 SymSpec::Any,
                 launch[(j - 1) as usize],
@@ -418,15 +420,34 @@ impl SelectConstructQuery {
                 };
                 match in_al.rank(sym) {
                     xmltc_trees::Rank::Binary => {
-                        b.output2(SymSpec::One(sym), ccopy, Guard::any(), mapped, cleft, cright)?;
+                        b.output2(
+                            SymSpec::One(sym),
+                            ccopy,
+                            Guard::any(),
+                            mapped,
+                            cleft,
+                            cright,
+                        )?;
                     }
                     _ => {
                         b.output0(SymSpec::One(sym), ccopy, Guard::any(), mapped)?;
                     }
                 }
             }
-            b.move_rule(SymSpec::Binaries, cleft, Guard::any(), Move::DownLeft, ccopy)?;
-            b.move_rule(SymSpec::Binaries, cright, Guard::any(), Move::DownRight, ccopy)?;
+            b.move_rule(
+                SymSpec::Binaries,
+                cleft,
+                Guard::any(),
+                Move::DownLeft,
+                ccopy,
+            )?;
+            b.move_rule(
+                SymSpec::Binaries,
+                cright,
+                Guard::any(),
+                Move::DownRight,
+                ccopy,
+            )?;
             Some(ccopy)
         } else {
             None
@@ -436,7 +457,9 @@ impl SelectConstructQuery {
         // variable's pebble, and copy from there.
         let mut copy_entry: Vec<Option<State>> = vec![None; self.conditions.len()];
         for item in &self.items {
-            let ConstructItem::CopyVar(v) = item else { continue };
+            let ConstructItem::CopyVar(v) = item else {
+                continue;
+            };
             if copy_entry[*v].is_some() {
                 continue;
             }
@@ -478,12 +501,25 @@ impl SelectConstructQuery {
                 }
                 ConstructItem::CopyVar(v) => copy_entry[*v].expect("built above"),
             };
-            b.output2(SymSpec::Any, link, Guard::any(), enc_out.cons(), entry, next_link)?;
+            b.output2(
+                SymSpec::Any,
+                link,
+                Guard::any(),
+                enc_out.cons(),
+                entry,
+                next_link,
+            )?;
             link = next_link;
         }
 
         // all_passed / fail: return control to pebble n.
-        b.move_rule(SymSpec::Any, all_passed, Guard::any(), Move::PickCurrent, emit)?;
+        b.move_rule(
+            SymSpec::Any,
+            all_passed,
+            Guard::any(),
+            Move::PickCurrent,
+            emit,
+        )?;
         b.move_rule(
             SymSpec::Any,
             fail,
@@ -495,7 +531,7 @@ impl SelectConstructQuery {
         // ---- condition checking (pebble n+1) ----------------------------
         for (jz, dfa) in dfas.iter().enumerate() {
             let j = jz + 1; // 1-based variable index
-            // climb(j, d): DFA state d before consuming the current symbol.
+                            // climb(j, d): DFA state d before consuming the current symbol.
             let climb: Vec<State> = (0..dfa.len())
                 .map(|d| b.state(&format!("climb{j}_{d}"), k))
                 .collect::<Result<_, _>>()?;
@@ -637,13 +673,9 @@ mod tests {
     fn q1_interpreter() {
         let (q, al) = example_q1();
         for n in 0..5 {
-            let t = xmltc_trees::generate::flat(
-                al.get("root").unwrap(),
-                al.get("a").unwrap(),
-                n,
-                &al,
-            )
-            .unwrap();
+            let t =
+                xmltc_trees::generate::flat(al.get("root").unwrap(), al.get("a").unwrap(), n, &al)
+                    .unwrap();
             let out = q.interpret(&t);
             assert_eq!(out.name, "result");
             assert_eq!(out.children.len(), n * n, "a^{n} must give b^{}", n * n);
@@ -656,13 +688,9 @@ mod tests {
         let (t, enc_in, enc_out) = q.compile().unwrap();
         assert_eq!(t.k(), 3);
         for n in 0..4 {
-            let input = xmltc_trees::generate::flat(
-                al.get("root").unwrap(),
-                al.get("a").unwrap(),
-                n,
-                &al,
-            )
-            .unwrap();
+            let input =
+                xmltc_trees::generate::flat(al.get("root").unwrap(), al.get("a").unwrap(), n, &al)
+                    .unwrap();
             let expected = q.interpret(&input);
             let encoded = encode(&input, &enc_in).unwrap();
             let out = eval(&t, &encoded).unwrap();
@@ -746,9 +774,7 @@ mod pattern_tests {
         };
         let c2 = Condition {
             parent: Some(0),
-            path: Regex::sym(sec)
-                .concat(any.star())
-                .concat(Regex::sym(fig)),
+            path: Regex::sym(sec).concat(any.star()).concat(Regex::sym(fig)),
         };
         let q = SelectConstructQuery::with_pattern(
             &al,
@@ -869,10 +895,7 @@ mod construct_tests {
         let t = UnrankedTree::parse("doc(sec(par, sec), par)", &al).unwrap();
         let out = q.interpret(&t);
         // Two sections (outer and inner), each preceded by a marker.
-        assert_eq!(
-            out.to_string(),
-            "hits(marker, sec(par, sec), marker, sec)"
-        );
+        assert_eq!(out.to_string(), "hits(marker, sec(par, sec), marker, sec)");
     }
 
     #[test]
@@ -923,6 +946,9 @@ mod construct_tests {
             "out(pre, a, post, pre, a, post)"
         );
         let out = eval::eval(&t, &encode(&input, &enc_in).unwrap()).unwrap();
-        assert_eq!(decode(&out, &enc_out).unwrap().to_raw(), q.interpret(&input));
+        assert_eq!(
+            decode(&out, &enc_out).unwrap().to_raw(),
+            q.interpret(&input)
+        );
     }
 }

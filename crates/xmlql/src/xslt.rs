@@ -136,9 +136,7 @@ impl Stylesheet {
         n: xmltc_trees::unranked::NodeId,
     ) -> Result<RawTree, QueryError> {
         let tag = t.alphabet().name(t.symbol(n)).to_string();
-        let template = self
-            .template_for(&tag)
-            .ok_or(QueryError::NoTemplate(tag))?;
+        let template = self.template_for(&tag).ok_or(QueryError::NoTemplate(tag))?;
         self.instantiate(&template.body, t, n)
     }
 
@@ -154,9 +152,7 @@ impl Stylesheet {
                 let mut children = Vec::new();
                 for item in items {
                     match item {
-                        TemplateNode::Element(..) => {
-                            children.push(self.instantiate(item, t, n)?)
-                        }
+                        TemplateNode::Element(..) => children.push(self.instantiate(item, t, n)?),
                         TemplateNode::ApplyTemplates => {
                             for &c in t.children(n) {
                                 children.push(self.process(t, c)?);
@@ -220,8 +216,8 @@ impl Stylesheet {
 
         // Flatten template bodies: one element record per body element.
         struct Elem {
-            tag: Symbol,                  // output tag (encoded alphabet)
-            items: Vec<Item>,             // child items
+            tag: Symbol,      // output tag (encoded alphabet)
+            items: Vec<Item>, // child items
         }
         #[derive(Clone, Copy)]
         enum Item {
@@ -288,7 +284,13 @@ impl Stylesheet {
 
         // Dispatch: input tag → its template's root element.
         for &(tag, id) in &roots {
-            b.move_rule(SymSpec::One(tag), dispatch, Guard::any(), Move::Stay, el[id])?;
+            b.move_rule(
+                SymSpec::One(tag),
+                dispatch,
+                Guard::any(),
+                Move::Stay,
+                el[id],
+            )?;
         }
 
         for (i, e) in elems.iter().enumerate() {
@@ -313,13 +315,7 @@ impl Stylesheet {
                         let walk = b.state(&format!("walk{i}_{j}"), 1)?;
                         let advance = b.state(&format!("adv{i}_{j}"), 1)?;
                         let climb = b.state(&format!("climb{i}_{j}"), 1)?;
-                        b.move_rule(
-                            SymSpec::Any,
-                            list[i][j],
-                            Guard::any(),
-                            Move::DownLeft,
-                            walk,
-                        )?;
+                        b.move_rule(SymSpec::Any, list[i][j], Guard::any(), Move::DownLeft, walk)?;
                         // At a cons cell: one output element per child.
                         b.output2(
                             SymSpec::One(enc_in.cons()),
@@ -373,7 +369,12 @@ impl Stylesheet {
                 }
             }
             // End of list.
-            b.output0(SymSpec::Any, list[i][e.items.len()], Guard::any(), enc_out.nil())?;
+            b.output0(
+                SymSpec::Any,
+                list[i][e.items.len()],
+                Guard::any(),
+                enc_out.nil(),
+            )?;
         }
 
         Ok((b.build()?, enc_in, enc_out))
@@ -441,12 +442,9 @@ impl Stylesheet {
             for item in items {
                 match item {
                     TemplateNode::ApplyTemplates => resolved.push(TItem::Apply),
-                    e @ TemplateNode::Element(..) => resolved.push(TItem::Child(flatten(
-                        e,
-                        template_tag,
-                        out_alphabet,
-                        elems,
-                    )?)),
+                    e @ TemplateNode::Element(..) => {
+                        resolved.push(TItem::Child(flatten(e, template_tag, out_alphabet, elems)?))
+                    }
                 }
             }
             elems[id].items = resolved;
@@ -469,9 +467,7 @@ impl Stylesheet {
                 .iter()
                 .find(|(s, _)| *s == tag)
                 .map(|&(_, id)| id)
-                .ok_or_else(|| {
-                    QueryError::NoTemplate(in_al.name(tag).to_string())
-                })
+                .ok_or_else(|| QueryError::NoTemplate(in_al.name(tag).to_string()))
         };
 
         // Content models over types.
@@ -570,10 +566,7 @@ mod tests {
         let al = Alphabet::unranked(&["root", "a", "b"]);
         let t = UnrankedTree::parse("root(a(b, b), b)", &al).unwrap();
         let expected = sheet.apply(&t).unwrap();
-        assert_eq!(
-            expected.to_string(),
-            "out(wrap(item(leaf, leaf), leaf))"
-        );
+        assert_eq!(expected.to_string(), "out(wrap(item(leaf, leaf), leaf))");
         let (trans, enc_in, enc_out) = sheet.compile(&al).unwrap();
         let out = eval(&trans, &encode(&t, &enc_in).unwrap()).unwrap();
         assert_eq!(decode(&out, &enc_out).unwrap().to_raw(), expected);
@@ -601,10 +594,7 @@ mod tests {
         assert_eq!(sheet.apply(&t).unwrap().to_string(), "x");
         let (trans, enc_in, enc_out) = sheet.compile(&al).unwrap();
         let out = eval(&trans, &encode(&t, &enc_in).unwrap()).unwrap();
-        assert_eq!(
-            decode(&out, &enc_out).unwrap().to_string(),
-            "x"
-        );
+        assert_eq!(decode(&out, &enc_out).unwrap().to_string(), "x");
     }
 
     #[test]

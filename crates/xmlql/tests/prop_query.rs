@@ -1,11 +1,13 @@
 //! Property tests for select/construct queries: the compiled
 //! (n+1)-pebble machine must agree with the brute-force interpreter on
 //! random documents and random pattern shapes.
+//!
+//! Driven by the workspace's deterministic [`SmallRng`]; runs a fixed
+//! number of seeded cases.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 use xmltc_regex::Regex;
-use xmltc_trees::{decode, encode, Alphabet, RawTree, Symbol, UnrankedTree};
+use xmltc_trees::{decode, encode, Alphabet, RawTree, SmallRng, Symbol, UnrankedTree};
 use xmltc_xmlql::query::{Condition, ConstructItem, SelectConstructQuery};
 
 fn alphabet() -> Arc<Alphabet> {
@@ -16,22 +18,26 @@ fn sym(al: &Arc<Alphabet>, n: &str) -> Symbol {
     al.get(n).unwrap()
 }
 
+const TAGS: [&str; 3] = ["a", "b", "c"];
+
+fn rand_subtree(rng: &mut SmallRng, depth: usize) -> RawTree {
+    let name = *rng.choose(&TAGS);
+    if depth == 0 || rng.gen_bool(0.4) {
+        return RawTree::leaf(name);
+    }
+    let n = rng.gen_range(0..3);
+    RawTree::node(name, (0..n).map(|_| rand_subtree(rng, depth - 1)).collect())
+}
+
 /// Random documents rooted at `doc` (which never recurs).
-fn arb_doc() -> impl Strategy<Value = RawTree> {
-    let leaf = prop::sample::select(vec!["a", "b", "c"]).prop_map(RawTree::leaf);
-    let tree = leaf.prop_recursive(3, 12, 3, |inner| {
-        (
-            prop::sample::select(vec!["a", "b", "c"]),
-            prop::collection::vec(inner, 0..3),
-        )
-            .prop_map(|(name, children)| RawTree::node(name, children))
-    });
-    prop::collection::vec(tree, 0..3).prop_map(|children| RawTree::node("doc", children))
+fn rand_doc(rng: &mut SmallRng) -> RawTree {
+    let n = rng.gen_range(0..3);
+    RawTree::node("doc", (0..n).map(|_| rand_subtree(rng, 2)).collect())
 }
 
 /// A small pool of path regexes (over tags, any-depth searches).
 fn paths(al: &Arc<Alphabet>) -> Vec<Regex<Symbol>> {
-    let any = Regex::any(["a", "b", "c"].map(|n| Regex::sym(sym(al, n))));
+    let any = Regex::any(TAGS.map(|n| Regex::sym(sym(al, n))));
     let from_doc = |target: &str| {
         Regex::sym(sym(al, "doc"))
             .concat(any.clone().star())
@@ -51,35 +57,50 @@ fn paths(al: &Arc<Alphabet>) -> Vec<Regex<Symbol>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn single_variable_agrees(doc in arb_doc(), pidx in 0usize..2) {
-        let al = alphabet();
+#[test]
+fn single_variable_agrees() {
+    let al = alphabet();
+    let mut rng = SmallRng::seed_from_u64(0x0F01);
+    for case in 0..40 {
+        let doc = rand_doc(&mut rng);
+        let pidx = rng.gen_range(0..2);
         let q = SelectConstructQuery::with_pattern(
             &al,
             sym(&al, "doc"),
-            vec![Condition { parent: None, path: paths(&al)[pidx].clone() }],
+            vec![Condition {
+                parent: None,
+                path: paths(&al)[pidx].clone(),
+            }],
             "out",
             RawTree::leaf("hit"),
         );
-        check(&q, &al, &doc)?;
+        check(&q, &al, &doc, case);
     }
+}
 
-    #[test]
-    fn two_variable_hierarchical_agrees(doc in arb_doc(), rel in 2usize..5) {
-        let al = alphabet();
+#[test]
+fn two_variable_hierarchical_agrees() {
+    let al = alphabet();
+    let mut rng = SmallRng::seed_from_u64(0x0F02);
+    for case in 0..40 {
+        let doc = rand_doc(&mut rng);
+        let rel = rng.gen_range(2..5);
         let ps = paths(&al);
         // x1 bound by a root path targeting the relative path's origin tag.
-        let origin = match rel { 2 | 3 => "a", _ => "b" };
+        let origin = match rel {
+            2 | 3 => "a",
+            _ => "b",
+        };
         let c1 = Condition {
             parent: None,
             path: Regex::sym(sym(&al, "doc"))
-                .concat(Regex::any(["a", "b", "c"].map(|n| Regex::sym(sym(&al, n)))).star())
+                .concat(Regex::any(TAGS.map(|n| Regex::sym(sym(&al, n)))).star())
                 .concat(Regex::sym(sym(&al, origin))),
         };
-        let c2 = Condition { parent: Some(0), path: ps[rel].clone() };
+        let c2 = Condition {
+            parent: Some(0),
+            path: ps[rel].clone(),
+        };
         let q = SelectConstructQuery::with_pattern(
             &al,
             sym(&al, "doc"),
@@ -87,21 +108,25 @@ proptest! {
             "out",
             RawTree::leaf("hit"),
         );
-        check(&q, &al, &doc)?;
+        check(&q, &al, &doc, case);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// CONSTRUCT clauses with subtree copies agree with the interpreter.
-    #[test]
-    fn copyvar_construct_agrees(doc in arb_doc(), pidx in 0usize..2) {
-        let al = alphabet();
+/// CONSTRUCT clauses with subtree copies agree with the interpreter.
+#[test]
+fn copyvar_construct_agrees() {
+    let al = alphabet();
+    let mut rng = SmallRng::seed_from_u64(0x0F03);
+    for case in 0..32 {
+        let doc = rand_doc(&mut rng);
+        let pidx = rng.gen_range(0..2);
         let q = SelectConstructQuery::with_construct(
             &al,
             sym(&al, "doc"),
-            vec![Condition { parent: None, path: paths(&al)[pidx].clone() }],
+            vec![Condition {
+                parent: None,
+                path: paths(&al)[pidx].clone(),
+            }],
             "out",
             vec![
                 ConstructItem::Constant(RawTree::leaf("hit")),
@@ -114,26 +139,20 @@ proptest! {
         let encoded = encode(&input, &enc_in).unwrap();
         let out = xmltc_core::eval(&t, &encoded).unwrap();
         let decoded = decode(&out, &enc_out).unwrap();
-        prop_assert_eq!(decoded.to_raw(), expected, "on {}", doc);
+        assert_eq!(decoded.to_raw(), expected, "case {case} on {doc}");
     }
 }
 
-fn check(
-    q: &SelectConstructQuery,
-    al: &Arc<Alphabet>,
-    doc: &RawTree,
-) -> Result<(), TestCaseError> {
+fn check(q: &SelectConstructQuery, al: &Arc<Alphabet>, doc: &RawTree, case: usize) {
     let input = UnrankedTree::from_raw(doc, al).unwrap();
     let expected = q.interpret(&input);
     let (t, enc_in, enc_out) = q.compile().unwrap();
     let encoded = encode(&input, &enc_in).unwrap();
     let out = xmltc_core::eval(&t, &encoded).unwrap();
     let decoded = decode(&out, &enc_out).unwrap();
-    prop_assert_eq!(
+    assert_eq!(
         decoded.children(decoded.root()).len(),
         expected.children.len(),
-        "tuple count mismatch on {}",
-        doc
+        "case {case}: tuple count mismatch on {doc}"
     );
-    Ok(())
 }

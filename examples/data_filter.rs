@@ -51,7 +51,8 @@ fn main() {
             let copy = b.state("copy", 1).unwrap();
             b.output2(SymSpec::One(sig), peek, Guard::any(), cons, copy, next)
                 .unwrap();
-            b.output0(SymSpec::One(sig), copy, Guard::any(), sig).unwrap();
+            b.output0(SymSpec::One(sig), copy, Guard::any(), sig)
+                .unwrap();
         } else {
             b.move_rule(SymSpec::One(sig), peek, Guard::any(), Move::UpLeft, next)
                 .unwrap();
@@ -59,9 +60,16 @@ fn main() {
     }
     b.move_rule(abs.sym_any_data(), next, Guard::any(), Move::UpLeft, next)
         .unwrap();
-    b.move_rule(SymSpec::One(cons), next, Guard::any(), Move::DownRight, walk)
+    b.move_rule(
+        SymSpec::One(cons),
+        next,
+        Guard::any(),
+        Move::DownRight,
+        walk,
+    )
+    .unwrap();
+    b.output0(SymSpec::One(end), walk, Guard::any(), end)
         .unwrap();
-    b.output0(SymSpec::One(end), walk, Guard::any(), end).unwrap();
     let t = b.build().unwrap();
 
     // τ₁: any person list; τ₂: lists whose every person is an adult.

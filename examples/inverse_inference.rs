@@ -21,7 +21,11 @@ fn main() {
     let input_dtd = Dtd::parse_text("root := a*\na := @eps").unwrap();
     let (t, enc_in, enc_out) = q2.compile(input_dtd.alphabet()).unwrap();
     println!("query Q2 (Example 4.3): root(aⁿ) ↦ result(b aⁿ b aⁿ b aⁿ)");
-    println!("compiled: {}-pebble transducer, {} states\n", t.k(), t.core().n_states());
+    println!(
+        "compiled: {}-pebble transducer, {} states\n",
+        t.k(),
+        t.core().n_states()
+    );
 
     // Output type: result's children count is even.
     let tau2 = Dtd::parse_text_with(
@@ -48,7 +52,11 @@ fn main() {
         let doc = generate::flat(al.get("root").unwrap(), al.get("a").unwrap(), n, al).unwrap();
         let encoded = encode(&doc, &enc_in).unwrap();
         let inside = inverse.accepts(&encoded).unwrap();
-        println!("{n}  | {:>17} | {}", 3 * n + 3, if inside { "yes" } else { "no" });
+        println!(
+            "{n}  | {:>17} | {}",
+            3 * n + 3,
+            if inside { "yes" } else { "no" }
+        );
         assert_eq!(inside, n % 2 == 1);
     }
     println!("\nτ₂⁻¹ ∩ inst(root := a*) = the odd-a documents — inferred, not enumerated.");

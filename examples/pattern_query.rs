@@ -29,7 +29,9 @@ fn main() {
         vec![
             Condition {
                 parent: None,
-                path: Regex::sym(doc).concat(any.clone().star()).concat(Regex::sym(sec)),
+                path: Regex::sym(doc)
+                    .concat(any.clone().star())
+                    .concat(Regex::sym(sec)),
             },
             Condition {
                 parent: Some(0),

@@ -37,8 +37,11 @@ fn main() {
         Template::parse("item", "entry").unwrap(),
     ]);
     let (transducer, enc_in, enc_out) = sheet.compile(input_dtd.alphabet()).unwrap();
-    println!("transducer: k = {} pebbles, {} states", transducer.k(),
-        transducer.core().n_states());
+    println!(
+        "transducer: k = {} pebbles, {} states",
+        transducer.k(),
+        transducer.core().n_states()
+    );
 
     // 4. Run it (dynamically) on the document.
     let encoded = encode(&doc, &enc_in).unwrap();
@@ -60,8 +63,14 @@ fn main() {
     .unwrap();
     let verdict = typecheck(&transducer, &tau1, &good_spec, &TypecheckOptions::default())
         .expect("pipeline runs");
-    println!("typecheck vs `report := header.entry*`: {}",
-        if verdict.is_ok() { "OK (holds for ALL valid inputs)" } else { "FAILED" });
+    println!(
+        "typecheck vs `report := header.entry*`: {}",
+        if verdict.is_ok() {
+            "OK (holds for ALL valid inputs)"
+        } else {
+            "FAILED"
+        }
+    );
 
     // 6. A wrong spec — at most one entry — yields a counterexample input.
     let wrong_spec = Dtd::parse_text_with(
@@ -73,7 +82,14 @@ fn main() {
     .unwrap()
     .compile(&enc_out)
     .unwrap();
-    match typecheck(&transducer, &tau1, &wrong_spec, &TypecheckOptions::default()).unwrap() {
+    match typecheck(
+        &transducer,
+        &tau1,
+        &wrong_spec,
+        &TypecheckOptions::default(),
+    )
+    .unwrap()
+    {
         TypecheckOutcome::CounterExample { input, bad_output } => {
             let cex = decode(&input, &enc_in).unwrap();
             println!("typecheck vs `report := header.entry?`: counterexample found");

@@ -25,7 +25,11 @@ fn main() {
         t.core().n_rules()
     );
 
-    for src in ["r(f(s, x), y)", "r(f(x, s), y)", "r(g(f(x, s), x), f(y, y))"] {
+    for src in [
+        "r(f(s, x), y)",
+        "r(f(x, s), y)",
+        "r(g(f(x, s), x), f(y, y))",
+    ] {
         let input = BinaryTree::parse(src, &al).unwrap();
         let output = eval(&t, &input).unwrap();
         println!("{src}\n  ↦ {output}\n");

@@ -1,0 +1,3 @@
+// Q1-style relabeling fragment: each a becomes one b.
+root -> result(@apply)
+a -> b

@@ -3,7 +3,8 @@
 //! ```text
 //! xmltc validate    <input.dtd> <doc.xml>
 //! xmltc transform   <input.dtd> <sheet.xsl> <doc.xml>
-//! xmltc typecheck   <input.dtd> <sheet.xsl> <output.dtd>
+//! xmltc typecheck   <input.dtd> <sheet.xsl> <output.dtd> [--stats|--json]
+//!                   [--route auto|walk|mso] [--state-limit N]
 //! xmltc forward     <input.dtd> <sheet.xsl> <output.dtd>
 //! ```
 //!
@@ -14,11 +15,18 @@
 //!   syntax with `@apply` for `<xsl:apply-templates/>`;
 //! * `.xml` — element-only XML.
 //!
+//! Observability: `--stats` appends a human-readable phase table to the
+//! verdict; `--json` instead emits the full machine-readable
+//! [`PipelineReport`](xmltc::obs::PipelineReport). Setting the `XMLTC_LOG`
+//! environment variable logs phase enter/exit to stderr for any command.
+//!
 //! Exit code 0 = success / typechecks; 1 = validation or typecheck
 //! failure (details on stdout); 2 = usage or input errors.
 
 use std::process::ExitCode;
 use xmltc::dtd::Dtd;
+use xmltc::obs;
+use xmltc::typecheck::{Route, TypecheckOptions};
 use xmltc::xml::{parse_document, raw_to_xml};
 use xmltc::xmlql::pipeline::{DocumentPipeline, DocumentVerdict};
 use xmltc::xmlql::Stylesheet;
@@ -38,6 +46,56 @@ fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
 }
 
+/// Flags of the `typecheck` subcommand.
+struct TypecheckFlags {
+    stats: bool,
+    json: bool,
+    opts: TypecheckOptions,
+}
+
+/// Splits `rest` into positional arguments and recognized flags. Only the
+/// flags named in `allowed` are accepted; anything else starting with `--`
+/// is a usage error (exit 2).
+fn parse_flags(rest: &[String], allowed: bool) -> Result<(Vec<&str>, TypecheckFlags), String> {
+    let mut positional = Vec::new();
+    let mut flags = TypecheckFlags {
+        stats: false,
+        json: false,
+        opts: TypecheckOptions::default(),
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if !arg.starts_with("--") {
+            positional.push(arg.as_str());
+            continue;
+        }
+        if !allowed {
+            return Err(format!("unknown flag `{arg}` for this command"));
+        }
+        match arg.as_str() {
+            "--stats" => flags.stats = true,
+            "--json" => flags.json = true,
+            "--route" => {
+                let v = it.next().ok_or("--route requires a value: auto|walk|mso")?;
+                flags.opts.route = match v.as_str() {
+                    "auto" => Route::Auto,
+                    "walk" => Route::ForceWalk,
+                    "mso" => Route::ForceMso,
+                    other => return Err(format!("unknown route `{other}` (auto|walk|mso)")),
+                };
+            }
+            "--state-limit" => {
+                let v = it.next().ok_or("--state-limit requires a number")?;
+                flags.opts.state_limit = v
+                    .parse()
+                    .map_err(|_| format!("invalid state limit `{v}`"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok((positional, flags))
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let usage = "usage: xmltc <validate|transform|typecheck|forward> <files...> (see --help)";
     let cmd = args.first().ok_or(usage)?;
@@ -47,10 +105,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "validate" => {
-            let [dtd_path, xml_path] = two(&args[1..])?;
+            let (pos, _) = parse_flags(&args[1..], false)?;
+            let [dtd_path, xml_path] = two(&pos)?;
             let dtd = Dtd::parse_text(&read(dtd_path)?).map_err(|e| e.to_string())?;
-            let doc = parse_document(&read(xml_path)?, dtd.alphabet())
-                .map_err(|e| e.to_string())?;
+            let doc =
+                parse_document(&read(xml_path)?, dtd.alphabet()).map_err(|e| e.to_string())?;
             match dtd.validate(&doc) {
                 Ok(()) => {
                     println!("valid");
@@ -63,46 +122,72 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
         }
         "transform" => {
-            let [dtd_path, xsl_path, xml_path] = three(&args[1..])?;
+            let (pos, _) = parse_flags(&args[1..], false)?;
+            let [dtd_path, xsl_path, xml_path] = three(&pos)?;
             let dtd = Dtd::parse_text(&read(dtd_path)?).map_err(|e| e.to_string())?;
-            let sheet =
-                Stylesheet::parse_text(&read(xsl_path)?).map_err(|e| e.to_string())?;
-            let doc = parse_document(&read(xml_path)?, dtd.alphabet())
-                .map_err(|e| e.to_string())?;
+            let sheet = Stylesheet::parse_text(&read(xsl_path)?).map_err(|e| e.to_string())?;
+            let doc =
+                parse_document(&read(xml_path)?, dtd.alphabet()).map_err(|e| e.to_string())?;
             let pipeline = DocumentPipeline::new(sheet, dtd).map_err(|e| e.to_string())?;
             let out = pipeline.transform(&doc).map_err(|e| e.to_string())?;
             println!("{}", raw_to_xml(&out));
             Ok(ExitCode::SUCCESS)
         }
         "typecheck" => {
-            let [dtd_path, xsl_path, out_dtd_path] = three(&args[1..])?;
+            let (pos, flags) = parse_flags(&args[1..], true)?;
+            let [dtd_path, xsl_path, out_dtd_path] = three(&pos)?;
             let dtd = Dtd::parse_text(&read(dtd_path)?).map_err(|e| e.to_string())?;
-            let sheet =
-                Stylesheet::parse_text(&read(xsl_path)?).map_err(|e| e.to_string())?;
-            let pipeline = DocumentPipeline::new(sheet, dtd).map_err(|e| e.to_string())?;
-            match pipeline
-                .typecheck_against(&read(out_dtd_path)?)
-                .map_err(|e| e.to_string())?
-            {
-                DocumentVerdict::Ok => {
-                    println!("typechecks: every valid input maps into the output DTD");
-                    Ok(ExitCode::SUCCESS)
-                }
-                DocumentVerdict::CounterExample { input, bad_output } => {
-                    println!("DOES NOT typecheck");
-                    println!("counterexample input: {}", raw_to_xml(&input));
-                    if let Some(bad) = bad_output {
-                        println!("offending output:     {}", raw_to_xml(&bad));
-                    }
-                    Ok(ExitCode::FAILURE)
-                }
+            let sheet = Stylesheet::parse_text(&read(xsl_path)?).map_err(|e| e.to_string())?;
+            let out_dtd_text = read(out_dtd_path)?;
+            if !flags.stats && !flags.json {
+                // The uninstrumented fast path: identical output to older
+                // versions, near-zero observability overhead.
+                let pipeline = DocumentPipeline::new(sheet, dtd).map_err(|e| e.to_string())?;
+                let verdict = pipeline
+                    .typecheck_against_with(&out_dtd_text, &flags.opts)
+                    .map_err(|e| e.to_string())?;
+                return Ok(print_verdict(&verdict));
             }
+            let (result, report) = obs::with_report(|| -> Result<DocumentVerdict, String> {
+                let pipeline = DocumentPipeline::new(sheet, dtd).map_err(|e| e.to_string())?;
+                let verdict = pipeline
+                    .typecheck_against_with(&out_dtd_text, &flags.opts)
+                    .map_err(|e| e.to_string())?;
+                obs::record("verdict.ok", verdict.is_ok() as u64);
+                Ok(verdict)
+            });
+            let verdict = match result {
+                Ok(v) => v,
+                Err(msg) => {
+                    // Budget aborts and other pipeline errors still emit
+                    // the partial report (how far the run got) before the
+                    // usage-error exit.
+                    if flags.json {
+                        println!("{}", report.to_json_string());
+                    } else {
+                        print!("{}", report.render_table());
+                    }
+                    return Err(msg);
+                }
+            };
+            if flags.json {
+                println!("{}", report.to_json_string());
+                return Ok(if verdict.is_ok() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                });
+            }
+            let code = print_verdict(&verdict);
+            println!();
+            print!("{}", report.render_table());
+            Ok(code)
         }
         "forward" => {
-            let [dtd_path, xsl_path, out_dtd_path] = three(&args[1..])?;
+            let (pos, _) = parse_flags(&args[1..], false)?;
+            let [dtd_path, xsl_path, out_dtd_path] = three(&pos)?;
             let dtd = Dtd::parse_text(&read(dtd_path)?).map_err(|e| e.to_string())?;
-            let sheet =
-                Stylesheet::parse_text(&read(xsl_path)?).map_err(|e| e.to_string())?;
+            let sheet = Stylesheet::parse_text(&read(xsl_path)?).map_err(|e| e.to_string())?;
             let pipeline = DocumentPipeline::new(sheet, dtd).map_err(|e| e.to_string())?;
             match pipeline
                 .forward_check(&read(out_dtd_path)?)
@@ -124,14 +209,31 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
-fn two(rest: &[String]) -> Result<[&str; 2], String> {
+fn print_verdict(verdict: &DocumentVerdict) -> ExitCode {
+    match verdict {
+        DocumentVerdict::Ok => {
+            println!("typechecks: every valid input maps into the output DTD");
+            ExitCode::SUCCESS
+        }
+        DocumentVerdict::CounterExample { input, bad_output } => {
+            println!("DOES NOT typecheck");
+            println!("counterexample input: {}", raw_to_xml(input));
+            if let Some(bad) = bad_output {
+                println!("offending output:     {}", raw_to_xml(bad));
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn two<'a>(rest: &[&'a str]) -> Result<[&'a str; 2], String> {
     match rest {
         [a, b] => Ok([a, b]),
         _ => Err("expected exactly 2 file arguments".into()),
     }
 }
 
-fn three(rest: &[String]) -> Result<[&str; 3], String> {
+fn three<'a>(rest: &[&'a str]) -> Result<[&'a str; 3], String> {
     match rest {
         [a, b, c] => Ok([a, b, c]),
         _ => Err("expected exactly 3 file arguments".into()),
@@ -147,6 +249,15 @@ commands:
   transform <input.dtd> <sheet.xsl> <doc.xml>    run the transformation
   typecheck <input.dtd> <sheet.xsl> <output.dtd> EXACT static typecheck
   forward   <input.dtd> <sheet.xsl> <output.dtd> forward-inference baseline
+
+typecheck options:
+  --stats            append a per-phase wall-time / automaton-size table
+  --json             emit the machine-readable pipeline report instead
+  --route R          Theorem 4.7 route: auto (default) | walk | mso
+  --state-limit N    budget for intermediate automata (default 4000000)
+
+environment:
+  XMLTC_LOG=1        log phase enter/exit to stderr
 
 formats:
   .dtd   one rule per line:  a := b*.c.e     (first rule = root; // comments)

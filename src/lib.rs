@@ -22,7 +22,10 @@
 //!   Theorem 4.7 both ways, inverse type inference, counterexamples;
 //! * [`xmlql`] — XSLT-fragment and XML-QL-style front-ends compiled to
 //!   pebble transducers, plus the one-call [`xmlql::DocumentPipeline`];
-//! * [`xml`] — minimal element-only XML parsing/serialization.
+//! * [`xml`] — minimal element-only XML parsing/serialization;
+//! * [`obs`] — pipeline observability: phase spans, automaton-size
+//!   metrics, and the serializable [`obs::PipelineReport`] behind
+//!   `xmltc typecheck --stats` / `--json`.
 //!
 //! Start with the `quickstart` example or the `xmltc` CLI binary; see
 //! README.md, DESIGN.md and EXPERIMENTS.md for the full map.
@@ -31,6 +34,7 @@ pub use xmltc_automata as automata;
 pub use xmltc_core as core;
 pub use xmltc_dtd as dtd;
 pub use xmltc_mso as mso;
+pub use xmltc_obs as obs;
 pub use xmltc_regex as regex;
 pub use xmltc_trees as trees;
 pub use xmltc_typecheck as typecheck;

@@ -1,0 +1,359 @@
+//! Integration tests for the `xmltc` binary: exit codes, output shape,
+//! and the observability surface (`--stats`, `--json`, `XMLTC_LOG`).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xmltc"))
+}
+
+fn fixture(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("utf-8 stderr")
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("typecheck"));
+    assert!(stdout(&out).contains("--stats"));
+}
+
+#[test]
+fn no_args_is_usage_error() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage"));
+}
+
+#[test]
+fn unknown_command_is_usage_error() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn missing_file_is_usage_error() {
+    let out = run(&["validate", "/nonexistent.dtd", &fixture("doc.xml")]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("cannot read"));
+}
+
+#[test]
+fn validate_accepts_and_rejects() {
+    let out = run(&["validate", &fixture("even_a.dtd"), &fixture("doc.xml")]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert_eq!(stdout(&out), "valid\n");
+
+    // doc.xml has two a's; the DTD root := a? allows at most one... use a
+    // stricter DTD: minimal.dtd (root := @eps) rejects children.
+    let out = run(&["validate", &fixture("minimal.dtd"), &fixture("doc.xml")]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "alphabet mismatch is an input error"
+    );
+}
+
+#[test]
+fn validate_rejects_invalid_document() {
+    // any_a.dtd and even_a.dtd share the alphabet {root, a}; a document
+    // with an odd number of a's is valid for one, invalid for the other.
+    let dir = std::env::temp_dir().join("xmltc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let odd = dir.join("odd.xml");
+    std::fs::write(&odd, "<root><a/></root>").unwrap();
+    let odd = odd.to_str().unwrap().to_string();
+
+    let out = run(&["validate", &fixture("any_a.dtd"), &odd]);
+    assert_eq!(out.status.code(), Some(0));
+    let out = run(&["validate", &fixture("even_a.dtd"), &odd]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).starts_with("invalid"));
+}
+
+#[test]
+fn transform_outputs_xml() {
+    let out = run(&[
+        "transform",
+        &fixture("even_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("doc.xml"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert_eq!(stdout(&out), "<result><b/><b/></result>\n");
+}
+
+#[test]
+fn typecheck_passes_on_even_dtd() {
+    let out = run(&[
+        "typecheck",
+        &fixture("even_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    // Byte-exact default output: the observability flags must not change
+    // the plain verdict.
+    assert_eq!(
+        stdout(&out),
+        "typechecks: every valid input maps into the output DTD\n"
+    );
+}
+
+#[test]
+fn typecheck_fails_with_counterexample() {
+    let out = run(&[
+        "typecheck",
+        &fixture("any_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let s = stdout(&out);
+    assert!(s.contains("DOES NOT typecheck"));
+    assert!(s.contains("counterexample input: <root><a/></root>"));
+    assert!(s.contains("offending output:     <result><b/></result>"));
+}
+
+#[test]
+fn typecheck_stats_appends_phase_table() {
+    let out = run(&[
+        "typecheck",
+        &fixture("even_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+        "--stats",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let s = stdout(&out);
+    // Verdict line is preserved verbatim, table follows.
+    assert!(s.starts_with("typechecks: every valid input maps into the output DTD\n"));
+    for needle in [
+        "phase",
+        "wall_ms",
+        "pipeline.compile",
+        "input_dtd.compile",
+        "typecheck.violation",
+        "route.walk",
+        "typecheck.emptiness",
+        "verdict.ok=1",
+    ] {
+        assert!(s.contains(needle), "missing `{needle}` in:\n{s}");
+    }
+}
+
+/// Extracts `"key": value` from the (pretty-printed) JSON report.
+fn json_u64(s: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let i = s.find(&pat)? + pat.len();
+    let rest = &s[i..];
+    let end = rest.find(|c: char| !c.is_ascii_digit())?;
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn typecheck_json_emits_full_report() {
+    let out = run(&[
+        "typecheck",
+        &fixture("even_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("\"schema\": \"xmltc.pipeline-report/1\""));
+    assert!(s.contains("\"wall_ms\":"));
+    for span in [
+        "pipeline.compile",
+        "input_dtd.compile",
+        "output_dtd.compile",
+        "typecheck",
+        "typecheck.violation",
+        "route.walk",
+        "typecheck.emptiness",
+    ] {
+        assert!(
+            s.contains(&format!("\"name\": \"{span}\"")),
+            "span {span}:\n{s}"
+        );
+    }
+    // Nonzero automaton sizes for the key phases.
+    assert!(json_u64(&s, "tau1.states").unwrap() > 0);
+    assert!(json_u64(&s, "pebble.states").unwrap() > 0);
+    assert!(json_u64(&s, "violation.states").unwrap() > 0);
+    assert!(json_u64(&s, "intersection.states").unwrap() > 0);
+    assert!(json_u64(&s, "walk.dbta_states").unwrap() > 0);
+    assert_eq!(json_u64(&s, "verdict.ok"), Some(1));
+}
+
+#[test]
+fn typecheck_json_mso_route_propagates_compile_stats() {
+    let out = run(&[
+        "typecheck",
+        &fixture("minimal.dtd"),
+        &fixture("minimal.xsl"),
+        &fixture("minimal_out.dtd"),
+        "--json",
+        "--route",
+        "mso",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("\"name\": \"route.mso\""), "{s}");
+    // The MSO compiler's CompileStats must land in the report (these were
+    // previously discarded by the typechecker).
+    assert!(json_u64(&s, "mso.operations").unwrap() > 0);
+    assert!(json_u64(&s, "mso.determinizations").unwrap() > 0);
+    assert!(json_u64(&s, "mso.max_states").unwrap() > 0);
+    assert!(json_u64(&s, "mso.peak_subset_frontier").unwrap() > 0);
+}
+
+#[test]
+fn typecheck_mso_budget_abort_reports_partial_progress() {
+    let out = run(&[
+        "typecheck",
+        &fixture("minimal.dtd"),
+        &fixture("minimal.xsl"),
+        &fixture("minimal_out.dtd"),
+        "--stats",
+        "--route",
+        "mso",
+        "--state-limit",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("exceeded 1 states"));
+    // The partial report still made it out, with the stats so far.
+    let s = stdout(&out);
+    assert!(s.contains("route.mso"), "{s}");
+    assert!(s.contains("mso.operations="), "{s}");
+}
+
+#[test]
+fn typecheck_route_walk_is_explicit_default_for_k1() {
+    let out = run(&[
+        "typecheck",
+        &fixture("even_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+        "--route",
+        "walk",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(
+        stdout(&out),
+        "typechecks: every valid input maps into the output DTD\n"
+    );
+}
+
+#[test]
+fn unknown_flag_is_usage_error() {
+    let out = run(&[
+        "typecheck",
+        &fixture("even_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+        "--frobnicate",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown flag"));
+
+    // Flags are rejected on commands that take none.
+    let out = run(&[
+        "validate",
+        &fixture("even_a.dtd"),
+        &fixture("doc.xml"),
+        "--stats",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown flag"));
+}
+
+#[test]
+fn bad_flag_values_are_usage_errors() {
+    let base = [
+        "typecheck",
+        // Paths resolved lazily — flag errors must win first.
+        "a.dtd",
+        "b.xsl",
+        "c.dtd",
+    ];
+    let out = run(&[&base[..], &["--route", "sideways"]].concat());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown route"));
+    let out = run(&[&base[..], &["--state-limit", "many"]].concat());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("invalid state limit"));
+    let out = run(&[&base[..], &["--route"]].concat());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--route requires"));
+}
+
+#[test]
+fn forward_baseline_exit_codes() {
+    // relabel is a per-tag homomorphism, so forward inference is exact on
+    // even_a: the image of (a.a)* is (b.b)* and the spec is proved.
+    let out = run(&[
+        "forward",
+        &fixture("even_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("proves the spec"));
+
+    // Under any_a the image is b*, which leaks outside (b.b)*.
+    let out = run(&[
+        "forward",
+        &fixture("any_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stdout(&out).contains("cannot prove"));
+    assert!(stdout(&out).contains("image witness"));
+}
+
+#[test]
+fn xmltc_log_traces_to_stderr() {
+    let out = bin()
+        .args([
+            "typecheck",
+            &fixture("even_a.dtd"),
+            &fixture("relabel.xsl"),
+            &fixture("even_b.dtd"),
+        ])
+        .env("XMLTC_LOG", "1")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let err = stderr(&out);
+    assert!(err.contains("[xmltc] -> typecheck"), "{err}");
+    assert!(err.contains("<- typecheck"), "{err}");
+    // And stdout stays byte-identical.
+    assert_eq!(
+        stdout(&out),
+        "typechecks: every valid input maps into the output DTD\n"
+    );
+}

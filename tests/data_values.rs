@@ -20,11 +20,7 @@ use xmltc::typecheck::{typecheck, TypecheckOptions, TypecheckOutcome};
 
 /// Input alphabet (pre-abstraction): a right-list of person leaves.
 /// Encoded shape: list = cons(person-value, list) | end.
-fn setup() -> (
-    Arc<Alphabet>,
-    DataAbstraction,
-    UnaryPredicates<i64>,
-) {
+fn setup() -> (Arc<Alphabet>, DataAbstraction, UnaryPredicates<i64>) {
     let base = Alphabet::ranked(&["person", "end"], &["cons"]);
     let mut preds = UnaryPredicates::new();
     preds.add("adult", |age: &i64| *age >= 18);
@@ -46,10 +42,7 @@ fn output_alphabet(abs: &DataAbstraction) -> Arc<Alphabet> {
 
 /// The splitter: walks the input list twice — once keeping adults, once
 /// keeping minors — copying data values (signature-exactly) to the output.
-fn splitter(
-    abs: &DataAbstraction,
-    out_al: &Arc<Alphabet>,
-) -> xmltc::core::PebbleTransducer {
+fn splitter(abs: &DataAbstraction, out_al: &Arc<Alphabet>) -> xmltc::core::PebbleTransducer {
     let in_al = abs.alphabet();
     let cons_in = in_al.get("cons").unwrap();
     let end_in = in_al.get("end").unwrap();
@@ -89,11 +82,9 @@ fn splitter(
             if spec_matches {
                 // value leaf output: out alphabet shares symbol names; ids
                 // match because out_al extends in_al in order.
-                let copy = b.state(
-                    &format!("copy_{}_{}", out_al.name(sig_sym), pred_val),
-                    1,
-                )
-                .unwrap();
+                let copy = b
+                    .state(&format!("copy_{}_{}", out_al.name(sig_sym), pred_val), 1)
+                    .unwrap();
                 b.output2(
                     SymSpec::One(sig_sym),
                     emit,
@@ -108,16 +99,26 @@ fn splitter(
             }
         }
         // Skip: move back up and on.
-        b.move_rule(abs.sym_if(0, !pred_val), emit, Guard::any(), Move::UpLeft, {
-            next
-        })
+        b.move_rule(
+            abs.sym_if(0, !pred_val),
+            emit,
+            Guard::any(),
+            Move::UpLeft,
+            next,
+        )
         .unwrap();
         // next: from the person leaf (after keep) or cons (after skip),
         // advance to the tail.
         b.move_rule(abs.sym_any_data(), next, Guard::any(), Move::UpLeft, next)
             .unwrap();
-        b.move_rule(SymSpec::One(cons_in), next, Guard::any(), Move::DownRight, walk)
-            .unwrap();
+        b.move_rule(
+            SymSpec::One(cons_in),
+            next,
+            Guard::any(),
+            Move::DownRight,
+            walk,
+        )
+        .unwrap();
         b.output0(SymSpec::One(end_in), walk, Guard::any(), end_out)
             .unwrap();
     }
@@ -230,11 +231,9 @@ fn concrete_values_flow_through_abstraction() {
 
     // Concrete list [25, 7, 40]: shape cons(person, cons(person,
     // cons(person, end))) with values attached.
-    let shape = xmltc::trees::BinaryTree::parse(
-        "cons(person, cons(person, cons(person, end)))",
-        &base,
-    )
-    .unwrap();
+    let shape =
+        xmltc::trees::BinaryTree::parse("cons(person, cons(person, cons(person, end)))", &base)
+            .unwrap();
     let person = base.get("person").unwrap();
     let values = [25i64, 7, 40];
     let mut next_value = 0usize;

@@ -115,13 +115,10 @@ fn exact_typechecker_rejects_wrong_spec_with_counterexample() {
     // τ₂ demanding at most one b: fails; the counterexample input must be
     // a valid document and its output must really violate the spec.
     let (t, enc_in, enc_out, tau1) = setup();
-    let tau2 = Dtd::parse_text_with(
-        "result := a*.b?.a*\na := @eps\nb := @eps",
-        enc_out.source(),
-    )
-    .unwrap()
-    .compile(&enc_out)
-    .unwrap();
+    let tau2 = Dtd::parse_text_with("result := a*.b?.a*\na := @eps\nb := @eps", enc_out.source())
+        .unwrap()
+        .compile(&enc_out)
+        .unwrap();
     match typecheck(&t, &tau1, &tau2, &TypecheckOptions::default()).unwrap() {
         TypecheckOutcome::CounterExample { input, bad_output } => {
             assert!(tau1.accepts(&input).unwrap());
@@ -154,13 +151,9 @@ fn inverse_type_inference_mirrors_example_42() {
     let inverse = xmltc_typecheck::inverse_type(&t, &tau2, &TypecheckOptions::default()).unwrap();
     let al = enc_in.source().clone();
     for n in 0..7usize {
-        let doc = xmltc_trees::generate::flat(
-            al.get("root").unwrap(),
-            al.get("a").unwrap(),
-            n,
-            &al,
-        )
-        .unwrap();
+        let doc =
+            xmltc_trees::generate::flat(al.get("root").unwrap(), al.get("a").unwrap(), n, &al)
+                .unwrap();
         let encoded = encode(&doc, &enc_in).unwrap();
         assert!(tau1.accepts(&encoded).unwrap());
         assert_eq!(

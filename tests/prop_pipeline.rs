@@ -5,11 +5,13 @@
 //! * exact (Prop 4.6 product → behaviour route → emptiness),
 //! * bounded-exhaustive (enumerate `τ₁`, per-input Prop 3.8 inclusion),
 //! * concrete verification of any counterexample the exact route emits.
+//!
+//! Driven by the workspace's deterministic [`SmallRng`]; runs a fixed
+//! number of seeded cases.
 
-use proptest::prelude::*;
 use xmltc::automata::Nta;
 use xmltc::dtd::Dtd;
-use xmltc::trees::encode;
+use xmltc::trees::{encode, SmallRng};
 use xmltc::typecheck::bounded::{bounded_typecheck, BoundedOutcome};
 use xmltc::typecheck::{typecheck, TypecheckOptions, TypecheckOutcome};
 use xmltc::xmlql::{Stylesheet, Template};
@@ -36,11 +38,11 @@ const SPECS: [&str; 6] = [
     "b?.(a|b)*",
 ];
 
-fn pipeline(root_body: &str, a_body: &str, spec: &str) -> (
-    xmltc::core::PebbleTransducer,
-    Nta,
-    Nta,
-) {
+fn pipeline(
+    root_body: &str,
+    a_body: &str,
+    spec: &str,
+) -> (xmltc::core::PebbleTransducer, Nta, Nta) {
     let sheet = Stylesheet::new(vec![
         Template::parse("root", root_body).unwrap(),
         Template::parse("a", a_body).unwrap(),
@@ -77,46 +79,55 @@ fn pipeline(root_body: &str, a_body: &str, spec: &str) -> (
     (t, tau1, tau2)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn exact_agrees_with_bounded(
-        root_body in prop::sample::select(&ROOT_BODIES[..]),
-        a_body in prop::sample::select(&A_BODIES[..]),
-        spec in prop::sample::select(&SPECS[..]),
-    ) {
+#[test]
+fn exact_agrees_with_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0x4601);
+    for case in 0..24 {
+        let root_body = *rng.choose(&ROOT_BODIES);
+        let a_body = *rng.choose(&A_BODIES);
+        let spec = *rng.choose(&SPECS);
+        let ctx = format!("case {case}: root→{root_body}, a→{a_body}, spec {spec}");
         let (t, tau1, tau2) = pipeline(root_body, a_body, spec);
         let exact = typecheck(&t, &tau1, &tau2, &TypecheckOptions::default()).unwrap();
         let bounded = bounded_typecheck(&t, &tau1, &tau2, 9, 60).unwrap();
         match (&exact, &bounded) {
             // Exact OK: bounded must not find a violation.
             (TypecheckOutcome::Ok, BoundedOutcome::CounterExample { input, .. }) => {
-                prop_assert!(false, "exact said OK but bounded found {input}");
+                panic!("{ctx}: exact said OK but bounded found {input}");
             }
             // Exact counterexample: verify it concretely.
             (TypecheckOutcome::CounterExample { input, bad_output }, _) => {
-                prop_assert!(tau1.accepts(input).unwrap(), "cex input must be valid");
+                assert!(
+                    tau1.accepts(input).unwrap(),
+                    "{ctx}: cex input must be valid"
+                );
                 let out_lang = xmltc::core::output_automaton(&t, input).unwrap().to_nta();
                 let bad = out_lang.intersect(&tau2.complement().to_nta());
-                prop_assert!(!bad.is_empty(), "cex must actually violate the spec");
+                assert!(!bad.is_empty(), "{ctx}: cex must actually violate the spec");
                 if let Some(b) = bad_output {
-                    prop_assert!(out_lang.accepts(b).unwrap());
-                    prop_assert!(!tau2.accepts(b).unwrap());
+                    assert!(out_lang.accepts(b).unwrap(), "{ctx}");
+                    assert!(!tau2.accepts(b).unwrap(), "{ctx}");
                 }
             }
             _ => {}
         }
     }
+}
 
-    #[test]
-    fn interpreter_agrees_with_compiled_machine(
-        root_body in prop::sample::select(&ROOT_BODIES[..]),
-        a_body in prop::sample::select(&A_BODIES[..]),
-        doc in prop::sample::select(vec![
-            "root", "root(a)", "root(a, a)", "root(a(a))", "root(a(a, a), a)",
-        ]),
-    ) {
+#[test]
+fn interpreter_agrees_with_compiled_machine() {
+    const DOCS: [&str; 5] = [
+        "root",
+        "root(a)",
+        "root(a, a)",
+        "root(a(a))",
+        "root(a(a, a), a)",
+    ];
+    let mut rng = SmallRng::seed_from_u64(0x4602);
+    for case in 0..24 {
+        let root_body = *rng.choose(&ROOT_BODIES);
+        let a_body = *rng.choose(&A_BODIES);
+        let doc = *rng.choose(&DOCS);
         let sheet = Stylesheet::new(vec![
             Template::parse("root", root_body).unwrap(),
             Template::parse("a", a_body).unwrap(),
@@ -128,6 +139,10 @@ proptest! {
         let encoded = encode(&input, &enc_in).unwrap();
         let out = xmltc::core::eval(&t, &encoded).unwrap();
         let decoded = xmltc::trees::decode(&out, &enc_out).unwrap();
-        prop_assert_eq!(decoded.to_raw(), expected);
+        assert_eq!(
+            decoded.to_raw(),
+            expected,
+            "case {case}: root→{root_body}, a→{a_body} on {doc}"
+        );
     }
 }

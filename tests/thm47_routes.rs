@@ -1,52 +1,44 @@
 //! Theorem 4.7 cross-validation: the behaviour-composition route and the
 //! paper's MSO route must produce equivalent tree automata for 1-pebble
 //! machines, and both must agree with direct AGAP acceptance.
+//!
+//! Driven by the workspace's deterministic [`SmallRng`]; runs a fixed
+//! number of seeded cases. Also the budget-honoring property: with a tiny
+//! `state_limit` both routes fail cleanly (never panic, never blow the
+//! budget silently) and the observability layer records how far they got.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 use xmltc::core::accepts;
 use xmltc::core::machine::{AutomatonBuilder, Guard, Move, PebbleAutomaton, SymSpec};
-use xmltc::trees::{Alphabet, BinaryTree};
+use xmltc::obs;
+use xmltc::trees::{generate, Alphabet, BinaryTree, SmallRng};
 use xmltc::typecheck::mso_route::pebble_to_nta;
 use xmltc::typecheck::walk::walking_to_dbta;
+use xmltc::typecheck::TypecheckError;
 
 fn alpha() -> Arc<Alphabet> {
     Alphabet::ranked(&["x", "y"], &["f"])
 }
 
-/// A small random family of 1-pebble automata: a few states, random rules
-/// drawn from moves/branches.
-#[derive(Debug, Clone)]
-struct RawMachine {
-    n_states: u32,
-    rules: Vec<(u8, u32, u8, u32, u32)>, // (symclass, state, action, t1, t2)
-}
-
-fn arb_machine() -> impl Strategy<Value = RawMachine> {
-    (2..=4u32).prop_flat_map(|n| {
-        let rule = (0..3u8, 0..n, 0..8u8, 0..n, 0..n);
-        prop::collection::vec(rule, 1..10).prop_map(move |rules| RawMachine {
-            n_states: n,
-            rules,
-        })
-    })
-}
-
-fn build(raw: &RawMachine, al: &Arc<Alphabet>) -> PebbleAutomaton {
+/// A small random 1-pebble automaton: a few states, random rules drawn
+/// from moves/branches.
+fn rand_machine(rng: &mut SmallRng, al: &Arc<Alphabet>) -> PebbleAutomaton {
+    let n = rng.gen_range(2..5) as u32;
     let mut b = AutomatonBuilder::new(al, 1);
-    let states: Vec<_> = (0..raw.n_states)
+    let states: Vec<_> = (0..n)
         .map(|i| b.state(&format!("s{i}"), 1).unwrap())
         .collect();
     b.set_initial(states[0]);
-    for &(symclass, q, action, t1, t2) in &raw.rules {
-        let spec = match symclass {
+    for _ in 0..rng.gen_range(1..10) {
+        let spec = match rng.gen_range(0..3) {
             0 => SymSpec::Leaves,
             1 => SymSpec::Binaries,
             _ => SymSpec::Any,
         };
-        let q = states[q as usize];
-        let (t1, t2) = (states[t1 as usize], states[t2 as usize]);
-        let r = match action {
+        let q = *rng.choose(&states);
+        let t1 = *rng.choose(&states);
+        let t2 = *rng.choose(&states);
+        match rng.gen_range(0..8) {
             0 => b.branch0(spec, q, Guard::any()),
             1 => b.branch2(spec, q, Guard::any(), t1, t2),
             2 => b.move_rule(spec, q, Guard::any(), Move::Stay, t1),
@@ -55,38 +47,126 @@ fn build(raw: &RawMachine, al: &Arc<Alphabet>) -> PebbleAutomaton {
             5 => b.move_rule(spec, q, Guard::any(), Move::UpLeft, t1),
             6 => b.move_rule(spec, q, Guard::any(), Move::UpRight, t1),
             _ => b.move_rule(spec, q, Guard::any(), Move::Stay, t2),
-        };
-        r.unwrap();
+        }
+        .unwrap();
     }
     b.build().unwrap()
 }
 
-fn arb_tree(al: Arc<Alphabet>) -> impl Strategy<Value = BinaryTree> {
-    let leaf = prop::sample::select(vec!["x", "y"]).prop_map(String::from);
-    let expr = leaf.prop_recursive(3, 12, 2, |inner| {
-        (inner.clone(), inner).prop_map(|(l, r)| format!("f({l}, {r})"))
-    });
-    expr.prop_map(move |src| BinaryTree::parse(&src, &al).unwrap())
+#[test]
+fn walk_route_agrees_with_agap() {
+    let al = alpha();
+    let mut rng = SmallRng::seed_from_u64(0x4701);
+    for case in 0..24 {
+        let a = rand_machine(&mut rng, &al);
+        let t: BinaryTree = generate::random_binary(&al, 4, 0.6, &mut rng).unwrap();
+        let d = walking_to_dbta(&a).unwrap();
+        assert_eq!(
+            d.accepts(&t).unwrap(),
+            accepts(&a, &t).unwrap(),
+            "case {case} on {t}"
+        );
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn walk_route_agrees_with_agap(raw in arb_machine(), t in arb_tree(alpha())) {
-        let al = t.alphabet().clone();
-        let a = build(&raw, &al);
-        let d = walking_to_dbta(&a).unwrap();
-        prop_assert_eq!(d.accepts(&t).unwrap(), accepts(&a, &t).unwrap());
-    }
-
-    #[test]
-    fn mso_route_agrees_with_walk_route(raw in arb_machine()) {
-        let al = alpha();
-        let a = build(&raw, &al);
+#[test]
+fn mso_route_agrees_with_walk_route() {
+    let al = alpha();
+    let mut rng = SmallRng::seed_from_u64(0x4702);
+    for case in 0..24 {
+        let a = rand_machine(&mut rng, &al);
         let d = walking_to_dbta(&a).unwrap().to_nta();
         let (m, _stats) = pebble_to_nta(&a, 500_000).unwrap();
         // Full language equivalence, not just sampled agreement.
-        prop_assert!(d.equivalent(&m), "routes disagree for {:?}", raw);
+        assert!(d.equivalent(&m), "case {case}: routes disagree");
     }
+}
+
+/// The satellite budget property: for ANY machine and ANY tiny state
+/// limit, `pebble_to_nta` either finishes or returns the budget error —
+/// never panics — and when it aborts, the `mso.compile` span still
+/// carries the compiler's progress stats.
+#[test]
+fn mso_route_honors_state_limit() {
+    let al = alpha();
+    let mut rng = SmallRng::seed_from_u64(0x4703);
+    let mut aborted = 0;
+    for case in 0..24 {
+        let a = rand_machine(&mut rng, &al);
+        let limit = 1 + rng.below(8) as u32;
+        let (result, report) = obs::with_report(|| pebble_to_nta(&a, limit));
+        match result {
+            Ok((nta, stats)) => {
+                // A success under budget: the recorded high-water mark
+                // must honor the limit, and the automaton is usable.
+                assert!(
+                    stats.max_states <= limit,
+                    "case {case}: max_states {} over limit {limit}",
+                    stats.max_states
+                );
+                let _ = nta.is_empty();
+            }
+            Err(TypecheckError::Mso(e)) => {
+                aborted += 1;
+                assert_eq!(
+                    e.to_string(),
+                    format!("intermediate automaton exceeded {limit} states"),
+                    "case {case}"
+                );
+                // The report still shows how far the compiler got.
+                let span = report.span("mso.compile").expect("span recorded");
+                assert!(span.metric("mso.operations").is_some(), "case {case}");
+                assert!(span.metric("mso.max_states").is_some(), "case {case}");
+            }
+            Err(other) => panic!("case {case}: unexpected error {other}"),
+        }
+    }
+    // With limits this tiny, most cases must abort — otherwise the
+    // property above exercised nothing.
+    assert!(aborted >= 12, "only {aborted}/24 cases aborted");
+}
+
+/// Same property one layer down: `SymTa::determinize_limited` returns
+/// `None` (instead of panicking or over-allocating) exactly when the
+/// subset construction would exceed the budget, and records its frontier
+/// high-water mark either way.
+#[test]
+fn determinize_limited_honors_budget() {
+    use xmltc::mso::{compile_sentence_limited, Formula};
+
+    let al = alpha();
+    let syms: Vec<_> = al.symbols().collect();
+    let mut rng = SmallRng::seed_from_u64(0x4704);
+    let mut aborted = 0;
+    for case in 0..24 {
+        // Random sentences with a set quantifier force determinizations.
+        let s = *rng.choose(&syms);
+        let kernel = if rng.gen_bool(0.5) {
+            Formula::Label("u".into(), s).and(Formula::In("u".into(), "S".into()))
+        } else {
+            Formula::In("u".into(), "S".into()).or(Formula::Leaf("u".into()))
+        };
+        let f = Formula::forall2("S", Formula::exists1("u", kernel));
+        let limit = 1 + rng.below(4) as u32;
+        let (result, report) = obs::with_report(|| compile_sentence_limited(&f, &al, limit));
+        let span = report.span("mso.compile").expect("span recorded");
+        match result {
+            Ok((_, stats)) => {
+                assert!(stats.max_states <= limit, "case {case}");
+            }
+            Err(e) => {
+                aborted += 1;
+                assert!(
+                    e.to_string().contains("exceeded"),
+                    "case {case}: unexpected error {e}"
+                );
+                // Budget-abort still reports the peak frontier reached.
+                let frontier = span
+                    .metric("mso.peak_subset_frontier")
+                    .or_else(|| report.span_metric("mso.compile", "mso.max_states"));
+                assert!(frontier.is_some(), "case {case}: no progress metric");
+            }
+        }
+    }
+    assert!(aborted >= 6, "only {aborted}/24 cases aborted");
 }

@@ -21,8 +21,10 @@ fn two_y(al: &Arc<Alphabet>) -> PebbleAutomaton {
     let w2 = b.state("w2", 2).unwrap();
     b.set_initial(w1);
     for m in [Move::DownLeft, Move::DownRight] {
-        b.move_rule(SymSpec::Binaries, w1, Guard::any(), m, w1).unwrap();
-        b.move_rule(SymSpec::Binaries, w2, Guard::any(), m, w2).unwrap();
+        b.move_rule(SymSpec::Binaries, w1, Guard::any(), m, w1)
+            .unwrap();
+        b.move_rule(SymSpec::Binaries, w2, Guard::any(), m, w2)
+            .unwrap();
     }
     b.move_rule(SymSpec::One(y), w1, Guard::any(), Move::PlaceNew, w2)
         .unwrap();
@@ -81,8 +83,14 @@ fn pick_returns_control() {
     b.set_initial(start);
     b.move_rule(SymSpec::Any, start, Guard::any(), Move::PlaceNew, scout)
         .unwrap();
-    b.move_rule(SymSpec::Binaries, scout, Guard::any(), Move::DownLeft, scout)
-        .unwrap();
+    b.move_rule(
+        SymSpec::Binaries,
+        scout,
+        Guard::any(),
+        Move::DownLeft,
+        scout,
+    )
+    .unwrap();
     b.move_rule(SymSpec::One(y), scout, Guard::any(), Move::Stay, found)
         .unwrap();
     b.move_rule(SymSpec::Any, found, Guard::any(), Move::PickCurrent, done)

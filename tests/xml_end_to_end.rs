@@ -90,7 +90,10 @@ fn typecheck_the_flattener() {
             let has_empty_shelf = doc.preorder().iter().any(|&n| {
                 doc.alphabet().name(doc.symbol(n)) == "shelf" && doc.children(n).is_empty()
             });
-            assert!(has_empty_shelf, "counterexample {doc} must have an empty shelf");
+            assert!(
+                has_empty_shelf,
+                "counterexample {doc} must have an empty shelf"
+            );
             let bad = decode(&bad_output.unwrap(), &enc_out).unwrap();
             assert!(bad
                 .preorder()
