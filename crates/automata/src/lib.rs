@@ -27,11 +27,13 @@
 
 pub mod dbta;
 pub mod enumerate;
+pub mod lazy;
 pub mod nta;
 pub mod state;
 pub mod topdown;
 
 pub use dbta::Dbta;
+pub use lazy::{LazyError, LazyOutcome, LazyStats};
 pub use nta::Nta;
 pub use state::State;
 pub use topdown::TdTa;

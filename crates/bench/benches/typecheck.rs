@@ -1,28 +1,46 @@
 //! E6/E7 — Theorem 4.4 in practice: end-to-end typechecking cost for the
 //! Example 4.3 pipeline, exact (behaviour route) vs the forward-inference
-//! baseline, on passing and failing specs.
+//! baseline, on passing and failing specs — with the final emptiness check
+//! run by both the eager (materializing) and the lazy (on-the-fly) engine.
 //!
-//! Besides the timing table, this bench dumps a full machine-readable
-//! [`PipelineReport`](xmltc_obs::PipelineReport) of one instrumented exact
-//! run to `BENCH_typecheck.json` at the workspace root — the same shape
-//! `xmltc typecheck --json` emits.
+//! Besides the timing table, this bench dumps a machine-readable comparison
+//! to `BENCH_typecheck.json` at the workspace root: one instrumented
+//! [`PipelineReport`](xmltc_obs::PipelineReport) per engine (the same shape
+//! `xmltc typecheck --json` emits) plus a side-by-side summary of wall
+//! times and state counts. On a typechecks-OK instance the lazy engine must
+//! materialize strictly fewer states than the eager product.
 
 use xmltc_bench::harness::Group;
 use xmltc_bench::q2_fixture;
-use xmltc_obs as obs;
-use xmltc_typecheck::{typecheck, TypecheckOptions};
+use xmltc_obs::{self as obs, Json};
+use xmltc_typecheck::{typecheck, Engine, TypecheckOptions};
 
 fn main() {
     let fx = q2_fixture();
-    let opts = TypecheckOptions::default();
+    let eager = TypecheckOptions {
+        engine: Engine::Eager,
+        ..Default::default()
+    };
+    let lazy = TypecheckOptions {
+        engine: Engine::Lazy,
+        ..Default::default()
+    };
 
     let mut group = Group::new("E7_typecheck_q2");
-    group.bench("exact_mod3_pass", || {
-        let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_mod3, &opts).unwrap();
+    group.bench("eager_mod3_pass", || {
+        let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_mod3, &eager).unwrap();
         assert!(out.is_ok());
     });
-    group.bench("exact_coarse_pass", || {
-        let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_coarse, &opts).unwrap();
+    group.bench("lazy_mod3_pass", || {
+        let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_mod3, &lazy).unwrap();
+        assert!(out.is_ok());
+    });
+    group.bench("eager_coarse_pass", || {
+        let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_coarse, &eager).unwrap();
+        assert!(out.is_ok());
+    });
+    group.bench("lazy_coarse_pass", || {
+        let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_coarse, &lazy).unwrap();
         assert!(out.is_ok());
     });
     group.bench("forward_coarse_pass", || {
@@ -33,16 +51,65 @@ fn main() {
     });
     group.finish();
 
-    // One instrumented run, dumped in the `--json` report shape.
-    let (outcome, report) = obs::with_report(|| {
-        let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_mod3, &opts).unwrap();
-        obs::record("verdict.ok", out.is_ok() as u64);
-        out
-    });
-    assert!(outcome.is_ok());
+    // One instrumented run per engine, dumped side by side.
+    let run = |opts: &TypecheckOptions| {
+        let (outcome, report) = obs::with_report(|| {
+            let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_mod3, opts).unwrap();
+            obs::record("verdict.ok", out.is_ok() as u64);
+            out
+        });
+        assert!(outcome.is_ok());
+        report
+    };
+    let eager_report = run(&eager);
+    let lazy_report = run(&lazy);
+
+    let eager_states = eager_report
+        .span_metric("typecheck.emptiness", "intersection.states")
+        .expect("eager run reports the materialized product size");
+    let lazy_states = lazy_report
+        .span_metric("typecheck.emptiness", "lazy.states_materialized")
+        .expect("lazy run reports the configurations it materialized");
+    let lazy_bound = lazy_report
+        .span_metric("typecheck.emptiness", "lazy.states_eager")
+        .expect("lazy run reports the eager product bound");
+    assert!(
+        lazy_states < eager_states,
+        "lazy must materialize strictly fewer states than the eager product \
+         on a typechecks-OK instance ({lazy_states} vs {eager_states})"
+    );
+
+    let emptiness_ms = |r: &obs::PipelineReport| {
+        r.span("typecheck.emptiness")
+            .map(|s| s.wall_ms())
+            .unwrap_or(0.0)
+    };
+    let json = Json::obj(vec![
+        ("schema", Json::Str("xmltc.bench-typecheck/2".into())),
+        (
+            "comparison",
+            Json::obj(vec![
+                ("instance", Json::Str("Q2 vs mod-3 (typechecks)".into())),
+                ("eager_wall_ms", Json::F64(eager_report.total_ms())),
+                ("lazy_wall_ms", Json::F64(lazy_report.total_ms())),
+                ("eager_emptiness_ms", Json::F64(emptiness_ms(&eager_report))),
+                ("lazy_emptiness_ms", Json::F64(emptiness_ms(&lazy_report))),
+                ("eager_states", Json::U64(eager_states)),
+                ("lazy_states_materialized", Json::U64(lazy_states)),
+                ("lazy_states_eager_bound", Json::U64(lazy_bound)),
+            ]),
+        ),
+        (
+            "engines",
+            Json::obj(vec![
+                ("eager", eager_report.to_json()),
+                ("lazy", lazy_report.to_json()),
+            ]),
+        ),
+    ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_typecheck.json");
-    match std::fs::write(path, report.to_json_string()) {
-        Ok(()) => println!("\n(pipeline report written to {path})"),
+    match std::fs::write(path, json.encode_pretty()) {
+        Ok(()) => println!("\n(engine comparison written to {path})"),
         Err(e) => eprintln!("\n(could not write {path}: {e})"),
     }
 }

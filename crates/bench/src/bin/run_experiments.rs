@@ -18,7 +18,7 @@ use xmltc_regex::Regex;
 use xmltc_trees::{decode, encode, Alphabet, EncodedAlphabet, SmallRng, UnrankedTree};
 use xmltc_typecheck::mso_route::pebble_to_nta;
 use xmltc_typecheck::walk::walking_to_dbta;
-use xmltc_typecheck::{typecheck, TypecheckOptions, TypecheckOutcome};
+use xmltc_typecheck::{typecheck, Engine, TypecheckOptions, TypecheckOutcome};
 
 #[derive(Default)]
 struct Report {
@@ -264,13 +264,15 @@ fn verdict(ok: bool) -> &'static str {
     }
 }
 
-/// E7 — Theorem 4.4: the decision procedure with counterexamples.
+/// E7 — Theorem 4.4: the decision procedure with counterexamples, final
+/// emptiness decided by both the eager and the lazy engine.
 fn e7_suite(report: &mut Report) {
     println!("\n## E7 — Theorem 4.4: end-to-end typechecking suite (exact, k = 1)\n");
-    println!("| case | verdict | counterexample input | time (ms) |");
-    println!("|---|---|---|---|");
+    println!(
+        "| case | verdict | counterexample input | eager (ms) | eager states | lazy (ms) | lazy states |"
+    );
+    println!("|---|---|---|---|---|---|---|");
     let fx = q2_fixture();
-    let opts = TypecheckOptions::default();
     let bad_spec = Dtd::parse_text_with(
         "result := a*.b?.a*\na := @eps\nb := @eps",
         fx.enc_out.source(),
@@ -284,23 +286,56 @@ fn e7_suite(report: &mut Report) {
         ("Q2 vs ≤1 b (false)", &bad_spec),
     ];
     for (name, tau2) in cases {
-        let t0 = Instant::now();
-        let out = typecheck(&fx.transducer, &fx.tau1, tau2, &opts).unwrap();
-        let dt = ms(t0);
-        match out {
+        let run = |engine, states_key| {
+            let opts = TypecheckOptions {
+                engine,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let (out, rep) = xmltc_obs::with_report(|| {
+                typecheck(&fx.transducer, &fx.tau1, tau2, &opts).unwrap()
+            });
+            let dt = ms(t0);
+            let states = rep
+                .span_metric("typecheck.emptiness", states_key)
+                .unwrap_or(0);
+            (out, dt, states)
+        };
+        let (eager_out, t_eager, s_eager) = run(Engine::Eager, "intersection.states");
+        let (lazy_out, t_lazy, s_lazy) = run(Engine::Lazy, "lazy.states_materialized");
+        assert_eq!(
+            eager_out.is_ok(),
+            lazy_out.is_ok(),
+            "engines disagree: {name}"
+        );
+        match eager_out {
             TypecheckOutcome::Ok => {
-                println!("| {name} | typechecks | — | {dt:.1} |");
-                record(report, "E7", (name, true, dt));
+                assert!(
+                    s_lazy < s_eager,
+                    "{name}: lazy must materialize strictly fewer states"
+                );
+                println!(
+                    "| {name} | typechecks | — | {t_eager:.1} | {s_eager} | {t_lazy:.1} | {s_lazy} |"
+                );
+                record(report, "E7", (name, true, t_eager, s_eager, t_lazy, s_lazy));
             }
             TypecheckOutcome::CounterExample { input, .. } => {
                 let doc = decode(&input, &fx.enc_in)
                     .map(|d| d.to_string())
                     .unwrap_or_else(|_| input.to_string());
-                println!("| {name} | REJECTED | `{doc}` | {dt:.1} |");
-                record(report, "E7", (name, false, dt));
+                println!(
+                    "| {name} | REJECTED | `{doc}` | {t_eager:.1} | {s_eager} | {t_lazy:.1} | {s_lazy} |"
+                );
+                record(
+                    report,
+                    "E7",
+                    (name, false, t_eager, s_eager, t_lazy, s_lazy),
+                );
             }
         }
     }
+    println!("\nState counts are the final emptiness check's: the eager engine's trimmed");
+    println!("τ₁ × violations product vs the configurations the lazy search ever touched.");
 }
 
 /// E8 — Theorem 4.7: behaviour route vs MSO route, same machines.

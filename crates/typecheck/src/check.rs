@@ -3,7 +3,7 @@
 
 use crate::error::TypecheckError;
 use crate::inverse::violation_nta;
-use xmltc_automata::Nta;
+use xmltc_automata::{lazy, LazyError, Nta};
 use xmltc_core::{eval, PebbleTransducer};
 use xmltc_obs as obs;
 use xmltc_trees::{Alphabet, BinaryTree};
@@ -29,13 +29,30 @@ pub enum ResolvedRoute {
     Mso,
 }
 
+/// How the final emptiness checks are executed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// Pick automatically: lazy on the walk route (where the implicit
+    /// product is largest relative to its reachable part), eager on the
+    /// MSO route.
+    Auto,
+    /// Materialize the product automata before testing emptiness.
+    Eager,
+    /// On-the-fly search over the implicit product
+    /// ([`xmltc_automata::lazy`]).
+    Lazy,
+}
+
 /// Options for [`typecheck`].
 #[derive(Clone, Copy, Debug)]
 pub struct TypecheckOptions {
     /// Route selection.
     pub route: Route,
+    /// Emptiness-engine selection.
+    pub engine: Engine,
     /// Budget for intermediate automata (MSO subset constructions,
-    /// behaviour classes). `u32::MAX` = unlimited.
+    /// behaviour classes, lazy product configurations). `u32::MAX` =
+    /// unlimited.
     pub state_limit: u32,
 }
 
@@ -43,6 +60,7 @@ impl Default for TypecheckOptions {
     fn default() -> Self {
         TypecheckOptions {
             route: Route::Auto,
+            engine: Engine::Auto,
             state_limit: 4_000_000,
         }
     }
@@ -62,6 +80,28 @@ impl TypecheckOptions {
                 }
             }
         }
+    }
+
+    /// Resolves `Engine::Auto` against the route actually taken: lazy is
+    /// the default for the walk route, opt-in for the MSO route.
+    pub fn engine_for(&self, route: ResolvedRoute) -> Engine {
+        match self.engine {
+            Engine::Auto => match route {
+                ResolvedRoute::Walk => Engine::Lazy,
+                ResolvedRoute::Mso => Engine::Eager,
+            },
+            chosen => chosen,
+        }
+    }
+}
+
+/// Maps lazy-engine failures onto the typechecker's error vocabulary.
+fn lift_lazy_error(e: LazyError) -> TypecheckError {
+    match e {
+        LazyError::AlphabetMismatch => {
+            TypecheckError::Tree(xmltc_trees::TreeError::AlphabetMismatch)
+        }
+        LazyError::ConfigLimit { n } => TypecheckError::TooManyStates { n },
     }
 }
 
@@ -102,12 +142,12 @@ pub fn typecheck(
     opts: &TypecheckOptions,
 ) -> Result<TypecheckOutcome, TypecheckError> {
     let _span = obs::span("typecheck");
+    let route = opts.route_for(t.k());
+    let engine = opts.engine_for(route);
     obs::record("transducer.k", t.k() as u64);
     obs::record("transducer.states", t.core().n_states() as u64);
-    obs::record(
-        "route.is_mso",
-        matches!(opts.route_for(t.k()), ResolvedRoute::Mso) as u64,
-    );
+    obs::record("route.is_mso", matches!(route, ResolvedRoute::Mso) as u64);
+    obs::record("engine.lazy", matches!(engine, Engine::Lazy) as u64);
     if !Alphabet::same(t.input_alphabet(), input_type.alphabet()) {
         return Err(TypecheckError::Tree(
             xmltc_trees::TreeError::AlphabetMismatch,
@@ -116,13 +156,24 @@ pub fn typecheck(
     let violations = violation_nta(t, output_type, opts)?;
     let witness = {
         let _span = obs::span("typecheck.emptiness");
-        let offending_inputs = input_type.intersect(&violations);
-        obs::record("intersection.states", offending_inputs.n_states() as u64);
-        obs::record(
-            "intersection.transitions",
-            offending_inputs.n_transitions() as u64,
-        );
-        offending_inputs.witness()
+        match engine {
+            Engine::Lazy => {
+                // On-the-fly: never materializes `τ₁ × violations`.
+                lazy::intersection_witness(input_type, &violations, opts.state_limit)
+                    .map_err(lift_lazy_error)?
+                    .0
+                    .into_witness()
+            }
+            _ => {
+                let offending_inputs = input_type.intersect(&violations);
+                obs::record("intersection.states", offending_inputs.n_states() as u64);
+                obs::record(
+                    "intersection.transitions",
+                    offending_inputs.n_transitions() as u64,
+                );
+                offending_inputs.witness()
+            }
+        }
     };
     match witness {
         None => {
@@ -131,20 +182,44 @@ pub fn typecheck(
         }
         Some(input) => {
             obs::record("verdict.ok", 0);
-            let bad_output = extract_bad_output(t, &input, output_type)?;
+            let bad_output = extract_bad_output_with(t, &input, output_type, engine, opts)?;
             Ok(TypecheckOutcome::CounterExample { input, bad_output })
         }
     }
 }
 
-/// A member of `T(input) ∖ τ₂` via Proposition 3.8.
+/// A member of `T(input) ∖ τ₂` via Proposition 3.8 (eager engine).
 pub fn extract_bad_output(
     t: &PebbleTransducer,
     input: &BinaryTree,
     output_type: &Nta,
 ) -> Result<Option<BinaryTree>, TypecheckError> {
+    extract_bad_output_with(
+        t,
+        input,
+        output_type,
+        Engine::Eager,
+        &TypecheckOptions::default(),
+    )
+}
+
+/// Engine-aware bad-output extraction: the lazy engine searches
+/// `T(input) ∖ τ₂` directly, determinizing the complement of `τ₂` on
+/// demand instead of materializing it.
+pub fn extract_bad_output_with(
+    t: &PebbleTransducer,
+    input: &BinaryTree,
+    output_type: &Nta,
+    engine: Engine,
+    opts: &TypecheckOptions,
+) -> Result<Option<BinaryTree>, TypecheckError> {
     let _span = obs::span("typecheck.bad_output");
     let out_lang = eval::output_automaton(t, input)?.to_nta();
+    if matches!(engine, Engine::Lazy) {
+        let (outcome, _stats) = lazy::difference_witness(&out_lang, output_type, opts.state_limit)
+            .map_err(lift_lazy_error)?;
+        return Ok(outcome.into_witness());
+    }
     let bad = out_lang.intersect(&output_type.complement().to_nta());
     Ok(bad.witness())
 }
@@ -276,6 +351,60 @@ mod tests {
             )
             .unwrap();
             assert!(out.is_ok(), "{route:?}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_and_auto_resolves_by_route() {
+        let al = alpha();
+        let t = library::copy(&al).unwrap();
+        let x = al.get("x").unwrap();
+        let tau1 = top(&al);
+        let tau2 = all_leaves(&al, x);
+        for engine in [Engine::Auto, Engine::Eager, Engine::Lazy] {
+            let opts = TypecheckOptions {
+                engine,
+                ..Default::default()
+            };
+            // Failing instance: both engines must refute, with a verified
+            // counterexample.
+            match typecheck(&t, &tau1, &tau2, &opts).unwrap() {
+                TypecheckOutcome::Ok => panic!("{engine:?}: should not typecheck"),
+                TypecheckOutcome::CounterExample { input, bad_output } => {
+                    assert!(tau1.accepts(&input).unwrap(), "{engine:?}");
+                    let bad = bad_output.expect("bad output extracted");
+                    assert!(!tau2.accepts(&bad).unwrap(), "{engine:?}");
+                }
+            }
+            // Passing instance.
+            let ok = typecheck(&t, &tau2, &tau2, &opts).unwrap();
+            assert!(ok.is_ok(), "{engine:?}");
+        }
+        let opts = TypecheckOptions::default();
+        assert_eq!(opts.engine_for(ResolvedRoute::Walk), Engine::Lazy);
+        assert_eq!(opts.engine_for(ResolvedRoute::Mso), Engine::Eager);
+        let forced = TypecheckOptions {
+            engine: Engine::Eager,
+            ..Default::default()
+        };
+        assert_eq!(forced.engine_for(ResolvedRoute::Walk), Engine::Eager);
+    }
+
+    #[test]
+    fn lazy_engine_respects_state_limit() {
+        let al = alpha();
+        let t = library::copy(&al).unwrap();
+        let x = al.get("x").unwrap();
+        let tau1 = top(&al);
+        let tau2 = all_leaves(&al, x);
+        let opts = TypecheckOptions {
+            engine: Engine::Lazy,
+            state_limit: 1,
+            ..Default::default()
+        };
+        match typecheck(&t, &tau1, &tau2, &opts) {
+            Err(TypecheckError::TooManyStates { .. }) => {}
+            other => panic!("expected budget abort, got {other:?}"),
         }
     }
 

@@ -43,7 +43,7 @@ pub mod mso_route;
 pub mod product;
 pub mod walk;
 
-pub use check::{typecheck, Route, TypecheckOptions, TypecheckOutcome};
+pub use check::{typecheck, Engine, Route, TypecheckOptions, TypecheckOutcome};
 pub use error::TypecheckError;
 pub use inverse::inverse_type;
 pub use product::violation_automaton;

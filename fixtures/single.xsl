@@ -1,0 +1,2 @@
+// Identity over the one-tag alphabet.
+s -> s(@apply)

@@ -4,7 +4,8 @@
 //! xmltc validate    <input.dtd> <doc.xml>
 //! xmltc transform   <input.dtd> <sheet.xsl> <doc.xml>
 //! xmltc typecheck   <input.dtd> <sheet.xsl> <output.dtd> [--stats|--json]
-//!                   [--route auto|walk|mso] [--state-limit N]
+//!                   [--route auto|walk|mso] [--engine auto|lazy|eager]
+//!                   [--state-limit N]
 //! xmltc forward     <input.dtd> <sheet.xsl> <output.dtd>
 //! ```
 //!
@@ -26,7 +27,7 @@
 use std::process::ExitCode;
 use xmltc::dtd::Dtd;
 use xmltc::obs;
-use xmltc::typecheck::{Route, TypecheckOptions};
+use xmltc::typecheck::{Engine, Route, TypecheckOptions};
 use xmltc::xml::{parse_document, raw_to_xml};
 use xmltc::xmlql::pipeline::{DocumentPipeline, DocumentVerdict};
 use xmltc::xmlql::Stylesheet;
@@ -82,6 +83,17 @@ fn parse_flags(rest: &[String], allowed: bool) -> Result<(Vec<&str>, TypecheckFl
                     "walk" => Route::ForceWalk,
                     "mso" => Route::ForceMso,
                     other => return Err(format!("unknown route `{other}` (auto|walk|mso)")),
+                };
+            }
+            "--engine" => {
+                let v = it
+                    .next()
+                    .ok_or("--engine requires a value: auto|lazy|eager")?;
+                flags.opts.engine = match v.as_str() {
+                    "auto" => Engine::Auto,
+                    "lazy" => Engine::Lazy,
+                    "eager" => Engine::Eager,
+                    other => return Err(format!("unknown engine `{other}` (auto|lazy|eager)")),
                 };
             }
             "--state-limit" => {
@@ -254,6 +266,8 @@ typecheck options:
   --stats            append a per-phase wall-time / automaton-size table
   --json             emit the machine-readable pipeline report instead
   --route R          Theorem 4.7 route: auto (default) | walk | mso
+  --engine E         emptiness engine: auto (default) | lazy | eager
+                     (auto = lazy on the walk route, eager on mso)
   --state-limit N    budget for intermediate automata (default 4000000)
 
 environment:

@@ -1,0 +1,206 @@
+//! Differential validation of the emptiness engines: the lazy on-the-fly
+//! search and the eager materializing procedure must return identical
+//! verdicts on every instance, and `typecheck::bounded` (exhaustive up to
+//! its depth bound) must never contradict either. Every counterexample an
+//! engine emits is independently re-verified against `τ₂`.
+//!
+//! Seeded random (input DTD, transducer, output DTD) triples drawn from
+//! the in-tree [`SmallRng`]. The Theorem 4.7 walk construction depends
+//! only on (transducer, output DTD), so its (expensive, engine-independent)
+//! violation automaton is computed once per such pair and shared by both
+//! engines — the engines then race on the final emptiness check, which is
+//! where they actually differ. Case count and seed are overridable for the
+//! CI nightly-style run:
+//!
+//! ```text
+//! XMLTC_DIFF_CASES=1000 XMLTC_DIFF_SEED=7 cargo test --test differential_engines
+//! ```
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use xmltc::automata::{lazy, Nta};
+use xmltc::dtd::Dtd;
+use xmltc::trees::{BinaryTree, SmallRng};
+use xmltc::typecheck::bounded::{bounded_typecheck, BoundedOutcome};
+use xmltc::typecheck::check::{extract_bad_output, extract_bad_output_with};
+use xmltc::typecheck::inverse::violation_nta;
+use xmltc::typecheck::{Engine, TypecheckOptions};
+use xmltc::xmlql::{Stylesheet, Template};
+
+/// Input DTDs (the `τ₁` pool). All share the tag set `{root, a}` so any
+/// stylesheet below compiles against them.
+const INPUT_DTDS: [&str; 5] = [
+    "root := a*\na := a*",
+    "root := a.a*\na := a*",
+    "root := a?\na := a?",
+    "root := (a.a)*\na := a*",
+    "root := a*\na := @eps",
+];
+
+/// Template bodies for the `root` tag.
+const ROOT_BODIES: [&str; 4] = [
+    "out(@apply)",
+    "out(b, @apply)",
+    "out(@apply, @apply)",
+    "out",
+];
+
+/// Template bodies for the `a` tag.
+const A_BODIES: [&str; 4] = ["a", "b", "a(@apply)", "b(@apply, b)"];
+
+/// Output content models for `out` (the `τ₂` pool).
+const SPECS: [&str; 6] = ["(a|b)*", "b*", "b.(a|b)*", "a*", "b?.(a|b)*", "@empty"];
+
+/// One compiled (transducer, output DTD) pair with its violation
+/// automaton — everything that does not depend on the input DTD.
+struct Compiled {
+    t: xmltc::core::PebbleTransducer,
+    enc_in: xmltc::trees::EncodedAlphabet,
+    tau2: Nta,
+    violations: Nta,
+}
+
+/// Compiles a (stylesheet, spec) combo; tags the stylesheet can never
+/// output become `@empty` in the content model.
+fn compile(root_body: &str, a_body: &str, spec: &str) -> Compiled {
+    let sheet = Stylesheet::new(vec![
+        Template::parse("root", root_body).unwrap(),
+        Template::parse("a", a_body).unwrap(),
+    ]);
+    // Any DTD with the {root, a} tag set yields the same input alphabet.
+    let probe_dtd = Dtd::parse_text(INPUT_DTDS[0]).unwrap();
+    let (t, enc_in, enc_out) = sheet.compile(probe_dtd.alphabet()).unwrap();
+    let out_src = enc_out.source();
+    let mut spec_text = spec.to_string();
+    let avail: Vec<&str> = ["a", "b"]
+        .into_iter()
+        .filter(|t| out_src.get(t).is_some())
+        .collect();
+    let mut lines = Vec::new();
+    for tag in ["a", "b"] {
+        if avail.contains(&tag) {
+            lines.push(format!("{tag} := ({})*", avail.join("|")));
+        } else {
+            spec_text = spec_text.replace(tag, "@empty");
+        }
+    }
+    lines.insert(0, format!("out := {spec_text}"));
+    let tau2 = Dtd::parse_text_with(&lines.join("\n"), out_src)
+        .unwrap()
+        .compile(&enc_out)
+        .unwrap();
+    let violations = violation_nta(&t, &tau2, &TypecheckOptions::default()).unwrap();
+    Compiled {
+        t,
+        enc_in,
+        tau2,
+        violations,
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Re-verifies an engine's counterexample independently of the engine
+/// that found it: the input must be in `τ₁`, the input's output language
+/// must leak outside `τ₂`, and the extracted bad output must exhibit the
+/// leak.
+fn verify_cex(ctx: &str, c: &Compiled, tau1: &Nta, input: &BinaryTree, engine: Engine) {
+    assert!(
+        tau1.accepts(input).unwrap(),
+        "{ctx}: cex input must be valid"
+    );
+    let out_lang = xmltc::core::output_automaton(&c.t, input).unwrap().to_nta();
+    let bad = out_lang.intersect(&c.tau2.complement().to_nta());
+    assert!(!bad.is_empty(), "{ctx}: cex must actually violate the spec");
+    let bad_output = match engine {
+        Engine::Eager => extract_bad_output(&c.t, input, &c.tau2).unwrap(),
+        _ => extract_bad_output_with(&c.t, input, &c.tau2, engine, &TypecheckOptions::default())
+            .unwrap(),
+    };
+    let b = bad_output.expect("bad output extracted for every counterexample");
+    assert!(
+        out_lang.accepts(&b).unwrap(),
+        "{ctx}: bad output must be producible"
+    );
+    assert!(
+        !c.tau2.accepts(&b).unwrap(),
+        "{ctx}: bad output must be rejected by tau2"
+    );
+}
+
+#[test]
+fn engines_never_disagree() {
+    let cases = env_u64("XMLTC_DIFF_CASES", 200);
+    let seed = env_u64("XMLTC_DIFF_SEED", 0x1e97);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cache: HashMap<(usize, usize, usize), Rc<Compiled>> = HashMap::new();
+    let mut failing = 0u64;
+    let mut ok = 0u64;
+    for case in 0..cases {
+        // Cycle the (transducer, spec) combos so coverage is exhaustive,
+        // draw the input DTD randomly so the triples stay random.
+        let combo = case as usize;
+        let ri = combo % ROOT_BODIES.len();
+        let ai = (combo / ROOT_BODIES.len()) % A_BODIES.len();
+        let si = (combo / (ROOT_BODIES.len() * A_BODIES.len())) % SPECS.len();
+        let input_dtd = *rng.choose(&INPUT_DTDS);
+        let (root_body, a_body, spec) = (ROOT_BODIES[ri], A_BODIES[ai], SPECS[si]);
+        let ctx = format!(
+            "case {case} (seed {seed:#x}): dtd {:?}, root→{root_body}, a→{a_body}, spec {spec}",
+            input_dtd.replace('\n', "; ")
+        );
+        let c = cache
+            .entry((ri, ai, si))
+            .or_insert_with(|| Rc::new(compile(root_body, a_body, spec)))
+            .clone();
+        let tau1 = Dtd::parse_text_with(input_dtd, c.enc_in.source())
+            .unwrap()
+            .compile(&c.enc_in)
+            .unwrap();
+
+        // The two engines decide the same emptiness instance.
+        let eager_witness = tau1.intersect(&c.violations).witness();
+        let (lazy_out, stats) =
+            lazy::intersection_witness(&tau1, &c.violations, 4_000_000).unwrap();
+        let lazy_witness = lazy_out.into_witness();
+        assert_eq!(
+            eager_witness.is_some(),
+            lazy_witness.is_some(),
+            "{ctx}: engines disagree"
+        );
+        assert!(
+            stats.states_materialized <= stats.states_eager,
+            "{ctx}: lazy materialized more states than the eager product"
+        );
+
+        // The bounded-exhaustive oracle: enumerates τ₁ inputs up to a
+        // depth bound and checks each concretely.
+        let bounded = bounded_typecheck(&c.t, &tau1, &c.tau2, 5, 16).unwrap();
+        if let BoundedOutcome::CounterExample { input, .. } = &bounded {
+            assert!(
+                eager_witness.is_some(),
+                "{ctx}: engines said OK but bounded found {input}"
+            );
+        }
+
+        // Every engine-produced counterexample must verify independently.
+        match (&eager_witness, &lazy_witness) {
+            (Some(e), Some(l)) => {
+                failing += 1;
+                verify_cex(&format!("{ctx} [eager]"), &c, &tau1, e, Engine::Eager);
+                verify_cex(&format!("{ctx} [lazy]"), &c, &tau1, l, Engine::Lazy);
+            }
+            (None, None) => ok += 1,
+            _ => unreachable!(),
+        }
+    }
+    // The pools must actually exercise both verdicts, or the comparison
+    // proves nothing.
+    assert!(failing > 0, "no failing instances in {cases} cases");
+    assert!(ok > 0, "no passing instances in {cases} cases");
+}
