@@ -20,6 +20,22 @@ pub struct Dbta {
     finals: StateSet,
 }
 
+/// Structural equality: same alphabet, state count, transition tables, and
+/// final set — i.e. literally the same automaton, not mere language
+/// equivalence. This is what determinism tests over parallel constructions
+/// compare.
+impl PartialEq for Dbta {
+    fn eq(&self, other: &Self) -> bool {
+        Alphabet::same(&self.alphabet, &other.alphabet)
+            && self.n_states == other.n_states
+            && self.leaf == other.leaf
+            && self.node == other.node
+            && self.finals == other.finals
+    }
+}
+
+impl Eq for Dbta {}
+
 impl Dbta {
     /// Assembles a deterministic automaton from parts.
     pub fn from_parts(

@@ -4,18 +4,27 @@
 //! run by both the eager (materializing) and the lazy (on-the-fly) engine.
 //!
 //! Besides the timing table, this bench dumps a machine-readable comparison
-//! to `BENCH_typecheck.json` at the workspace root: one instrumented
-//! [`PipelineReport`](xmltc_obs::PipelineReport) per engine (the same shape
-//! `xmltc typecheck --json` emits) plus a side-by-side summary of wall
-//! times and state counts. On a typechecks-OK instance the lazy engine must
-//! materialize strictly fewer states than the eager product.
+//! to `BENCH_typecheck.json` at the workspace root (schema 3): one
+//! instrumented [`PipelineReport`](xmltc_obs::PipelineReport) per engine
+//! (the same shape `xmltc typecheck --json` emits), a side-by-side summary
+//! of wall times and state counts, and a `route_walk` breakdown of the
+//! Theorem 4.7 walk construction — sequential (`--threads 1`) vs parallel
+//! wall time, pairs explored, memo hit rate, and thread count. On a
+//! typechecks-OK instance the lazy engine must materialize strictly fewer
+//! states than the eager product, and the walk construction must reach the
+//! same verdict at every thread count.
+//!
+//! `XMLTC_BENCH_QUICK=1` skips the calibrated timing loops and runs only
+//! the instrumented comparisons and their assertions (the CI smoke mode).
 
 use xmltc_bench::harness::Group;
 use xmltc_bench::q2_fixture;
 use xmltc_obs::{self as obs, Json};
+use xmltc_typecheck::walk::resolve_threads;
 use xmltc_typecheck::{typecheck, Engine, TypecheckOptions};
 
 fn main() {
+    let quick = std::env::var("XMLTC_BENCH_QUICK").is_ok();
     let fx = q2_fixture();
     let eager = TypecheckOptions {
         engine: Engine::Eager,
@@ -26,32 +35,34 @@ fn main() {
         ..Default::default()
     };
 
-    let mut group = Group::new("E7_typecheck_q2");
-    group.bench("eager_mod3_pass", || {
-        let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_mod3, &eager).unwrap();
-        assert!(out.is_ok());
-    });
-    group.bench("lazy_mod3_pass", || {
-        let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_mod3, &lazy).unwrap();
-        assert!(out.is_ok());
-    });
-    group.bench("eager_coarse_pass", || {
-        let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_coarse, &eager).unwrap();
-        assert!(out.is_ok());
-    });
-    group.bench("lazy_coarse_pass", || {
-        let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_coarse, &lazy).unwrap();
-        assert!(out.is_ok());
-    });
-    group.bench("forward_coarse_pass", || {
-        assert!(fx.forward_image.subset_of(&fx.tau2_coarse));
-    });
-    group.bench("forward_mod3_spurious_reject", || {
-        assert!(!fx.forward_image.subset_of(&fx.tau2_mod3));
-    });
-    group.finish();
+    if !quick {
+        let mut group = Group::new("E7_typecheck_q2");
+        group.bench("eager_mod3_pass", || {
+            let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_mod3, &eager).unwrap();
+            assert!(out.is_ok());
+        });
+        group.bench("lazy_mod3_pass", || {
+            let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_mod3, &lazy).unwrap();
+            assert!(out.is_ok());
+        });
+        group.bench("eager_coarse_pass", || {
+            let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_coarse, &eager).unwrap();
+            assert!(out.is_ok());
+        });
+        group.bench("lazy_coarse_pass", || {
+            let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_coarse, &lazy).unwrap();
+            assert!(out.is_ok());
+        });
+        group.bench("forward_coarse_pass", || {
+            assert!(fx.forward_image.subset_of(&fx.tau2_coarse));
+        });
+        group.bench("forward_mod3_spurious_reject", || {
+            assert!(!fx.forward_image.subset_of(&fx.tau2_mod3));
+        });
+        group.finish();
+    }
 
-    // One instrumented run per engine, dumped side by side.
+    // One instrumented run per configuration, dumped side by side.
     let run = |opts: &TypecheckOptions| {
         let (outcome, report) = obs::with_report(|| {
             let out = typecheck(&fx.transducer, &fx.tau1, &fx.tau2_mod3, opts).unwrap();
@@ -79,13 +90,51 @@ fn main() {
          on a typechecks-OK instance ({lazy_states} vs {eager_states})"
     );
 
+    // The walk-route breakdown: the same instance at --threads 1 and at a
+    // genuinely parallel thread count. Both runs must agree on the verdict
+    // (asserted inside `run`) and on every walk counter — the construction
+    // is deterministic by design.
+    let par_threads = resolve_threads(0).max(4);
+    let seq_report = run(&TypecheckOptions { threads: 1, ..lazy });
+    let par_report = run(&TypecheckOptions {
+        threads: par_threads,
+        ..lazy
+    });
+    let walk_metric = |r: &obs::PipelineReport, m: &str| {
+        r.span_metric("route.walk", m)
+            .unwrap_or_else(|| panic!("walk run reports {m}"))
+    };
+    for metric in [
+        "walk.pairs",
+        "walk.compositions",
+        "walk.memo_hits",
+        "walk.dbta_states",
+    ] {
+        assert_eq!(
+            walk_metric(&seq_report, metric),
+            walk_metric(&par_report, metric),
+            "thread count changed {metric}"
+        );
+    }
+    assert_eq!(walk_metric(&seq_report, "walk.threads"), 1);
+    assert_eq!(walk_metric(&par_report, "walk.threads"), par_threads as u64);
+    let walk_ms =
+        |r: &obs::PipelineReport| r.span("route.walk").map(|s| s.wall_ms()).unwrap_or(0.0);
+    let pairs = walk_metric(&seq_report, "walk.pairs");
+    let memo_hits = walk_metric(&seq_report, "walk.memo_hits");
+    let memo_hit_rate = if pairs > 0 {
+        memo_hits as f64 / pairs as f64
+    } else {
+        0.0
+    };
+
     let emptiness_ms = |r: &obs::PipelineReport| {
         r.span("typecheck.emptiness")
             .map(|s| s.wall_ms())
             .unwrap_or(0.0)
     };
     let json = Json::obj(vec![
-        ("schema", Json::Str("xmltc.bench-typecheck/2".into())),
+        ("schema", Json::Str("xmltc.bench-typecheck/3".into())),
         (
             "comparison",
             Json::obj(vec![
@@ -100,6 +149,30 @@ fn main() {
             ]),
         ),
         (
+            "route_walk",
+            Json::obj(vec![
+                ("instance", Json::Str("Q2 vs mod-3 (typechecks)".into())),
+                ("sequential_wall_ms", Json::F64(walk_ms(&seq_report))),
+                ("parallel_wall_ms", Json::F64(walk_ms(&par_report))),
+                ("parallel_threads", Json::U64(par_threads as u64)),
+                ("pairs", Json::U64(pairs)),
+                (
+                    "compositions",
+                    Json::U64(walk_metric(&seq_report, "walk.compositions")),
+                ),
+                ("memo_hits", Json::U64(memo_hits)),
+                ("memo_hit_rate", Json::F64(memo_hit_rate)),
+                (
+                    "fixpoint_steps",
+                    Json::U64(walk_metric(&seq_report, "walk.fixpoint_steps")),
+                ),
+                (
+                    "dbta_states",
+                    Json::U64(walk_metric(&seq_report, "walk.dbta_states")),
+                ),
+            ]),
+        ),
+        (
             "engines",
             Json::obj(vec![
                 ("eager", eager_report.to_json()),
@@ -107,6 +180,10 @@ fn main() {
             ]),
         ),
     ]);
+    if quick {
+        println!("quick mode: instrumented comparisons passed (threads 1 vs {par_threads} agree)");
+        return;
+    }
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_typecheck.json");
     match std::fs::write(path, json.encode_pretty()) {
         Ok(()) => println!("\n(engine comparison written to {path})"),

@@ -54,6 +54,12 @@ pub struct TypecheckOptions {
     /// behaviour classes, lazy product configurations). `u32::MAX` =
     /// unlimited.
     pub state_limit: u32,
+    /// Worker threads for the walk route's composition frontier. `0`
+    /// (the default) resolves via [`crate::walk::resolve_threads`]: the
+    /// `XMLTC_THREADS` environment variable if set, else the machine's
+    /// available parallelism. The verdict and every constructed automaton
+    /// are identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for TypecheckOptions {
@@ -62,6 +68,7 @@ impl Default for TypecheckOptions {
             route: Route::Auto,
             engine: Engine::Auto,
             state_limit: 4_000_000,
+            threads: 0,
         }
     }
 }

@@ -50,8 +50,21 @@ pub fn violation_nta(
     let nta = match opts.route_for(t.k()) {
         ResolvedRoute::Walk => {
             let _span = obs::span("route.walk");
-            let d = walk::walking_to_dbta_limited(&v, opts.state_limit)?;
+            let wopts = walk::WalkOptions {
+                limit: opts.state_limit,
+                threads: opts.threads,
+            };
+            let (d, ws) = walk::walking_to_dbta_with(&v, &wopts)?;
             obs::record("walk.dbta_states", d.n_states() as u64);
+            obs::record("walk.pairs", ws.pairs);
+            obs::record("walk.compositions", ws.compositions);
+            obs::record("walk.memo_hits", ws.memo_hits);
+            obs::record("walk.fixpoint_steps", ws.fixpoint_steps);
+            obs::record("walk.worklist_peak", ws.worklist_peak);
+            obs::record("walk.rounds", ws.rounds);
+            obs::record("walk.threads", ws.threads);
+            obs::record("walk.masks_interned", ws.masks_interned);
+            obs::record("walk.behaviors_interned", ws.behaviors_interned);
             d.to_nta().trim()
         }
         ResolvedRoute::Mso => {

@@ -12,10 +12,18 @@ use crate::error::TypecheckError;
 use xmltc_automata::{Nta, State, TdTa};
 use xmltc_core::machine::{Action, AutomatonBuilder, PebbleAutomaton, SymSpec};
 use xmltc_core::PebbleTransducer;
+use xmltc_obs as obs;
 use xmltc_trees::Alphabet;
 
 /// The Proposition 4.6 product `T × B` for an arbitrary top-down automaton
 /// `B` over `T`'s output alphabet: accepts `{t | T(t) ∩ inst(B) ≠ ∅}`.
+///
+/// Only pair states `(qT, qB)` reachable from the initial pair through the
+/// rule graph are materialized (the same over-approximation
+/// `PebbleAutomaton::trim_states` uses, so the numbering of the surviving
+/// states is unchanged); the rest — typically most of the `|T| · |B|`
+/// grid — are never named and never receive rules. The pruned count is
+/// recorded as `product.pairs_pruned`.
 pub fn product_with_tdta(
     t: &PebbleTransducer,
     b: &TdTa,
@@ -28,21 +36,74 @@ pub fn product_with_tdta(
     let b = b.eliminate_silent();
     let core = t.core();
     let n_b = b.n_states();
+    let n_t = core.n_states();
 
-    let mut builder = AutomatonBuilder::new(t.input_alphabet(), t.k());
-    // State (qT, qB) at index qT · n_b + qB, level inherited from qT.
-    let mut pair_states: Vec<State> = Vec::with_capacity((core.n_states() * n_b) as usize);
-    for qt in 0..core.n_states() {
-        for qb in 0..n_b {
-            let name = format!("{}·b{}", core.state_name(State(qt)), qb);
-            let s = builder.state(&name, core.level(State(qt)))?;
-            pair_states.push(s);
+    // Rule-graph reachability over pairs, from the initial pair: a Move
+    // rule keeps qB, an Output2 rule advances qB through B's transitions.
+    // Symbols and guards are ignored — the same over-approximation as
+    // `trim_states`, so pre-pruning here changes nothing downstream.
+    let mut by_state: Vec<Vec<&Action>> = vec![Vec::new(); n_t as usize];
+    for (_a, qt, _guard, action) in core.rules() {
+        by_state[qt.index()].push(action);
+    }
+    let pair_idx = |qt: State, qb: State| (qt.0 * n_b + qb.0) as usize;
+    let total = (n_t * n_b) as usize;
+    let mut reach = vec![false; total];
+    let initial = (core.initial(), b.initial());
+    reach[pair_idx(initial.0, initial.1)] = true;
+    let mut stack = vec![initial];
+    while let Some((qt, qb)) = stack.pop() {
+        let mut visit = |qt: State, qb: State, stack: &mut Vec<(State, State)>| {
+            let i = pair_idx(qt, qb);
+            if !reach[i] {
+                reach[i] = true;
+                stack.push((qt, qb));
+            }
+        };
+        for action in &by_state[qt.index()] {
+            match action {
+                Action::Move(_, target) => visit(*target, qb, &mut stack),
+                Action::Output0(_) => {}
+                Action::Output2(out, q1, q2) => {
+                    for &(b1, b2) in b.transitions_for(*out, qb) {
+                        visit(*q1, b1, &mut stack);
+                        visit(*q2, b2, &mut stack);
+                    }
+                }
+                Action::Branch0 | Action::Branch2(..) => {
+                    unreachable!("transducers have no branch transitions")
+                }
+            }
         }
     }
-    let pair = |qt: State, qb: State| pair_states[(qt.0 * n_b + qb.0) as usize];
+    let reachable = reach.iter().filter(|&&r| r).count();
+    obs::record("product.pairs_total", total as u64);
+    obs::record("product.pairs_pruned", (total - reachable) as u64);
+
+    let mut builder = AutomatonBuilder::new(t.input_alphabet(), t.k());
+    // Reachable state (qT, qB), in (qT, qB)-lexicographic order — the same
+    // relative order the full grid (and its later trim) would produce.
+    // Level inherited from qT.
+    let mut pair_states: Vec<Option<State>> = vec![None; total];
+    for qt in 0..n_t {
+        for qb in 0..n_b {
+            if !reach[pair_idx(State(qt), State(qb))] {
+                continue;
+            }
+            let name = format!("{}·b{}", core.state_name(State(qt)), qb);
+            let s = builder.state(&name, core.level(State(qt)))?;
+            pair_states[pair_idx(State(qt), State(qb))] = Some(s);
+        }
+    }
+    let pair = |qt: State, qb: State| {
+        pair_states[(qt.0 * n_b + qb.0) as usize].expect("rule target is reachable")
+    };
 
     for (a, qt, guard, action) in core.rules() {
         for qb in (0..n_b).map(State) {
+            if !reach[pair_idx(qt, qb)] {
+                continue;
+            }
             match action {
                 Action::Move(m, target) => {
                     builder.move_rule(

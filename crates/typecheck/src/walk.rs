@@ -23,43 +23,124 @@
 //! over the node's local rules. The resulting deterministic bottom-up
 //! automaton, built lazily over reachable triples, recognizes exactly
 //! `inst(A)`.
+//!
+//! # Performance architecture
+//!
+//! The construction is organized for sharing and parallelism while staying
+//! bit-identical to the reference nested-loop build:
+//!
+//! * **Interning** — exit-set [`Mask`]s and entry-state-indexed behaviours
+//!   live in arena tables and are referred to by dense `u32` ids, so triple
+//!   identity and the composition memo hash a few words instead of whole
+//!   behaviour tables; walker rules are pre-compiled per symbol into dense
+//!   action tables ([`SymTable`]) with static reverse-dependency edges,
+//!   lifting all hash lookups out of the fixpoint inner loop.
+//! * **Worklist fixpoints** — the local least fixpoint at a node re-examines
+//!   a state only when a state it reads (via `Stay`, `Branch2`, or an exit
+//!   bit of a child behaviour) actually grew, instead of rescanning every
+//!   state until stabilization. Fixpoint runs start from shared prefixes:
+//!   the children-independent part of each symbol's system (`Accept`,
+//!   `Stay`, `Fork` rules) is solved **once per symbol** into a base
+//!   solution, each composition re-propagates only the `Down`-rule
+//!   increments from it, and the root solution in turn seeds the
+//!   left/right positional runs with just the up-move increments. All
+//!   three restarts are sound because chaotic iteration from any point
+//!   below the least fixpoint converges to it. Every buffer the solver
+//!   touches lives in a per-worker [`Workspace`], so a composition
+//!   allocates almost nothing.
+//! * **Triple memoization** — the composition at a node depends only on
+//!   `(symbol, left child's left-behaviour id, right child's right-behaviour
+//!   id)`, so distinct state pairs that project to the same key share one
+//!   fixpoint run ([`WalkStats::memo_hits`] counts the collapses).
+//! * **Parallel frontier** — each generation of not-yet-memoized
+//!   compositions is evaluated by a std-only scoped-thread work crew
+//!   against frozen read-only arenas; the results are then interned
+//!   sequentially in canonical (job-list) order and the reference discovery
+//!   loop is replayed verbatim, so state numbering — and therefore every
+//!   downstream artifact — is identical at any thread count.
 
 use crate::error::TypecheckError;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use xmltc_automata::state::StateSet;
 use xmltc_automata::{Dbta, State};
 use xmltc_core::machine::{Action, Move, PebbleAutomaton};
-use xmltc_trees::{FxHashMap, Symbol};
+use xmltc_trees::{FxHashMap, FxHashSet, Symbol};
+
+/// Words kept inline in a [`Mask`]; machines with up to
+/// `64 · INLINE_WORDS` states (the practical norm after `trim_states`)
+/// never heap-allocate a mask.
+const INLINE_WORDS: usize = 4;
 
 /// A fixed-width (per walker) bitset of machine states — an exit set.
+///
+/// The representation is picked once per walker from its state count, so
+/// within one construction the variants never mix: mask operations in the
+/// fixpoint inner loop are pure register work on the inline variant, and
+/// only machines wider than 256 states fall back to heap storage.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-struct Mask(Vec<u64>);
+enum Mask {
+    Inline([u64; INLINE_WORDS]),
+    Heap(Vec<u64>),
+}
 
 impl Mask {
     fn empty(words: usize) -> Mask {
-        Mask(vec![0; words])
+        if words <= INLINE_WORDS {
+            Mask::Inline([0; INLINE_WORDS])
+        } else {
+            Mask::Heap(vec![0; words])
+        }
     }
 
     fn singleton(q: usize, words: usize) -> Mask {
         let mut m = Mask::empty(words);
-        m.0[q / 64] |= 1u64 << (q % 64);
+        match &mut m {
+            Mask::Inline(w) => w[q / 64] |= 1u64 << (q % 64),
+            Mask::Heap(w) => w[q / 64] |= 1u64 << (q % 64),
+        }
         m
     }
 
+    fn words(&self) -> &[u64] {
+        match self {
+            Mask::Inline(w) => w,
+            Mask::Heap(w) => w,
+        }
+    }
+
     fn is_empty(&self) -> bool {
-        self.0.iter().all(|&w| w == 0)
+        self.words().iter().all(|&w| w == 0)
     }
 
     fn or(&self, other: &Mask) -> Mask {
-        Mask(self.0.iter().zip(&other.0).map(|(a, b)| a | b).collect())
+        match (self, other) {
+            (Mask::Inline(a), Mask::Inline(b)) => {
+                let mut out = *a;
+                for (o, x) in out.iter_mut().zip(b) {
+                    *o |= x;
+                }
+                Mask::Inline(out)
+            }
+            _ => Mask::Heap(
+                self.words()
+                    .iter()
+                    .zip(other.words())
+                    .map(|(a, b)| a | b)
+                    .collect(),
+            ),
+        }
     }
 
     fn is_subset(&self, other: &Mask) -> bool {
-        self.0.iter().zip(&other.0).all(|(a, b)| a & !b == 0)
+        self.words()
+            .iter()
+            .zip(other.words())
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over set bit positions.
     fn bits(&self) -> impl Iterator<Item = usize> + '_ {
-        self.0.iter().enumerate().flat_map(|(wi, &w)| {
+        self.words().iter().enumerate().flat_map(|(wi, &w)| {
             let mut w = w;
             std::iter::from_fn(move || {
                 if w == 0 {
@@ -89,154 +170,585 @@ fn insert_min(ac: &mut Antichain, m: Mask) -> bool {
     true
 }
 
-/// All minimal unions `x ∪ y`, `x ∈ a`, `y ∈ b`.
-fn cross_union(a: &Antichain, b: &Antichain) -> Antichain {
-    let mut out = Antichain::new();
-    for x in a {
-        for y in b {
-            insert_min(&mut out, x.or(y));
-        }
-    }
-    out
-}
-
-/// Entry-state-indexed behaviour.
+/// Entry-state-indexed behaviour in raw (un-interned) form, as computed by
+/// a fixpoint run.
 type Behavior = Vec<Antichain>;
 
-fn canon(mut b: Behavior) -> Behavior {
-    for ac in &mut b {
-        ac.sort_unstable();
+/// Arena id of an interned [`Mask`].
+type MaskId = u32;
+/// Arena id of an interned behaviour.
+type BehaviorId = u32;
+
+/// Interned behaviour in flat id form: entry state `q`'s antichain is
+/// `ids[offsets[q] as usize..offsets[q + 1] as usize]`, content-sorted.
+struct BehaviorData {
+    offsets: Vec<u32>,
+    ids: Vec<MaskId>,
+}
+
+impl BehaviorData {
+    fn at(&self, q: usize) -> &[MaskId] {
+        &self.ids[self.offsets[q] as usize..self.offsets[q + 1] as usize]
     }
-    b
 }
 
-/// Which child position the subtree occupies (the root has no exits).
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Chi {
-    Left,
-    Right,
-    Root,
+/// Content-addressed mask store; equal masks share one id.
+#[derive(Default)]
+struct MaskArena {
+    index: FxHashMap<Mask, MaskId>,
+    masks: Vec<Mask>,
 }
 
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct Triple {
-    left: Behavior,
-    right: Behavior,
+impl MaskArena {
+    fn intern(&mut self, m: Mask) -> MaskId {
+        if let Some(&id) = self.index.get(&m) {
+            return id;
+        }
+        let id = self.masks.len() as MaskId;
+        self.index.insert(m.clone(), id);
+        self.masks.push(m);
+        id
+    }
+}
+
+/// Content-addressed behaviour store; equal behaviours share one id, so
+/// triple identity and memo keys compare `u32`s.
+///
+/// The index is keyed on the *flat mask form* a composition produces: a
+/// lookup is one hash over two contiguous vectors, and only a genuine
+/// miss — once per distinct behaviour, not once per composition — pays
+/// for interning the member masks into their id form.
+#[derive(Default)]
+struct BehaviorArena {
+    index: FxHashMap<FlatBehavior, BehaviorId>,
+    behaviors: Vec<BehaviorData>,
+}
+
+impl BehaviorArena {
+    fn intern(&mut self, b: FlatBehavior, masks: &mut MaskArena) -> BehaviorId {
+        if let Some(&id) = self.index.get(&b) {
+            return id;
+        }
+        let ids = b.masks.iter().map(|m| masks.intern(m.clone())).collect();
+        let data = BehaviorData {
+            offsets: b.offsets.clone(),
+            ids,
+        };
+        let id = self.behaviors.len() as BehaviorId;
+        self.behaviors.push(data);
+        self.index.insert(b, id);
+        id
+    }
+}
+
+/// An interned subtree triple: left/right behaviour ids plus the
+/// whole-tree acceptance bit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct TripleIds {
+    left: BehaviorId,
+    right: BehaviorId,
     accepting: bool,
 }
 
-struct Walker<'a> {
-    rules: FxHashMap<(Symbol, State), Vec<&'a Action>>,
-    n_states: usize,
-    words: usize,
-    initial: State,
+/// One pre-compiled local action (everything but up-moves, which are
+/// position-dependent and kept separately).
+#[derive(Clone, Copy)]
+enum Act {
+    /// `branch0` — accept with no exits.
+    Accept,
+    /// `branch2(q₁, q₂)` — and-branch into both states at this node.
+    Fork(u32, u32),
+    /// `stay(p)` — re-dispatch at this node in state `p`.
+    Stay(u32),
+    /// `down(target)` into the left (`left = true`) or right child.
+    Down { left: bool, target: u32 },
 }
 
-impl<'a> Walker<'a> {
-    fn new(a: &'a PebbleAutomaton) -> Result<Walker<'a>, TypecheckError> {
+/// Per-symbol compiled rule table: dense action lists plus the static
+/// reverse-dependency edges (`Stay`/`Fork` reads) a worklist needs.
+struct SymTable {
+    /// Actions of each state at a node with this symbol.
+    acts: Vec<Vec<Act>>,
+    /// `(state, exit target)` pairs of `UpLeft` rules.
+    up_left: Vec<(u32, u32)>,
+    /// `(state, exit target)` pairs of `UpRight` rules.
+    up_right: Vec<(u32, u32)>,
+    /// `rdeps[p]` = states whose candidates read `r[p]` via `Stay`/`Fork`.
+    rdeps: Vec<Vec<u32>>,
+    /// States with at least one action, ascending — the initial worklist
+    /// of the base fixpoint.
+    active: Vec<u32>,
+    /// States with at least one `Down` action, ascending — the only states
+    /// whose candidates depend on the children, hence the initial worklist
+    /// of a composition's root run (restarted from [`SymTable::base`]).
+    down_states: Vec<u32>,
+    /// Whether any state has a `Down` action (gates down-dependency work).
+    has_down: bool,
+    /// Least fixpoint of the children-independent rules (everything but
+    /// `Down`), solved once per symbol. Every composition's root run
+    /// starts here; for leaves it *is* the root solution.
+    base: Behavior,
+}
+
+impl SymTable {
+    fn new(n_states: usize) -> SymTable {
+        SymTable {
+            acts: vec![Vec::new(); n_states],
+            up_left: Vec::new(),
+            up_right: Vec::new(),
+            rdeps: vec![Vec::new(); n_states],
+            active: Vec::new(),
+            down_states: Vec::new(),
+            has_down: false,
+            base: Vec::new(),
+        }
+    }
+}
+
+/// Everything a single composition's fixpoint runs share: the compiled
+/// symbol table, the (frozen) children behaviours and mask arena, and the
+/// per-composition dynamic down-dependency edges.
+struct FixCtx<'a> {
+    table: &'a SymTable,
+    children: Option<(&'a BehaviorData, &'a BehaviorData)>,
+    masks: &'a [Mask],
+    /// `down_rdeps[p]` = states with a `Down` action whose child antichain
+    /// contains an exit set with bit `p`; empty when `!table.has_down` or
+    /// there are no children.
+    down_rdeps: &'a [Vec<u32>],
+}
+
+/// Worklist counters of one composition (summed/maxed into [`WalkStats`]).
+#[derive(Clone, Copy, Default)]
+struct JobStats {
+    steps: u64,
+    peak: usize,
+}
+
+/// Reusable buffers of the solver inner loop (candidate masks and the
+/// exit-resolution double buffer).
+#[derive(Default)]
+struct Scratch {
+    cands: Vec<Mask>,
+    acc: Antichain,
+    tmp: Antichain,
+}
+
+/// Per-worker reusable solver state: the two behaviour buffers, the
+/// worklist with its membership flags, the candidate scratch, and the
+/// down-dependency edge buffer. Compositions run entirely inside one
+/// workspace, so after warm-up they allocate only their (flat) results.
+struct Workspace {
+    /// Root-position solution buffer (restarted from the symbol base).
+    root: Behavior,
+    /// Positional (left/right) solution buffer (restarted from `root`).
+    pos: Behavior,
+    /// The worklist; empty between runs.
+    wl: Vec<u32>,
+    /// `inq[q]` ⟺ `q` is on `wl`; all-false between runs.
+    inq: Vec<bool>,
+    scratch: Scratch,
+    /// Buffer for [`FixCtx::down_rdeps`], refilled per composition.
+    down_rdeps: Vec<Vec<u32>>,
+}
+
+impl Workspace {
+    fn new(n_states: usize) -> Workspace {
+        Workspace {
+            root: vec![Antichain::new(); n_states],
+            pos: vec![Antichain::new(); n_states],
+            wl: Vec::new(),
+            inq: vec![false; n_states],
+            scratch: Scratch::default(),
+            down_rdeps: vec![Vec::new(); n_states],
+        }
+    }
+}
+
+/// A behaviour in flat, canonical (sorted) form: entry state `q`'s
+/// antichain is `masks[offsets[q] as usize..offsets[q + 1] as usize]`.
+/// Two allocations per behaviour, however many states the machine has —
+/// and the interning key of [`BehaviorArena`].
+#[derive(PartialEq, Eq, Hash)]
+struct FlatBehavior {
+    offsets: Vec<u32>,
+    masks: Vec<Mask>,
+}
+
+/// Flattens a solved behaviour buffer, sorting each antichain into the
+/// canonical order interning expects.
+fn flatten(r: &[Antichain]) -> FlatBehavior {
+    let mut offsets = Vec::with_capacity(r.len() + 1);
+    offsets.push(0);
+    let mut masks: Vec<Mask> = Vec::new();
+    for ac in r {
+        let start = masks.len();
+        masks.extend(ac.iter().cloned());
+        masks[start..].sort_unstable();
+        offsets.push(masks.len() as u32);
+    }
+    FlatBehavior { offsets, masks }
+}
+
+/// The raw (un-interned) result of one composition. `left`/`right` are
+/// `None` when that child position admits no up-moves, in which case the
+/// positional behaviour equals the root one (no copy, no re-interning).
+struct RawTriple {
+    root: FlatBehavior,
+    left: Option<FlatBehavior>,
+    right: Option<FlatBehavior>,
+    accepting: bool,
+}
+
+/// Rebuilds the reverse edges induced by `Down` actions into `deps`:
+/// state `q` must be re-examined when an exit state of the child antichain
+/// it consumes grows. Shared by all three runs of one composition.
+fn fill_down_rdeps(
+    table: &SymTable,
+    (bl, br): (&BehaviorData, &BehaviorData),
+    masks: &[Mask],
+    deps: &mut [Vec<u32>],
+) {
+    for v in deps.iter_mut() {
+        v.clear();
+    }
+    for &q in &table.down_states {
+        for act in &table.acts[q as usize] {
+            if let Act::Down { left, target } = *act {
+                let child = if left { bl } else { br };
+                for &mid in child.at(target as usize) {
+                    for e in masks[mid as usize].bits() {
+                        deps[e].push(q);
+                    }
+                }
+            }
+        }
+    }
+    for v in deps.iter_mut() {
+        v.sort_unstable();
+        v.dedup();
+    }
+}
+
+struct Walker {
+    tables: FxHashMap<Symbol, SymTable>,
+    n_states: usize,
+    words: usize,
+    initial: usize,
+}
+
+impl Walker {
+    /// Compiles the automaton's rules into per-symbol tables and solves
+    /// each symbol's children-independent base fixpoint (counted into
+    /// `stats`, like every other solver run).
+    fn new(a: &PebbleAutomaton, stats: &mut JobStats) -> Result<Walker, TypecheckError> {
         if a.k() != 1 {
             return Err(TypecheckError::NeedsOnePebble { k: a.k() });
         }
-        let mut rules: FxHashMap<(Symbol, State), Vec<&Action>> = FxHashMap::default();
+        let n_states = a.core().n_states() as usize;
+        let mut tables: FxHashMap<Symbol, SymTable> = FxHashMap::default();
         for (sym, q, guard, action) in a.core().rules() {
             debug_assert!(guard.0.is_empty(), "k = 1 guards are trivial");
-            rules.entry((sym, q)).or_default().push(action);
+            let t = tables.entry(sym).or_insert_with(|| SymTable::new(n_states));
+            let qi = q.0;
+            match action {
+                Action::Branch0 => t.acts[q.index()].push(Act::Accept),
+                Action::Branch2(q1, q2) => {
+                    t.acts[q.index()].push(Act::Fork(q1.0, q2.0));
+                    t.rdeps[q1.index()].push(qi);
+                    t.rdeps[q2.index()].push(qi);
+                }
+                Action::Move(m, target) => match m {
+                    Move::Stay => {
+                        t.acts[q.index()].push(Act::Stay(target.0));
+                        t.rdeps[target.index()].push(qi);
+                    }
+                    Move::UpLeft => t.up_left.push((qi, target.0)),
+                    Move::UpRight => t.up_right.push((qi, target.0)),
+                    Move::DownLeft | Move::DownRight => {
+                        t.acts[q.index()].push(Act::Down {
+                            left: matches!(m, Move::DownLeft),
+                            target: target.0,
+                        });
+                        t.has_down = true;
+                    }
+                    Move::PlaceNew | Move::PickCurrent => {
+                        unreachable!("unusable at k = 1")
+                    }
+                },
+                Action::Output0(..) | Action::Output2(..) => {
+                    unreachable!("automata have no output transitions")
+                }
+            }
         }
-        let n_states = a.core().n_states() as usize;
-        Ok(Walker {
-            rules,
+        for t in tables.values_mut() {
+            for v in &mut t.rdeps {
+                v.sort_unstable();
+                v.dedup();
+            }
+            t.up_left.sort_unstable();
+            t.up_left.dedup();
+            t.up_right.sort_unstable();
+            t.up_right.dedup();
+            t.active = t
+                .acts
+                .iter()
+                .enumerate()
+                .filter(|(_, acts)| !acts.is_empty())
+                .map(|(i, _)| i as u32)
+                .collect();
+            t.down_states = t
+                .acts
+                .iter()
+                .enumerate()
+                .filter(|(_, acts)| acts.iter().any(|a| matches!(a, Act::Down { .. })))
+                .map(|(i, _)| i as u32)
+                .collect();
+        }
+        let mut walker = Walker {
+            tables,
             n_states,
             words: n_states.div_ceil(64).max(1),
-            initial: a.core().initial(),
-        })
+            initial: a.core().initial().index(),
+        };
+        // Base fixpoints: solve each symbol's system with `Down` candidates
+        // absent (no children). Every composition restarts from here.
+        let mut ws = Workspace::new(n_states);
+        let syms: Vec<Symbol> = walker.tables.keys().copied().collect();
+        let mut bases: Vec<(Symbol, Behavior)> = Vec::with_capacity(syms.len());
+        for &sym in &syms {
+            let table = &walker.tables[&sym];
+            let ctx = FixCtx {
+                table,
+                children: None,
+                masks: &[],
+                down_rdeps: &[],
+            };
+            let mut base = vec![Antichain::new(); n_states];
+            for &q in &table.active {
+                ws.inq[q as usize] = true;
+                ws.wl.push(q);
+            }
+            walker.solve(
+                &ctx,
+                &mut base,
+                &mut ws.wl,
+                &mut ws.inq,
+                &mut ws.scratch,
+                stats,
+            );
+            bases.push((sym, base));
+        }
+        for (sym, base) in bases {
+            walker.tables.get_mut(&sym).expect("known symbol").base = base;
+        }
+        Ok(walker)
     }
 
-    /// Least fixpoint of the local resolution relation at a node labeled
-    /// `sym`, with the given child behaviours (`None` for a leaf) and child
-    /// position `chi`.
-    fn fixpoint(
-        &self,
-        sym: Symbol,
-        chi: Chi,
-        children: Option<(&Behavior, &Behavior)>,
-    ) -> Behavior {
-        let mut r: Behavior = vec![Antichain::new(); self.n_states];
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for q in 0..self.n_states {
-                let Some(actions) = self.rules.get(&(sym, State(q as u32))) else {
-                    continue;
-                };
-                // Candidates are computed against the current `r` and then
-                // merged; two-phase to appease the borrow checker.
-                let mut candidates: Vec<Mask> = Vec::new();
-                for action in actions {
-                    match action {
-                        Action::Branch0 => candidates.push(Mask::empty(self.words)),
-                        Action::Branch2(q1, q2) => {
-                            for m in cross_union(&r[q1.index()], &r[q2.index()]) {
-                                candidates.push(m);
-                            }
-                        }
-                        Action::Move(m, target) => match m {
-                            Move::Stay => candidates.extend(r[target.index()].iter().cloned()),
-                            Move::UpLeft => {
-                                if chi == Chi::Left {
-                                    candidates.push(Mask::singleton(target.index(), self.words));
-                                }
-                            }
-                            Move::UpRight => {
-                                if chi == Chi::Right {
-                                    candidates.push(Mask::singleton(target.index(), self.words));
-                                }
-                            }
-                            Move::DownLeft | Move::DownRight => {
-                                let Some((bl, br)) = children else { continue };
-                                let child = if matches!(m, Move::DownLeft) { bl } else { br };
-                                for exits in &child[target.index()] {
-                                    candidates.extend(self.resolve_exits(exits, &r));
-                                }
-                            }
-                            Move::PlaceNew | Move::PickCurrent => {
-                                unreachable!("unusable at k = 1")
-                            }
-                        },
-                        Action::Output0(..) | Action::Output2(..) => {
-                            unreachable!("automata have no output transitions")
+    /// Pushes all resolution candidates of state `q` against the current
+    /// `r` into `scratch.cands`. Candidates need not be mutually minimal —
+    /// the `insert_min` merge in [`Walker::solve`] filters them.
+    fn candidates(&self, ctx: &FixCtx<'_>, r: &[Antichain], q: usize, scratch: &mut Scratch) {
+        for act in &ctx.table.acts[q] {
+            match *act {
+                Act::Accept => scratch.cands.push(Mask::empty(self.words)),
+                Act::Fork(q1, q2) => {
+                    for x in &r[q1 as usize] {
+                        for y in &r[q2 as usize] {
+                            scratch.cands.push(x.or(y));
                         }
                     }
                 }
-                for m in candidates {
-                    changed |= insert_min(&mut r[q], m);
+                Act::Stay(p) => scratch.cands.extend(r[p as usize].iter().cloned()),
+                Act::Down { left, target } => {
+                    let Some((bl, br)) = ctx.children else {
+                        continue;
+                    };
+                    let child = if left { bl } else { br };
+                    for &mid in child.at(target as usize) {
+                        self.resolve_exits(&ctx.masks[mid as usize], r, scratch);
+                    }
                 }
             }
         }
-        canon(r)
     }
 
     /// Exit states returned by a child must all resolve at the current
-    /// node: the minimal unions over one choice of resolution per exit
-    /// state.
-    fn resolve_exits(&self, exits: &Mask, r: &Behavior) -> Vec<Mask> {
-        let mut acc: Antichain = vec![Mask::empty(self.words)];
+    /// node: pushes the minimal unions over one choice of resolution per
+    /// exit state into `scratch.cands` (nothing when some exit state
+    /// cannot resolve yet).
+    fn resolve_exits(&self, exits: &Mask, r: &[Antichain], scratch: &mut Scratch) {
+        scratch.acc.clear();
+        scratch.acc.push(Mask::empty(self.words));
         for q in exits.bits() {
             if r[q].is_empty() {
-                return Vec::new(); // this exit state cannot resolve (yet)
+                return; // this exit state cannot resolve (yet)
             }
-            acc = cross_union(&acc, &r[q]);
+            scratch.tmp.clear();
+            for x in &scratch.acc {
+                for y in &r[q] {
+                    insert_min(&mut scratch.tmp, x.or(y));
+                }
+            }
+            std::mem::swap(&mut scratch.acc, &mut scratch.tmp);
         }
-        acc
+        scratch.cands.append(&mut scratch.acc);
     }
 
-    fn triple(&self, sym: Symbol, children: Option<(&Triple, &Triple)>) -> Triple {
-        let kids = children.map(|(l, r)| (&l.left, &r.right));
-        let left = self.fixpoint(sym, Chi::Left, kids);
-        let right = self.fixpoint(sym, Chi::Right, kids);
-        let root = self.fixpoint(sym, Chi::Root, kids);
+    /// Chaotic-iteration worklist loop: pops a state, recomputes its
+    /// candidates, and re-enqueues its readers when its antichain grew.
+    /// On entry `wl` must list every state whose candidates may exceed `r`
+    /// and `inq` must flag exactly the listed states; on exit `wl` is
+    /// empty and `inq` all-false again, ready for the next run.
+    fn solve(
+        &self,
+        ctx: &FixCtx<'_>,
+        r: &mut [Antichain],
+        wl: &mut Vec<u32>,
+        inq: &mut [bool],
+        scratch: &mut Scratch,
+        stats: &mut JobStats,
+    ) {
+        stats.peak = stats.peak.max(wl.len());
+        while let Some(q) = wl.pop() {
+            inq[q as usize] = false;
+            stats.steps += 1;
+            self.candidates(ctx, r, q as usize, scratch);
+            let mut grew = false;
+            for m in scratch.cands.drain(..) {
+                grew |= insert_min(&mut r[q as usize], m);
+            }
+            if !grew {
+                continue;
+            }
+            for &d in &ctx.table.rdeps[q as usize] {
+                if !inq[d as usize] {
+                    inq[d as usize] = true;
+                    wl.push(d);
+                }
+            }
+            if let Some(deps) = ctx.down_rdeps.get(q as usize) {
+                for &d in deps {
+                    if !inq[d as usize] {
+                        inq[d as usize] = true;
+                        wl.push(d);
+                    }
+                }
+            }
+            stats.peak = stats.peak.max(wl.len());
+        }
+    }
+
+    /// Extends the root least fixpoint with a child position's up-move
+    /// exits, solving into the reusable `pos` buffer. Sound because the
+    /// root solution is below the positional least fixpoint and chaotic
+    /// iteration from any such point converges to it — only the up
+    /// increments need re-propagation. Returns `None` when there are no
+    /// up-moves for this position (behaviour = root's).
+    #[allow(clippy::too_many_arguments)]
+    fn extend_up(
+        &self,
+        ctx: &FixCtx<'_>,
+        root: &[Antichain],
+        pos: &mut Behavior,
+        ups: &[(u32, u32)],
+        wl: &mut Vec<u32>,
+        inq: &mut [bool],
+        scratch: &mut Scratch,
+        stats: &mut JobStats,
+    ) -> Option<FlatBehavior> {
+        if ups.is_empty() {
+            return None;
+        }
+        for (p, r) in pos.iter_mut().zip(root) {
+            p.clone_from(r);
+        }
+        for &(q, target) in ups {
+            if !insert_min(
+                &mut pos[q as usize],
+                Mask::singleton(target as usize, self.words),
+            ) {
+                continue;
+            }
+            for &d in &ctx.table.rdeps[q as usize] {
+                if !inq[d as usize] {
+                    inq[d as usize] = true;
+                    wl.push(d);
+                }
+            }
+            if let Some(deps) = ctx.down_rdeps.get(q as usize) {
+                for &d in deps {
+                    if !inq[d as usize] {
+                        inq[d as usize] = true;
+                        wl.push(d);
+                    }
+                }
+            }
+        }
+        self.solve(ctx, pos, wl, inq, scratch, stats);
+        Some(flatten(pos))
+    }
+
+    /// One full composition: the root fixpoint (restarted from the symbol
+    /// base) plus its left/right up-move extensions. Pure apart from the
+    /// workspace buffers — reads only frozen arenas, so it is safe to run
+    /// from worker threads with per-worker workspaces.
+    fn compose(
+        &self,
+        sym: Symbol,
+        children: Option<(&BehaviorData, &BehaviorData)>,
+        masks: &[Mask],
+        ws: &mut Workspace,
+        stats: &mut JobStats,
+    ) -> RawTriple {
+        let Some(table) = self.tables.get(&sym) else {
+            return RawTriple {
+                root: flatten(&vec![Antichain::new(); self.n_states]),
+                left: None,
+                right: None,
+                accepting: false,
+            };
+        };
+        let Workspace {
+            root,
+            pos,
+            wl,
+            inq,
+            scratch,
+            down_rdeps,
+        } = ws;
+        let use_down = table.has_down && children.is_some();
+        if use_down {
+            fill_down_rdeps(
+                table,
+                children.expect("gated on children"),
+                masks,
+                down_rdeps,
+            );
+        }
+        let ctx = FixCtx {
+            table,
+            children,
+            masks,
+            down_rdeps: if use_down { down_rdeps } else { &[] },
+        };
+        // Root run: only the `Down` candidates can exceed the base.
+        for (p, b) in root.iter_mut().zip(&table.base) {
+            p.clone_from(b);
+        }
+        if use_down && !table.down_states.is_empty() {
+            for &q in &table.down_states {
+                inq[q as usize] = true;
+                wl.push(q);
+            }
+            self.solve(&ctx, root, wl, inq, scratch, stats);
+        }
         // Accepting iff the initial configuration resolves with no exits.
-        let accepting = root[self.initial.index()].iter().any(Mask::is_empty);
-        Triple {
+        let accepting = root[self.initial].iter().any(Mask::is_empty);
+        let left = self.extend_up(&ctx, root, pos, &table.up_left, wl, inq, scratch, stats);
+        let right = self.extend_up(&ctx, root, pos, &table.up_right, wl, inq, scratch, stats);
+        RawTriple {
+            root: flatten(root),
             left,
             right,
             accepting,
@@ -244,60 +756,286 @@ impl<'a> Walker<'a> {
     }
 }
 
+/// A composition job: symbol plus the children's projection ids (`None`
+/// for a leaf).
+type Job = (Symbol, Option<(BehaviorId, BehaviorId)>);
+
+/// Evaluates a batch of composition jobs, in parallel when both the batch
+/// and the thread budget allow it. Results come back in job order, so the
+/// (sequential) interning that follows is independent of scheduling.
+fn compute_batch(
+    walker: &Walker,
+    jobs: &[Job],
+    masks: &[Mask],
+    behaviors: &[BehaviorData],
+    threads: usize,
+    agg: &mut JobStats,
+) -> Vec<RawTriple> {
+    let run_one = |job: &Job, ws: &mut Workspace, stats: &mut JobStats| -> RawTriple {
+        let children = job
+            .1
+            .map(|(l, r)| (&behaviors[l as usize], &behaviors[r as usize]));
+        walker.compose(job.0, children, masks, ws, stats)
+    };
+    if threads <= 1 || jobs.len() < 2 {
+        let mut ws = Workspace::new(walker.n_states);
+        return jobs.iter().map(|j| run_one(j, &mut ws, agg)).collect();
+    }
+    let workers = threads.min(jobs.len());
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<RawTriple>> = Vec::with_capacity(jobs.len());
+    out.resize_with(jobs.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let run_one = &run_one;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, RawTriple)> = Vec::new();
+                    let mut ws = Workspace::new(walker.n_states);
+                    let mut stats = JobStats::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        local.push((i, run_one(&jobs[i], &mut ws, &mut stats)));
+                    }
+                    (local, stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (local, stats) = h.join().expect("walk worker panicked");
+            agg.steps += stats.steps;
+            agg.peak = agg.peak.max(stats.peak);
+            for (i, raw) in local {
+                out[i] = Some(raw);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("every job computed"))
+        .collect()
+}
+
+/// Interns a raw composition result: the root behaviour, then the
+/// positional ones (which alias the root when the position admits no
+/// up-moves). Main-thread only, in canonical job order — arena ids are
+/// therefore thread-count independent.
+fn intern_raw(raw: RawTriple, masks: &mut MaskArena, behaviors: &mut BehaviorArena) -> TripleIds {
+    let root_id = behaviors.intern(raw.root, masks);
+    let mut position = |b: Option<FlatBehavior>, masks: &mut MaskArena| match b {
+        Some(b) => behaviors.intern(b, masks),
+        None => root_id,
+    };
+    TripleIds {
+        left: position(raw.left, masks),
+        right: position(raw.right, masks),
+        accepting: raw.accepting,
+    }
+}
+
+/// Assigns (or retrieves) the DBTA state of an interned triple, honoring
+/// the class budget exactly as the reference build did.
+fn intern_triple(
+    ids: TripleIds,
+    triples: &mut Vec<TripleIds>,
+    index: &mut FxHashMap<TripleIds, State>,
+    limit: u32,
+) -> Result<State, TypecheckError> {
+    if let Some(&q) = index.get(&ids) {
+        return Ok(q);
+    }
+    let q = State(triples.len() as u32);
+    if q.0 >= limit {
+        return Err(TypecheckError::TooManyStates { n: q.0 + 1 });
+    }
+    index.insert(ids, q);
+    triples.push(ids);
+    Ok(q)
+}
+
+/// Options for [`walking_to_dbta_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct WalkOptions {
+    /// Budget on behaviour classes (congruence states); `u32::MAX` =
+    /// unlimited.
+    pub limit: u32,
+    /// Worker threads for the composition frontier; `0` resolves via
+    /// [`resolve_threads`].
+    pub threads: usize,
+}
+
+impl Default for WalkOptions {
+    fn default() -> Self {
+        WalkOptions {
+            limit: u32::MAX,
+            threads: 0,
+        }
+    }
+}
+
+/// Counters describing one [`walking_to_dbta_with`] run. All fields are
+/// deterministic — independent of the thread count used.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalkStats {
+    /// Transition-table pairs `(symbol, s₁, s₂)` resolved.
+    pub pairs: u64,
+    /// Distinct fixpoint compositions actually computed (leaves included).
+    pub compositions: u64,
+    /// Pairs resolved from the memo without a fixpoint run
+    /// (`pairs − binary compositions`).
+    pub memo_hits: u64,
+    /// Total worklist pops across all fixpoint runs.
+    pub fixpoint_steps: u64,
+    /// Peak worklist length of any single fixpoint run.
+    pub worklist_peak: u64,
+    /// Frontier generations (compute → intern → replay cycles).
+    pub rounds: u64,
+    /// Worker threads the frontier was evaluated with.
+    pub threads: u64,
+    /// Distinct exit-set masks interned.
+    pub masks_interned: u64,
+    /// Distinct behaviours interned.
+    pub behaviors_interned: u64,
+    /// States of the resulting DBTA.
+    pub dbta_states: u64,
+}
+
+/// Resolves a requested frontier thread count: an explicit `n > 0` wins,
+/// else the `XMLTC_THREADS` environment variable, else the machine's
+/// available parallelism (1 when unknown).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("XMLTC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Converts a 1-pebble (branching tree-walking) automaton into an
-/// equivalent deterministic bottom-up tree automaton.
+/// equivalent deterministic bottom-up tree automaton, returning the
+/// construction counters alongside.
 ///
-/// Errors when `k ≠ 1`. The `limit` bounds the number of behaviour classes
-/// (congruence states) explored.
-pub fn walking_to_dbta_limited(a: &PebbleAutomaton, limit: u32) -> Result<Dbta, TypecheckError> {
-    let walker = Walker::new(a)?;
+/// Errors when `k ≠ 1` or the behaviour-class budget is exceeded. The
+/// output is bit-identical for every thread count: workers only evaluate
+/// pure compositions, and all interning happens sequentially in a
+/// canonical order.
+pub fn walking_to_dbta_with(
+    a: &PebbleAutomaton,
+    opts: &WalkOptions,
+) -> Result<(Dbta, WalkStats), TypecheckError> {
+    let mut job_stats = JobStats::default();
+    let walker = Walker::new(a, &mut job_stats)?;
+    let threads = resolve_threads(opts.threads);
+    let limit = opts.limit;
     let alphabet = a.input_alphabet();
 
-    let mut index: FxHashMap<Triple, State> = FxHashMap::default();
-    let mut triples: Vec<Triple> = Vec::new();
-    let mut intern = |t: Triple, triples: &mut Vec<Triple>| -> Result<State, TypecheckError> {
-        if let Some(&q) = index.get(&t) {
-            return Ok(q);
-        }
-        let q = State(triples.len() as u32);
-        if q.0 >= limit {
-            return Err(TypecheckError::TooManyStates { n: q.0 + 1 });
-        }
-        index.insert(t.clone(), q);
-        triples.push(t);
-        Ok(q)
-    };
-
+    let mut masks = MaskArena::default();
+    let mut behaviors = BehaviorArena::default();
+    let mut triples: Vec<TripleIds> = Vec::new();
+    let mut index: FxHashMap<TripleIds, State> = FxHashMap::default();
+    let mut memo: FxHashMap<(Symbol, BehaviorId, BehaviorId), TripleIds> = FxHashMap::default();
     let mut leaf: FxHashMap<Symbol, State> = FxHashMap::default();
     let mut node: FxHashMap<(Symbol, State, State), State> = FxHashMap::default();
+    let mut rounds = 0u64;
 
-    for sym in alphabet.leaves() {
-        let t = walker.triple(sym, None);
-        leaf.insert(sym, intern(t, &mut triples)?);
+    // Leaf triples, in alphabet order (canonical).
+    let leaf_syms = alphabet.leaves();
+    let leaf_jobs: Vec<Job> = leaf_syms.iter().map(|&s| (s, None)).collect();
+    let raws = compute_batch(
+        &walker,
+        &leaf_jobs,
+        &masks.masks,
+        &behaviors.behaviors,
+        threads,
+        &mut job_stats,
+    );
+    for (&sym, raw) in leaf_syms.iter().zip(raws) {
+        let ids = intern_raw(raw, &mut masks, &mut behaviors);
+        let q = intern_triple(ids, &mut triples, &mut index, limit)?;
+        leaf.insert(sym, q);
     }
+
     let binaries = alphabet.binaries();
-    let mut processed = 0usize;
-    while processed < triples.len() {
-        let s1 = State(processed as u32);
-        processed += 1;
-        let mut p2 = 0usize;
-        while p2 < triples.len() {
-            let s2 = State(p2 as u32);
-            p2 += 1;
-            for &sym in &binaries {
-                for (x, y) in [(s1, s2), (s2, s1)] {
-                    if node.contains_key(&(sym, x, y)) {
+    loop {
+        rounds += 1;
+        // Frontier: every composition key over the known triples that is
+        // neither resolved as a transition nor memoized yet — in canonical
+        // (s₁-major, s₂-minor, symbol) order.
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut seen: FxHashSet<(Symbol, BehaviorId, BehaviorId)> = FxHashSet::default();
+        for x in 0..triples.len() {
+            for y in 0..triples.len() {
+                for &sym in &binaries {
+                    if node.contains_key(&(sym, State(x as u32), State(y as u32))) {
                         continue;
                     }
-                    let t = {
-                        let tx = &triples[x.index()];
-                        let ty = &triples[y.index()];
-                        walker.triple(sym, Some((tx, ty)))
-                    };
-                    let q = intern(t, &mut triples)?;
-                    node.insert((sym, x, y), q);
+                    let key = (sym, triples[x].left, triples[y].right);
+                    if !memo.contains_key(&key) && seen.insert(key) {
+                        jobs.push((sym, Some((key.1, key.2))));
+                    }
                 }
             }
+        }
+        if !jobs.is_empty() {
+            let raws = compute_batch(
+                &walker,
+                &jobs,
+                &masks.masks,
+                &behaviors.behaviors,
+                threads,
+                &mut job_stats,
+            );
+            for (&(sym, children), raw) in jobs.iter().zip(raws) {
+                let (l, r) = children.expect("binary job");
+                let ids = intern_raw(raw, &mut masks, &mut behaviors);
+                memo.insert((sym, l, r), ids);
+            }
+        }
+
+        // Canonical replay of the reference nested-loop discovery: interns
+        // triples and transitions in exactly the order the sequential
+        // build did, aborting (for another frontier round) at the first
+        // composition not yet memoized — necessarily one involving a
+        // triple first discovered during this very replay.
+        let mut complete = true;
+        let mut processed = 0usize;
+        'replay: while processed < triples.len() {
+            let s1 = State(processed as u32);
+            processed += 1;
+            let mut p2 = 0usize;
+            while p2 < triples.len() {
+                let s2 = State(p2 as u32);
+                p2 += 1;
+                for &sym in &binaries {
+                    for (x, y) in [(s1, s2), (s2, s1)] {
+                        if node.contains_key(&(sym, x, y)) {
+                            continue;
+                        }
+                        let key = (sym, triples[x.index()].left, triples[y.index()].right);
+                        let Some(&ids) = memo.get(&key) else {
+                            complete = false;
+                            break 'replay;
+                        };
+                        let q = intern_triple(ids, &mut triples, &mut index, limit)?;
+                        node.insert((sym, x, y), q);
+                    }
+                }
+            }
+        }
+        if complete {
+            break;
         }
     }
 
@@ -307,13 +1045,36 @@ pub fn walking_to_dbta_limited(a: &PebbleAutomaton, limit: u32) -> Result<Dbta, 
         .filter(|(_, t)| t.accepting)
         .map(|(i, _)| State(i as u32))
         .collect();
-    Ok(Dbta::from_parts(
-        alphabet,
-        triples.len() as u32,
-        leaf,
-        node,
-        finals,
-    ))
+    let stats = WalkStats {
+        pairs: node.len() as u64,
+        compositions: (leaf.len() + memo.len()) as u64,
+        memo_hits: (node.len() - memo.len()) as u64,
+        fixpoint_steps: job_stats.steps,
+        worklist_peak: job_stats.peak as u64,
+        rounds,
+        threads: threads as u64,
+        masks_interned: masks.masks.len() as u64,
+        behaviors_interned: behaviors.behaviors.len() as u64,
+        dbta_states: triples.len() as u64,
+    };
+    let d = Dbta::from_parts(alphabet, triples.len() as u32, leaf, node, finals);
+    Ok((d, stats))
+}
+
+/// Converts a 1-pebble (branching tree-walking) automaton into an
+/// equivalent deterministic bottom-up tree automaton.
+///
+/// Errors when `k ≠ 1`. The `limit` bounds the number of behaviour classes
+/// (congruence states) explored.
+pub fn walking_to_dbta_limited(a: &PebbleAutomaton, limit: u32) -> Result<Dbta, TypecheckError> {
+    walking_to_dbta_with(
+        a,
+        &WalkOptions {
+            limit,
+            ..Default::default()
+        },
+    )
+    .map(|(d, _)| d)
 }
 
 /// [`walking_to_dbta_limited`] without a class budget.
@@ -357,6 +1118,26 @@ mod tests {
                 "disagreement on {src}"
             );
         }
+        // The construction must be invariant under the thread count: same
+        // states, transitions, finals, and counters.
+        let opts1 = WalkOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        let opts4 = WalkOptions {
+            threads: 4,
+            ..Default::default()
+        };
+        let (d1, s1) = walking_to_dbta_with(a, &opts1).unwrap();
+        let (d4, s4) = walking_to_dbta_with(a, &opts4).unwrap();
+        assert_eq!(d1, d4, "thread count changed the DBTA");
+        assert_eq!(d1, d, "explicit thread count changed the DBTA");
+        assert_eq!(
+            (s1.pairs, s1.compositions, s1.memo_hits, s1.dbta_states),
+            (s4.pairs, s4.compositions, s4.memo_hits, s4.dbta_states),
+            "thread count changed the counters"
+        );
+        assert_eq!(s1.pairs, s1.compositions - /* leaves */ 2 + s1.memo_hits);
     }
 
     /// Walks down-left-only to check the leftmost leaf is x.
@@ -482,5 +1263,36 @@ mod tests {
             walking_to_dbta(&a),
             Err(TypecheckError::NeedsOnePebble { k: 2 })
         ));
+    }
+
+    /// The class budget aborts at the same canonical point regardless of
+    /// thread count.
+    #[test]
+    fn limit_abort_is_thread_invariant() {
+        let al = alpha();
+        let y = al.get("y").unwrap();
+        let mut b = AutomatonBuilder::new(&al, 1);
+        let q = b.state("search", 1).unwrap();
+        b.set_initial(q);
+        b.branch0(SymSpec::One(y), q, Guard::any()).unwrap();
+        b.move_rule(SymSpec::Binaries, q, Guard::any(), Move::DownLeft, q)
+            .unwrap();
+        b.move_rule(SymSpec::Binaries, q, Guard::any(), Move::DownRight, q)
+            .unwrap();
+        let a = b.build().unwrap();
+        let full = walking_to_dbta(&a).unwrap();
+        assert!(full.n_states() >= 2);
+        for limit in 0..full.n_states() {
+            let mut aborts = Vec::new();
+            for threads in [1usize, 4] {
+                let opts = WalkOptions { limit, threads };
+                match walking_to_dbta_with(&a, &opts) {
+                    Err(TypecheckError::TooManyStates { n }) => aborts.push(n),
+                    other => panic!("limit {limit}: expected budget abort, got {other:?}"),
+                }
+            }
+            assert_eq!(aborts[0], aborts[1], "limit {limit}");
+            assert_eq!(aborts[0], limit + 1, "abort reports the breached budget");
+        }
     }
 }

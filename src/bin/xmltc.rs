@@ -5,7 +5,7 @@
 //! xmltc transform   <input.dtd> <sheet.xsl> <doc.xml>
 //! xmltc typecheck   <input.dtd> <sheet.xsl> <output.dtd> [--stats|--json]
 //!                   [--route auto|walk|mso] [--engine auto|lazy|eager]
-//!                   [--state-limit N]
+//!                   [--state-limit N] [--threads N]
 //! xmltc forward     <input.dtd> <sheet.xsl> <output.dtd>
 //! ```
 //!
@@ -101,6 +101,14 @@ fn parse_flags(rest: &[String], allowed: bool) -> Result<(Vec<&str>, TypecheckFl
                 flags.opts.state_limit = v
                     .parse()
                     .map_err(|_| format!("invalid state limit `{v}`"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads requires a number")?;
+                flags.opts.threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or(format!("invalid thread count `{v}`"))?;
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -269,9 +277,13 @@ typecheck options:
   --engine E         emptiness engine: auto (default) | lazy | eager
                      (auto = lazy on the walk route, eager on mso)
   --state-limit N    budget for intermediate automata (default 4000000)
+  --threads N        walk-route worker threads (default: XMLTC_THREADS if
+                     set, else available parallelism; verdict and automata
+                     are identical for every N)
 
 environment:
   XMLTC_LOG=1        log phase enter/exit to stderr
+  XMLTC_THREADS=N    default walk-route worker threads
 
 formats:
   .dtd   one rule per line:  a := b*.c.e     (first rule = root; // comments)

@@ -455,3 +455,109 @@ fn xmltc_log_traces_to_stderr() {
         "typechecks: every valid input maps into the output DTD\n"
     );
 }
+
+#[test]
+fn typecheck_threads_flag_is_output_invariant() {
+    // Verdict and every byte of output must be identical at any thread
+    // count, on both passing and failing instances.
+    for (out_dtd, code) in [("even_b.dtd", 0), ("universal_out.dtd", 0)] {
+        let base = [
+            "typecheck",
+            &fixture("even_a.dtd"),
+            &fixture("relabel.xsl"),
+            &fixture(out_dtd),
+        ];
+        let one: Vec<&str> = base.iter().copied().chain(["--threads", "1"]).collect();
+        let four: Vec<&str> = base.iter().copied().chain(["--threads", "4"]).collect();
+        let o1 = run(&one);
+        let o4 = run(&four);
+        assert_eq!(o1.status.code(), Some(code), "{}", stderr(&o1));
+        assert_eq!(o4.status.code(), Some(code), "{}", stderr(&o4));
+        assert_eq!(stdout(&o1), stdout(&o4), "--threads changed the output");
+    }
+    let fail = [
+        "typecheck",
+        &fixture("any_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+    ];
+    let one: Vec<&str> = fail.iter().copied().chain(["--threads", "1"]).collect();
+    let four: Vec<&str> = fail.iter().copied().chain(["--threads", "4"]).collect();
+    let o1 = run(&one);
+    let o4 = run(&four);
+    assert_eq!(o1.status.code(), Some(1));
+    assert_eq!(o4.status.code(), Some(1));
+    assert_eq!(
+        stdout(&o1),
+        stdout(&o4),
+        "--threads changed the counterexample"
+    );
+}
+
+#[test]
+fn typecheck_json_reports_thread_count() {
+    let out = run(&[
+        "typecheck",
+        &fixture("even_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+        "--json",
+        "--threads",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert_eq!(json_u64(&s, "walk.threads"), Some(2));
+    assert!(json_u64(&s, "walk.pairs").unwrap() > 0);
+    assert!(json_u64(&s, "walk.compositions").unwrap() > 0);
+    assert!(json_u64(&s, "walk.memo_hits").is_some());
+    assert!(json_u64(&s, "walk.fixpoint_steps").unwrap() > 0);
+    assert!(json_u64(&s, "product.pairs_pruned").is_some());
+}
+
+#[test]
+fn xmltc_threads_env_sets_default_and_flag_wins() {
+    let args = [
+        "typecheck",
+        &fixture("even_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+        "--json",
+    ];
+    let out = bin()
+        .args(args)
+        .env("XMLTC_THREADS", "3")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert_eq!(json_u64(&stdout(&out), "walk.threads"), Some(3));
+
+    let with_flag: Vec<&str> = args.iter().copied().chain(["--threads", "1"]).collect();
+    let out = bin()
+        .args(&with_flag)
+        .env("XMLTC_THREADS", "3")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert_eq!(json_u64(&stdout(&out), "walk.threads"), Some(1));
+}
+
+#[test]
+fn typecheck_rejects_invalid_thread_count() {
+    for bad in ["0", "-1", "many"] {
+        let out = run(&[
+            "typecheck",
+            &fixture("even_a.dtd"),
+            &fixture("relabel.xsl"),
+            &fixture("even_b.dtd"),
+            "--threads",
+            bad,
+        ]);
+        assert_eq!(out.status.code(), Some(2), "--threads {bad}");
+        assert!(
+            stderr(&out).contains("invalid thread count"),
+            "--threads {bad}: {}",
+            stderr(&out)
+        );
+    }
+}

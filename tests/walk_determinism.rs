@@ -1,0 +1,116 @@
+//! Determinism of the parallel Theorem 4.7 walk construction: for the
+//! seeded random (stylesheet, output spec) triples the differential suite
+//! draws from, the DBTA built with a parallel frontier must be
+//! byte-identical — state numbering, leaf/node transition maps, finals —
+//! to the `--threads 1` build, with identical construction counters. Also
+//! the `TooManyStates` regression: the class budget must abort at the
+//! same canonical point at every thread count.
+
+use xmltc::dtd::Dtd;
+use xmltc::trees::SmallRng;
+use xmltc::typecheck::walk::{walking_to_dbta_limited, walking_to_dbta_with, WalkOptions};
+use xmltc::typecheck::{violation_automaton, TypecheckError};
+use xmltc::xmlql::{Stylesheet, Template};
+
+/// Template bodies for the `root` tag (the differential-suite pool).
+const ROOT_BODIES: [&str; 4] = [
+    "out(@apply)",
+    "out(b, @apply)",
+    "out(@apply, @apply)",
+    "out",
+];
+
+/// Template bodies for the `a` tag.
+const A_BODIES: [&str; 4] = ["a", "b", "a(@apply)", "b(@apply, b)"];
+
+/// Output content models for `out` (the `τ₂` pool).
+const SPECS: [&str; 6] = ["(a|b)*", "b*", "b.(a|b)*", "a*", "b?.(a|b)*", "@empty"];
+
+/// Compiles one (stylesheet, spec) combo into its trimmed 1-pebble
+/// violation automaton — the exact machine the walk route receives.
+fn violation(root_body: &str, a_body: &str, spec: &str) -> xmltc::core::machine::PebbleAutomaton {
+    let sheet = Stylesheet::new(vec![
+        Template::parse("root", root_body).unwrap(),
+        Template::parse("a", a_body).unwrap(),
+    ]);
+    let probe_dtd = Dtd::parse_text("root := a*\na := a*").unwrap();
+    let (t, _enc_in, enc_out) = sheet.compile(probe_dtd.alphabet()).unwrap();
+    let out_src = enc_out.source();
+    // Tags the stylesheet can never output become `@empty` in the model.
+    let mut spec_text = spec.to_string();
+    let avail: Vec<&str> = ["a", "b"]
+        .into_iter()
+        .filter(|t| out_src.get(t).is_some())
+        .collect();
+    let mut lines = Vec::new();
+    for tag in ["a", "b"] {
+        if avail.contains(&tag) {
+            lines.push(format!("{tag} := ({})*", avail.join("|")));
+        } else {
+            spec_text = spec_text.replace(tag, "@empty");
+        }
+    }
+    lines.insert(0, format!("out := {spec_text}"));
+    let tau2 = Dtd::parse_text_with(&lines.join("\n"), out_src)
+        .unwrap()
+        .compile(&enc_out)
+        .unwrap();
+    violation_automaton(&t, &tau2).unwrap().trim_states()
+}
+
+#[test]
+fn parallel_build_is_byte_identical() {
+    let mut rng = SmallRng::seed_from_u64(0x4703);
+    for case in 0..16 {
+        let ri = rng.gen_range(0..ROOT_BODIES.len());
+        let ai = rng.gen_range(0..A_BODIES.len());
+        let si = rng.gen_range(0..SPECS.len());
+        let v = violation(ROOT_BODIES[ri], A_BODIES[ai], SPECS[si]);
+        let seq = WalkOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        let (d1, s1) = walking_to_dbta_with(&v, &seq).unwrap();
+        for threads in [2, 4] {
+            let par = WalkOptions {
+                threads,
+                ..Default::default()
+            };
+            let (dn, sn) = walking_to_dbta_with(&v, &par).unwrap();
+            assert_eq!(
+                d1, dn,
+                "case {case} ({ri},{ai},{si}): DBTA differs at {threads} threads"
+            );
+            assert_eq!(
+                (s1.pairs, s1.compositions, s1.memo_hits, s1.dbta_states),
+                (sn.pairs, sn.compositions, sn.memo_hits, sn.dbta_states),
+                "case {case} ({ri},{ai},{si}): counters differ at {threads} threads"
+            );
+            assert_eq!(sn.threads, threads as u64);
+        }
+    }
+}
+
+#[test]
+fn too_many_states_aborts_identically_at_any_thread_count() {
+    // A combo whose construction needs a handful of classes.
+    let v = violation(ROOT_BODIES[1], A_BODIES[3], SPECS[2]);
+    let full = walking_to_dbta_limited(&v, u32::MAX).unwrap().n_states();
+    assert!(full > 2, "fixture must need several behaviour classes");
+    for limit in 1..full {
+        let err = |threads: usize| {
+            let opts = WalkOptions { limit, threads };
+            match walking_to_dbta_with(&v, &opts) {
+                Err(TypecheckError::TooManyStates { n }) => n,
+                other => {
+                    panic!("limit {limit}, {threads} threads: expected budget abort, got {other:?}")
+                }
+            }
+        };
+        let n1 = err(1);
+        assert_eq!(n1, limit + 1, "abort reports the first class over budget");
+        assert_eq!(n1, err(4), "limit {limit}: abort differs across threads");
+    }
+    // At the exact budget the construction completes again.
+    assert_eq!(walking_to_dbta_limited(&v, full).unwrap().n_states(), full);
+}
