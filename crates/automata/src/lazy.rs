@@ -279,6 +279,11 @@ impl<'a> Search<'a> {
         let ix = self.subsets.len() as u32;
         self.subset_ix.insert(set.clone(), ix);
         self.subsets.push(set);
+        if obs::journal::enabled() {
+            // Matches `LazyStats::subset_states`: the pre-interned empty
+            // set (index 0) is bookkeeping, not search work.
+            obs::journal::counter("lazy.subset_states", ix as u64);
+        }
         ix
     }
 
@@ -293,6 +298,10 @@ impl<'a> Search<'a> {
         self.config_ix.insert(c, ix);
         self.configs.push(c);
         self.marks.push(Mark::Unvisited);
+        if obs::journal::enabled() {
+            obs::journal::instant("lazy.materialize");
+            obs::journal::counter("lazy.states_materialized", self.configs.len() as u64);
+        }
         Ok(ix)
     }
 
@@ -333,14 +342,24 @@ impl<'a> Search<'a> {
         match self.marks[ix as usize] {
             Mark::Empty => {
                 self.stats.memo_hits += 1;
+                if obs::journal::enabled() {
+                    obs::journal::counter("lazy.memo_hits", self.stats.memo_hits);
+                }
                 return Ok(Step::Empty { min_dep: NO_DEP });
             }
             Mark::Inhabited(r) => {
                 self.stats.memo_hits += 1;
+                if obs::journal::enabled() {
+                    obs::journal::counter("lazy.memo_hits", self.stats.memo_hits);
+                }
                 return Ok(Step::Inhabited(r));
             }
             Mark::Open(index) => {
                 self.stats.assumption_hits += 1;
+                if obs::journal::enabled() {
+                    obs::journal::instant("lazy.assumption_hit");
+                    obs::journal::counter("lazy.assumption_hits", self.stats.assumption_hits);
+                }
                 return Ok(Step::Empty { min_dep: index });
             }
             Mark::Unvisited => {}

@@ -1,0 +1,65 @@
+//! Overhead budget of the observability layer: what does instrumentation
+//! cost when nobody is looking, and when the journal records?
+//!
+//! The contract (see DESIGN.md) is that a *disabled* journal adds only a
+//! relaxed atomic load per call site, so the uninstrumented pipeline pays
+//! near-zero for carrying spans and counters. This bench measures the
+//! span/record/counter paths in three regimes — fully off, collector-only
+//! (`with_report`), and journal-on — and prints the per-call costs side
+//! by side. The journal-on rows are expected to be markedly slower (they
+//! build the timeline); the off rows must stay in the nanoseconds.
+//!
+//! The journal-on regime periodically drains the global sink (`take` +
+//! re-`enable`) so repeated calibration batches cannot grow the event
+//! buffers without bound.
+
+use std::hint::black_box;
+use xmltc_bench::harness::Group;
+use xmltc_obs as obs;
+
+/// One representative instrumented unit of work: a span wrapping a
+/// recorded gauge and an additive counter.
+fn instrumented_unit() -> u64 {
+    let _s = obs::span("bench.unit");
+    obs::record("bench.gauge", 7);
+    obs::add("bench.total", 1);
+    black_box(3u64) * 14
+}
+
+fn main() {
+    let mut group = Group::new("obs_overhead");
+
+    // Regime 1: everything off — the pipeline's default. This is the
+    // number that must stay near zero.
+    group.bench("span_off", instrumented_unit);
+
+    // Regime 2: the thread-local collector aggregates totals (the
+    // `--stats`/`--json` path). The report is rebuilt per batch; costs
+    // include the span-record bookkeeping.
+    group.bench("span_collector", || {
+        let (v, _report) = obs::with_report(instrumented_unit);
+        v
+    });
+
+    // Regime 3: the journal records the timeline (the `--trace-out`
+    // path): every call appends timestamped events to a thread-local
+    // buffer.
+    obs::journal::enable();
+    let mut calls = 0u64;
+    group.bench("span_journal", || {
+        calls += 1;
+        if calls.is_multiple_of(1 << 16) {
+            // Drain so buffers stay bounded across calibration batches.
+            let _ = obs::journal::take();
+            obs::journal::enable();
+        }
+        instrumented_unit()
+    });
+    let drained = obs::journal::take();
+    assert!(
+        !drained.is_empty(),
+        "journal-on regime must have recorded events"
+    );
+
+    group.finish();
+}

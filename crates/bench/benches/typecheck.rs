@@ -4,7 +4,7 @@
 //! run by both the eager (materializing) and the lazy (on-the-fly) engine.
 //!
 //! Besides the timing table, this bench dumps a machine-readable comparison
-//! to `BENCH_typecheck.json` at the workspace root (schema 3): one
+//! to `BENCH_typecheck.json` at the workspace root (schema 4): one
 //! instrumented [`PipelineReport`](xmltc_obs::PipelineReport) per engine
 //! (the same shape `xmltc typecheck --json` emits), a side-by-side summary
 //! of wall times and state counts, and a `route_walk` breakdown of the
@@ -16,6 +16,8 @@
 //!
 //! `XMLTC_BENCH_QUICK=1` skips the calibrated timing loops and runs only
 //! the instrumented comparisons and their assertions (the CI smoke mode).
+//! `XMLTC_BENCH_OUT=path` redirects the JSON dump — and emits it even in
+//! quick mode, producing a candidate file for `xmltc bench-diff`.
 
 use xmltc_bench::harness::Group;
 use xmltc_bench::q2_fixture;
@@ -122,8 +124,14 @@ fn main() {
         |r: &obs::PipelineReport| r.span("route.walk").map(|s| s.wall_ms()).unwrap_or(0.0);
     let pairs = walk_metric(&seq_report, "walk.pairs");
     let memo_hits = walk_metric(&seq_report, "walk.memo_hits");
-    let memo_hit_rate = if pairs > 0 {
-        memo_hits as f64 / pairs as f64
+    let memo_misses = walk_metric(&seq_report, "walk.memo_misses");
+    assert_eq!(
+        memo_hits + memo_misses,
+        pairs,
+        "memo hits + misses must account for every resolved pair"
+    );
+    let memo_hit_rate = if memo_hits + memo_misses > 0 {
+        memo_hits as f64 / (memo_hits + memo_misses) as f64
     } else {
         0.0
     };
@@ -134,7 +142,7 @@ fn main() {
             .unwrap_or(0.0)
     };
     let json = Json::obj(vec![
-        ("schema", Json::Str("xmltc.bench-typecheck/3".into())),
+        ("schema", Json::Str("xmltc.bench-typecheck/4".into())),
         (
             "comparison",
             Json::obj(vec![
@@ -161,6 +169,7 @@ fn main() {
                     Json::U64(walk_metric(&seq_report, "walk.compositions")),
                 ),
                 ("memo_hits", Json::U64(memo_hits)),
+                ("memo_misses", Json::U64(memo_misses)),
                 ("memo_hit_rate", Json::F64(memo_hit_rate)),
                 (
                     "fixpoint_steps",
@@ -180,12 +189,19 @@ fn main() {
             ]),
         ),
     ]);
-    if quick {
+    // `XMLTC_BENCH_OUT=path` redirects the dump — and forces it even in
+    // quick mode, so CI can produce a candidate file for `bench-diff`
+    // without paying for the calibrated timing loops.
+    let out_override = std::env::var("XMLTC_BENCH_OUT")
+        .ok()
+        .filter(|p| !p.is_empty());
+    if quick && out_override.is_none() {
         println!("quick mode: instrumented comparisons passed (threads 1 vs {par_threads} agree)");
         return;
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_typecheck.json");
-    match std::fs::write(path, json.encode_pretty()) {
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_typecheck.json");
+    let path = out_override.unwrap_or_else(|| default_path.to_string());
+    match std::fs::write(&path, json.encode_pretty()) {
         Ok(()) => println!("\n(engine comparison written to {path})"),
         Err(e) => eprintln!("\n(could not write {path}: {e})"),
     }

@@ -101,19 +101,28 @@ pub struct Span {
     start: Option<Instant>,
     name: &'static str,
     log: bool,
+    /// Emit a journal end event on drop.
+    jour: bool,
 }
 
 /// Opens a phase span. The returned guard closes the span (recording wall
 /// time) when dropped. Nesting is reflected in the report's `depth` field.
+/// When the [`journal`](crate::journal) is recording, the open and the
+/// close are also journaled as begin/end events on the calling thread.
 #[inline]
 pub fn span(name: &'static str) -> Span {
     let log = logging_enabled();
+    let jour = crate::journal::enabled();
+    if jour {
+        crate::journal::begin(name);
+    }
     if !is_active() && !log {
         return Span {
             rec: None,
             start: None,
             name,
             log: false,
+            jour,
         };
     }
     let rec = if is_active() {
@@ -148,11 +157,15 @@ pub fn span(name: &'static str) -> Span {
         start: Some(Instant::now()),
         name,
         log,
+        jour,
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.jour {
+            crate::journal::end(self.name);
+        }
         let Some(start) = self.start else { return };
         let wall_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         if let Some(idx) = self.rec {
@@ -194,27 +207,34 @@ fn with_metrics(f: impl FnOnce(&mut Vec<(&'static str, u64)>)) {
     });
 }
 
-/// Sets metric `name` on the innermost open span (last write wins).
+/// Sets metric `name` on the innermost open span (last write wins). Also
+/// journaled as a counter sample when the journal is recording.
 #[inline]
 pub fn record(name: &'static str, value: u64) {
+    crate::journal::counter(name, value);
     with_metrics(|m| match m.iter_mut().find(|(k, _)| *k == name) {
         Some(slot) => slot.1 = value,
         None => m.push((name, value)),
     });
 }
 
-/// Raises metric `name` to at least `value` (a high-water gauge).
+/// Raises metric `name` to at least `value` (a high-water gauge). The
+/// journal, when recording, receives the raw sample — the time series
+/// keeps the dips the high-water aggregate flattens.
 #[inline]
 pub fn record_max(name: &'static str, value: u64) {
+    crate::journal::counter(name, value);
     with_metrics(|m| match m.iter_mut().find(|(k, _)| *k == name) {
         Some(slot) => slot.1 = slot.1.max(value),
         None => m.push((name, value)),
     });
 }
 
-/// Adds `delta` to counter `name`.
+/// Adds `delta` to counter `name`. The journal, when recording, samples
+/// the calling thread's running total after the addition.
 #[inline]
 pub fn add(name: &'static str, delta: u64) {
+    crate::journal::counter_add(name, delta);
     with_metrics(|m| match m.iter_mut().find(|(k, _)| *k == name) {
         Some(slot) => slot.1 = slot.1.saturating_add(delta),
         None => m.push((name, delta)),

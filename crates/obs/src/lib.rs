@@ -19,10 +19,19 @@
 //!   [`with_report`], rendered as a human table ([`PipelineReport::render_table`])
 //!   or as JSON ([`PipelineReport::to_json_string`]) with a stable schema
 //!   (`xmltc.pipeline-report/1`).
-//! * **A minimal JSON encoder** ([`json`]) — the workspace is built offline
-//!   and dependency-free, so serialization is hand-rolled here and shared by
-//!   the CLI (`xmltc typecheck --json`) and the benchmark harness
-//!   (`BENCH_typecheck.json`).
+//! * **A minimal JSON encoder and parser** ([`json`]) — the workspace is
+//!   built offline and dependency-free, so serialization is hand-rolled
+//!   here and shared by the CLI (`xmltc typecheck --json`) and the
+//!   benchmark harness (`BENCH_typecheck.json`); the parser reads the
+//!   dumps back for [`diff`].
+//! * **An event [`journal`]** — a low-overhead, per-thread profiling
+//!   timeline (span begin/end, instants, counter samples with monotonic
+//!   timestamps) that the `span`/`record` API feeds transparently while
+//!   enabled, exportable to the Chrome trace-event format ([`chrome`])
+//!   for `chrome://tracing` / Perfetto (`xmltc ... --trace-out`).
+//! * **A benchmark regression differ** ([`diff`]) — compares two
+//!   `BENCH_typecheck.json` dumps against a threshold watch list
+//!   (`xmltc bench-diff`).
 //!
 //! Instrumentation is free when nothing collects: every entry point
 //! fast-paths on one thread-local flag plus one cached environment check,
@@ -42,10 +51,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod collect;
+pub mod diff;
+pub mod event;
+pub mod journal;
 pub mod json;
 pub mod report;
 
 pub use collect::{add, is_active, record, record_max, span, with_report, Span};
-pub use json::{Json, ToJson};
+pub use event::{Event, EventKind};
+pub use journal::{Journal, ThreadEvents};
+pub use json::{Json, JsonParseError, ToJson};
 pub use report::{PipelineReport, SpanRecord};

@@ -59,6 +59,7 @@ pub fn violation_nta(
             obs::record("walk.pairs", ws.pairs);
             obs::record("walk.compositions", ws.compositions);
             obs::record("walk.memo_hits", ws.memo_hits);
+            obs::record("walk.memo_misses", ws.memo_misses);
             obs::record("walk.fixpoint_steps", ws.fixpoint_steps);
             obs::record("walk.worklist_peak", ws.worklist_peak);
             obs::record("walk.rounds", ws.rounds);

@@ -64,6 +64,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use xmltc_automata::state::StateSet;
 use xmltc_automata::{Dbta, State};
 use xmltc_core::machine::{Action, Move, PebbleAutomaton};
+use xmltc_obs::journal;
 use xmltc_trees::{FxHashMap, FxHashSet, Symbol};
 
 /// Words kept inline in a [`Mask`]; machines with up to
@@ -771,11 +772,19 @@ fn compute_batch(
     threads: usize,
     agg: &mut JobStats,
 ) -> Vec<RawTriple> {
+    let jour = journal::enabled();
     let run_one = |job: &Job, ws: &mut Workspace, stats: &mut JobStats| -> RawTriple {
+        if jour {
+            journal::begin("walk.job");
+        }
         let children = job
             .1
             .map(|(l, r)| (&behaviors[l as usize], &behaviors[r as usize]));
-        walker.compose(job.0, children, masks, ws, stats)
+        let raw = walker.compose(job.0, children, masks, ws, stats);
+        if jour {
+            journal::end("walk.job");
+        }
+        raw
     };
     if threads <= 1 || jobs.len() < 2 {
         let mut ws = Workspace::new(walker.n_states);
@@ -787,22 +796,39 @@ fn compute_batch(
     out.resize_with(jobs.len(), || None);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let next = &next;
                 let run_one = &run_one;
-                scope.spawn(move || {
-                    let mut local: Vec<(usize, RawTriple)> = Vec::new();
-                    let mut ws = Workspace::new(walker.n_states);
-                    let mut stats = JobStats::default();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
+                // Workers carry stable names so successive frontier crews
+                // merge into one per-worker timeline track in trace output.
+                std::thread::Builder::new()
+                    .name(format!("walk-worker-{w}"))
+                    .spawn_scoped(scope, move || {
+                        if jour {
+                            journal::begin("walk.worker");
                         }
-                        local.push((i, run_one(&jobs[i], &mut ws, &mut stats)));
-                    }
-                    (local, stats)
-                })
+                        let mut local: Vec<(usize, RawTriple)> = Vec::new();
+                        let mut ws = Workspace::new(walker.n_states);
+                        let mut stats = JobStats::default();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            if jour {
+                                journal::counter(
+                                    "walk.jobs_remaining",
+                                    (jobs.len() - i - 1) as u64,
+                                );
+                            }
+                            local.push((i, run_one(&jobs[i], &mut ws, &mut stats)));
+                        }
+                        if jour {
+                            journal::end("walk.worker");
+                        }
+                        (local, stats)
+                    })
+                    .expect("spawn walk worker")
             })
             .collect();
         for h in handles {
@@ -887,6 +913,9 @@ pub struct WalkStats {
     /// Pairs resolved from the memo without a fixpoint run
     /// (`pairs − binary compositions`).
     pub memo_hits: u64,
+    /// Binary compositions that *did* require a fixpoint run (distinct
+    /// memo keys); `memo_hits + memo_misses = pairs`.
+    pub memo_misses: u64,
     /// Total worklist pops across all fixpoint runs.
     pub fixpoint_steps: u64,
     /// Peak worklist length of any single fixpoint run.
@@ -988,6 +1017,10 @@ pub fn walking_to_dbta_with(
                 }
             }
         }
+        if journal::enabled() {
+            journal::instant("walk.round");
+            journal::counter("walk.frontier_jobs", jobs.len() as u64);
+        }
         if !jobs.is_empty() {
             let raws = compute_batch(
                 &walker,
@@ -1034,6 +1067,16 @@ pub fn walking_to_dbta_with(
                 }
             }
         }
+        if journal::enabled() {
+            journal::counter("walk.triples", triples.len() as u64);
+            journal::counter("walk.masks_arena", masks.masks.len() as u64);
+            journal::counter("walk.behaviors_arena", behaviors.behaviors.len() as u64);
+            journal::counter("walk.memo_misses", memo.len() as u64);
+            journal::counter(
+                "walk.memo_hits",
+                node.len().saturating_sub(memo.len()) as u64,
+            );
+        }
         if complete {
             break;
         }
@@ -1049,6 +1092,7 @@ pub fn walking_to_dbta_with(
         pairs: node.len() as u64,
         compositions: (leaf.len() + memo.len()) as u64,
         memo_hits: (node.len() - memo.len()) as u64,
+        memo_misses: memo.len() as u64,
         fixpoint_steps: job_stats.steps,
         worklist_peak: job_stats.peak as u64,
         rounds,
@@ -1137,7 +1181,9 @@ mod tests {
             (s4.pairs, s4.compositions, s4.memo_hits, s4.dbta_states),
             "thread count changed the counters"
         );
+        assert_eq!(s1.memo_misses, s4.memo_misses);
         assert_eq!(s1.pairs, s1.compositions - /* leaves */ 2 + s1.memo_hits);
+        assert_eq!(s1.pairs, s1.memo_hits + s1.memo_misses);
     }
 
     /// Walks down-left-only to check the leftmost leaf is x.

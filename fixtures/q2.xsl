@@ -1,0 +1,4 @@
+// Example 4.3 (Q2): three b markers interleaved with three copies of
+// the children — the workhorse of the walk-route benchmarks.
+root -> result(b, @apply, b, @apply, b, @apply)
+a -> a

@@ -1,12 +1,15 @@
 //! `xmltc` — command-line front door to the typechecker.
 //!
 //! ```text
-//! xmltc validate    <input.dtd> <doc.xml>
-//! xmltc transform   <input.dtd> <sheet.xsl> <doc.xml>
+//! xmltc validate    <input.dtd> <doc.xml> [--stats|--json] [--trace-out F]
+//! xmltc transform   <input.dtd> <sheet.xsl> <doc.xml> [--stats|--json]
+//!                   [--trace-out F]
 //! xmltc typecheck   <input.dtd> <sheet.xsl> <output.dtd> [--stats|--json]
-//!                   [--route auto|walk|mso] [--engine auto|lazy|eager]
-//!                   [--state-limit N] [--threads N]
+//!                   [--trace-out F] [--route auto|walk|mso]
+//!                   [--engine auto|lazy|eager] [--state-limit N] [--threads N]
 //! xmltc forward     <input.dtd> <sheet.xsl> <output.dtd>
+//! xmltc bench-diff  <baseline.json> <candidate.json> [--threshold p=pct]
+//!                   [--advisory] [--json]
 //! ```
 //!
 //! File formats:
@@ -18,8 +21,13 @@
 //!
 //! Observability: `--stats` appends a human-readable phase table to the
 //! verdict; `--json` instead emits the full machine-readable
-//! [`PipelineReport`](xmltc::obs::PipelineReport). Setting the `XMLTC_LOG`
+//! [`PipelineReport`](xmltc::obs::PipelineReport); `--trace-out FILE`
+//! records the event journal and writes a Chrome trace-event JSON file
+//! (open in `chrome://tracing` or Perfetto) with one track per thread and
+//! counter tracks for the hot-loop gauges. Setting the `XMLTC_LOG`
 //! environment variable logs phase enter/exit to stderr for any command.
+//! `bench-diff` compares two `BENCH_typecheck.json` dumps and exits
+//! nonzero when a watched metric regressed beyond its threshold.
 //!
 //! Exit code 0 = success / typechecks; 1 = validation or typecheck
 //! failure (details on stdout); 2 = usage or input errors.
@@ -47,21 +55,35 @@ fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
 }
 
-/// Flags of the `typecheck` subcommand.
+/// Which flags a subcommand accepts.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FlagLevel {
+    /// Positional arguments only.
+    None,
+    /// Reporting flags: `--stats`, `--json`, `--trace-out`.
+    Report,
+    /// Reporting plus the typecheck pipeline options.
+    Typecheck,
+}
+
+/// Flags of the reporting subcommands (`typecheck` accepts all of them,
+/// `validate`/`transform` the reporting subset).
 struct TypecheckFlags {
     stats: bool,
     json: bool,
+    trace_out: Option<String>,
     opts: TypecheckOptions,
 }
 
 /// Splits `rest` into positional arguments and recognized flags. Only the
-/// flags named in `allowed` are accepted; anything else starting with `--`
-/// is a usage error (exit 2).
-fn parse_flags(rest: &[String], allowed: bool) -> Result<(Vec<&str>, TypecheckFlags), String> {
+/// flags admitted by `allowed` are accepted; anything else starting with
+/// `--` is a usage error (exit 2).
+fn parse_flags(rest: &[String], allowed: FlagLevel) -> Result<(Vec<&str>, TypecheckFlags), String> {
     let mut positional = Vec::new();
     let mut flags = TypecheckFlags {
         stats: false,
         json: false,
+        trace_out: None,
         opts: TypecheckOptions::default(),
     };
     let mut it = rest.iter();
@@ -70,12 +92,20 @@ fn parse_flags(rest: &[String], allowed: bool) -> Result<(Vec<&str>, TypecheckFl
             positional.push(arg.as_str());
             continue;
         }
-        if !allowed {
+        let level = match arg.as_str() {
+            "--stats" | "--json" | "--trace-out" => FlagLevel::Report,
+            _ => FlagLevel::Typecheck,
+        };
+        if allowed < level {
             return Err(format!("unknown flag `{arg}` for this command"));
         }
         match arg.as_str() {
             "--stats" => flags.stats = true,
             "--json" => flags.json = true,
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out requires a file path")?;
+                flags.trace_out = Some(v.clone());
+            }
             "--route" => {
                 let v = it.next().ok_or("--route requires a value: auto|walk|mso")?;
                 flags.opts.route = match v.as_str() {
@@ -117,7 +147,8 @@ fn parse_flags(rest: &[String], allowed: bool) -> Result<(Vec<&str>, TypecheckFl
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
-    let usage = "usage: xmltc <validate|transform|typecheck|forward> <files...> (see --help)";
+    let usage =
+        "usage: xmltc <validate|transform|typecheck|forward|bench-diff> <files...> (see --help)";
     let cmd = args.first().ok_or(usage)?;
     match cmd.as_str() {
         "--help" | "-h" | "help" => {
@@ -125,86 +156,136 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "validate" => {
-            let (pos, _) = parse_flags(&args[1..], false)?;
+            let (pos, flags) = parse_flags(&args[1..], FlagLevel::Report)?;
             let [dtd_path, xml_path] = two(&pos)?;
-            let dtd = Dtd::parse_text(&read(dtd_path)?).map_err(|e| e.to_string())?;
-            let doc =
-                parse_document(&read(xml_path)?, dtd.alphabet()).map_err(|e| e.to_string())?;
-            match dtd.validate(&doc) {
+            let dtd_text = read(dtd_path)?;
+            let xml_text = read(xml_path)?;
+            if flags.trace_out.is_some() {
+                obs::journal::enable();
+            }
+            let run = || -> Result<Result<(), String>, String> {
+                let dtd = {
+                    let _s = obs::span("dtd.parse");
+                    Dtd::parse_text(&dtd_text).map_err(|e| e.to_string())?
+                };
+                let doc = {
+                    let _s = obs::span("doc.parse");
+                    parse_document(&xml_text, dtd.alphabet()).map_err(|e| e.to_string())?
+                };
+                let verdict = {
+                    let _s = obs::span("dtd.validate");
+                    dtd.validate(&doc).map_err(|e| e.to_string())
+                };
+                obs::record("verdict.ok", verdict.is_ok() as u64);
+                Ok(verdict)
+            };
+            let print = |v: &Result<(), String>, quiet: bool| match v {
                 Ok(()) => {
-                    println!("valid");
-                    Ok(ExitCode::SUCCESS)
+                    if !quiet {
+                        println!("valid");
+                    }
+                    ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    println!("invalid: {e}");
-                    Ok(ExitCode::FAILURE)
+                    if !quiet {
+                        println!("invalid: {e}");
+                    }
+                    ExitCode::FAILURE
                 }
+            };
+            if !flags.stats && !flags.json {
+                let verdict = run();
+                write_trace(&flags.trace_out)?;
+                return Ok(print(&verdict?, false));
             }
+            let (result, report) = obs::with_report(run);
+            write_trace(&flags.trace_out)?;
+            report_and_exit(result, &report, &flags, print)
         }
         "transform" => {
-            let (pos, _) = parse_flags(&args[1..], false)?;
+            let (pos, flags) = parse_flags(&args[1..], FlagLevel::Report)?;
             let [dtd_path, xsl_path, xml_path] = three(&pos)?;
-            let dtd = Dtd::parse_text(&read(dtd_path)?).map_err(|e| e.to_string())?;
-            let sheet = Stylesheet::parse_text(&read(xsl_path)?).map_err(|e| e.to_string())?;
-            let doc =
-                parse_document(&read(xml_path)?, dtd.alphabet()).map_err(|e| e.to_string())?;
-            let pipeline = DocumentPipeline::new(sheet, dtd).map_err(|e| e.to_string())?;
-            let out = pipeline.transform(&doc).map_err(|e| e.to_string())?;
-            println!("{}", raw_to_xml(&out));
-            Ok(ExitCode::SUCCESS)
+            let dtd_text = read(dtd_path)?;
+            let xsl_text = read(xsl_path)?;
+            let xml_text = read(xml_path)?;
+            if flags.trace_out.is_some() {
+                obs::journal::enable();
+            }
+            let run = || -> Result<String, String> {
+                let dtd = {
+                    let _s = obs::span("dtd.parse");
+                    Dtd::parse_text(&dtd_text).map_err(|e| e.to_string())?
+                };
+                let sheet = {
+                    let _s = obs::span("sheet.parse");
+                    Stylesheet::parse_text(&xsl_text).map_err(|e| e.to_string())?
+                };
+                let doc = {
+                    let _s = obs::span("doc.parse");
+                    parse_document(&xml_text, dtd.alphabet()).map_err(|e| e.to_string())?
+                };
+                let pipeline = DocumentPipeline::new(sheet, dtd).map_err(|e| e.to_string())?;
+                let out = pipeline.transform(&doc).map_err(|e| e.to_string())?;
+                Ok(raw_to_xml(&out))
+            };
+            let print = |out: &String, quiet: bool| {
+                if !quiet {
+                    println!("{out}");
+                }
+                ExitCode::SUCCESS
+            };
+            if !flags.stats && !flags.json {
+                let out = run();
+                write_trace(&flags.trace_out)?;
+                return Ok(print(&out?, false));
+            }
+            let (result, report) = obs::with_report(run);
+            write_trace(&flags.trace_out)?;
+            report_and_exit(result, &report, &flags, print)
         }
         "typecheck" => {
-            let (pos, flags) = parse_flags(&args[1..], true)?;
+            let (pos, flags) = parse_flags(&args[1..], FlagLevel::Typecheck)?;
             let [dtd_path, xsl_path, out_dtd_path] = three(&pos)?;
             let dtd = Dtd::parse_text(&read(dtd_path)?).map_err(|e| e.to_string())?;
             let sheet = Stylesheet::parse_text(&read(xsl_path)?).map_err(|e| e.to_string())?;
             let out_dtd_text = read(out_dtd_path)?;
-            if !flags.stats && !flags.json {
-                // The uninstrumented fast path: identical output to older
-                // versions, near-zero observability overhead.
-                let pipeline = DocumentPipeline::new(sheet, dtd).map_err(|e| e.to_string())?;
-                let verdict = pipeline
-                    .typecheck_against_with(&out_dtd_text, &flags.opts)
-                    .map_err(|e| e.to_string())?;
-                return Ok(print_verdict(&verdict));
+            if flags.trace_out.is_some() {
+                obs::journal::enable();
             }
-            let (result, report) = obs::with_report(|| -> Result<DocumentVerdict, String> {
+            let run = || -> Result<DocumentVerdict, String> {
                 let pipeline = DocumentPipeline::new(sheet, dtd).map_err(|e| e.to_string())?;
                 let verdict = pipeline
                     .typecheck_against_with(&out_dtd_text, &flags.opts)
                     .map_err(|e| e.to_string())?;
                 obs::record("verdict.ok", verdict.is_ok() as u64);
                 Ok(verdict)
-            });
-            let verdict = match result {
-                Ok(v) => v,
-                Err(msg) => {
-                    // Budget aborts and other pipeline errors still emit
-                    // the partial report (how far the run got) before the
-                    // usage-error exit.
-                    if flags.json {
-                        println!("{}", report.to_json_string());
+            };
+            let print = |v: &DocumentVerdict, quiet: bool| {
+                if quiet {
+                    if v.is_ok() {
+                        ExitCode::SUCCESS
                     } else {
-                        print!("{}", report.render_table());
+                        ExitCode::FAILURE
                     }
-                    return Err(msg);
+                } else {
+                    print_verdict(v)
                 }
             };
-            if flags.json {
-                println!("{}", report.to_json_string());
-                return Ok(if verdict.is_ok() {
-                    ExitCode::SUCCESS
-                } else {
-                    ExitCode::FAILURE
-                });
+            if !flags.stats && !flags.json {
+                // The uninstrumented fast path: identical output to older
+                // versions, near-zero observability overhead (the journal,
+                // when tracing, still records the timeline).
+                let verdict = run();
+                write_trace(&flags.trace_out)?;
+                return Ok(print(&verdict?, false));
             }
-            let code = print_verdict(&verdict);
-            println!();
-            print!("{}", report.render_table());
-            Ok(code)
+            let (result, report) = obs::with_report(run);
+            write_trace(&flags.trace_out)?;
+            report_and_exit(result, &report, &flags, print)
         }
+        "bench-diff" => bench_diff(&args[1..]),
         "forward" => {
-            let (pos, _) = parse_flags(&args[1..], false)?;
+            let (pos, _) = parse_flags(&args[1..], FlagLevel::None)?;
             let [dtd_path, xsl_path, out_dtd_path] = three(&pos)?;
             let dtd = Dtd::parse_text(&read(dtd_path)?).map_err(|e| e.to_string())?;
             let sheet = Stylesheet::parse_text(&read(xsl_path)?).map_err(|e| e.to_string())?;
@@ -227,6 +308,120 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         other => Err(format!("unknown command `{other}`\n{usage}")),
     }
+}
+
+/// Stops the journal and writes the Chrome trace when `--trace-out` was
+/// given. Called after the pipeline runs — including failed ones, so a
+/// budget abort still leaves a timeline of how far it got.
+fn write_trace(trace_out: &Option<String>) -> Result<(), String> {
+    let Some(path) = trace_out else {
+        return Ok(());
+    };
+    let journal = obs::journal::take();
+    let events = journal.total_events();
+    let text = obs::chrome::chrome_trace_string(&journal);
+    std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    eprintln!("trace written to {path} ({events} events)");
+    Ok(())
+}
+
+/// Shared tail of the instrumented subcommands: prints the report (JSON
+/// replaces the normal output, `--stats` appends the table) and derives
+/// the exit code from the verdict via `print`. Pipeline errors still emit
+/// the partial report (how far the run got) before the usage-error exit.
+fn report_and_exit<T>(
+    result: Result<T, String>,
+    report: &obs::PipelineReport,
+    flags: &TypecheckFlags,
+    print: impl Fn(&T, bool) -> ExitCode,
+) -> Result<ExitCode, String> {
+    let value = match result {
+        Ok(v) => v,
+        Err(msg) => {
+            if flags.json {
+                println!("{}", report.to_json_string());
+            } else {
+                print!("{}", report.render_table());
+            }
+            return Err(msg);
+        }
+    };
+    if flags.json {
+        println!("{}", report.to_json_string());
+        return Ok(print(&value, true));
+    }
+    let code = print(&value, false);
+    println!();
+    print!("{}", report.render_table());
+    Ok(code)
+}
+
+/// `xmltc bench-diff <baseline.json> <candidate.json>`: compares two
+/// benchmark dumps against the watch list, exiting 1 on regression (0 in
+/// `--advisory` mode), 2 on unreadable input.
+fn bench_diff(rest: &[String]) -> Result<ExitCode, String> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut advisory = false;
+    let mut json = false;
+    let mut watches = obs::diff::default_watches();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--advisory" => advisory = true,
+            "--json" => json = true,
+            "--threshold" => {
+                let v = it
+                    .next()
+                    .ok_or("--threshold requires `metric.path=percent`")?;
+                let (path, pct) = v
+                    .split_once('=')
+                    .ok_or(format!("invalid threshold `{v}` (want path=percent)"))?;
+                let pct: f64 = pct
+                    .parse()
+                    .ok()
+                    .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+                    .ok_or(format!("invalid threshold percent `{pct}`"))?;
+                match watches.iter_mut().find(|w| w.path == path) {
+                    Some(w) => w.threshold = pct / 100.0,
+                    None => watches.push(obs::diff::Watch::lower(path, pct / 100.0)),
+                }
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}` for bench-diff"));
+            }
+            _ => paths.push(arg.as_str()),
+        }
+    }
+    let [base_path, cand_path] = two(&paths)?;
+    let parse = |path: &str| -> Result<obs::Json, String> {
+        obs::Json::parse(&read(path)?).map_err(|e| format!("cannot parse `{path}`: {e}"))
+    };
+    let base = parse(base_path)?;
+    let cand = parse(cand_path)?;
+    let report = obs::diff::diff(&base, &cand, &watches);
+    if json {
+        println!("{}", report.to_json().encode());
+    } else {
+        print!("{}", report.render_table());
+    }
+    if !report.regressed() {
+        return Ok(ExitCode::SUCCESS);
+    }
+    let n = report.regressions().count();
+    eprintln!(
+        "{n} watched metric{} regressed beyond threshold{}",
+        if n == 1 { "" } else { "s" },
+        if advisory {
+            " (advisory mode: not failing)"
+        } else {
+            ""
+        },
+    );
+    Ok(if advisory {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn print_verdict(verdict: &DocumentVerdict) -> ExitCode {
@@ -269,10 +464,16 @@ commands:
   transform <input.dtd> <sheet.xsl> <doc.xml>    run the transformation
   typecheck <input.dtd> <sheet.xsl> <output.dtd> EXACT static typecheck
   forward   <input.dtd> <sheet.xsl> <output.dtd> forward-inference baseline
+  bench-diff <baseline.json> <candidate.json>    compare benchmark dumps
 
-typecheck options:
+reporting options (validate, transform, typecheck):
   --stats            append a per-phase wall-time / automaton-size table
   --json             emit the machine-readable pipeline report instead
+  --trace-out FILE   record the event journal and write a Chrome trace
+                     (chrome://tracing / Perfetto): per-thread span tracks
+                     plus counter tracks for the hot-loop gauges
+
+typecheck options:
   --route R          Theorem 4.7 route: auto (default) | walk | mso
   --engine E         emptiness engine: auto (default) | lazy | eager
                      (auto = lazy on the walk route, eager on mso)
@@ -280,6 +481,13 @@ typecheck options:
   --threads N        walk-route worker threads (default: XMLTC_THREADS if
                      set, else available parallelism; verdict and automata
                      are identical for every N)
+
+bench-diff options:
+  --threshold P=PCT  override the watch threshold of metric path P to PCT
+                     percent (repeatable; unknown paths become new
+                     lower-is-better watches)
+  --advisory         report regressions but exit 0 anyway (for noisy CI)
+  --json             emit the diff as JSON (schema xmltc.bench-diff/1)
 
 environment:
   XMLTC_LOG=1        log phase enter/exit to stderr

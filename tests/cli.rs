@@ -35,6 +35,9 @@ fn help_exits_zero() {
     assert_eq!(out.status.code(), Some(0));
     assert!(stdout(&out).contains("typecheck"));
     assert!(stdout(&out).contains("--stats"));
+    assert!(stdout(&out).contains("--trace-out"));
+    assert!(stdout(&out).contains("bench-diff"));
+    assert!(stdout(&out).contains("--advisory"));
 }
 
 #[test]
@@ -377,11 +380,22 @@ fn unknown_flag_is_usage_error() {
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("unknown flag"));
 
-    // Flags are rejected on commands that take none.
+    // Pipeline flags are rejected on the reporting-only commands...
     let out = run(&[
         "validate",
         &fixture("even_a.dtd"),
         &fixture("doc.xml"),
+        "--route",
+        "walk",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown flag"));
+    // ...and every flag is rejected on `forward`, which takes none.
+    let out = run(&[
+        "forward",
+        &fixture("even_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
         "--stats",
     ]);
     assert_eq!(out.status.code(), Some(2));
@@ -560,4 +574,268 @@ fn typecheck_rejects_invalid_thread_count() {
             stderr(&out)
         );
     }
+}
+
+#[test]
+fn validate_stats_and_json_report_phases() {
+    let base = ["validate", &fixture("even_a.dtd"), &fixture("doc.xml")];
+    let out = run(&base.iter().copied().chain(["--stats"]).collect::<Vec<_>>());
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.starts_with("valid\n"), "{s}");
+    for needle in ["dtd.parse", "doc.parse", "dtd.validate", "verdict.ok=1"] {
+        assert!(s.contains(needle), "missing `{needle}` in:\n{s}");
+    }
+
+    let out = run(&base.iter().copied().chain(["--json"]).collect::<Vec<_>>());
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("\"schema\": \"xmltc.pipeline-report/1\""));
+    assert!(s.contains("\"name\": \"dtd.validate\""));
+    assert_eq!(json_u64(&s, "verdict.ok"), Some(1));
+    // JSON replaces the plain verdict line.
+    assert!(!s.contains("valid\n"), "{s}");
+
+    // An invalid document keeps its exit code under --json, and the
+    // verdict lands in the report instead of the (suppressed) text.
+    let dir = std::env::temp_dir().join("xmltc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let odd = dir.join("odd_report.xml");
+    std::fs::write(&odd, "<root><a/></root>").unwrap();
+    let out = run(&[
+        "validate",
+        &fixture("even_a.dtd"),
+        odd.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let s = stdout(&out);
+    assert_eq!(json_u64(&s, "verdict.ok"), Some(0));
+    assert!(!s.contains("invalid:"), "{s}");
+}
+
+#[test]
+fn transform_stats_and_json_report_phases() {
+    let base = [
+        "transform",
+        &fixture("even_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("doc.xml"),
+    ];
+    let out = run(&base.iter().copied().chain(["--stats"]).collect::<Vec<_>>());
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.starts_with("<result><b/><b/></result>\n"), "{s}");
+    for needle in ["dtd.parse", "sheet.parse", "doc.parse"] {
+        assert!(s.contains(needle), "missing `{needle}` in:\n{s}");
+    }
+
+    let out = run(&base.iter().copied().chain(["--json"]).collect::<Vec<_>>());
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("\"schema\": \"xmltc.pipeline-report/1\""));
+    assert!(s.contains("\"name\": \"sheet.parse\""));
+    assert!(!s.contains("<result>"), "JSON replaces the document:\n{s}");
+}
+
+/// The headline acceptance check: tracing a parallel typecheck of the
+/// Example 4.3 (Q2) pipeline yields a valid Chrome trace with one track
+/// per worker and counter tracks for the hot-loop gauges.
+#[test]
+fn typecheck_trace_out_writes_chrome_trace() {
+    use xmltc::obs::Json;
+    let dir = std::env::temp_dir().join("xmltc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("q2_trace.json");
+    let trace_path = trace.to_str().unwrap().to_string();
+    let out = run(&[
+        "typecheck",
+        &fixture("q2.dtd"),
+        &fixture("q2.xsl"),
+        &fixture("q2_mod3_out.dtd"),
+        "--route",
+        "walk",
+        "--threads",
+        "4",
+        "--trace-out",
+        &trace_path,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    // The verdict on stdout is untouched; the trace note goes to stderr.
+    assert_eq!(
+        stdout(&out),
+        "typechecks: every valid input maps into the output DTD\n"
+    );
+    assert!(
+        stderr(&out).contains("trace written to"),
+        "{}",
+        stderr(&out)
+    );
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let doc = Json::parse(&text).expect("trace is valid JSON");
+    assert_eq!(doc.at("displayTimeUnit").and_then(Json::as_str), Some("ms"));
+    let Some(Json::Array(events)) = doc.at("traceEvents") else {
+        panic!("traceEvents array");
+    };
+    assert!(!events.is_empty());
+
+    let with_ph = |ph: &'static str| {
+        events
+            .iter()
+            .filter(move |e| e.at("ph").and_then(Json::as_str) == Some(ph))
+    };
+    // One merged display track per worker name, plus the main thread.
+    let tracks: Vec<&str> = with_ph("M")
+        .filter_map(|e| e.at("args.name").and_then(Json::as_str))
+        .collect();
+    assert!(tracks.contains(&"main"), "{tracks:?}");
+    for w in 0..4 {
+        let name = format!("walk-worker-{w}");
+        assert!(tracks.contains(&name.as_str()), "{tracks:?}");
+    }
+    // Counter tracks for the hot-loop gauges, each sample carrying a value.
+    let counters: Vec<&str> = with_ph("C")
+        .filter_map(|e| e.at("name").and_then(Json::as_str))
+        .collect();
+    for gauge in [
+        "walk.jobs_remaining",
+        "walk.frontier_jobs",
+        "walk.memo_hits",
+        "walk.memo_misses",
+        "lazy.states_materialized",
+    ] {
+        assert!(counters.contains(&gauge), "missing counter `{gauge}`");
+    }
+    assert!(with_ph("C").all(|e| e.at("args.value").and_then(Json::as_u64).is_some()));
+    // Worker spans open and close in matched pairs.
+    let span_count = |ph: &'static str| {
+        with_ph(ph)
+            .filter(|e| e.at("name").and_then(Json::as_str) == Some("walk.worker"))
+            .count()
+    };
+    assert!(span_count("B") > 0);
+    assert_eq!(span_count("B"), span_count("E"));
+    // Every frontier round dropped an instant marker.
+    assert!(with_ph("i").any(|e| e.at("name").and_then(Json::as_str) == Some("walk.round")));
+}
+
+#[test]
+fn validate_trace_out_records_phase_spans() {
+    use xmltc::obs::Json;
+    let dir = std::env::temp_dir().join("xmltc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("validate_trace.json");
+    let out = run(&[
+        "validate",
+        &fixture("even_a.dtd"),
+        &fixture("doc.xml"),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert_eq!(stdout(&out), "valid\n");
+    let doc = Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    let Some(Json::Array(events)) = doc.at("traceEvents") else {
+        panic!("traceEvents array");
+    };
+    let begins: Vec<&str> = events
+        .iter()
+        .filter(|e| e.at("ph").and_then(Json::as_str) == Some("B"))
+        .filter_map(|e| e.at("name").and_then(Json::as_str))
+        .collect();
+    for span in ["dtd.parse", "doc.parse", "dtd.validate"] {
+        assert!(
+            begins.contains(&span),
+            "missing span `{span}` in {begins:?}"
+        );
+    }
+}
+
+#[test]
+fn bench_diff_exit_codes() {
+    let dir = std::env::temp_dir().join("xmltc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let write = |name: &str, text: &str| {
+        let p = dir.join(name);
+        std::fs::write(&p, text).unwrap();
+        p.to_str().unwrap().to_string()
+    };
+    let base = write(
+        "bd_base.json",
+        r#"{"route_walk":{"pairs":100,"memo_hit_rate":0.5}}"#,
+    );
+    let same = write(
+        "bd_same.json",
+        r#"{"route_walk":{"pairs":100,"memo_hit_rate":0.5}}"#,
+    );
+    let worse = write(
+        "bd_worse.json",
+        r#"{"route_walk":{"pairs":101,"memo_hit_rate":0.5}}"#,
+    );
+
+    // Identical dumps: no regression.
+    let out = run(&["bench-diff", &base, &same]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("route_walk.pairs"));
+
+    // A counter crept up past its zero-tolerance threshold: exit 1.
+    let out = run(&["bench-diff", &base, &worse]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("1 watched metric regressed beyond threshold"),
+        "{}",
+        stderr(&out)
+    );
+
+    // Advisory mode reports but does not fail.
+    let out = run(&["bench-diff", &base, &worse, "--advisory"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stderr(&out).contains("advisory mode"), "{}", stderr(&out));
+
+    // A loosened threshold absorbs the +1% drift.
+    let out = run(&[
+        "bench-diff",
+        &base,
+        &worse,
+        "--threshold",
+        "route_walk.pairs=5",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    // --json emits the machine-readable diff.
+    let out = run(&["bench-diff", &base, &worse, "--json", "--advisory"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("xmltc.bench-diff/1"));
+    assert!(xmltc::obs::Json::parse(&stdout(&out)).is_ok());
+
+    // Unreadable input, bad flags, and wrong arity are usage errors.
+    let garbage = write("bd_garbage.json", "not json");
+    let out = run(&["bench-diff", &base, &garbage]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("cannot parse"), "{}", stderr(&out));
+    let out = run(&["bench-diff", &base, &same, "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["bench-diff", &base]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["bench-diff", &base, &same, "--threshold", "pairs"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("invalid threshold"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+/// The committed baseline must self-diff clean: `bench-diff` against the
+/// very same file is the CI job's degenerate case and must stay green.
+#[test]
+fn bench_diff_committed_baseline_self_diffs_clean() {
+    let baseline = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_typecheck.json");
+    let baseline = baseline.to_str().unwrap();
+    let out = run(&["bench-diff", baseline, baseline]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let s = stdout(&out);
+    // Every default watch resolves against the committed schema.
+    assert!(!s.contains("(missing)"), "stale watch paths:\n{s}");
 }
