@@ -31,9 +31,11 @@ pub mod lazy;
 pub mod nta;
 pub mod state;
 pub mod topdown;
+pub mod witness;
 
 pub use dbta::Dbta;
 pub use lazy::{LazyError, LazyOutcome, LazyStats};
 pub use nta::Nta;
 pub use state::State;
 pub use topdown::TdTa;
+pub use witness::{accepting_run, node_path, rejection_point, RejectionPoint};

@@ -46,6 +46,7 @@ pub mod eval;
 pub mod library;
 pub mod machine;
 pub mod topdown_transducer;
+pub mod trace;
 
 pub use accept::accepts;
 pub use error::MachineError;
@@ -55,3 +56,4 @@ pub use machine::{
     TransducerBuilder,
 };
 pub use topdown_transducer::{Fragment, TopDownTransducer};
+pub use trace::{guided_trace, TraceStep, DEFAULT_TRACE_LIMIT};

@@ -185,6 +185,101 @@ impl Dtd {
         self.validate(t).is_ok()
     }
 
+    /// Explains the first violation found (same pre-order walk as
+    /// [`Dtd::validate`], so both always implicate the same node). `None`
+    /// when the tree is valid or over a different alphabet.
+    ///
+    /// For a content-model violation the diagnosis pins the failure inside
+    /// the content DFA: the state sequence walked, the position where
+    /// acceptance became impossible (a position past the end of the word
+    /// means the content ended too early), and which symbols could still
+    /// have led to acceptance there. "Impossible" is judged against the
+    /// co-reachable states, so a transition into a dead-end sink already
+    /// counts as the failure point.
+    pub fn diagnose(&self, t: &UnrankedTree) -> Option<Diagnosis> {
+        if !Alphabet::same(&self.alphabet, t.alphabet()) {
+            return None;
+        }
+        let name = |s: Symbol| self.alphabet.name(s).to_string();
+        if t.symbol(t.root()) != self.root {
+            return Some(Diagnosis::WrongRoot {
+                expected: name(self.root),
+                got: name(t.symbol(t.root())),
+            });
+        }
+        let universe: Vec<Symbol> = self.alphabet.symbols().collect();
+        for n in t.preorder() {
+            let tag = t.symbol(n);
+            let word = t.child_word(n);
+            let rendered_word: Vec<String> = word.iter().map(|&s| name(s)).collect();
+            match self.rules.get(&tag) {
+                None => {
+                    if !word.is_empty() {
+                        return Some(Diagnosis::InvalidContent {
+                            path: unranked_path(t, n),
+                            element: name(tag),
+                            word: rendered_word,
+                            production: format!("{} := @eps", name(tag)),
+                            failed_at: 0,
+                            dfa_states: vec![0],
+                            expected: Vec::new(),
+                        });
+                    }
+                }
+                Some(r) => {
+                    let dfa = Dfa::from_regex(r, &universe);
+                    let co = co_reachable(&dfa);
+                    let mut states = vec![dfa.start()];
+                    let mut cur = dfa.start();
+                    let mut failed_at = None;
+                    if co[cur as usize] {
+                        for (i, &s) in word.iter().enumerate() {
+                            match dfa.step(cur, s) {
+                                Some(q) if co[q as usize] => {
+                                    cur = q;
+                                    states.push(q);
+                                }
+                                _ => {
+                                    failed_at = Some(i);
+                                    break;
+                                }
+                            }
+                        }
+                    } else {
+                        failed_at = Some(0);
+                    }
+                    if failed_at.is_none() && dfa.is_final(cur) {
+                        continue; // this node is fine
+                    }
+                    let failed_at = failed_at.unwrap_or(word.len());
+                    let expected = if co[cur as usize] {
+                        universe
+                            .iter()
+                            .filter(|&&s| dfa.step(cur, s).is_some_and(|q| co[q as usize]))
+                            .map(|&s| name(s))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    return Some(Diagnosis::InvalidContent {
+                        path: unranked_path(t, n),
+                        element: name(tag),
+                        word: rendered_word,
+                        production: format!(
+                            "{} := {}",
+                            name(tag),
+                            r.map(&mut |s: &Symbol| name(*s))
+                        ),
+                        failed_at,
+                        dfa_states: states,
+                        expected,
+                    });
+                }
+            }
+        }
+        None
+    }
+
     /// Views the DTD as a specialized DTD with one type per tag.
     pub fn to_specialized(&self) -> SpecializedDtd {
         let n = self.alphabet.len();
@@ -214,6 +309,89 @@ impl Dtd {
         xmltc_obs::record("dtd.transitions", nta.n_transitions() as u64);
         Ok(nta)
     }
+}
+
+/// An explained DTD violation — the provenance-grade counterpart of
+/// [`DtdError`], produced by [`Dtd::diagnose`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Diagnosis {
+    /// The root element has the wrong tag.
+    WrongRoot {
+        /// The tag the DTD requires at the root.
+        expected: String,
+        /// The tag found there.
+        got: String,
+    },
+    /// An element's children word violates its content model.
+    InvalidContent {
+        /// 1-based child-index path of the failing element (`/` = root,
+        /// `/2/1` = first child of the root's second child).
+        path: String,
+        /// The failing element's tag.
+        element: String,
+        /// Its children word.
+        word: Vec<String>,
+        /// The implicated production, rendered (`@eps` for unruled tags).
+        production: String,
+        /// Index into `word` where acceptance became impossible;
+        /// `word.len()` means the content ended before the model allowed.
+        failed_at: usize,
+        /// Content-DFA states walked, up to the failure point.
+        dfa_states: Vec<u32>,
+        /// Symbols that could still have led to acceptance at the
+        /// failure point (empty when no continuation accepts).
+        expected: Vec<String>,
+    },
+}
+
+/// States of `dfa` from which some final state is reachable.
+fn co_reachable(dfa: &Dfa<Symbol>) -> Vec<bool> {
+    let n = dfa.len();
+    let mut co: Vec<bool> = (0..n as u32).map(|q| dfa.is_final(q)).collect();
+    let alphabet: Vec<Symbol> = dfa.alphabet().to_vec();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for q in 0..n as u32 {
+            if co[q as usize] {
+                continue;
+            }
+            if alphabet
+                .iter()
+                .any(|&s| dfa.step(q, s).is_some_and(|p| co[p as usize]))
+            {
+                co[q as usize] = true;
+                changed = true;
+            }
+        }
+    }
+    co
+}
+
+/// 1-based child-index path of `n` in an unranked tree (`/` = root).
+fn unranked_path(t: &UnrankedTree, n: xmltc_trees::NodeId) -> String {
+    let mut segs = Vec::new();
+    let mut cur = n;
+    while let Some(p) = t.parent(cur) {
+        let idx = t
+            .children(p)
+            .iter()
+            .position(|&c| c == cur)
+            .expect("child listed under its parent")
+            + 1;
+        segs.push(idx.to_string());
+        cur = p;
+    }
+    if segs.is_empty() {
+        return "/".to_string();
+    }
+    segs.reverse();
+    let mut out = String::new();
+    for s in segs {
+        out.push('/');
+        out.push_str(&s);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -335,5 +513,100 @@ mod tests {
         let al = d.alphabet().clone();
         assert!(d.is_valid(&UnrankedTree::parse("a(b, b)", &al).unwrap()));
         assert!(!d.is_valid(&UnrankedTree::parse("a(b(b))", &al).unwrap()));
+    }
+
+    #[test]
+    fn diagnose_agrees_with_validate() {
+        let d = figure_one();
+        let al = d.alphabet().clone();
+        for doc in [
+            "a(b, b, c(d), e)",
+            "a(c(d), b, e)",
+            "a(b, b)",
+            "a(b, c(b), e)",
+            "b",
+            "a(b(b), c, e)",
+        ] {
+            let t = UnrankedTree::parse(doc, &al).unwrap();
+            assert_eq!(
+                d.diagnose(&t).is_none(),
+                d.validate(&t).is_ok(),
+                "diagnose/validate disagree on {doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn diagnose_pins_the_failure_point() {
+        let d = figure_one();
+        let al = d.alphabet().clone();
+        // `b` after `c`: position 1 of the root's content is dead.
+        let t = UnrankedTree::parse("a(c(d), b, e)", &al).unwrap();
+        match d.diagnose(&t).unwrap() {
+            Diagnosis::InvalidContent {
+                path,
+                element,
+                word,
+                production,
+                failed_at,
+                dfa_states,
+                expected,
+            } => {
+                assert_eq!(path, "/");
+                assert_eq!(element, "a");
+                assert_eq!(word, vec!["c", "b", "e"]);
+                assert!(production.starts_with("a := "), "{production}");
+                assert_eq!(failed_at, 1);
+                assert_eq!(dfa_states.len(), 2); // start + after `c`
+                assert_eq!(expected, vec!["e"]);
+            }
+            other => panic!("expected InvalidContent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diagnose_premature_end_and_nested_paths() {
+        let d = figure_one();
+        let al = d.alphabet().clone();
+        // Content ends before the mandatory `c.e` tail.
+        let t = UnrankedTree::parse("a(b, b)", &al).unwrap();
+        match d.diagnose(&t).unwrap() {
+            Diagnosis::InvalidContent {
+                failed_at,
+                word,
+                expected,
+                ..
+            } => {
+                assert_eq!(failed_at, word.len());
+                assert!(expected.contains(&"b".to_string()));
+                assert!(expected.contains(&"c".to_string()));
+            }
+            other => panic!("expected InvalidContent, got {other:?}"),
+        }
+        // The failing element is addressed by child index, and an unruled
+        // tag with children reports the implicit `@eps` production.
+        let t = UnrankedTree::parse("a(b, b, c(d(b)), e)", &al).unwrap();
+        match d.diagnose(&t).unwrap() {
+            Diagnosis::InvalidContent {
+                path,
+                element,
+                production,
+                ..
+            } => {
+                assert_eq!(path, "/3/1");
+                assert_eq!(element, "d");
+                assert_eq!(production, "d := @eps");
+            }
+            other => panic!("expected InvalidContent, got {other:?}"),
+        }
+        // Wrong root.
+        let t = UnrankedTree::parse("b", &al).unwrap();
+        assert_eq!(
+            d.diagnose(&t),
+            Some(Diagnosis::WrongRoot {
+                expected: "a".into(),
+                got: "b".into()
+            })
+        );
     }
 }

@@ -26,6 +26,6 @@ pub mod error;
 pub mod specialized;
 
 pub use decompile::{decompile, InferredGrammar};
-pub use dtd::Dtd;
+pub use dtd::{Diagnosis, Dtd};
 pub use error::DtdError;
 pub use specialized::{SpecializedDtd, TypeId};

@@ -5,27 +5,104 @@
 //! Outside such a scope every instrumentation call is a cheap no-op (one
 //! thread-local flag read), except that span enter/exit logging to stderr
 //! still happens when the `XMLTC_LOG` environment variable is set.
+//!
+//! Log lines are structured: every line carries a level and a monotonic
+//! timestamp (seconds since the first log call in the process), e.g.
+//! `[xmltc +0.001234s info] -> typecheck`. Setting `XMLTC_LOG_FORMAT=json`
+//! switches stderr to one JSON object per line (encoded with
+//! [`crate::json::Json`]), machine-readable by the same parser that reads
+//! the pipeline reports.
 
+use crate::json::Json;
 use crate::report::{PipelineReport, SpanRecord};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
-/// Cached tri-state for the `XMLTC_LOG` environment check:
-/// 0 = not yet read, 1 = logging off, 2 = logging on.
+/// Cached state for the `XMLTC_LOG` / `XMLTC_LOG_FORMAT` environment
+/// checks: 0 = not yet read, 1 = logging off, 2 = text lines, 3 = JSON
+/// lines.
 static LOG_STATE: AtomicU8 = AtomicU8::new(0);
 
-fn logging_enabled() -> bool {
+/// The process-wide log epoch: timestamps on log lines are seconds since
+/// the first log call, so a run's lines are trivially ordered and
+/// relative costs are visible without wall-clock noise.
+static LOG_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LogMode {
+    Off,
+    Text,
+    Json,
+}
+
+fn log_mode() -> LogMode {
     match LOG_STATE.load(Ordering::Relaxed) {
-        1 => false,
-        2 => true,
+        1 => LogMode::Off,
+        2 => LogMode::Text,
+        3 => LogMode::Json,
         _ => {
             let on = match std::env::var("XMLTC_LOG") {
                 Ok(v) => !v.is_empty() && v != "0" && v != "off",
                 Err(_) => false,
             };
-            LOG_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
-            on
+            let mode = if !on {
+                LogMode::Off
+            } else if std::env::var("XMLTC_LOG_FORMAT").as_deref() == Ok("json") {
+                LogMode::Json
+            } else {
+                LogMode::Text
+            };
+            let cache = match mode {
+                LogMode::Off => 1,
+                LogMode::Text => 2,
+                LogMode::Json => 3,
+            };
+            LOG_STATE.store(cache, Ordering::Relaxed);
+            mode
+        }
+    }
+}
+
+fn logging_enabled() -> bool {
+    log_mode() != LogMode::Off
+}
+
+/// Seconds elapsed since the first log line of the process.
+fn log_ts() -> f64 {
+    LOG_EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// Emits one span enter/exit line to stderr in the active format.
+fn log_span_line(event: &str, name: &str, depth: usize, wall_ms: Option<f64>) {
+    match log_mode() {
+        LogMode::Off => {}
+        LogMode::Text => {
+            let arrow = if event == "enter" { "->" } else { "<-" };
+            let tail = match wall_ms {
+                Some(ms) => format!(" ({ms:.3} ms)"),
+                None => String::new(),
+            };
+            eprintln!(
+                "[xmltc +{:.6}s info] {:indent$}{arrow} {name}{tail}",
+                log_ts(),
+                "",
+                indent = depth * 2
+            );
+        }
+        LogMode::Json => {
+            let mut fields = vec![
+                ("ts", Json::F64(log_ts())),
+                ("level", Json::Str("info".into())),
+                ("event", Json::Str(event.into())),
+                ("span", Json::Str(name.into())),
+                ("depth", Json::U64(depth as u64)),
+            ];
+            if let Some(ms) = wall_ms {
+                fields.push(("wall_ms", Json::F64(ms)));
+            }
+            eprintln!("{}", Json::obj(fields).encode());
         }
     }
 }
@@ -150,7 +227,7 @@ pub fn span(name: &'static str) -> Span {
                 .map(|col| col.open.len().saturating_sub(1))
                 .unwrap_or(0)
         });
-        eprintln!("[xmltc] {:indent$}-> {name}", "", indent = depth * 2);
+        log_span_line("enter", name, depth, None);
     }
     Span {
         rec,
@@ -185,13 +262,7 @@ impl Drop for Span {
         if self.log {
             let depth =
                 COLLECTOR.with(|c| c.borrow().as_ref().map(|col| col.open.len()).unwrap_or(0));
-            eprintln!(
-                "[xmltc] {:indent$}<- {} ({:.3} ms)",
-                "",
-                self.name,
-                wall_ns as f64 / 1e6,
-                indent = depth * 2
-            );
+            log_span_line("exit", self.name, depth, Some(wall_ns as f64 / 1e6));
         }
     }
 }

@@ -55,12 +55,17 @@ pub mod chrome;
 pub mod collect;
 pub mod diff;
 pub mod event;
+pub mod explain;
 pub mod journal;
 pub mod json;
 pub mod report;
 
 pub use collect::{add, is_active, record, record_max, span, with_report, Span};
 pub use event::{Event, EventKind};
+pub use explain::{
+    DocumentRecord, ExplainReport, ReplayRecord, SpecAutomatonRecord, TraceStepRecord,
+    TransformRecord, ViolationRecord,
+};
 pub use journal::{Journal, ThreadEvents};
 pub use json::{Json, JsonParseError, ToJson};
 pub use report::{PipelineReport, SpanRecord};

@@ -16,7 +16,10 @@
 
 use xmltc_obs::chrome::chrome_trace;
 use xmltc_obs::journal::{Journal, ThreadEvents};
-use xmltc_obs::{Event, EventKind, PipelineReport, SpanRecord};
+use xmltc_obs::{
+    DocumentRecord, Event, EventKind, ExplainReport, PipelineReport, ReplayRecord, SpanRecord,
+    SpecAutomatonRecord, TraceStepRecord, TransformRecord, ViolationRecord,
+};
 
 #[test]
 fn pipeline_report_json_is_pinned() {
@@ -51,6 +54,86 @@ fn pipeline_report_json_is_pinned() {
     assert_eq!(
         xmltc_obs::Json::parse(&report.to_json_string()).unwrap(),
         xmltc_obs::Json::parse(golden).unwrap()
+    );
+}
+
+/// The explain-report JSON (`xmltc explain --json`, `--explain-out`) is
+/// the third pinned encoding: schema string, key order, and the omission
+/// of unpopulated sections are contract. The fixture exercises every
+/// section once.
+#[test]
+fn explain_report_json_is_pinned() {
+    let report = ExplainReport {
+        verdict: "counterexample".into(),
+        route: "walk".into(),
+        engine: "eager".into(),
+        input: Some(DocumentRecord {
+            term: "root(a)".into(),
+            xml: Some("<root><a/></root>".into()),
+        }),
+        transform: Some(TransformRecord {
+            k: 1,
+            states: 11,
+            total_steps: 2,
+            truncated: false,
+            steps: vec![TraceStepRecord {
+                state: "dispatch".into(),
+                level: 1,
+                input_symbol: "root".into(),
+                pebbles: vec!["/".into()],
+                action: "move -> el0 @ /".into(),
+                out_path: "/".into(),
+            }],
+        }),
+        output: Some(DocumentRecord {
+            term: "result(b)".into(),
+            xml: None,
+        }),
+        violation: Some(ViolationRecord {
+            kind: "invalid-content".into(),
+            path: "/".into(),
+            element: "result".into(),
+            word: vec!["b".into()],
+            production: "result := (b.b)*".into(),
+            failed_at: 1,
+            dfa_states: vec![0, 1],
+            expected: vec!["b".into()],
+        }),
+        spec_automaton: Some(SpecAutomatonRecord {
+            states: 7,
+            rejection_path: "/".into(),
+            reachable_there: 0,
+        }),
+        replay: Some(ReplayRecord {
+            input_in_type: true,
+            output_produced: true,
+            output_rejected: true,
+            steps: 2,
+        }),
+    };
+    let golden = concat!(
+        r#"{"schema":"xmltc.explain/1","verdict":"counterexample","route":"walk","engine":"eager","#,
+        r#""input":{"term":"root(a)","xml":"<root><a/></root>"},"#,
+        r#""transform":{"k":1,"states":11,"total_steps":2,"truncated":false,"steps":["#,
+        r#"{"state":"dispatch","level":1,"input_symbol":"root","pebbles":["/"],"#,
+        r#""action":"move -> el0 @ /","out_path":"/"}]},"#,
+        r#""output":{"term":"result(b)"},"#,
+        r#""violation":{"kind":"invalid-content","path":"/","element":"result","word":["b"],"#,
+        r#""production":"result := (b.b)*","failed_at":1,"dfa_states":[0,1],"expected":["b"]},"#,
+        r#""spec_automaton":{"states":7,"rejection_path":"/","reachable_there":0},"#,
+        r#""replay":{"input_in_type":true,"output_produced":true,"output_rejected":true,"#,
+        r#""steps":2,"verified":true}}"#,
+    );
+    assert_eq!(report.to_json().encode(), golden);
+    // The pretty form (what the CLI writes) parses back identically.
+    assert_eq!(
+        xmltc_obs::Json::parse(&report.to_json_string()).unwrap(),
+        xmltc_obs::Json::parse(golden).unwrap()
+    );
+    // A passing report is just the envelope.
+    assert_eq!(
+        ExplainReport::ok("mso", "eager").to_json().encode(),
+        r#"{"schema":"xmltc.explain/1","verdict":"ok","route":"mso","engine":"eager"}"#
     );
 }
 

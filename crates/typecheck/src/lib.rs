@@ -41,9 +41,11 @@ pub mod forward;
 pub mod inverse;
 pub mod mso_route;
 pub mod product;
+pub mod replay;
 pub mod walk;
 
 pub use check::{typecheck, Engine, Route, TypecheckOptions, TypecheckOutcome};
 pub use error::TypecheckError;
 pub use inverse::inverse_type;
 pub use product::violation_automaton;
+pub use replay::{replay_counterexample, ReplayEvidence};

@@ -932,6 +932,21 @@ pub struct WalkStats {
     pub dbta_states: u64,
 }
 
+impl WalkStats {
+    /// Fraction of pairs resolved from the memo, in `[0, 1]`. Defined as
+    /// `0.0` when no pairs were resolved at all (a trivial automaton), so
+    /// the value is always finite — never the `NaN` a bare
+    /// `hits / (hits + misses)` would produce in JSON/bench output.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Resolves a requested frontier thread count: an explicit `n > 0` wins,
 /// else the `XMLTC_THREADS` environment variable, else the machine's
 /// available parallelism (1 when unknown).
@@ -1184,6 +1199,25 @@ mod tests {
         assert_eq!(s1.memo_misses, s4.memo_misses);
         assert_eq!(s1.pairs, s1.compositions - /* leaves */ 2 + s1.memo_hits);
         assert_eq!(s1.pairs, s1.memo_hits + s1.memo_misses);
+    }
+
+    #[test]
+    fn memo_hit_rate_is_always_finite() {
+        // The 0/0 case — no pairs resolved — must not be NaN.
+        let empty = WalkStats::default();
+        assert_eq!(empty.memo_hit_rate(), 0.0);
+        assert!(empty.memo_hit_rate().is_finite());
+        let s = WalkStats {
+            memo_hits: 3,
+            memo_misses: 1,
+            ..WalkStats::default()
+        };
+        assert_eq!(s.memo_hit_rate(), 0.75);
+        let all_miss = WalkStats {
+            memo_misses: 5,
+            ..WalkStats::default()
+        };
+        assert_eq!(all_miss.memo_hit_rate(), 0.0);
     }
 
     /// Walks down-left-only to check the leftmost leaf is x.

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod explain;
 pub mod path;
 pub mod pipeline;
 pub mod query;

@@ -154,6 +154,21 @@ impl DocumentPipeline {
         self.enc_out.source()
     }
 
+    /// The compiled input type over the binary encoding.
+    pub(crate) fn tau1(&self) -> &Nta {
+        &self.tau1
+    }
+
+    /// The input-side encoding.
+    pub(crate) fn enc_in(&self) -> &EncodedAlphabet {
+        &self.enc_in
+    }
+
+    /// The output-side encoding.
+    pub(crate) fn enc_out(&self) -> &EncodedAlphabet {
+        &self.enc_out
+    }
+
     /// Transforms a document (validating it first), through the compiled
     /// machine (not the interpreter).
     pub fn transform(&self, doc: &UnrankedTree) -> Result<RawTree, PipelineError> {

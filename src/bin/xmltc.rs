@@ -5,8 +5,10 @@
 //! xmltc transform   <input.dtd> <sheet.xsl> <doc.xml> [--stats|--json]
 //!                   [--trace-out F]
 //! xmltc typecheck   <input.dtd> <sheet.xsl> <output.dtd> [--stats|--json]
-//!                   [--trace-out F] [--route auto|walk|mso]
+//!                   [--trace-out F] [--explain-out F] [--route auto|walk|mso]
 //!                   [--engine auto|lazy|eager] [--state-limit N] [--threads N]
+//! xmltc explain     <input.dtd> <sheet.xsl> <output.dtd> [--json]
+//!                   [--explain-out F] [--route ..] [--engine ..] [...]
 //! xmltc forward     <input.dtd> <sheet.xsl> <output.dtd>
 //! xmltc bench-diff  <baseline.json> <candidate.json> [--threshold p=pct]
 //!                   [--advisory] [--json]
@@ -25,9 +27,14 @@
 //! records the event journal and writes a Chrome trace-event JSON file
 //! (open in `chrome://tracing` or Perfetto) with one track per thread and
 //! counter tracks for the hot-loop gauges. Setting the `XMLTC_LOG`
-//! environment variable logs phase enter/exit to stderr for any command.
+//! environment variable logs phase enter/exit to stderr for any command
+//! (`XMLTC_LOG_FORMAT=json` switches those lines to JSON objects).
 //! `bench-diff` compares two `BENCH_typecheck.json` dumps and exits
 //! nonzero when a watched metric regressed beyond its threshold.
+//! `explain` renders the verdict-provenance report (counterexample input,
+//! replayed transducer run, offending output, DTD violation), and
+//! `typecheck --explain-out FILE` writes the same report as JSON (schema
+//! `xmltc.explain/1`) next to the normal verdict.
 //!
 //! Exit code 0 = success / typechecks; 1 = validation or typecheck
 //! failure (details on stdout); 2 = usage or input errors.
@@ -72,6 +79,7 @@ struct TypecheckFlags {
     stats: bool,
     json: bool,
     trace_out: Option<String>,
+    explain_out: Option<String>,
     opts: TypecheckOptions,
 }
 
@@ -84,6 +92,7 @@ fn parse_flags(rest: &[String], allowed: FlagLevel) -> Result<(Vec<&str>, Typech
         stats: false,
         json: false,
         trace_out: None,
+        explain_out: None,
         opts: TypecheckOptions::default(),
     };
     let mut it = rest.iter();
@@ -105,6 +114,10 @@ fn parse_flags(rest: &[String], allowed: FlagLevel) -> Result<(Vec<&str>, Typech
             "--trace-out" => {
                 let v = it.next().ok_or("--trace-out requires a file path")?;
                 flags.trace_out = Some(v.clone());
+            }
+            "--explain-out" => {
+                let v = it.next().ok_or("--explain-out requires a file path")?;
+                flags.explain_out = Some(v.clone());
             }
             "--route" => {
                 let v = it.next().ok_or("--route requires a value: auto|walk|mso")?;
@@ -254,9 +267,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             let run = || -> Result<DocumentVerdict, String> {
                 let pipeline = DocumentPipeline::new(sheet, dtd).map_err(|e| e.to_string())?;
-                let verdict = pipeline
-                    .typecheck_against_with(&out_dtd_text, &flags.opts)
-                    .map_err(|e| e.to_string())?;
+                let verdict = match &flags.explain_out {
+                    Some(path) => {
+                        let (verdict, report) = pipeline
+                            .explain_against_with(&out_dtd_text, &flags.opts)
+                            .map_err(|e| e.to_string())?;
+                        write_explain(path, &report)?;
+                        verdict
+                    }
+                    None => pipeline
+                        .typecheck_against_with(&out_dtd_text, &flags.opts)
+                        .map_err(|e| e.to_string())?,
+                };
                 obs::record("verdict.ok", verdict.is_ok() as u64);
                 Ok(verdict)
             };
@@ -282,6 +304,33 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let (result, report) = obs::with_report(run);
             write_trace(&flags.trace_out)?;
             report_and_exit(result, &report, &flags, print)
+        }
+        "explain" => {
+            let (pos, flags) = parse_flags(&args[1..], FlagLevel::Typecheck)?;
+            if flags.stats || flags.trace_out.is_some() {
+                return Err("explain does not take `--stats`/`--trace-out` (use typecheck)".into());
+            }
+            let [dtd_path, xsl_path, out_dtd_path] = three(&pos)?;
+            let dtd = Dtd::parse_text(&read(dtd_path)?).map_err(|e| e.to_string())?;
+            let sheet = Stylesheet::parse_text(&read(xsl_path)?).map_err(|e| e.to_string())?;
+            let out_dtd_text = read(out_dtd_path)?;
+            let pipeline = DocumentPipeline::new(sheet, dtd).map_err(|e| e.to_string())?;
+            let (verdict, report) = pipeline
+                .explain_against_with(&out_dtd_text, &flags.opts)
+                .map_err(|e| e.to_string())?;
+            if let Some(path) = &flags.explain_out {
+                write_explain(path, &report)?;
+            }
+            if flags.json {
+                println!("{}", report.to_json_string());
+            } else {
+                print!("{}", report.render_text());
+            }
+            Ok(if verdict.is_ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
         }
         "bench-diff" => bench_diff(&args[1..]),
         "forward" => {
@@ -322,6 +371,16 @@ fn write_trace(trace_out: &Option<String>) -> Result<(), String> {
     let text = obs::chrome::chrome_trace_string(&journal);
     std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
     eprintln!("trace written to {path} ({events} events)");
+    Ok(())
+}
+
+/// Writes the explain report JSON (schema `xmltc.explain/1`) for
+/// `--explain-out`.
+fn write_explain(path: &str, report: &obs::ExplainReport) -> Result<(), String> {
+    let mut text = report.to_json_string();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    eprintln!("explain report written to {path}");
     Ok(())
 }
 
@@ -463,6 +522,7 @@ commands:
   validate  <input.dtd> <doc.xml>                dynamic DTD validation
   transform <input.dtd> <sheet.xsl> <doc.xml>    run the transformation
   typecheck <input.dtd> <sheet.xsl> <output.dtd> EXACT static typecheck
+  explain   <input.dtd> <sheet.xsl> <output.dtd> typecheck + provenance report
   forward   <input.dtd> <sheet.xsl> <output.dtd> forward-inference baseline
   bench-diff <baseline.json> <candidate.json>    compare benchmark dumps
 
@@ -473,7 +533,11 @@ reporting options (validate, transform, typecheck):
                      (chrome://tracing / Perfetto): per-thread span tracks
                      plus counter tracks for the hot-loop gauges
 
-typecheck options:
+typecheck / explain options:
+  --explain-out FILE write the verdict-provenance report as JSON (schema
+                     xmltc.explain/1): counterexample input, replayed
+                     transducer run, offending output, DTD violation;
+                     `explain` prints the human form (--json for JSON)
   --route R          Theorem 4.7 route: auto (default) | walk | mso
   --engine E         emptiness engine: auto (default) | lazy | eager
                      (auto = lazy on the walk route, eager on mso)
@@ -490,7 +554,8 @@ bench-diff options:
   --json             emit the diff as JSON (schema xmltc.bench-diff/1)
 
 environment:
-  XMLTC_LOG=1        log phase enter/exit to stderr
+  XMLTC_LOG=1        log phase enter/exit to stderr (level + timestamp)
+  XMLTC_LOG_FORMAT=json  emit those log lines as JSON objects
   XMLTC_THREADS=N    default walk-route worker threads
 
 formats:

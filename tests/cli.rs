@@ -38,6 +38,9 @@ fn help_exits_zero() {
     assert!(stdout(&out).contains("--trace-out"));
     assert!(stdout(&out).contains("bench-diff"));
     assert!(stdout(&out).contains("--advisory"));
+    assert!(stdout(&out).contains("explain"));
+    assert!(stdout(&out).contains("--explain-out"));
+    assert!(stdout(&out).contains("XMLTC_LOG_FORMAT"));
 }
 
 #[test]
@@ -153,6 +156,167 @@ fn typecheck_fails_with_counterexample() {
     assert!(s.contains("DOES NOT typecheck"));
     assert!(s.contains("counterexample input: <root>"));
     assert!(s.contains("offending output:     <result>"));
+}
+
+/// The human-readable provenance report is golden-pinned byte-for-byte:
+/// counterexample input, the replayed transducer run, the offending
+/// output, the DTD violation diagnosis, and the replay confirmation.
+#[test]
+fn explain_human_report_matches_golden() {
+    let out = run(&[
+        "explain",
+        &fixture("any_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+        "--engine",
+        "eager",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let golden = std::fs::read_to_string(fixture("golden/explain_relabel_eager.txt")).unwrap();
+    assert_eq!(stdout(&out), golden);
+}
+
+/// The JSON provenance report (schema `xmltc.explain/1`) is golden-pinned
+/// byte-for-byte and stays parseable with a verified replay.
+#[test]
+fn explain_json_report_matches_golden() {
+    use xmltc::obs::Json;
+    let out = run(&[
+        "explain",
+        &fixture("any_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+        "--engine",
+        "eager",
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let s = stdout(&out);
+    let golden = std::fs::read_to_string(fixture("golden/explain_relabel_eager.json")).unwrap();
+    assert_eq!(s, golden);
+    let v = Json::parse(&s).unwrap();
+    assert_eq!(
+        v.at("schema").and_then(Json::as_str),
+        Some("xmltc.explain/1")
+    );
+    assert_eq!(v.at("replay.verified"), Some(&Json::Bool(true)));
+    assert_eq!(
+        v.at("violation.production").and_then(Json::as_str),
+        Some("result := (b.b)*")
+    );
+}
+
+#[test]
+fn explain_passing_spec_has_nothing_to_explain() {
+    let out = run(&[
+        "explain",
+        &fixture("even_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert_eq!(
+        stdout(&out),
+        "typechecks (route walk, engine lazy): nothing to explain\n"
+    );
+}
+
+/// Both engines' counterexamples replay: whatever input/output pair the
+/// search reports, the report's replay section must confirm it.
+#[test]
+fn explain_replay_verifies_for_both_engines() {
+    use xmltc::obs::Json;
+    for engine in ["lazy", "eager"] {
+        let out = run(&[
+            "explain",
+            &fixture("any_a.dtd"),
+            &fixture("relabel.xsl"),
+            &fixture("even_b.dtd"),
+            "--engine",
+            engine,
+            "--json",
+        ]);
+        assert_eq!(out.status.code(), Some(1), "--engine {engine}");
+        let v = Json::parse(&stdout(&out)).unwrap();
+        assert_eq!(
+            v.at("replay.verified"),
+            Some(&Json::Bool(true)),
+            "--engine {engine}"
+        );
+        assert_eq!(
+            v.at("verdict").and_then(Json::as_str),
+            Some("counterexample"),
+            "--engine {engine}"
+        );
+    }
+}
+
+#[test]
+fn typecheck_explain_out_writes_report_file() {
+    use xmltc::obs::Json;
+    let dir = std::env::temp_dir().join("xmltc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = dir.join("explain_out.json");
+    let out = run(&[
+        "typecheck",
+        &fixture("any_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+        "--engine",
+        "eager",
+        "--explain-out",
+        report.to_str().unwrap(),
+    ]);
+    // The verdict on stdout is byte-identical to a plain typecheck run;
+    // the report lands in the file, the note on stderr.
+    assert_eq!(out.status.code(), Some(1));
+    let s = stdout(&out);
+    assert!(s.contains("DOES NOT typecheck"), "{s}");
+    assert!(s.contains("counterexample input: <root><a/></root>"), "{s}");
+    assert!(
+        stderr(&out).contains("explain report written to"),
+        "{}",
+        stderr(&out)
+    );
+    let text = std::fs::read_to_string(&report).unwrap();
+    let golden = std::fs::read_to_string(fixture("golden/explain_relabel_eager.json")).unwrap();
+    assert_eq!(text, golden);
+    let v = Json::parse(&text).unwrap();
+    assert_eq!(v.at("replay.verified"), Some(&Json::Bool(true)));
+
+    // On a passing instance the file records the minimal ok report.
+    let ok_report = dir.join("explain_ok.json");
+    let out = run(&[
+        "typecheck",
+        &fixture("even_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+        "--explain-out",
+        ok_report.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let v = Json::parse(&std::fs::read_to_string(&ok_report).unwrap()).unwrap();
+    assert_eq!(v.at("verdict").and_then(Json::as_str), Some("ok"));
+    assert!(v.at("input").is_none());
+}
+
+#[test]
+fn explain_flag_errors() {
+    // `--stats`/`--trace-out` belong to typecheck, not explain.
+    let out = run(&["explain", "a.dtd", "b.xsl", "c.dtd", "--stats"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--stats"), "{}", stderr(&out));
+    // `--explain-out` needs a path, and is a typecheck-level flag.
+    let out = run(&["typecheck", "a.dtd", "b.xsl", "c.dtd", "--explain-out"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("--explain-out requires"),
+        "{}",
+        stderr(&out)
+    );
+    let out = run(&["validate", "a.dtd", "d.xml", "--explain-out", "x.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown flag"), "{}", stderr(&out));
 }
 
 #[test]
@@ -461,9 +625,67 @@ fn xmltc_log_traces_to_stderr() {
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(0));
     let err = stderr(&out);
-    assert!(err.contains("[xmltc] -> typecheck"), "{err}");
+    // Structured prefix: `[xmltc +SECONDS s LEVEL]` then the span arrows.
+    assert!(err.contains("[xmltc +"), "{err}");
+    assert!(err.contains("info] -> typecheck"), "{err}");
     assert!(err.contains("<- typecheck"), "{err}");
+    // Every log line carries the level and a monotonic timestamp.
+    let mut last_ts = 0.0f64;
+    for line in err.lines().filter(|l| l.starts_with("[xmltc +")) {
+        assert!(line.contains(" info] "), "level missing: {line}");
+        let ts: f64 = line["[xmltc +".len()..line.find('s').unwrap()]
+            .parse()
+            .unwrap_or_else(|_| panic!("bad timestamp: {line}"));
+        assert!(ts >= last_ts, "timestamps not monotonic: {err}");
+        last_ts = ts;
+    }
     // And stdout stays byte-identical.
+    assert_eq!(
+        stdout(&out),
+        "typechecks: every valid input maps into the output DTD\n"
+    );
+}
+
+#[test]
+fn xmltc_log_format_json_emits_json_lines() {
+    use xmltc::obs::Json;
+    let out = bin()
+        .args([
+            "typecheck",
+            &fixture("even_a.dtd"),
+            &fixture("relabel.xsl"),
+            &fixture("even_b.dtd"),
+        ])
+        .env("XMLTC_LOG", "1")
+        .env("XMLTC_LOG_FORMAT", "json")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let err = stderr(&out);
+    // Every log line is one JSON object with the structured fields.
+    let lines: Vec<&str> = err.lines().filter(|l| l.starts_with('{')).collect();
+    assert!(!lines.is_empty(), "no JSON log lines in:\n{err}");
+    let mut saw_enter = false;
+    let mut saw_exit = false;
+    for line in &lines {
+        let v = Json::parse(line).unwrap_or_else(|e| panic!("bad log line `{line}`: {e}"));
+        assert!(v.at("ts").and_then(Json::as_f64).is_some(), "{line}");
+        assert_eq!(v.at("level").and_then(Json::as_str), Some("info"), "{line}");
+        assert!(v.at("span").and_then(Json::as_str).is_some(), "{line}");
+        match v.at("event").and_then(Json::as_str) {
+            Some("enter") => saw_enter = true,
+            Some("exit") => {
+                saw_exit = true;
+                assert!(v.at("wall_ms").and_then(Json::as_f64).is_some(), "{line}");
+            }
+            other => panic!("unexpected event {other:?} in {line}"),
+        }
+    }
+    assert!(saw_enter && saw_exit);
+    assert!(
+        lines.iter().any(|l| l.contains("\"span\":\"typecheck\"")),
+        "{err}"
+    );
     assert_eq!(
         stdout(&out),
         "typechecks: every valid input maps into the output DTD\n"

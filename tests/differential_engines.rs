@@ -18,13 +18,15 @@
 
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use xmltc::automata::{lazy, Nta};
 use xmltc::dtd::Dtd;
+use xmltc::obs::{DocumentRecord, ExplainReport, ReplayRecord, TraceStepRecord, TransformRecord};
 use xmltc::trees::{BinaryTree, SmallRng};
 use xmltc::typecheck::bounded::{bounded_typecheck, BoundedOutcome};
 use xmltc::typecheck::check::{extract_bad_output, extract_bad_output_with};
 use xmltc::typecheck::inverse::violation_nta;
-use xmltc::typecheck::{Engine, TypecheckOptions};
+use xmltc::typecheck::{replay_counterexample, Engine, ReplayEvidence, TypecheckOptions};
 use xmltc::xmlql::{Stylesheet, Template};
 
 /// Input DTDs (the `τ₁` pool). All share the tag set `{root, a}` so any
@@ -131,6 +133,83 @@ fn verify_cex(ctx: &str, c: &Compiled, tau1: &Nta, input: &BinaryTree, engine: E
         !c.tau2.accepts(&b).unwrap(),
         "{ctx}: bad output must be rejected by tau2"
     );
+    // The replay verifier re-executes the pair through the real
+    // transformer + validator and must confirm every leg.
+    let ev = replay_counterexample(&c.t, tau1, &c.tau2, input, &b).unwrap();
+    assert!(
+        ev.verified(),
+        "{ctx}: replay not confirmed (input_in_type={}, output_produced={}, output_rejected={})",
+        ev.input_in_type,
+        ev.output_produced,
+        ev.output_rejected
+    );
+    dump_explain(&c.t, engine, input, &b, &ev);
+}
+
+/// Reports dumped so far when `XMLTC_EXPLAIN_DIR` is set (capped so a
+/// counterexample-heavy run does not flood the artifact store).
+static EXPLAIN_DUMPS: AtomicUsize = AtomicUsize::new(0);
+const EXPLAIN_DUMP_CAP: usize = 32;
+
+/// When `XMLTC_EXPLAIN_DIR` is set, writes the annotated explain report
+/// (schema `xmltc.explain/1`) for a verified counterexample into that
+/// directory — the CI differential job uploads them as artifacts.
+fn dump_explain(
+    t: &xmltc::core::PebbleTransducer,
+    engine: Engine,
+    input: &BinaryTree,
+    bad: &BinaryTree,
+    ev: &ReplayEvidence,
+) {
+    let Ok(dir) = std::env::var("XMLTC_EXPLAIN_DIR") else {
+        return;
+    };
+    let n = EXPLAIN_DUMPS.fetch_add(1, Ordering::Relaxed);
+    if n >= EXPLAIN_DUMP_CAP {
+        return;
+    }
+    let engine_name = match engine {
+        Engine::Eager => "eager",
+        _ => "lazy",
+    };
+    let mut report = ExplainReport::ok("walk", engine_name);
+    report.verdict = "counterexample".into();
+    report.input = Some(DocumentRecord {
+        term: input.to_string(),
+        xml: None,
+    });
+    report.output = Some(DocumentRecord {
+        term: bad.to_string(),
+        xml: None,
+    });
+    report.transform = Some(TransformRecord {
+        k: t.k() as u64,
+        states: t.core().n_states() as u64,
+        total_steps: ev.trace.len() as u64,
+        truncated: false,
+        steps: ev
+            .trace
+            .iter()
+            .map(|s| TraceStepRecord {
+                state: s.state.clone(),
+                level: s.level as u64,
+                input_symbol: s.input_symbol.clone(),
+                pebbles: s.pebbles.clone(),
+                action: s.action.clone(),
+                out_path: s.out_path.clone(),
+            })
+            .collect(),
+    });
+    report.replay = Some(ReplayRecord {
+        input_in_type: ev.input_in_type,
+        output_produced: ev.output_produced,
+        output_rejected: ev.output_rejected,
+        steps: ev.trace.len() as u64,
+    });
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = format!("{dir}/cex_{n:03}_{engine_name}.json");
+        let _ = std::fs::write(path, report.to_json_string());
+    }
 }
 
 #[test]
