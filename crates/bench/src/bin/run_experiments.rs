@@ -470,74 +470,65 @@ fn e10_datajoin(report: &mut Report) {
     // compares each pair's two (abstracted) data values; per Section 5 the
     // comparison is replaced by a nondeterministic guess emitting eq or
     // neq. Typechecking must hold for EVERY guess outcome.
-    use xmltc_core::machine::{Guard, Move, SymSpec, TransducerBuilder};
+    use xmltc_core::machine::{Guard, Move};
+    use xmltc_transducer_dsl::{MachineSpec, Syms};
     let input_dtd = Dtd::parse_text("rows := pair*\npair := @eps").unwrap();
     let enc_in = EncodedAlphabet::new(input_dtd.alphabet());
     let out_al = Alphabet::unranked(&["out", "eq", "neq"]);
     let enc_out = EncodedAlphabet::new(&out_al);
+    let cons_in = enc_in.encoded().name(enc_in.cons()).to_string();
+    let nil_in = enc_in.encoded().name(enc_in.nil()).to_string();
+    let cons_out = enc_out.encoded().name(enc_out.cons()).to_string();
+    let nil_out = enc_out.encoded().name(enc_out.nil()).to_string();
 
-    let mut b = TransducerBuilder::new(enc_in.encoded(), enc_out.encoded(), 1);
-    let s0 = b.state("start", 1).unwrap();
-    let nil = b.state("nil", 1).unwrap();
-    let walk = b.state("walk", 1).unwrap();
-    let enter = b.state("enter", 1).unwrap();
-    let guess = b.state("guess", 1).unwrap();
-    let adv = b.state("adv", 1).unwrap();
-    b.set_initial(s0);
-    let out = out_al.get("out").unwrap();
-    let eq = out_al.get("eq").unwrap();
-    let neq = out_al.get("neq").unwrap();
-    b.output0(SymSpec::Any, nil, Guard::any(), enc_out.nil())
-        .unwrap();
-    b.output2(SymSpec::Any, s0, Guard::any(), out, enter, nil)
-        .unwrap();
-    b.move_rule(SymSpec::Any, enter, Guard::any(), Move::DownLeft, walk)
-        .unwrap();
+    let mut m = MachineSpec::new("datajoin", 1);
+    m.state("start", 1)
+        .state("nil", 1)
+        .state("walk", 1)
+        .state("enter", 1)
+        .state("guess", 1)
+        .state("adv", 1)
+        .initial("start");
+    m.emit_leaf(Syms::Any, "nil", Guard::any(), &nil_out);
+    m.emit_node(Syms::Any, "start", Guard::any(), "out", "enter", "nil");
+    m.walk(Syms::Any, "enter", Guard::any(), Move::DownLeft, "walk");
     // At a cons cell: one guessed verdict per pair — the x = y test of the
     // extended transducer replaced by a nondeterministic choice.
-    b.output2(
-        SymSpec::One(enc_in.cons()),
-        walk,
+    m.emit_node(
+        Syms::one(&cons_in),
+        "walk",
         Guard::any(),
-        enc_out.cons(),
-        guess,
-        adv,
-    )
-    .unwrap();
-    b.output2(
-        SymSpec::One(enc_in.cons()),
-        guess,
+        &cons_out,
+        "guess",
+        "adv",
+    );
+    m.emit_node(
+        Syms::one(&cons_in),
+        "guess",
         Guard::any(),
-        eq,
-        nil,
-        nil,
-    )
-    .unwrap();
-    b.output2(
-        SymSpec::One(enc_in.cons()),
-        guess,
+        "eq",
+        "nil",
+        "nil",
+    );
+    m.emit_node(
+        Syms::one(&cons_in),
+        "guess",
         Guard::any(),
-        neq,
-        nil,
-        nil,
-    )
-    .unwrap();
-    b.move_rule(
-        SymSpec::One(enc_in.cons()),
-        adv,
+        "neq",
+        "nil",
+        "nil",
+    );
+    m.walk(
+        Syms::one(&cons_in),
+        "adv",
         Guard::any(),
         Move::DownRight,
-        walk,
-    )
-    .unwrap();
-    b.output0(
-        SymSpec::One(enc_in.nil()),
-        walk,
-        Guard::any(),
-        enc_out.nil(),
-    )
-    .unwrap();
-    let t = b.build().unwrap();
+        "walk",
+    );
+    m.emit_leaf(Syms::one(&nil_in), "walk", Guard::any(), &nil_out);
+    let t = m
+        .build_transducer(enc_in.encoded(), enc_out.encoded())
+        .unwrap();
 
     let tau1 = input_dtd.compile(&enc_in).unwrap();
     let tau2 = Dtd::parse_text_with(

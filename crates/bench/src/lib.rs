@@ -8,10 +8,11 @@
 pub mod harness;
 
 use std::sync::Arc;
-use xmltc_automata::{Nta, State};
-use xmltc_core::machine::{AutomatonBuilder, Guard, Move, PebbleAutomaton, SymSpec};
+use xmltc_automata::Nta;
+use xmltc_core::machine::{Guard, Move, PebbleAutomaton, Presence};
 use xmltc_core::PebbleTransducer;
 use xmltc_dtd::Dtd;
+use xmltc_transducer_dsl::{MachineSpec, Syms};
 use xmltc_trees::{Alphabet, BinaryTree, EncodedAlphabet, UnrankedTree};
 
 /// The standard small ranked alphabet used by machine-level experiments.
@@ -91,32 +92,31 @@ pub fn q2_fixture() -> Q2Fixture {
 /// leftmost leaf through `m` intermediate states and accepts iff it is `y`,
 /// after also and-branching at the root.
 pub fn walking_chain(al: &Arc<Alphabet>, m: usize) -> PebbleAutomaton {
-    let y = al.get("y").unwrap();
-    let mut b = AutomatonBuilder::new(al, 1);
-    let states: Vec<State> = (0..m.max(1))
-        .map(|i| b.state(&format!("c{i}"), 1).unwrap())
-        .collect();
-    let check = b.state("check", 1).unwrap();
-    b.set_initial(states[0]);
+    let n = m.max(1);
+    let mut s = MachineSpec::new("walking_chain", 1);
+    for i in 0..n {
+        s.state(format!("c{i}"), 1);
+    }
+    s.state("check", 1).state("lw", 1).state("rw", 1);
+    s.initial("c0");
     // Chain of stays, then a branch: left walk and right walk must both
     // find y at their extreme leaf.
-    for w in states.windows(2) {
-        b.move_rule(SymSpec::Any, w[0], Guard::any(), Move::Stay, w[1])
-            .unwrap();
+    for i in 0..n - 1 {
+        s.walk(
+            Syms::Any,
+            format!("c{i}"),
+            Guard::any(),
+            Move::Stay,
+            format!("c{}", i + 1),
+        );
     }
-    let last = *states.last().unwrap();
-    let lw = b.state("lw", 1).unwrap();
-    let rw = b.state("rw", 1).unwrap();
-    b.branch2(SymSpec::Binaries, last, Guard::any(), lw, rw)
-        .unwrap();
-    b.move_rule(SymSpec::One(y), last, Guard::any(), Move::Stay, check)
-        .unwrap();
-    b.branch0(SymSpec::One(y), check, Guard::any()).unwrap();
-    b.move_rule(SymSpec::Binaries, lw, Guard::any(), Move::DownLeft, last)
-        .unwrap();
-    b.move_rule(SymSpec::Binaries, rw, Guard::any(), Move::DownRight, last)
-        .unwrap();
-    b.build().unwrap()
+    let last = format!("c{}", n - 1);
+    s.fork(Syms::Binaries, &last, Guard::any(), "lw", "rw");
+    s.walk(Syms::one("y"), &last, Guard::any(), Move::Stay, "check");
+    s.accept(Syms::one("y"), "check", Guard::any());
+    s.walk(Syms::Binaries, "lw", Guard::any(), Move::DownLeft, &last);
+    s.walk(Syms::Binaries, "rw", Guard::any(), Move::DownRight, &last);
+    s.build_automaton(al).unwrap()
 }
 
 /// A genuinely two-pebble automaton: accepts trees containing two
@@ -126,23 +126,15 @@ pub fn walking_chain(al: &Arc<Alphabet>, m: usize) -> PebbleAutomaton {
 /// regular, as Theorem 4.7 promises; the machine is not expressible
 /// without the pebble test.)
 pub fn two_y_leaves(al: &Arc<Alphabet>) -> PebbleAutomaton {
-    let y = al.get("y").unwrap();
-    let mut b = AutomatonBuilder::new(al, 2);
-    let w1 = b.state("w1", 1).unwrap();
-    let w2 = b.state("w2", 2).unwrap();
-    b.set_initial(w1);
-    b.move_rule(SymSpec::Binaries, w1, Guard::any(), Move::DownLeft, w1)
-        .unwrap();
-    b.move_rule(SymSpec::Binaries, w1, Guard::any(), Move::DownRight, w1)
-        .unwrap();
-    b.move_rule(SymSpec::One(y), w1, Guard::any(), Move::PlaceNew, w2)
-        .unwrap();
-    b.move_rule(SymSpec::Binaries, w2, Guard::any(), Move::DownLeft, w2)
-        .unwrap();
-    b.move_rule(SymSpec::Binaries, w2, Guard::any(), Move::DownRight, w2)
-        .unwrap();
-    b.branch0(SymSpec::One(y), w2, Guard::absent(1)).unwrap();
-    b.build().unwrap()
+    let mut s = MachineSpec::new("two_y_leaves", 2);
+    s.state("w1", 1).state("w2", 2).initial("w1");
+    s.walk(Syms::Binaries, "w1", Guard::any(), Move::DownLeft, "w1");
+    s.walk(Syms::Binaries, "w1", Guard::any(), Move::DownRight, "w1");
+    s.walk(Syms::one("y"), "w1", Guard::any(), Move::PlaceNew, "w2");
+    s.walk(Syms::Binaries, "w2", Guard::any(), Move::DownLeft, "w2");
+    s.walk(Syms::Binaries, "w2", Guard::any(), Move::DownRight, "w2");
+    s.accept(Syms::one("y"), "w2", Guard::absent(1));
+    s.build_automaton(al).unwrap()
 }
 
 /// A k-pebble automaton family parameterized by pebble count: pebble i
@@ -150,34 +142,28 @@ pub fn two_y_leaves(al: &Arc<Alphabet>) -> PebbleAutomaton {
 /// accepts where all previous pebbles are present. Exercises place/pick
 /// and guards at every level — the Theorem 4.8 blow-up driver.
 pub fn pebble_tower(al: &Arc<Alphabet>, k: u8) -> PebbleAutomaton {
-    let mut b = AutomatonBuilder::new(al, k);
-    let mut walk = Vec::new();
+    let mut s = MachineSpec::new("pebble_tower", k);
     for lvl in 1..=k {
-        walk.push(b.state(&format!("w{lvl}"), lvl).unwrap());
+        s.state(format!("w{lvl}"), lvl);
     }
-    b.set_initial(walk[0]);
+    s.initial("w1");
     for lvl in 1..=k {
-        let w = walk[(lvl - 1) as usize];
-        b.move_rule(SymSpec::Binaries, w, Guard::any(), Move::DownLeft, w)
-            .unwrap();
+        let w = format!("w{lvl}");
+        s.walk(Syms::Binaries, &w, Guard::any(), Move::DownLeft, &w);
         if lvl < k {
-            b.move_rule(
-                SymSpec::Leaves,
-                w,
+            s.walk(
+                Syms::Leaves,
+                &w,
                 Guard::any(),
                 Move::PlaceNew,
-                walk[lvl as usize],
-            )
-            .unwrap();
+                format!("w{}", lvl + 1),
+            );
         } else {
             // Accept at a leaf where every previous pebble sits too (all
             // walked to the same leftmost leaf).
-            let guard = Guard(vec![
-                xmltc_core::machine::Presence::Present;
-                (k - 1) as usize
-            ]);
-            b.branch0(SymSpec::Leaves, w, guard).unwrap();
+            let guard = Guard(vec![Presence::Present; (k - 1) as usize]);
+            s.accept(Syms::Leaves, &w, guard);
         }
     }
-    b.build().unwrap()
+    s.build_automaton(al).unwrap()
 }

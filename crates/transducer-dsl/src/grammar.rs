@@ -1,0 +1,295 @@
+//! Regular tree grammars: the declarative form of the corpus' input and
+//! output types.
+//!
+//! A [`TreeGrammar`] is the binary-tree analogue of a DTD: a set of
+//! productions `N := a` (leaf) and `N := a(N₁, N₂)` (binary node) plus a
+//! start nonterminal. Reading productions bottom-up gives exactly a
+//! nondeterministic tree automaton, so [`TreeGrammar::compile`] is a
+//! one-to-one translation into an [`Nta`] (state per nonterminal, final
+//! state = start). Like [`crate::spec::MachineSpec`], a grammar is plain
+//! renderable data — the corpus generator emits grammars and the minimizer
+//! shrinks them by dropping productions.
+
+use std::fmt;
+use std::sync::Arc;
+use xmltc_automata::Nta;
+use xmltc_trees::{Alphabet, FxHashMap, Rank};
+
+/// The right-hand side of a production.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rhs {
+    /// `N := a` — derive the leaf `a`.
+    Leaf(String),
+    /// `N := a(N₁, N₂)` — derive a binary `a` node whose children derive
+    /// from the two nonterminals.
+    Node(String, String, String),
+}
+
+impl Rhs {
+    fn render(&self) -> String {
+        match self {
+            Rhs::Leaf(a) => a.clone(),
+            Rhs::Node(a, l, r) => format!("{a}({l}, {r})"),
+        }
+    }
+}
+
+/// Everything that can be wrong with a grammar, by production index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GrammarError {
+    /// A production uses a symbol missing from the alphabet.
+    UnknownSymbol {
+        /// Index of the offending production.
+        prod: usize,
+        /// The unresolved name.
+        symbol: String,
+    },
+    /// A production's symbol rank does not match its shape.
+    ArityMismatch {
+        /// Index of the offending production.
+        prod: usize,
+        /// The symbol.
+        symbol: String,
+        /// The rank the production shape requires.
+        expected: Rank,
+        /// The symbol's actual rank.
+        actual: Rank,
+    },
+}
+
+impl fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrammarError::UnknownSymbol { prod, symbol } => {
+                write!(f, "production {prod} uses unknown symbol `{symbol}`")
+            }
+            GrammarError::ArityMismatch {
+                prod,
+                symbol,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "production {prod}: symbol `{symbol}` has rank {actual:?}, shape needs {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GrammarError {}
+
+/// A regular tree grammar over a ranked alphabet.
+///
+/// Nonterminals need no declaration: every name appearing in a production
+/// (or as the start) is one. A grammar whose start derives nothing is the
+/// empty language — a legitimate (and adversarially useful) type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeGrammar {
+    /// A human-readable grammar name (reports, renders).
+    pub name: String,
+    /// The start nonterminal.
+    pub start: String,
+    /// The productions, in declaration order.
+    pub prods: Vec<(String, Rhs)>,
+}
+
+impl TreeGrammar {
+    /// An empty grammar (derives nothing) with the given start symbol.
+    pub fn new(name: impl Into<String>, start: impl Into<String>) -> TreeGrammar {
+        TreeGrammar {
+            name: name.into(),
+            start: start.into(),
+            prods: Vec::new(),
+        }
+    }
+
+    /// Adds a leaf production `nt := sym`.
+    pub fn leaf(&mut self, nt: impl Into<String>, sym: impl Into<String>) -> &mut Self {
+        self.prods.push((nt.into(), Rhs::Leaf(sym.into())));
+        self
+    }
+
+    /// Adds a node production `nt := sym(l, r)`.
+    pub fn node(
+        &mut self,
+        nt: impl Into<String>,
+        sym: impl Into<String>,
+        l: impl Into<String>,
+        r: impl Into<String>,
+    ) -> &mut Self {
+        self.prods
+            .push((nt.into(), Rhs::Node(sym.into(), l.into(), r.into())));
+        self
+    }
+
+    /// The universal grammar over `al`: one nonterminal `U` deriving every
+    /// symbol, start `U` — accepts every tree.
+    pub fn universal(name: impl Into<String>, al: &Alphabet) -> TreeGrammar {
+        let mut g = TreeGrammar::new(name, "U");
+        for s in al.symbols() {
+            match al.rank(s) {
+                Rank::Leaf => g.leaf("U", al.name(s)),
+                Rank::Binary => g.node("U", al.name(s), "U", "U"),
+                Rank::Unranked => continue,
+            };
+        }
+        g
+    }
+
+    /// All nonterminal names, in first-appearance order (start first).
+    pub fn nonterminals(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = vec![self.start.as_str()];
+        for (nt, rhs) in &self.prods {
+            for n in Some(nt.as_str()).into_iter().chain(
+                match rhs {
+                    Rhs::Leaf(_) => [None, None],
+                    Rhs::Node(_, l, r) => [Some(l.as_str()), Some(r.as_str())],
+                }
+                .into_iter()
+                .flatten(),
+            ) {
+                if !seen.contains(&n) {
+                    seen.push(n);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Compiles the grammar to a bottom-up [`Nta`] over `al`: one state
+    /// per nonterminal, the start nonterminal final.
+    pub fn compile(&self, al: &Arc<Alphabet>) -> Result<Nta, GrammarError> {
+        let nts = self.nonterminals();
+        let index: FxHashMap<&str, u32> = nts
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (*n, i as u32))
+            .collect();
+        let mut nta = Nta::new(al, nts.len() as u32);
+        for (i, (nt, rhs)) in self.prods.iter().enumerate() {
+            let q = xmltc_automata::State(index[nt.as_str()]);
+            match rhs {
+                Rhs::Leaf(a) => {
+                    let s = al.get(a).ok_or_else(|| GrammarError::UnknownSymbol {
+                        prod: i,
+                        symbol: a.clone(),
+                    })?;
+                    if al.rank(s) != Rank::Leaf {
+                        return Err(GrammarError::ArityMismatch {
+                            prod: i,
+                            symbol: a.clone(),
+                            expected: Rank::Leaf,
+                            actual: al.rank(s),
+                        });
+                    }
+                    nta.add_leaf(s, q);
+                }
+                Rhs::Node(a, l, r) => {
+                    let s = al.get(a).ok_or_else(|| GrammarError::UnknownSymbol {
+                        prod: i,
+                        symbol: a.clone(),
+                    })?;
+                    if al.rank(s) != Rank::Binary {
+                        return Err(GrammarError::ArityMismatch {
+                            prod: i,
+                            symbol: a.clone(),
+                            expected: Rank::Binary,
+                            actual: al.rank(s),
+                        });
+                    }
+                    let ql = xmltc_automata::State(index[l.as_str()]);
+                    let qr = xmltc_automata::State(index[r.as_str()]);
+                    nta.add_node(s, ql, qr, q);
+                }
+            }
+        }
+        nta.add_final(xmltc_automata::State(index[self.start.as_str()]));
+        Ok(nta)
+    }
+
+    /// Stable textual rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!("grammar {} start={}\n", self.name, self.start);
+        for (nt, rhs) in &self.prods {
+            out.push_str(&format!("  {nt} := {}\n", rhs.render()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltc_trees::BinaryTree;
+
+    fn al() -> Arc<Alphabet> {
+        Alphabet::ranked(&["x", "y"], &["f"])
+    }
+
+    #[test]
+    fn universal_accepts_everything() {
+        let al = al();
+        let g = TreeGrammar::universal("u", &al).compile(&al).unwrap();
+        for t in ["x", "f(x, y)", "f(f(x, x), y)"] {
+            assert!(
+                g.accepts(&BinaryTree::parse(t, &al).unwrap()).unwrap(),
+                "{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_grammar_is_empty() {
+        let al = al();
+        let g = TreeGrammar::new("none", "S").compile(&al).unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn chain_grammar_fixes_depth() {
+        // S := f(A, A); A := x — exactly the depth-2 trees f(x, x).
+        let al = al();
+        let mut g = TreeGrammar::new("d2", "S");
+        g.node("S", "f", "A", "A").leaf("A", "x");
+        let nta = g.compile(&al).unwrap();
+        assert!(nta
+            .accepts(&BinaryTree::parse("f(x, x)", &al).unwrap())
+            .unwrap());
+        assert!(!nta.accepts(&BinaryTree::parse("x", &al).unwrap()).unwrap());
+        assert!(!nta
+            .accepts(&BinaryTree::parse("f(f(x, x), x)", &al).unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn errors_are_precise() {
+        let al = al();
+        let mut g = TreeGrammar::new("bad", "S");
+        g.leaf("S", "zap");
+        assert_eq!(
+            g.compile(&al).err(),
+            Some(GrammarError::UnknownSymbol {
+                prod: 0,
+                symbol: "zap".into()
+            })
+        );
+        let mut g = TreeGrammar::new("bad2", "S");
+        g.leaf("S", "f");
+        assert_eq!(
+            g.compile(&al).err(),
+            Some(GrammarError::ArityMismatch {
+                prod: 0,
+                symbol: "f".into(),
+                expected: Rank::Leaf,
+                actual: Rank::Binary,
+            })
+        );
+    }
+
+    #[test]
+    fn render_stable() {
+        let mut g = TreeGrammar::new("g", "S");
+        g.node("S", "f", "S", "A").leaf("A", "x");
+        assert_eq!(g.render(), "grammar g start=S\n  S := f(S, A)\n  A := x\n");
+    }
+}

@@ -1,0 +1,47 @@
+//! # xmltc-transducer-dsl
+//!
+//! The declarative layer over [`xmltc_core`]'s pebble-machine builders:
+//! transducers and automata as **plain data** — named states, a rendered
+//! transition table, precise error values — plus the machinery that plain
+//! data makes possible:
+//!
+//! * [`spec`] — [`MachineSpec`]: the typed builder API. States, rules and
+//!   symbols reference each other by name; nothing resolves until
+//!   [`MachineSpec::build_transducer`] / [`MachineSpec::build_automaton`],
+//!   and every malformation (stack-discipline violations, bad pebble
+//!   lift order, unreachable states, arity mismatches, …) maps to a
+//!   dedicated [`BuilderError`] variant instead of a panic or a stringly
+//!   error.
+//! * [`grammar`] — [`TreeGrammar`]: regular tree grammars as the
+//!   declarative form of input/output types, compiled one-to-one into
+//!   bottom-up tree automata.
+//! * [`corpus`] — the seeded adversarial scenario generator: thousands of
+//!   `(transducer, τ₁, τ₂)` triples across named families, each case on
+//!   its own RNG stream.
+//! * [`minimize`] — the greedy, deterministic case minimizer that shrinks
+//!   a disagreeing triple before it is reported.
+//!
+//! The low-level eager builders in [`xmltc_core::machine`] remain the
+//! substrate this crate lowers onto; everything downstream (tests, CLI,
+//! benches, the differential harness) constructs machines through this
+//! crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod grammar;
+pub mod minimize;
+pub mod spec;
+
+pub use corpus::{
+    case_seed, generate, CompiledScenario, Family, Scenario, ScenarioError, CORPUS_STATE_LIMIT,
+    FAMILIES,
+};
+pub use grammar::{GrammarError, Rhs, TreeGrammar};
+pub use minimize::{minimize_scenario, MinimizeOutcome};
+pub use spec::{ActionSpec, BuilderError, MachineSpec, RuleRow, Syms};
+
+// The guard/move/presence vocabulary specs are written in, re-exported so
+// DSL users need not depend on xmltc-core directly.
+pub use xmltc_core::machine::{Guard, Move, Presence};

@@ -1,0 +1,1014 @@
+//! The declarative machine spec: a plain-data transition table with
+//! named states and symbols, validated into a [`PebbleTransducer`] or
+//! [`PebbleAutomaton`] with precise error values.
+//!
+//! Unlike the low-level [`xmltc_core::machine`] builders (which return
+//! handles eagerly and reject bad rules with stringly-typed errors as they
+//! are added), a [`MachineSpec`] is pure data: states and rules reference
+//! each other by *name*, nothing is resolved until [`MachineSpec::build_transducer`] /
+//! [`MachineSpec::build_automaton`], and every way a spec can be malformed
+//! maps to a dedicated [`BuilderError`] variant carrying the offending rule
+//! index and names. This makes specs renderable, diffable, hashable,
+//! machine-generatable (the [`crate::corpus`] generator) and shrinkable
+//! (the [`crate::minimize`] greedy minimizer).
+
+use std::fmt;
+use std::sync::Arc;
+use xmltc_core::machine::{
+    AutomatonBuilder, Guard, Move, PebbleAutomaton, PebbleTransducer, Presence, SymSpec,
+    TransducerBuilder,
+};
+use xmltc_trees::{Alphabet, FxHashMap, Rank, Symbol};
+
+/// Selects the input symbols a rule covers, by name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Syms {
+    /// A single named symbol.
+    One(String),
+    /// Every leaf symbol.
+    Leaves,
+    /// Every binary symbol.
+    Binaries,
+    /// Every symbol.
+    Any,
+    /// An explicit list of named symbols.
+    AnyOf(Vec<String>),
+    /// Every symbol except the listed ones.
+    AllExcept(Vec<String>),
+}
+
+impl Syms {
+    /// Convenience constructor for [`Syms::One`].
+    pub fn one(name: impl Into<String>) -> Syms {
+        Syms::One(name.into())
+    }
+
+    /// Converts a resolved [`SymSpec`] (symbol ids) back into a named
+    /// selection over `al` — the bridge for code that computed a symbol
+    /// set with the low-level API (e.g. the data-value abstraction).
+    pub fn from_symspec(spec: &SymSpec, al: &Alphabet) -> Syms {
+        let name = |s: &Symbol| al.name(*s).to_string();
+        match spec {
+            SymSpec::One(s) => Syms::One(name(s)),
+            SymSpec::Leaves => Syms::Leaves,
+            SymSpec::Binaries => Syms::Binaries,
+            SymSpec::Any => Syms::Any,
+            SymSpec::AnyOf(v) => Syms::AnyOf(v.iter().map(name).collect()),
+            SymSpec::AllExcept(v) => Syms::AllExcept(v.iter().map(name).collect()),
+        }
+    }
+
+    /// Resolves the selection against an alphabet. `Err` carries the first
+    /// unknown name.
+    fn resolve(&self, al: &Alphabet) -> Result<Vec<Symbol>, String> {
+        let get = |n: &String| al.get(n).ok_or_else(|| n.clone());
+        Ok(match self {
+            Syms::One(n) => vec![get(n)?],
+            Syms::Leaves => al.leaves(),
+            Syms::Binaries => al.binaries(),
+            Syms::Any => al.symbols().collect(),
+            Syms::AnyOf(v) => v.iter().map(get).collect::<Result<_, _>>()?,
+            Syms::AllExcept(v) => {
+                let excl: Vec<Symbol> = v.iter().map(get).collect::<Result<_, _>>()?;
+                al.symbols().filter(|s| !excl.contains(s)).collect()
+            }
+        })
+    }
+
+    /// Stable textual form (used by [`MachineSpec::render`]).
+    pub fn render(&self) -> String {
+        match self {
+            Syms::One(n) => n.clone(),
+            Syms::Leaves => "leaves".into(),
+            Syms::Binaries => "binaries".into(),
+            Syms::Any => "*".into(),
+            Syms::AnyOf(v) => format!("{{{}}}", v.join(",")),
+            Syms::AllExcept(v) => format!("!{{{}}}", v.join(",")),
+        }
+    }
+}
+
+/// The action of a declarative rule. `Walk`/`EmitLeaf`/`EmitNode` are
+/// transducer actions, `Walk`/`Accept`/`Fork` automaton actions; the two
+/// `build_*` entry points reject rows of the wrong kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ActionSpec {
+    /// A move transition into the named state.
+    Walk(Move, String),
+    /// Emit a leaf labeled with the named output symbol; the branch halts.
+    EmitLeaf(String),
+    /// Emit a binary output node; the two named states compute its
+    /// children.
+    EmitNode(String, String, String),
+    /// Accept this branch (automata only).
+    Accept,
+    /// Fork into two branches (automata only); the input head stays put.
+    Fork(String, String),
+}
+
+impl ActionSpec {
+    fn render(&self) -> String {
+        match self {
+            ActionSpec::Walk(m, q) => format!("move {} -> {q}", render_move(*m)),
+            ActionSpec::EmitLeaf(a) => format!("emit {a}"),
+            ActionSpec::EmitNode(a, l, r) => format!("emit {a}({l}, {r})"),
+            ActionSpec::Accept => "accept".into(),
+            ActionSpec::Fork(l, r) => format!("fork({l}, {r})"),
+        }
+    }
+}
+
+fn render_move(m: Move) -> &'static str {
+    match m {
+        Move::Stay => "stay",
+        Move::DownLeft => "down-left",
+        Move::DownRight => "down-right",
+        Move::UpLeft => "up-left",
+        Move::UpRight => "up-right",
+        Move::PlaceNew => "place-new",
+        Move::PickCurrent => "pick-current",
+    }
+}
+
+fn render_guard(g: &Guard) -> String {
+    if g.0.is_empty() {
+        return "-".into();
+    }
+    let parts: Vec<String> =
+        g.0.iter()
+            .enumerate()
+            .map(|(j, p)| {
+                let mark = match p {
+                    Presence::Any => '?',
+                    Presence::Present => '+',
+                    Presence::Absent => '-',
+                };
+                format!("{}{mark}", j + 1)
+            })
+            .collect();
+    format!("[{}]", parts.join(","))
+}
+
+/// One row of the transition table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleRow {
+    /// Which input symbols the rule covers.
+    pub on: Syms,
+    /// The state the rule fires in (by name).
+    pub state: String,
+    /// The pebble-presence guard over lower pebbles.
+    pub guard: Guard,
+    /// The rule's action.
+    pub action: ActionSpec,
+}
+
+impl RuleRow {
+    /// Stable textual form.
+    pub fn render(&self) -> String {
+        format!(
+            "on={} in={} guard={} => {}",
+            self.on.render(),
+            self.state,
+            render_guard(&self.guard),
+            self.action.render()
+        )
+    }
+
+    /// Every state name the row mentions (source and targets).
+    pub fn states_mentioned(&self) -> Vec<&str> {
+        let mut v = vec![self.state.as_str()];
+        match &self.action {
+            ActionSpec::Walk(_, q) => v.push(q),
+            ActionSpec::EmitLeaf(_) | ActionSpec::Accept => {}
+            ActionSpec::EmitNode(_, l, r) | ActionSpec::Fork(l, r) => {
+                v.push(l);
+                v.push(r);
+            }
+        }
+        v
+    }
+}
+
+/// Everything that can be wrong with a [`MachineSpec`], with the offending
+/// rule index (into [`MachineSpec::rules`]) and names. Returned — never
+/// panicked — by the `build_*` entry points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuilderError {
+    /// The spec declares no states at all.
+    NoStates,
+    /// Two states share a name.
+    DuplicateState {
+        /// The duplicated name.
+        state: String,
+    },
+    /// A state's pebble level is 0 or exceeds the machine's `k`.
+    LevelOutOfRange {
+        /// The state.
+        state: String,
+        /// Its declared level.
+        level: u8,
+        /// The machine's pebble count.
+        k: u8,
+    },
+    /// No initial state was designated.
+    NoInitialState,
+    /// The designated initial state was never declared.
+    UnknownInitialState {
+        /// The undeclared name.
+        state: String,
+    },
+    /// The initial state is not at pebble level 1.
+    InitialNotLevelOne {
+        /// The initial state.
+        state: String,
+        /// Its declared level.
+        level: u8,
+    },
+    /// A rule references a state name that was never declared.
+    UnknownState {
+        /// Index of the offending rule.
+        rule: usize,
+        /// The unresolved name.
+        state: String,
+    },
+    /// A rule references a symbol name missing from the alphabet.
+    UnknownSymbol {
+        /// Index of the offending rule.
+        rule: usize,
+        /// The unresolved name.
+        symbol: String,
+    },
+    /// A rule's symbol selection resolves to no symbols at all.
+    EmptySymbolSet {
+        /// Index of the offending rule.
+        rule: usize,
+    },
+    /// A guard tests a pebble at or above the rule state's own level.
+    GuardTooDeep {
+        /// Index of the offending rule.
+        rule: usize,
+        /// The rule's state.
+        state: String,
+        /// The state's level.
+        level: u8,
+        /// The highest pebble the guard tests (1-based).
+        tested: usize,
+    },
+    /// A `place-new` / `pick-current` move that violates the pebble stack
+    /// discipline: place must enter a state exactly one level up, pick must
+    /// start at level ≥ 2 and enter a state exactly one level down.
+    BadPebbleLift {
+        /// Index of the offending rule.
+        rule: usize,
+        /// The move.
+        mv: Move,
+        /// Source state.
+        from: String,
+        /// Source level.
+        from_level: u8,
+        /// Target state.
+        to: String,
+        /// Target level.
+        to_level: u8,
+    },
+    /// A plain move (stay/down/up) that changes pebble level.
+    LevelMismatch {
+        /// Index of the offending rule.
+        rule: usize,
+        /// The move.
+        mv: Move,
+        /// Source state.
+        from: String,
+        /// Source level.
+        from_level: u8,
+        /// Target state.
+        to: String,
+        /// Target level.
+        to_level: u8,
+    },
+    /// An `emit`/`fork` child state is not at the spawning state's level.
+    BranchLevelMismatch {
+        /// Index of the offending rule.
+        rule: usize,
+        /// The spawning state.
+        state: String,
+        /// Its level.
+        level: u8,
+        /// The offending child state.
+        branch: String,
+        /// The child's level.
+        branch_level: u8,
+    },
+    /// An output symbol's rank does not fit the emitting action.
+    ArityMismatch {
+        /// Index of the offending rule.
+        rule: usize,
+        /// The output symbol.
+        symbol: String,
+        /// The rank the action requires.
+        expected: Rank,
+        /// The symbol's actual rank.
+        actual: Rank,
+    },
+    /// A transducer build found an automaton action (or vice versa).
+    WrongActionKind {
+        /// Index of the offending rule.
+        rule: usize,
+        /// `"transducer"` or `"automaton"`.
+        expected: &'static str,
+    },
+    /// A declared state is unreachable in the rule graph from the initial
+    /// state (suppress with [`MachineSpec::allow_unreachable`]).
+    UnreachableState {
+        /// The unreachable state.
+        state: String,
+    },
+    /// The low-level builder rejected a spec this module validated — a bug
+    /// in the DSL layer, surfaced instead of panicking.
+    Internal(String),
+}
+
+impl fmt::Display for BuilderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuilderError::NoStates => write!(f, "spec declares no states"),
+            BuilderError::DuplicateState { state } => {
+                write!(f, "state `{state}` declared twice")
+            }
+            BuilderError::LevelOutOfRange { state, level, k } => {
+                write!(f, "state `{state}` at level {level}, outside 1..={k}")
+            }
+            BuilderError::NoInitialState => write!(f, "no initial state designated"),
+            BuilderError::UnknownInitialState { state } => {
+                write!(f, "initial state `{state}` was never declared")
+            }
+            BuilderError::InitialNotLevelOne { state, level } => {
+                write!(f, "initial state `{state}` is at level {level}, not 1")
+            }
+            BuilderError::UnknownState { rule, state } => {
+                write!(f, "rule {rule} references undeclared state `{state}`")
+            }
+            BuilderError::UnknownSymbol { rule, symbol } => {
+                write!(f, "rule {rule} references unknown symbol `{symbol}`")
+            }
+            BuilderError::EmptySymbolSet { rule } => {
+                write!(f, "rule {rule} covers no symbols")
+            }
+            BuilderError::GuardTooDeep {
+                rule,
+                state,
+                level,
+                tested,
+            } => write!(
+                f,
+                "rule {rule}: guard on `{state}` (level {level}) tests pebble {tested}; \
+                 only pebbles below the state's level may be tested"
+            ),
+            BuilderError::BadPebbleLift {
+                rule,
+                mv,
+                from,
+                from_level,
+                to,
+                to_level,
+            } => write!(
+                f,
+                "rule {rule}: {} from `{from}` (level {from_level}) to `{to}` (level {to_level}) \
+                 breaks the pebble stack discipline",
+                render_move(*mv)
+            ),
+            BuilderError::LevelMismatch {
+                rule,
+                mv,
+                from,
+                from_level,
+                to,
+                to_level,
+            } => write!(
+                f,
+                "rule {rule}: {} from `{from}` (level {from_level}) may not change level \
+                 (target `{to}` is at level {to_level})",
+                render_move(*mv)
+            ),
+            BuilderError::BranchLevelMismatch {
+                rule,
+                state,
+                level,
+                branch,
+                branch_level,
+            } => write!(
+                f,
+                "rule {rule}: branch `{branch}` (level {branch_level}) must stay at \
+                 `{state}`'s level {level}"
+            ),
+            BuilderError::ArityMismatch {
+                rule,
+                symbol,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "rule {rule}: output symbol `{symbol}` has rank {actual:?}, \
+                 the action needs rank {expected:?}"
+            ),
+            BuilderError::WrongActionKind { rule, expected } => {
+                write!(f, "rule {rule}: action not allowed in a {expected}")
+            }
+            BuilderError::UnreachableState { state } => {
+                write!(f, "state `{state}` is unreachable from the initial state")
+            }
+            BuilderError::Internal(msg) => write!(f, "internal lowering error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuilderError {}
+
+/// A declarative pebble-machine spec: named states, an initial state and a
+/// transition table, validated only at build time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineSpec {
+    /// A human-readable machine name (reports, renders).
+    pub name: String,
+    /// The pebble count `k`.
+    pub k: u8,
+    /// Declared states as `(name, level)` in declaration order.
+    pub states: Vec<(String, u8)>,
+    /// The designated initial state, if any.
+    pub initial: Option<String>,
+    /// The transition table.
+    pub rules: Vec<RuleRow>,
+    /// When set, unreachable states are tolerated instead of rejected.
+    pub tolerate_unreachable: bool,
+}
+
+impl MachineSpec {
+    /// An empty spec with the given name and pebble count.
+    pub fn new(name: impl Into<String>, k: u8) -> MachineSpec {
+        MachineSpec {
+            name: name.into(),
+            k,
+            states: Vec::new(),
+            initial: None,
+            rules: Vec::new(),
+            tolerate_unreachable: false,
+        }
+    }
+
+    /// Declares a state at the given pebble level (1-based).
+    pub fn state(&mut self, name: impl Into<String>, level: u8) -> &mut Self {
+        self.states.push((name.into(), level));
+        self
+    }
+
+    /// Designates the initial state (must be level 1 at build time).
+    pub fn initial(&mut self, name: impl Into<String>) -> &mut Self {
+        self.initial = Some(name.into());
+        self
+    }
+
+    /// Tolerate states unreachable in the rule graph (the default is to
+    /// reject them with [`BuilderError::UnreachableState`]).
+    pub fn allow_unreachable(&mut self) -> &mut Self {
+        self.tolerate_unreachable = true;
+        self
+    }
+
+    /// Appends a raw rule row.
+    pub fn rule(&mut self, row: RuleRow) -> &mut Self {
+        self.rules.push(row);
+        self
+    }
+
+    /// Adds a move rule `(on, guard, state) → (target, mv)`.
+    pub fn walk(
+        &mut self,
+        on: Syms,
+        state: impl Into<String>,
+        guard: Guard,
+        mv: Move,
+        target: impl Into<String>,
+    ) -> &mut Self {
+        self.rule(RuleRow {
+            on,
+            state: state.into(),
+            guard,
+            action: ActionSpec::Walk(mv, target.into()),
+        })
+    }
+
+    /// Adds an `output0` rule emitting the named leaf symbol.
+    pub fn emit_leaf(
+        &mut self,
+        on: Syms,
+        state: impl Into<String>,
+        guard: Guard,
+        out: impl Into<String>,
+    ) -> &mut Self {
+        self.rule(RuleRow {
+            on,
+            state: state.into(),
+            guard,
+            action: ActionSpec::EmitLeaf(out.into()),
+        })
+    }
+
+    /// Adds an `output2` rule emitting the named binary symbol with two
+    /// child branches.
+    pub fn emit_node(
+        &mut self,
+        on: Syms,
+        state: impl Into<String>,
+        guard: Guard,
+        out: impl Into<String>,
+        left: impl Into<String>,
+        right: impl Into<String>,
+    ) -> &mut Self {
+        self.rule(RuleRow {
+            on,
+            state: state.into(),
+            guard,
+            action: ActionSpec::EmitNode(out.into(), left.into(), right.into()),
+        })
+    }
+
+    /// Adds a `branch0` (accept) rule — automata only.
+    pub fn accept(&mut self, on: Syms, state: impl Into<String>, guard: Guard) -> &mut Self {
+        self.rule(RuleRow {
+            on,
+            state: state.into(),
+            guard,
+            action: ActionSpec::Accept,
+        })
+    }
+
+    /// Adds a `branch2` (and-fork) rule — automata only.
+    pub fn fork(
+        &mut self,
+        on: Syms,
+        state: impl Into<String>,
+        guard: Guard,
+        left: impl Into<String>,
+        right: impl Into<String>,
+    ) -> &mut Self {
+        self.rule(RuleRow {
+            on,
+            state: state.into(),
+            guard,
+            action: ActionSpec::Fork(left.into(), right.into()),
+        })
+    }
+
+    /// Stable textual rendering of the whole spec: states, initial, and
+    /// the transition table with rule indices.
+    pub fn render(&self) -> String {
+        let mut out = format!("machine {} k={}\n", self.name, self.k);
+        for (name, level) in &self.states {
+            out.push_str(&format!("  state {name} level={level}\n"));
+        }
+        if let Some(i) = &self.initial {
+            out.push_str(&format!("  initial {i}\n"));
+        }
+        for (i, r) in self.rules.iter().enumerate() {
+            out.push_str(&format!("  rule [{i}] {}\n", r.render()));
+        }
+        out
+    }
+
+    /// Validates the table and lowers it to a [`PebbleTransducer`].
+    /// `Accept`/`Fork` rows are rejected with
+    /// [`BuilderError::WrongActionKind`].
+    pub fn build_transducer(
+        &self,
+        input: &Arc<Alphabet>,
+        output: &Arc<Alphabet>,
+    ) -> Result<PebbleTransducer, BuilderError> {
+        let levels = self.validate(input, Some(output))?;
+        let mut b = TransducerBuilder::new(input, output, self.k);
+        let mut ids = Vec::with_capacity(self.states.len());
+        for (name, level) in &self.states {
+            ids.push(
+                b.state(name, *level)
+                    .map_err(|e| BuilderError::Internal(e.to_string()))?,
+            );
+        }
+        let id_of = |name: &str| ids[levels[name].0];
+        b.set_initial(id_of(self.initial.as_ref().expect("validated")));
+        for (i, r) in self.rules.iter().enumerate() {
+            let spec = self.lowered_syms(i, r, input)?;
+            let q = id_of(&r.state);
+            let res = match &r.action {
+                ActionSpec::Walk(mv, t) => b.move_rule(spec, q, r.guard.clone(), *mv, id_of(t)),
+                ActionSpec::EmitLeaf(a) => {
+                    b.output0(spec, q, r.guard.clone(), output.get(a).expect("validated"))
+                }
+                ActionSpec::EmitNode(a, l, rr) => b.output2(
+                    spec,
+                    q,
+                    r.guard.clone(),
+                    output.get(a).expect("validated"),
+                    id_of(l),
+                    id_of(rr),
+                ),
+                ActionSpec::Accept | ActionSpec::Fork(..) => unreachable!("validated"),
+            };
+            res.map_err(|e| BuilderError::Internal(e.to_string()))?;
+        }
+        b.build().map_err(|e| BuilderError::Internal(e.to_string()))
+    }
+
+    /// Validates the table and lowers it to a [`PebbleAutomaton`].
+    /// `EmitLeaf`/`EmitNode` rows are rejected with
+    /// [`BuilderError::WrongActionKind`].
+    pub fn build_automaton(&self, input: &Arc<Alphabet>) -> Result<PebbleAutomaton, BuilderError> {
+        let levels = self.validate(input, None)?;
+        let mut b = AutomatonBuilder::new(input, self.k);
+        let mut ids = Vec::with_capacity(self.states.len());
+        for (name, level) in &self.states {
+            ids.push(
+                b.state(name, *level)
+                    .map_err(|e| BuilderError::Internal(e.to_string()))?,
+            );
+        }
+        let id_of = |name: &str| ids[levels[name].0];
+        b.set_initial(id_of(self.initial.as_ref().expect("validated")));
+        for (i, r) in self.rules.iter().enumerate() {
+            let spec = self.lowered_syms(i, r, input)?;
+            let q = id_of(&r.state);
+            let res = match &r.action {
+                ActionSpec::Walk(mv, t) => b.move_rule(spec, q, r.guard.clone(), *mv, id_of(t)),
+                ActionSpec::Accept => b.branch0(spec, q, r.guard.clone()),
+                ActionSpec::Fork(l, rr) => b.branch2(spec, q, r.guard.clone(), id_of(l), id_of(rr)),
+                ActionSpec::EmitLeaf(..) | ActionSpec::EmitNode(..) => unreachable!("validated"),
+            };
+            res.map_err(|e| BuilderError::Internal(e.to_string()))?;
+        }
+        b.build().map_err(|e| BuilderError::Internal(e.to_string()))
+    }
+
+    fn lowered_syms(&self, i: usize, r: &RuleRow, al: &Alphabet) -> Result<SymSpec, BuilderError> {
+        let symbols =
+            r.on.resolve(al)
+                .map_err(|symbol| BuilderError::UnknownSymbol { rule: i, symbol })?;
+        debug_assert!(!symbols.is_empty(), "validated");
+        Ok(SymSpec::AnyOf(symbols))
+    }
+
+    /// The shared validation pass. `output` is `Some` for transducer
+    /// builds (enables emit actions + rank checks), `None` for automaton
+    /// builds (enables accept/fork). Returns the name → (index, level)
+    /// map.
+    fn validate(
+        &self,
+        input: &Arc<Alphabet>,
+        output: Option<&Arc<Alphabet>>,
+    ) -> Result<FxHashMap<String, (usize, u8)>, BuilderError> {
+        if self.states.is_empty() {
+            return Err(BuilderError::NoStates);
+        }
+        let mut levels: FxHashMap<String, (usize, u8)> = FxHashMap::default();
+        for (idx, (name, level)) in self.states.iter().enumerate() {
+            if levels.insert(name.clone(), (idx, *level)).is_some() {
+                return Err(BuilderError::DuplicateState {
+                    state: name.clone(),
+                });
+            }
+            if *level == 0 || *level > self.k {
+                return Err(BuilderError::LevelOutOfRange {
+                    state: name.clone(),
+                    level: *level,
+                    k: self.k,
+                });
+            }
+        }
+        let initial = self.initial.as_ref().ok_or(BuilderError::NoInitialState)?;
+        let (_, init_level) =
+            *levels
+                .get(initial)
+                .ok_or_else(|| BuilderError::UnknownInitialState {
+                    state: initial.clone(),
+                })?;
+        if init_level != 1 {
+            return Err(BuilderError::InitialNotLevelOne {
+                state: initial.clone(),
+                level: init_level,
+            });
+        }
+
+        for (i, r) in self.rules.iter().enumerate() {
+            // Every mentioned state must exist.
+            for s in r.states_mentioned() {
+                if !levels.contains_key(s) {
+                    return Err(BuilderError::UnknownState {
+                        rule: i,
+                        state: s.to_string(),
+                    });
+                }
+            }
+            let level = levels[&r.state].1;
+            // Symbol selection must resolve, non-emptily.
+            let symbols =
+                r.on.resolve(input)
+                    .map_err(|symbol| BuilderError::UnknownSymbol { rule: i, symbol })?;
+            if symbols.is_empty() {
+                return Err(BuilderError::EmptySymbolSet { rule: i });
+            }
+            // Guards may only test pebbles strictly below the state level.
+            if r.guard.0.len() > (level - 1) as usize {
+                return Err(BuilderError::GuardTooDeep {
+                    rule: i,
+                    state: r.state.clone(),
+                    level,
+                    tested: r.guard.0.len(),
+                });
+            }
+            // Action-specific checks.
+            match &r.action {
+                ActionSpec::Walk(mv, t) => {
+                    let t_level = levels[t.as_str()].1;
+                    let err = |is_lift: bool| {
+                        if is_lift {
+                            BuilderError::BadPebbleLift {
+                                rule: i,
+                                mv: *mv,
+                                from: r.state.clone(),
+                                from_level: level,
+                                to: t.clone(),
+                                to_level: t_level,
+                            }
+                        } else {
+                            BuilderError::LevelMismatch {
+                                rule: i,
+                                mv: *mv,
+                                from: r.state.clone(),
+                                from_level: level,
+                                to: t.clone(),
+                                to_level: t_level,
+                            }
+                        }
+                    };
+                    match mv {
+                        Move::PlaceNew => {
+                            if t_level != level + 1 || t_level > self.k {
+                                return Err(err(true));
+                            }
+                        }
+                        Move::PickCurrent => {
+                            if level < 2 || t_level != level - 1 {
+                                return Err(err(true));
+                            }
+                        }
+                        _ => {
+                            if t_level != level {
+                                return Err(err(false));
+                            }
+                        }
+                    }
+                }
+                ActionSpec::EmitLeaf(a) => {
+                    let out = output.ok_or(BuilderError::WrongActionKind {
+                        rule: i,
+                        expected: "automaton",
+                    })?;
+                    self.check_rank(i, a, out, Rank::Leaf)?;
+                }
+                ActionSpec::EmitNode(a, l, rr) => {
+                    let out = output.ok_or(BuilderError::WrongActionKind {
+                        rule: i,
+                        expected: "automaton",
+                    })?;
+                    self.check_rank(i, a, out, Rank::Binary)?;
+                    for branch in [l, rr] {
+                        let b_level = levels[branch.as_str()].1;
+                        if b_level != level {
+                            return Err(BuilderError::BranchLevelMismatch {
+                                rule: i,
+                                state: r.state.clone(),
+                                level,
+                                branch: branch.clone(),
+                                branch_level: b_level,
+                            });
+                        }
+                    }
+                }
+                ActionSpec::Accept => {
+                    if output.is_some() {
+                        return Err(BuilderError::WrongActionKind {
+                            rule: i,
+                            expected: "transducer",
+                        });
+                    }
+                }
+                ActionSpec::Fork(l, rr) => {
+                    if output.is_some() {
+                        return Err(BuilderError::WrongActionKind {
+                            rule: i,
+                            expected: "transducer",
+                        });
+                    }
+                    for branch in [l, rr] {
+                        let b_level = levels[branch.as_str()].1;
+                        if b_level != level {
+                            return Err(BuilderError::BranchLevelMismatch {
+                                rule: i,
+                                state: r.state.clone(),
+                                level,
+                                branch: branch.clone(),
+                                branch_level: b_level,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Rule-graph reachability from the initial state.
+        if !self.tolerate_unreachable {
+            let mut reach: FxHashMap<&str, bool> = self
+                .states
+                .iter()
+                .map(|(n, _)| (n.as_str(), false))
+                .collect();
+            reach.insert(initial.as_str(), true);
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for r in &self.rules {
+                    if !reach[r.state.as_str()] {
+                        continue;
+                    }
+                    for s in r.states_mentioned().into_iter().skip(1) {
+                        let e = reach.get_mut(s).expect("state checked above");
+                        if !*e {
+                            *e = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            // Report the first unreachable state in declaration order.
+            for (name, _) in &self.states {
+                if !reach[name.as_str()] {
+                    return Err(BuilderError::UnreachableState {
+                        state: name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(levels)
+    }
+
+    fn check_rank(
+        &self,
+        rule: usize,
+        sym: &str,
+        out: &Alphabet,
+        expected: Rank,
+    ) -> Result<(), BuilderError> {
+        let s = out.get(sym).ok_or_else(|| BuilderError::UnknownSymbol {
+            rule,
+            symbol: sym.to_string(),
+        })?;
+        let actual = out.rank(s);
+        if actual != expected {
+            return Err(BuilderError::ArityMismatch {
+                rule,
+                symbol: sym.to_string(),
+                expected,
+                actual,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltc_core::eval;
+    use xmltc_trees::BinaryTree;
+
+    fn alphas() -> (Arc<Alphabet>, Arc<Alphabet>) {
+        (
+            Alphabet::ranked(&["x", "y"], &["f"]),
+            Alphabet::ranked(&["x", "y"], &["f"]),
+        )
+    }
+
+    /// The Example 3.3 copy machine, declaratively.
+    fn copy_spec() -> MachineSpec {
+        let mut m = MachineSpec::new("copy", 1);
+        m.state("q", 1).state("ql", 1).state("qr", 1).initial("q");
+        m.emit_node(Syms::one("f"), "q", Guard::any(), "f", "ql", "qr");
+        for leaf in ["x", "y"] {
+            m.emit_leaf(Syms::one(leaf), "q", Guard::any(), leaf);
+        }
+        m.walk(Syms::Binaries, "ql", Guard::any(), Move::DownLeft, "q");
+        m.walk(Syms::Binaries, "qr", Guard::any(), Move::DownRight, "q");
+        m
+    }
+
+    #[test]
+    fn copy_machine_builds_and_runs() {
+        let (i, o) = alphas();
+        let t = copy_spec().build_transducer(&i, &o).unwrap();
+        let tree = BinaryTree::parse("f(x, f(y, x))", &i).unwrap();
+        assert_eq!(eval(&t, &tree).unwrap().to_string(), "f(x, f(y, x))");
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let spec = copy_spec();
+        let r = spec.render();
+        assert!(r.starts_with("machine copy k=1\n"), "{r}");
+        assert!(
+            r.contains("rule [0] on=f in=q guard=- => emit f(ql, qr)"),
+            "{r}"
+        );
+        assert_eq!(r, spec.render());
+    }
+
+    #[test]
+    fn duplicate_state_rejected() {
+        let (i, o) = alphas();
+        let mut m = MachineSpec::new("dup", 1);
+        m.state("q", 1).state("q", 1).initial("q");
+        assert_eq!(
+            m.build_transducer(&i, &o).err(),
+            Some(BuilderError::DuplicateState { state: "q".into() })
+        );
+    }
+
+    #[test]
+    fn unreachable_state_rejected_unless_allowed() {
+        let (i, o) = alphas();
+        let mut m = MachineSpec::new("m", 1);
+        m.state("q", 1).state("island", 1).initial("q");
+        m.emit_leaf(Syms::Leaves, "q", Guard::any(), "x");
+        assert_eq!(
+            m.build_transducer(&i, &o).err(),
+            Some(BuilderError::UnreachableState {
+                state: "island".into()
+            })
+        );
+        m.allow_unreachable();
+        assert!(m.build_transducer(&i, &o).is_ok());
+    }
+
+    #[test]
+    fn automaton_round_trip() {
+        let (i, _) = alphas();
+        let mut m = MachineSpec::new("has_y_leftmost", 1);
+        m.state("w", 1).state("ok", 1).initial("w");
+        m.walk(Syms::Binaries, "w", Guard::any(), Move::DownLeft, "w");
+        m.walk(Syms::one("y"), "w", Guard::any(), Move::Stay, "ok");
+        m.accept(Syms::one("y"), "ok", Guard::any());
+        let a = m.build_automaton(&i).unwrap();
+        let yes = BinaryTree::parse("f(y, x)", &i).unwrap();
+        let no = BinaryTree::parse("f(x, y)", &i).unwrap();
+        assert!(xmltc_core::accepts(&a, &yes).unwrap());
+        assert!(!xmltc_core::accepts(&a, &no).unwrap());
+    }
+
+    #[test]
+    fn wrong_action_kind() {
+        let (i, o) = alphas();
+        let mut m = MachineSpec::new("m", 1);
+        m.state("q", 1).initial("q");
+        m.accept(Syms::Any, "q", Guard::any());
+        assert_eq!(
+            m.build_transducer(&i, &o).err(),
+            Some(BuilderError::WrongActionKind {
+                rule: 0,
+                expected: "transducer"
+            })
+        );
+        let mut m = MachineSpec::new("m", 1);
+        m.state("q", 1).initial("q");
+        m.emit_leaf(Syms::Any, "q", Guard::any(), "x");
+        assert_eq!(
+            m.build_automaton(&i).err(),
+            Some(BuilderError::WrongActionKind {
+                rule: 0,
+                expected: "automaton"
+            })
+        );
+    }
+
+    #[test]
+    fn from_symspec_round_trips() {
+        let (i, _) = alphas();
+        let x = i.get("x").unwrap();
+        let f = i.get("f").unwrap();
+        assert_eq!(
+            Syms::from_symspec(&SymSpec::AnyOf(vec![x, f]), &i),
+            Syms::AnyOf(vec!["x".into(), "f".into()])
+        );
+        assert_eq!(
+            Syms::from_symspec(&SymSpec::AllExcept(vec![x]), &i)
+                .resolve(&i)
+                .unwrap(),
+            vec![i.get("y").unwrap(), f]
+        );
+    }
+}

@@ -36,6 +36,7 @@
 
 pub mod bounded;
 pub mod check;
+pub mod differential;
 pub mod error;
 pub mod forward;
 pub mod inverse;
@@ -45,6 +46,7 @@ pub mod replay;
 pub mod walk;
 
 pub use check::{typecheck, Engine, Route, TypecheckOptions, TypecheckOutcome};
+pub use differential::{differential_emptiness, DifferentialVerdict};
 pub use error::TypecheckError;
 pub use inverse::inverse_type;
 pub use product::violation_automaton;

@@ -13,7 +13,9 @@
 
 use crate::error::QueryError;
 use std::sync::Arc;
-use xmltc_core::machine::{Guard, Move, PebbleTransducer, SymSpec, TransducerBuilder};
+use xmltc_core::machine::{Guard, Move, PebbleTransducer};
+use xmltc_core::MachineError;
+use xmltc_transducer_dsl::{MachineSpec, Syms};
 use xmltc_trees::{
     Alphabet, AlphabetBuilder, EncodedAlphabet, Rank, RawTree, Symbol, UnrankedTree,
 };
@@ -188,6 +190,10 @@ impl Stylesheet {
     /// Returns the transducer together with both encoded alphabets. Inputs
     /// containing a tag with no matching template make the transducer
     /// *stuck* (the transformation is partial), mirroring the interpreter.
+    ///
+    /// The machine is assembled as a declarative [`MachineSpec`] (so the
+    /// transition table is renderable and validated with the DSL's precise
+    /// errors) and lowered once at the end.
     pub fn compile(
         &self,
         input: &Arc<Alphabet>,
@@ -195,28 +201,16 @@ impl Stylesheet {
         let enc_in = EncodedAlphabet::new(input);
         let out_unranked = self.output_alphabet();
         let enc_out = EncodedAlphabet::new(&out_unranked);
+        let cons_in = enc_in.encoded().name(enc_in.cons()).to_string();
+        let nil_in = enc_in.encoded().name(enc_in.nil()).to_string();
+        let cons_out = enc_out.encoded().name(enc_out.cons()).to_string();
+        let nil_out = enc_out.encoded().name(enc_out.nil()).to_string();
 
-        let mut b = TransducerBuilder::new(enc_in.encoded(), enc_out.encoded(), 1);
-
-        // Global states.
-        let dispatch = b.state("dispatch", 1)?;
-        let nil = b.state("nil", 1)?;
-        let pchild = b.state("process_child", 1)?;
-        b.set_initial(dispatch);
-        b.output0(SymSpec::Any, nil, Guard::any(), enc_out.nil())?;
-        // process_child: at a cons cell, descend to the child element and
-        // dispatch.
-        b.move_rule(
-            SymSpec::One(enc_in.cons()),
-            pchild,
-            Guard::any(),
-            Move::DownLeft,
-            dispatch,
-        )?;
+        let mut m = MachineSpec::new("xslt", 1);
 
         // Flatten template bodies: one element record per body element.
         struct Elem {
-            tag: Symbol,      // output tag (encoded alphabet)
+            tag: String,      // output tag name
             items: Vec<Item>, // child items
         }
         #[derive(Clone, Copy)]
@@ -233,13 +227,13 @@ impl Stylesheet {
             let TemplateNode::Element(tag, items) = n else {
                 unreachable!("apply handled by caller")
             };
-            let sym = enc_out
+            enc_out
                 .source()
                 .get(tag)
                 .ok_or_else(|| QueryError::UnknownTag(tag.clone()))?;
             let id = elems.len();
             elems.push(Elem {
-                tag: sym,
+                tag: tag.clone(),
                 items: Vec::new(),
             });
             let mut resolved = Vec::new();
@@ -266,118 +260,150 @@ impl Stylesheet {
             let id = flatten(&t.body, &enc_out, &mut elems)?;
             roots.push((tag, id));
         }
+        let has_apply = elems
+            .iter()
+            .any(|e| e.items.iter().any(|i| matches!(i, Item::Apply)));
 
-        // Per-element states.
-        let el: Vec<_> = (0..elems.len())
-            .map(|i| b.state(&format!("el{i}"), 1))
-            .collect::<Result<_, _>>()?;
-        // Per (element, list position) states: emit the children list of
-        // element `i` starting at item `j`.
-        let mut list: Vec<Vec<xmltc_automata::State>> = Vec::new();
+        // Global states.
+        m.state("dispatch", 1).state("nil", 1).initial("dispatch");
+        m.emit_leaf(Syms::Any, "nil", Guard::any(), &nil_out);
+        if has_apply {
+            // process_child: at a cons cell, descend to the child element
+            // and dispatch. Only declared when some body applies templates
+            // — otherwise the state would (correctly) be unreachable.
+            m.state("process_child", 1);
+            m.walk(
+                Syms::one(&cons_in),
+                "process_child",
+                Guard::any(),
+                Move::DownLeft,
+                "dispatch",
+            );
+        }
+
+        // Per-element states `el{i}` and per (element, list position)
+        // states `list{i}_{j}`: emit the children list of element `i`
+        // starting at item `j`.
         for (i, e) in elems.iter().enumerate() {
-            let mut row = Vec::new();
+            m.state(format!("el{i}"), 1);
             for j in 0..=e.items.len() {
-                row.push(b.state(&format!("list{i}_{j}"), 1)?);
+                m.state(format!("list{i}_{j}"), 1);
             }
-            list.push(row);
         }
 
         // Dispatch: input tag → its template's root element.
         for &(tag, id) in &roots {
-            b.move_rule(
-                SymSpec::One(tag),
-                dispatch,
+            m.walk(
+                Syms::one(input.name(tag)),
+                "dispatch",
                 Guard::any(),
                 Move::Stay,
-                el[id],
-            )?;
+                format!("el{id}"),
+            );
         }
 
         for (i, e) in elems.iter().enumerate() {
             // el_i: emit tag(list_{i,0}, #).
-            b.output2(SymSpec::Any, el[i], Guard::any(), e.tag, list[i][0], nil)?;
+            m.emit_node(
+                Syms::Any,
+                format!("el{i}"),
+                Guard::any(),
+                &e.tag,
+                format!("list{i}_0"),
+                "nil",
+            );
             for (j, item) in e.items.iter().enumerate() {
                 match item {
                     Item::Child(c) => {
                         // Emit cons(el_c, rest).
-                        b.output2(
-                            SymSpec::Any,
-                            list[i][j],
+                        m.emit_node(
+                            Syms::Any,
+                            format!("list{i}_{j}"),
                             Guard::any(),
-                            enc_out.cons(),
-                            el[*c],
-                            list[i][j + 1],
-                        )?;
+                            &cons_out,
+                            format!("el{c}"),
+                            format!("list{i}_{}", j + 1),
+                        );
                     }
                     Item::Apply => {
                         // Walk the input forest. The pebble sits on the
                         // matched input element; descend to the forest.
-                        let walk = b.state(&format!("walk{i}_{j}"), 1)?;
-                        let advance = b.state(&format!("adv{i}_{j}"), 1)?;
-                        let climb = b.state(&format!("climb{i}_{j}"), 1)?;
-                        b.move_rule(SymSpec::Any, list[i][j], Guard::any(), Move::DownLeft, walk)?;
-                        // At a cons cell: one output element per child.
-                        b.output2(
-                            SymSpec::One(enc_in.cons()),
-                            walk,
+                        let walk = format!("walk{i}_{j}");
+                        let advance = format!("adv{i}_{j}");
+                        let climb = format!("climb{i}_{j}");
+                        m.state(&walk, 1).state(&advance, 1).state(&climb, 1);
+                        m.walk(
+                            Syms::Any,
+                            format!("list{i}_{j}"),
                             Guard::any(),
-                            enc_out.cons(),
-                            pchild,
-                            advance,
-                        )?;
-                        b.move_rule(
-                            SymSpec::One(enc_in.cons()),
-                            advance,
+                            Move::DownLeft,
+                            &walk,
+                        );
+                        // At a cons cell: one output element per child.
+                        m.emit_node(
+                            Syms::one(&cons_in),
+                            &walk,
+                            Guard::any(),
+                            &cons_out,
+                            "process_child",
+                            &advance,
+                        );
+                        m.walk(
+                            Syms::one(&cons_in),
+                            &advance,
                             Guard::any(),
                             Move::DownRight,
-                            walk,
-                        )?;
+                            &walk,
+                        );
                         // At `#`: input children exhausted; climb back to
                         // the element node and continue with the next item.
                         // `#` as a left child sits directly under the
                         // element (empty forest); otherwise parents are
                         // cons cells until the element.
-                        b.move_rule(
-                            SymSpec::One(enc_in.nil()),
-                            walk,
+                        m.walk(
+                            Syms::one(&nil_in),
+                            &walk,
                             Guard::any(),
                             Move::UpLeft,
-                            list[i][j + 1],
-                        )?;
-                        b.move_rule(
-                            SymSpec::One(enc_in.nil()),
-                            walk,
+                            format!("list{i}_{}", j + 1),
+                        );
+                        m.walk(
+                            Syms::one(&nil_in),
+                            &walk,
                             Guard::any(),
                             Move::UpRight,
-                            climb,
-                        )?;
-                        b.move_rule(
-                            SymSpec::One(enc_in.cons()),
-                            climb,
+                            &climb,
+                        );
+                        m.walk(
+                            Syms::one(&cons_in),
+                            &climb,
                             Guard::any(),
                             Move::UpRight,
-                            climb,
-                        )?;
-                        b.move_rule(
-                            SymSpec::One(enc_in.cons()),
-                            climb,
+                            &climb,
+                        );
+                        m.walk(
+                            Syms::one(&cons_in),
+                            &climb,
                             Guard::any(),
                             Move::UpLeft,
-                            list[i][j + 1],
-                        )?;
+                            format!("list{i}_{}", j + 1),
+                        );
                     }
                 }
             }
             // End of list.
-            b.output0(
-                SymSpec::Any,
-                list[i][e.items.len()],
+            m.emit_leaf(
+                Syms::Any,
+                format!("list{i}_{}", e.items.len()),
                 Guard::any(),
-                enc_out.nil(),
-            )?;
+                &nil_out,
+            );
         }
 
-        Ok((b.build()?, enc_in, enc_out))
+        let t = m
+            .build_transducer(enc_in.encoded(), enc_out.encoded())
+            .map_err(|e| QueryError::Machine(MachineError::IllTyped(e.to_string())))?;
+        Ok((t, enc_in, enc_out))
     }
 }
 

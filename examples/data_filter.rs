@@ -10,7 +10,8 @@
 
 use xmltc::automata::{Nta, State};
 use xmltc::core::data::{abstract_leaves, DataAbstraction, LeafContent, UnaryPredicates};
-use xmltc::core::machine::{Guard, Move, SymSpec, TransducerBuilder};
+use xmltc::core::machine::{Guard, Move, SymSpec};
+use xmltc::dsl::{MachineSpec, Syms};
 use xmltc::trees::{Alphabet, BinaryTree};
 
 fn main() {
@@ -37,40 +38,60 @@ fn main() {
     let cons = al.get("cons").unwrap();
     let end = al.get("end").unwrap();
 
-    let mut b = TransducerBuilder::new(al, &out_al, 1);
-    let walk = b.state("walk", 1).unwrap();
-    let peek = b.state("peek", 1).unwrap();
-    let next = b.state("next", 1).unwrap();
-    b.set_initial(walk);
-    b.move_rule(SymSpec::One(cons), walk, Guard::any(), Move::DownLeft, peek)
-        .unwrap();
+    let mut m = MachineSpec::new("adult_filter", 1);
+    m.state("walk", 1)
+        .state("peek", 1)
+        .state("next", 1)
+        .initial("walk");
+    m.walk(
+        Syms::one("cons"),
+        "walk",
+        Guard::any(),
+        Move::DownLeft,
+        "peek",
+    );
     // Adult: emit cons(value, rest); minor: skip.
     for &sig in abs.data_symbols() {
+        let sig_name = al.name(sig).to_string();
         let is_adult = matches!(&abs.sym_if(0, true), SymSpec::AnyOf(v) if v.contains(&sig));
         if is_adult {
-            let copy = b.state("copy", 1).unwrap();
-            b.output2(SymSpec::One(sig), peek, Guard::any(), cons, copy, next)
-                .unwrap();
-            b.output0(SymSpec::One(sig), copy, Guard::any(), sig)
-                .unwrap();
+            let copy = format!("copy_{sig_name}");
+            m.state(&copy, 1);
+            m.emit_node(
+                Syms::one(&sig_name),
+                "peek",
+                Guard::any(),
+                "cons",
+                &copy,
+                "next",
+            );
+            m.emit_leaf(Syms::one(&sig_name), &copy, Guard::any(), &sig_name);
         } else {
-            b.move_rule(SymSpec::One(sig), peek, Guard::any(), Move::UpLeft, next)
-                .unwrap();
+            m.walk(
+                Syms::one(&sig_name),
+                "peek",
+                Guard::any(),
+                Move::UpLeft,
+                "next",
+            );
         }
     }
-    b.move_rule(abs.sym_any_data(), next, Guard::any(), Move::UpLeft, next)
-        .unwrap();
-    b.move_rule(
-        SymSpec::One(cons),
-        next,
+    m.walk(
+        Syms::from_symspec(&abs.sym_any_data(), al),
+        "next",
+        Guard::any(),
+        Move::UpLeft,
+        "next",
+    );
+    m.walk(
+        Syms::one("cons"),
+        "next",
         Guard::any(),
         Move::DownRight,
-        walk,
-    )
-    .unwrap();
-    b.output0(SymSpec::One(end), walk, Guard::any(), end)
-        .unwrap();
-    let t = b.build().unwrap();
+        "walk",
+    );
+    m.emit_leaf(Syms::one("end"), "walk", Guard::any(), "end");
+    let t = m.build_transducer(al, &out_al).unwrap();
 
     // τ₁: any person list; τ₂: lists whose every person is an adult.
     let list = |leaves: &[&str]| -> Nta {

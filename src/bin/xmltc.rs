@@ -12,6 +12,8 @@
 //! xmltc forward     <input.dtd> <sheet.xsl> <output.dtd>
 //! xmltc bench-diff  <baseline.json> <candidate.json> [--threshold p=pct]
 //!                   [--advisory] [--json]
+//! xmltc corpus      <family> <index> [--seed S] [--minimize] [--state-limit N]
+//! xmltc corpus      --list
 //! ```
 //!
 //! File formats:
@@ -333,6 +335,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             })
         }
         "bench-diff" => bench_diff(&args[1..]),
+        "corpus" => corpus(&args[1..]),
         "forward" => {
             let (pos, _) = parse_flags(&args[1..], FlagLevel::None)?;
             let [dtd_path, xsl_path, out_dtd_path] = three(&pos)?;
@@ -483,6 +486,153 @@ fn bench_diff(rest: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// `xmltc corpus <family> <index>`: regenerates one adversarial corpus
+/// case from the seeded generator, runs both emptiness engines on it, and
+/// prints the (transducer, τ₁, τ₂) triple with the differential verdict.
+/// Exit 0 when the engines agree (or the case exceeds the corpus state
+/// budget and is reported as a resource skip, mirroring the harness), 1 on
+/// a disagreement (with the minimized triple), 2 on usage errors.
+fn corpus(rest: &[String]) -> Result<ExitCode, String> {
+    use xmltc::dsl::{
+        case_seed, generate, minimize_scenario, Family, Scenario, CORPUS_STATE_LIMIT, FAMILIES,
+    };
+    use xmltc::typecheck::differential::differential_emptiness;
+    use xmltc::typecheck::inverse::violation_nta;
+    use xmltc::typecheck::TypecheckError;
+
+    let mut positional: Vec<&str> = Vec::new();
+    let mut seed = 0xc0deu64;
+    let mut minimize = false;
+    let mut state_limit = CORPUS_STATE_LIMIT;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => {
+                for f in FAMILIES {
+                    println!("{}", f.name());
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed requires a number")?;
+                let digits = v.strip_prefix("0x").unwrap_or(v);
+                let radix = if digits.len() < v.len() { 16 } else { 10 };
+                seed = u64::from_str_radix(digits, radix)
+                    .map_err(|_| format!("invalid seed `{v}`"))?;
+            }
+            "--state-limit" => {
+                let v = it.next().ok_or("--state-limit requires a number")?;
+                state_limit = v
+                    .parse()
+                    .map_err(|_| format!("invalid state limit `{v}`"))?;
+            }
+            "--minimize" => minimize = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}` for corpus"));
+            }
+            _ => positional.push(arg.as_str()),
+        }
+    }
+    let [family_name, index_str] = two(&positional).map_err(|_| {
+        "usage: xmltc corpus <family> <index> [--seed S] [--minimize] [--state-limit N]".to_string()
+    })?;
+    let family = Family::from_name(family_name).ok_or_else(|| {
+        let names: Vec<&str> = FAMILIES.iter().map(|f| f.name()).collect();
+        format!(
+            "unknown family `{family_name}` (one of: {})",
+            names.join(", ")
+        )
+    })?;
+    let index: u64 = index_str
+        .parse()
+        .map_err(|_| format!("invalid case index `{index_str}`"))?;
+
+    let scenario = generate(seed, family, index);
+    print!("{}", scenario.render());
+    println!("digest: {:#018x}", scenario.digest());
+    println!("case seed: {:#018x}", case_seed(seed, family, index));
+
+    let opts = TypecheckOptions {
+        state_limit,
+        ..TypecheckOptions::default()
+    };
+    let compiled = scenario
+        .compile()
+        .map_err(|e| format!("corpus case failed to lower: {e}"))?;
+    let verdict =
+        match differential_emptiness(&compiled.transducer, &compiled.tau1, &compiled.tau2, &opts) {
+            Ok(v) => v,
+            Err(TypecheckError::TooManyStates { n }) => {
+                // Same semantics as the harness: the case is recorded as a
+                // resource skip, not a verdict (rare walk-construction
+                // blowups cost super-linear time per state — a hang
+                // without the budget).
+                println!();
+                println!(
+                    "resource skip: state budget exceeded at {n} \
+                     (limit {state_limit}; raise with --state-limit)"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            Err(e) => return Err(format!("differential run failed: {e}")),
+        };
+    let show = |w: &Option<xmltc::trees::BinaryTree>| match w {
+        Some(t) => format!("counterexample {t}"),
+        None => "typechecks (no violation reachable from τ₁)".to_string(),
+    };
+    println!();
+    println!(
+        "route: {}",
+        if verdict.route_is_walk { "walk" } else { "mso" }
+    );
+    println!("violation automaton: {} states", verdict.violation_states);
+    println!("eager: {}", show(&verdict.eager_witness));
+    println!("lazy:  {}", show(&verdict.lazy_witness));
+
+    if !verdict.agree() {
+        let still_disagrees = |cand: &Scenario| {
+            let Ok(c) = cand.compile() else {
+                return false;
+            };
+            differential_emptiness(&c.transducer, &c.tau1, &c.tau2, &opts)
+                .map(|v| !v.agree())
+                .unwrap_or(false)
+        };
+        let out = minimize_scenario(&scenario, still_disagrees);
+        println!(
+            "ENGINES DISAGREE — minimized triple ({} components removed):",
+            out.removed
+        );
+        print!("{}", out.scenario.render());
+        return Ok(ExitCode::FAILURE);
+    }
+    println!("engines agree");
+
+    if minimize {
+        let fails = |cand: &Scenario| {
+            let Ok(c) = cand.compile() else {
+                return false;
+            };
+            let Ok(v) = violation_nta(&c.transducer, &c.tau2, &opts) else {
+                return false;
+            };
+            !c.tau1.intersect(&v).is_empty()
+        };
+        println!();
+        if fails(&scenario) {
+            let out = minimize_scenario(&scenario, fails);
+            println!(
+                "minimized while preserving the counterexample ({} of {} candidate removals kept):",
+                out.removed, out.tried
+            );
+            print!("{}", out.scenario.render());
+        } else {
+            println!("case typechecks: nothing to minimize against");
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn print_verdict(verdict: &DocumentVerdict) -> ExitCode {
     match verdict {
         DocumentVerdict::Ok => {
@@ -525,6 +675,10 @@ commands:
   explain   <input.dtd> <sheet.xsl> <output.dtd> typecheck + provenance report
   forward   <input.dtd> <sheet.xsl> <output.dtd> forward-inference baseline
   bench-diff <baseline.json> <candidate.json>    compare benchmark dumps
+  corpus    <family> <index>                     regenerate one adversarial
+                                                 corpus case and run both
+                                                 engines on it (--list for
+                                                 the family names)
 
 reporting options (validate, transform, typecheck):
   --stats            append a per-phase wall-time / automaton-size table
@@ -545,6 +699,15 @@ typecheck / explain options:
   --threads N        walk-route worker threads (default: XMLTC_THREADS if
                      set, else available parallelism; verdict and automata
                      are identical for every N)
+
+corpus options:
+  --seed S           corpus seed (decimal or 0x-hex; default 0xc0de) — the
+                     per-case stream is derived from (seed, family, index)
+  --minimize         when the case fails its spec, also print the greedy
+                     minimizer's shrunken triple
+  --state-limit N    Theorem 4.7 state budget (default 800, matching the
+                     harness — exceeding it is a resource skip, exit 0)
+  --list             print the family names, one per line
 
 bench-diff options:
   --threshold P=PCT  override the watch threshold of metric path P to PCT

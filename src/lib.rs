@@ -20,6 +20,8 @@
 //!   automata, evaluation, Proposition 3.8, the example machines;
 //! * [`typecheck`] — the paper's algorithm: Proposition 4.6 products,
 //!   Theorem 4.7 both ways, inverse type inference, counterexamples;
+//! * [`dsl`] — the declarative machine-spec builder, tree grammars, the
+//!   adversarial scenario corpus and the greedy case minimizer;
 //! * [`xmlql`] — XSLT-fragment and XML-QL-style front-ends compiled to
 //!   pebble transducers, plus the one-call [`xmlql::DocumentPipeline`];
 //! * [`xml`] — minimal element-only XML parsing/serialization;
@@ -36,6 +38,7 @@ pub use xmltc_dtd as dtd;
 pub use xmltc_mso as mso;
 pub use xmltc_obs as obs;
 pub use xmltc_regex as regex;
+pub use xmltc_transducer_dsl as dsl;
 pub use xmltc_trees as trees;
 pub use xmltc_typecheck as typecheck;
 pub use xmltc_xml as xml;

@@ -14,7 +14,8 @@
 use std::sync::Arc;
 use xmltc::automata::{Nta, State};
 use xmltc::core::data::{DataAbstraction, UnaryPredicates};
-use xmltc::core::machine::{Guard, Move, SymSpec, TransducerBuilder};
+use xmltc::core::machine::{Guard, Move, SymSpec};
+use xmltc::dsl::{MachineSpec, Syms};
 use xmltc::trees::Alphabet;
 use xmltc::typecheck::{typecheck, TypecheckOptions, TypecheckOutcome};
 
@@ -44,35 +45,32 @@ fn output_alphabet(abs: &DataAbstraction) -> Arc<Alphabet> {
 /// keeping minors — copying data values (signature-exactly) to the output.
 fn splitter(abs: &DataAbstraction, out_al: &Arc<Alphabet>) -> xmltc::core::PebbleTransducer {
     let in_al = abs.alphabet();
-    let cons_in = in_al.get("cons").unwrap();
-    let end_in = in_al.get("end").unwrap();
-    let cons_out = out_al.get("cons").unwrap();
-    let end_out = out_al.get("end").unwrap();
-    let split = out_al.get("split").unwrap();
 
-    let mut b = TransducerBuilder::new(in_al, out_al, 1);
-    let start = b.state("start", 1).unwrap();
-    let adults = b.state("adults", 1).unwrap();
-    let minors = b.state("minors", 1).unwrap();
-    let a_emit = b.state("a_emit", 1).unwrap();
-    let m_emit = b.state("m_emit", 1).unwrap();
-    let a_next = b.state("a_next", 1).unwrap();
-    let m_next = b.state("m_next", 1).unwrap();
-    b.set_initial(start);
-    b.output2(SymSpec::Any, start, Guard::any(), split, adults, minors)
-        .unwrap();
+    let mut m = MachineSpec::new("splitter", 1);
+    m.state("start", 1)
+        .state("adults", 1)
+        .state("minors", 1)
+        .state("a_emit", 1)
+        .state("m_emit", 1)
+        .state("a_next", 1)
+        .state("m_next", 1)
+        .initial("start");
+    m.emit_node(
+        Syms::Any,
+        "start",
+        Guard::any(),
+        "split",
+        "adults",
+        "minors",
+    );
 
     for (walk, emit, next, pred_val) in [
-        (adults, a_emit, a_next, true),
-        (minors, m_emit, m_next, false),
+        ("adults", "a_emit", "a_next", true),
+        ("minors", "m_emit", "m_next", false),
     ] {
         // At a cons cell: peek the person (left child) — if it matches the
         // predicate, emit a cons with the copied value; otherwise skip.
-        b.move_rule(SymSpec::One(cons_in), walk, Guard::any(), Move::DownLeft, {
-            // dispatch state at the person leaf
-            emit
-        })
-        .unwrap();
+        m.walk(Syms::one("cons"), walk, Guard::any(), Move::DownLeft, emit);
         // Keep: copy the value (exact at signature level) and continue.
         for &sig_sym in abs.data_symbols() {
             let spec_matches = match abs.sym_if(0, pred_val) {
@@ -82,47 +80,41 @@ fn splitter(abs: &DataAbstraction, out_al: &Arc<Alphabet>) -> xmltc::core::Pebbl
             if spec_matches {
                 // value leaf output: out alphabet shares symbol names; ids
                 // match because out_al extends in_al in order.
-                let copy = b
-                    .state(&format!("copy_{}_{}", out_al.name(sig_sym), pred_val), 1)
-                    .unwrap();
-                b.output2(
-                    SymSpec::One(sig_sym),
+                let sig_name = in_al.name(sig_sym).to_string();
+                let copy = format!("copy_{sig_name}_{pred_val}");
+                m.state(&copy, 1);
+                m.emit_node(
+                    Syms::one(&sig_name),
                     emit,
                     Guard::any(),
-                    cons_out,
-                    copy,
+                    "cons",
+                    &copy,
                     next,
-                )
-                .unwrap();
-                b.output0(SymSpec::One(sig_sym), copy, Guard::any(), sig_sym)
-                    .unwrap();
+                );
+                m.emit_leaf(Syms::one(&sig_name), &copy, Guard::any(), &sig_name);
             }
         }
         // Skip: move back up and on.
-        b.move_rule(
-            abs.sym_if(0, !pred_val),
+        m.walk(
+            Syms::from_symspec(&abs.sym_if(0, !pred_val), in_al),
             emit,
             Guard::any(),
             Move::UpLeft,
             next,
-        )
-        .unwrap();
+        );
         // next: from the person leaf (after keep) or cons (after skip),
         // advance to the tail.
-        b.move_rule(abs.sym_any_data(), next, Guard::any(), Move::UpLeft, next)
-            .unwrap();
-        b.move_rule(
-            SymSpec::One(cons_in),
+        m.walk(
+            Syms::from_symspec(&abs.sym_any_data(), in_al),
             next,
             Guard::any(),
-            Move::DownRight,
-            walk,
-        )
-        .unwrap();
-        b.output0(SymSpec::One(end_in), walk, Guard::any(), end_out)
-            .unwrap();
+            Move::UpLeft,
+            next,
+        );
+        m.walk(Syms::one("cons"), next, Guard::any(), Move::DownRight, walk);
+        m.emit_leaf(Syms::one("end"), walk, Guard::any(), "end");
     }
-    b.build().unwrap()
+    m.build_transducer(in_al, out_al).unwrap()
 }
 
 /// τ₁: any person list. τ₂ builder: adult lists on the left, any/minor

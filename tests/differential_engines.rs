@@ -20,13 +20,17 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use xmltc::automata::{lazy, Nta};
+use xmltc::dsl::{generate, minimize_scenario, Family, Scenario, CORPUS_STATE_LIMIT, FAMILIES};
 use xmltc::dtd::Dtd;
 use xmltc::obs::{DocumentRecord, ExplainReport, ReplayRecord, TraceStepRecord, TransformRecord};
 use xmltc::trees::{BinaryTree, SmallRng};
 use xmltc::typecheck::bounded::{bounded_typecheck, BoundedOutcome};
 use xmltc::typecheck::check::{extract_bad_output, extract_bad_output_with};
+use xmltc::typecheck::differential::differential_emptiness;
 use xmltc::typecheck::inverse::violation_nta;
-use xmltc::typecheck::{replay_counterexample, Engine, ReplayEvidence, TypecheckOptions};
+use xmltc::typecheck::{
+    replay_counterexample, Engine, ReplayEvidence, TypecheckError, TypecheckOptions,
+};
 use xmltc::xmlql::{Stylesheet, Template};
 
 /// Input DTDs (the `τ₁` pool). All share the tag set `{root, a}` so any
@@ -282,4 +286,273 @@ fn engines_never_disagree() {
     // proves nothing.
     assert!(failing > 0, "no failing instances in {cases} cases");
     assert!(ok > 0, "no passing instances in {cases} cases");
+}
+
+// ---------------------------------------------------------------------------
+// Corpus-driven differential testing: builder-generated adversarial triples.
+// ---------------------------------------------------------------------------
+
+/// When `XMLTC_CORPUS_DIR` is set, writes the failing triple (original and
+/// minimized renders) there so CI can upload it as an artifact.
+fn dump_corpus_failure(ctx: &str, reason: &str, original: &Scenario, minimized: &Scenario) {
+    let Ok(dir) = std::env::var("XMLTC_CORPUS_DIR") else {
+        return;
+    };
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = format!(
+        "{dir}/fail_{}_{}.txt",
+        original.family.name(),
+        original.index
+    );
+    let body = format!(
+        "# {ctx}\n# reason: {reason}\n\n## original\n{}\n## minimized\n{}",
+        original.render(),
+        minimized.render()
+    );
+    let _ = std::fs::write(path, body);
+}
+
+/// Shrinks a failing scenario with the greedy minimizer, dumps the triple
+/// for CI, and fails the test with the *minimized* reproduction — the
+/// contract that no disagreement is ever reported un-minimized.
+fn fail_minimized(
+    ctx: &str,
+    scenario: &Scenario,
+    reason: &str,
+    still_fails: impl FnMut(&Scenario) -> bool,
+) -> ! {
+    let out = minimize_scenario(scenario, still_fails);
+    dump_corpus_failure(ctx, reason, scenario, &out.scenario);
+    panic!(
+        "{ctx}: {reason}\nminimized reproduction ({} components removed, {} candidates tried):\n{}",
+        out.removed,
+        out.tried,
+        out.scenario.render()
+    );
+}
+
+/// Typecheck options for corpus runs: like the defaults, but with the
+/// Theorem 4.7 state budget clamped to [`CORPUS_STATE_LIMIT`]
+/// (`XMLTC_CORPUS_STATE_LIMIT` overrides). Rare draws make the walk
+/// construction's per-state behaviour fixpoints explode; the tight budget
+/// turns such cases into explicit, counted resource skips instead of
+/// multi-minute hangs — essential under the CI job's rotating seeds.
+fn corpus_opts() -> TypecheckOptions {
+    TypecheckOptions {
+        state_limit: env_u64("XMLTC_CORPUS_STATE_LIMIT", CORPUS_STATE_LIMIT as u64) as u32,
+        ..TypecheckOptions::default()
+    }
+}
+
+/// True when the candidate still lowers and the engines still disagree on
+/// it — the minimizer predicate for verdict mismatches.
+fn still_disagrees(cand: &Scenario) -> bool {
+    let Ok(c) = cand.compile() else {
+        return false;
+    };
+    differential_emptiness(&c.transducer, &c.tau1, &c.tau2, &corpus_opts())
+        .map(|v| !v.agree())
+        .unwrap_or(false)
+}
+
+/// Verifies one engine's corpus counterexample end to end: input ∈ τ₁, a
+/// concrete bad output exists, and the replay verifier confirms all three
+/// legs on the real transducer. Any failed leg reports a minimized triple.
+fn verify_corpus_cex(
+    ctx: &str,
+    scenario: &Scenario,
+    c: &xmltc::dsl::CompiledScenario,
+    input: &BinaryTree,
+    engine: Engine,
+) {
+    let ectx = format!("{ctx} [{engine:?}]");
+    assert!(
+        c.tau1.accepts(input).unwrap(),
+        "{ectx}: cex input must be valid\n{}",
+        scenario.render()
+    );
+    let bad = extract_bad_output(&c.transducer, input, &c.tau2).unwrap();
+    let Some(b) = bad else {
+        fail_minimized(
+            &ectx,
+            scenario,
+            "counterexample input has no extractable bad output",
+            |cand| {
+                let Ok(cc) = cand.compile() else {
+                    return false;
+                };
+                let Ok(vv) = violations_of(&cc) else {
+                    return false;
+                };
+                let Some(w) = cc.tau1.intersect(&vv).witness() else {
+                    return false;
+                };
+                matches!(extract_bad_output(&cc.transducer, &w, &cc.tau2), Ok(None))
+            },
+        );
+    };
+    let ev = replay_counterexample(&c.transducer, &c.tau1, &c.tau2, input, &b).unwrap();
+    if !ev.verified() {
+        fail_minimized(
+            &ectx,
+            scenario,
+            "replay did not confirm the counterexample",
+            {
+                let input = input.clone();
+                let b = b.clone();
+                move |cand| {
+                    let Ok(cc) = cand.compile() else {
+                        return false;
+                    };
+                    replay_counterexample(&cc.transducer, &cc.tau1, &cc.tau2, &input, &b)
+                        .map(|e| !e.verified())
+                        .unwrap_or(false)
+                }
+            },
+        );
+    }
+    dump_explain(&c.transducer, engine, input, &b, &ev);
+}
+
+fn violations_of(c: &xmltc::dsl::CompiledScenario) -> Result<Nta, TypecheckError> {
+    violation_nta(&c.transducer, &c.tau2, &corpus_opts())
+}
+
+/// Runs `cases` corpus cases of one family through both engines; returns
+/// `(ok, failing, skipped)` verdict counts. Every disagreement and every
+/// replay failure is reported as a minimized triple. A case whose
+/// Theorem 4.7 construction exceeds the corpus state budget (see
+/// [`corpus_opts`]) is counted in `skipped` — callers bound the skip rate
+/// so a budget regression cannot silently hollow out the sweep.
+fn run_corpus_family(family: Family, seed: u64, cases: u64) -> (u64, u64, u64) {
+    let opts = corpus_opts();
+    let (mut ok, mut failing, mut skipped) = (0u64, 0u64, 0u64);
+    for index in 0..cases {
+        let scenario = generate(seed, family, index);
+        let ctx = format!("corpus {} #{index} (seed {seed:#x})", family.name());
+        let c = scenario.compile().unwrap_or_else(|e| {
+            panic!(
+                "{ctx}: generated case does not lower: {e}\n{}",
+                scenario.render()
+            )
+        });
+        let v = match differential_emptiness(&c.transducer, &c.tau1, &c.tau2, &opts) {
+            Ok(v) => v,
+            Err(TypecheckError::TooManyStates { n }) => {
+                eprintln!("{ctx}: resource skip (state budget exceeded at {n})");
+                skipped += 1;
+                continue;
+            }
+            Err(e) => panic!("{ctx}: pipeline error: {e}\n{}", scenario.render()),
+        };
+        // (No `states_materialized ≤ states_eager` assertion here: that
+        // economy only kicks in once products are large; corpus cases are
+        // deliberately tiny and the lazy search's constant overhead can
+        // exceed |τ₁|·|violations| on them.)
+        if !v.agree() {
+            fail_minimized(&ctx, &scenario, "engines disagree", still_disagrees);
+        }
+        match (&v.eager_witness, &v.lazy_witness) {
+            (Some(e), Some(l)) => {
+                failing += 1;
+                verify_corpus_cex(&ctx, &scenario, &c, e, Engine::Eager);
+                verify_corpus_cex(&ctx, &scenario, &c, l, Engine::Lazy);
+            }
+            (None, None) => ok += 1,
+            _ => unreachable!("agree() checked above"),
+        }
+    }
+    (ok, failing, skipped)
+}
+
+/// Asserts resource skips stay rare (≤ 2% of the sweep): the budget is
+/// there to convert pathological walk-construction blowups into explicit
+/// skips, not to quietly exempt whole families from coverage.
+fn assert_skips_rare(ctx: &str, skipped: u64, total: u64) {
+    assert!(
+        skipped * 50 <= total,
+        "{ctx}: {skipped} of {total} cases skipped on the state budget — \
+         more than 2%; the corpus budget no longer fits the generator"
+    );
+}
+
+/// The corpus sweep: every adversarial family, both engines, minimized
+/// reporting. `XMLTC_CORPUS_CASES` scales the per-family count — the CI
+/// corpus job sets it so the total is ≥2000; the default keeps a plain
+/// `cargo test` fast.
+#[test]
+fn corpus_families_agree() {
+    let per_family = env_u64("XMLTC_CORPUS_CASES", 40);
+    let seed = env_u64("XMLTC_CORPUS_SEED", 0xc0de);
+    let (mut ok, mut failing, mut skipped) = (0u64, 0u64, 0u64);
+    for &family in &FAMILIES {
+        let (o, f, s) = run_corpus_family(family, seed, per_family);
+        ok += o;
+        failing += f;
+        skipped += s;
+    }
+    // The corpus must exercise both verdicts or the comparison proves
+    // nothing.
+    assert!(failing > 0, "no failing corpus instances");
+    assert!(ok > 0, "no passing corpus instances");
+    assert_skips_rare("corpus sweep", skipped, per_family * FAMILIES.len() as u64);
+}
+
+/// Satellite focus: the silent-transition-heavy family alone, at depth —
+/// long ε-chains and silent cycles are where lazy and eager search differ
+/// most, so this family gets its own ≥200-case run with replay enforced
+/// on every counterexample (inside `verify_corpus_cex`).
+#[test]
+fn silent_chains_stress() {
+    let cases = env_u64("XMLTC_SILENT_CASES", 200);
+    let seed = env_u64("XMLTC_CORPUS_SEED", 0xc0de) ^ 0x51f3;
+    let (ok, failing, skipped) = run_corpus_family(Family::SilentChains, seed, cases);
+    assert!(ok > 0, "no passing silent-chain instances in {cases}");
+    assert!(failing > 0, "no failing silent-chain instances in {cases}");
+    assert_skips_rare("silent-chain stress", skipped, cases);
+}
+
+/// Satellite: minimizer property test against the real differential
+/// predicate — a shrunken failing case still fails (the minimizer's
+/// invariant), and shrinking is deterministic for a fixed seed.
+#[test]
+fn minimizer_preserves_failure_and_is_deterministic() {
+    let seed = env_u64("XMLTC_CORPUS_SEED", 0xc0de);
+    let fails_eagerly = |cand: &Scenario| {
+        let Ok(c) = cand.compile() else {
+            return false;
+        };
+        // Budget-exceeded candidates count as "not failing": the predicate
+        // stays total and deterministic, which is all the property needs.
+        let Ok(v) = violations_of(&c) else {
+            return false;
+        };
+        !c.tau1.intersect(&v).is_empty()
+    };
+    let mut shrunk = 0u64;
+    for &family in &FAMILIES {
+        for index in 0..10 {
+            let scenario = generate(seed, family, index);
+            let a = minimize_scenario(&scenario, fails_eagerly);
+            let b = minimize_scenario(&scenario, fails_eagerly);
+            assert_eq!(a.scenario, b.scenario, "shrinking must be deterministic");
+            assert_eq!((a.removed, a.tried), (b.removed, b.tried));
+            if fails_eagerly(&scenario) {
+                // Shrunken case still fails…
+                assert!(
+                    fails_eagerly(&a.scenario),
+                    "minimizer lost the failure:\n{}",
+                    a.scenario.render()
+                );
+                shrunk += 1;
+            } else {
+                // …or shrinking was a no-op on a passing case.
+                assert_eq!(a.scenario, scenario);
+                assert_eq!(a.removed, 0);
+            }
+        }
+    }
+    assert!(shrunk > 0, "property test never saw a failing case");
 }

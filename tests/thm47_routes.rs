@@ -9,7 +9,8 @@
 
 use std::sync::Arc;
 use xmltc::core::accepts;
-use xmltc::core::machine::{AutomatonBuilder, Guard, Move, PebbleAutomaton, SymSpec};
+use xmltc::core::machine::{Guard, Move, PebbleAutomaton};
+use xmltc::dsl::{MachineSpec, Syms};
 use xmltc::obs;
 use xmltc::trees::{generate, Alphabet, BinaryTree, SmallRng};
 use xmltc::typecheck::mso_route::pebble_to_nta;
@@ -21,36 +22,37 @@ fn alpha() -> Arc<Alphabet> {
 }
 
 /// A small random 1-pebble automaton: a few states, random rules drawn
-/// from moves/branches.
+/// from moves/branches. (Random rule soup leaves states unreachable, so
+/// the spec opts out of the builder's reachability check.)
 fn rand_machine(rng: &mut SmallRng, al: &Arc<Alphabet>) -> PebbleAutomaton {
     let n = rng.gen_range(2..5) as u32;
-    let mut b = AutomatonBuilder::new(al, 1);
-    let states: Vec<_> = (0..n)
-        .map(|i| b.state(&format!("s{i}"), 1).unwrap())
-        .collect();
-    b.set_initial(states[0]);
+    let mut s = MachineSpec::new("rand", 1);
+    let states: Vec<String> = (0..n).map(|i| format!("s{i}")).collect();
+    for name in &states {
+        s.state(name, 1);
+    }
+    s.initial("s0").allow_unreachable();
     for _ in 0..rng.gen_range(1..10) {
         let spec = match rng.gen_range(0..3) {
-            0 => SymSpec::Leaves,
-            1 => SymSpec::Binaries,
-            _ => SymSpec::Any,
+            0 => Syms::Leaves,
+            1 => Syms::Binaries,
+            _ => Syms::Any,
         };
-        let q = *rng.choose(&states);
-        let t1 = *rng.choose(&states);
-        let t2 = *rng.choose(&states);
+        let q = rng.choose(&states).clone();
+        let t1 = rng.choose(&states).clone();
+        let t2 = rng.choose(&states).clone();
         match rng.gen_range(0..8) {
-            0 => b.branch0(spec, q, Guard::any()),
-            1 => b.branch2(spec, q, Guard::any(), t1, t2),
-            2 => b.move_rule(spec, q, Guard::any(), Move::Stay, t1),
-            3 => b.move_rule(spec, q, Guard::any(), Move::DownLeft, t1),
-            4 => b.move_rule(spec, q, Guard::any(), Move::DownRight, t1),
-            5 => b.move_rule(spec, q, Guard::any(), Move::UpLeft, t1),
-            6 => b.move_rule(spec, q, Guard::any(), Move::UpRight, t1),
-            _ => b.move_rule(spec, q, Guard::any(), Move::Stay, t2),
-        }
-        .unwrap();
+            0 => s.accept(spec, q, Guard::any()),
+            1 => s.fork(spec, q, Guard::any(), t1, t2),
+            2 => s.walk(spec, q, Guard::any(), Move::Stay, t1),
+            3 => s.walk(spec, q, Guard::any(), Move::DownLeft, t1),
+            4 => s.walk(spec, q, Guard::any(), Move::DownRight, t1),
+            5 => s.walk(spec, q, Guard::any(), Move::UpLeft, t1),
+            6 => s.walk(spec, q, Guard::any(), Move::UpRight, t1),
+            _ => s.walk(spec, q, Guard::any(), Move::Stay, t2),
+        };
     }
-    b.build().unwrap()
+    s.build_automaton(al).unwrap()
 }
 
 #[test]

@@ -5,7 +5,8 @@
 
 use std::sync::Arc;
 use xmltc::core::accepts;
-use xmltc::core::machine::{AutomatonBuilder, Guard, Move, PebbleAutomaton, SymSpec};
+use xmltc::core::machine::{Guard, Move, PebbleAutomaton};
+use xmltc::dsl::{MachineSpec, Syms};
 use xmltc::trees::{Alphabet, BinaryTree};
 use xmltc::typecheck::mso_route::pebble_to_nta;
 
@@ -15,21 +16,15 @@ fn alpha() -> Arc<Alphabet> {
 
 /// Two distinct y leaves (see `xmltc_bench::two_y_leaves`).
 fn two_y(al: &Arc<Alphabet>) -> PebbleAutomaton {
-    let y = al.get("y").unwrap();
-    let mut b = AutomatonBuilder::new(al, 2);
-    let w1 = b.state("w1", 1).unwrap();
-    let w2 = b.state("w2", 2).unwrap();
-    b.set_initial(w1);
+    let mut s = MachineSpec::new("two_y", 2);
+    s.state("w1", 1).state("w2", 2).initial("w1");
     for m in [Move::DownLeft, Move::DownRight] {
-        b.move_rule(SymSpec::Binaries, w1, Guard::any(), m, w1)
-            .unwrap();
-        b.move_rule(SymSpec::Binaries, w2, Guard::any(), m, w2)
-            .unwrap();
+        s.walk(Syms::Binaries, "w1", Guard::any(), m, "w1");
+        s.walk(Syms::Binaries, "w2", Guard::any(), m, "w2");
     }
-    b.move_rule(SymSpec::One(y), w1, Guard::any(), Move::PlaceNew, w2)
-        .unwrap();
-    b.branch0(SymSpec::One(y), w2, Guard::absent(1)).unwrap();
-    b.build().unwrap()
+    s.walk(Syms::one("y"), "w1", Guard::any(), Move::PlaceNew, "w2");
+    s.accept(Syms::one("y"), "w2", Guard::absent(1));
+    s.build_automaton(al).unwrap()
 }
 
 const TREES: [(&str, bool); 8] = [
@@ -74,29 +69,24 @@ fn mso_route_converts_two_pebble_machine() {
 #[test]
 fn pick_returns_control() {
     let al = alpha();
-    let y = al.get("y").unwrap();
-    let mut b = AutomatonBuilder::new(&al, 2);
-    let start = b.state("start", 1).unwrap();
-    let scout = b.state("scout", 2).unwrap();
-    let found = b.state("found", 2).unwrap();
-    let done = b.state("done", 1).unwrap();
-    b.set_initial(start);
-    b.move_rule(SymSpec::Any, start, Guard::any(), Move::PlaceNew, scout)
-        .unwrap();
-    b.move_rule(
-        SymSpec::Binaries,
-        scout,
+    let mut s = MachineSpec::new("pick_scout", 2);
+    s.state("start", 1)
+        .state("scout", 2)
+        .state("found", 2)
+        .state("done", 1)
+        .initial("start");
+    s.walk(Syms::Any, "start", Guard::any(), Move::PlaceNew, "scout");
+    s.walk(
+        Syms::Binaries,
+        "scout",
         Guard::any(),
         Move::DownLeft,
-        scout,
-    )
-    .unwrap();
-    b.move_rule(SymSpec::One(y), scout, Guard::any(), Move::Stay, found)
-        .unwrap();
-    b.move_rule(SymSpec::Any, found, Guard::any(), Move::PickCurrent, done)
-        .unwrap();
-    b.branch0(SymSpec::Any, done, Guard::any()).unwrap();
-    let a = b.build().unwrap();
+        "scout",
+    );
+    s.walk(Syms::one("y"), "scout", Guard::any(), Move::Stay, "found");
+    s.walk(Syms::Any, "found", Guard::any(), Move::PickCurrent, "done");
+    s.accept(Syms::Any, "done", Guard::any());
+    let a = s.build_automaton(&al).unwrap();
 
     let cases = [
         ("y", true),
