@@ -1,0 +1,111 @@
+//! Service smoke bench: round-trip latency of the `xmltc serve` protocol
+//! over a loopback TCP connection, on the Example 4.3 (Q2) instance.
+//!
+//! The interesting number is the *warm* typecheck round-trip — request
+//! parsing, one verdict-cache hit, response encoding, and the TCP hop —
+//! which bounds the steady-state latency a long-running service adds over
+//! the raw in-process lookup. `stats` and a repeated `validate` (DTD
+//! compilation cached, document validation per request) ride along for
+//! scale.
+//!
+//! `XMLTC_BENCH_QUICK=1` skips the calibrated timing loops and runs only
+//! the cold/warm assertions — the CI `service-smoke` mode: the cold
+//! request must miss and build every layer, the warm repeat must be a
+//! pure verdict-cache hit with a byte-identical result payload.
+
+use xmltc_bench::harness::Group;
+use xmltc_obs::Json;
+use xmltc_service::{Client, ServeConfig, Server};
+
+fn fixture_text(name: &str) -> String {
+    let path = format!("{}/../../fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn main() {
+    let quick = std::env::var("XMLTC_BENCH_QUICK").is_ok();
+    let input_dtd = fixture_text("q2.dtd");
+    let typecheck = Json::obj(vec![
+        ("cmd", Json::Str("typecheck".into())),
+        ("input_dtd", Json::Str(input_dtd.clone())),
+        ("stylesheet", Json::Str(fixture_text("q2.xsl"))),
+        ("output_dtd", Json::Str(fixture_text("q2_mod3_out.dtd"))),
+    ]);
+    let validate = Json::obj(vec![
+        ("cmd", Json::Str("validate".into())),
+        ("input_dtd", Json::Str(input_dtd)),
+        ("document", Json::Str("<root><a/><a/><a/></root>".into())),
+    ]);
+    let stats = Json::obj(vec![("cmd", Json::Str("stats".into()))]);
+
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..Default::default()
+    })
+    .expect("bind service on an ephemeral port");
+    let addr = server.local_addr().expect("service address").to_string();
+    let server = std::thread::spawn(move || server.run());
+    let mut conn = Client::connect(&addr).expect("connect to service");
+
+    // Prime the cache and pin the contract the bench relies on: cold
+    // builds, warm hits, identical verdict bytes.
+    let verdict = |r: &Json| {
+        r.at("cache.verdict")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let cold = conn.roundtrip(&typecheck).expect("cold response");
+    assert_eq!(cold.get("ok"), Some(&Json::Bool(true)), "cold request ok");
+    assert_eq!(verdict(&cold), "miss", "cold run must build the verdict");
+    let warm = conn.roundtrip(&typecheck).expect("warm response");
+    assert_eq!(verdict(&warm), "hit", "warm run must hit the cache");
+    assert_eq!(
+        cold.get("result").map(Json::encode),
+        warm.get("result").map(Json::encode),
+        "warm verdict must be byte-identical to the cold one"
+    );
+    assert_eq!(
+        conn.roundtrip(&validate)
+            .expect("validate response")
+            .at("result.verdict")
+            .and_then(Json::as_str),
+        Some("valid")
+    );
+
+    if !quick {
+        let mut group = Group::new("service_smoke (loopback TCP)");
+        group.bench("warm_typecheck_roundtrip", || {
+            conn.roundtrip(&typecheck).expect("warm roundtrip")
+        });
+        group.bench("validate_roundtrip", || {
+            conn.roundtrip(&validate).expect("validate roundtrip")
+        });
+        group.bench("stats_roundtrip", || {
+            conn.roundtrip(&stats).expect("stats roundtrip")
+        });
+        group.finish();
+    } else {
+        println!("quick mode: cold miss / warm hit verified, verdict byte-identical");
+    }
+
+    conn.roundtrip(&Json::obj(vec![("cmd", Json::Str("shutdown".into()))]))
+        .expect("shutdown response");
+    let report = server.join().expect("service thread exits");
+    let metric = |k: &str| {
+        report
+            .metrics
+            .iter()
+            .find(|(name, _)| name == k)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    println!(
+        "served {} requests: cache {} hits / {} misses, {} entries, {} bytes",
+        metric("serve.requests"),
+        metric("cache.hits"),
+        metric("cache.misses"),
+        metric("cache.entries"),
+        metric("cache.bytes"),
+    );
+}

@@ -4,15 +4,18 @@
 //! run by both the eager (materializing) and the lazy (on-the-fly) engine.
 //!
 //! Besides the timing table, this bench dumps a machine-readable comparison
-//! to `BENCH_typecheck.json` at the workspace root (schema 4): one
+//! to `BENCH_typecheck.json` at the workspace root (schema 5): one
 //! instrumented [`PipelineReport`](xmltc_obs::PipelineReport) per engine
 //! (the same shape `xmltc typecheck --json` emits), a side-by-side summary
-//! of wall times and state counts, and a `route_walk` breakdown of the
+//! of wall times and state counts, a `route_walk` breakdown of the
 //! Theorem 4.7 walk construction — sequential (`--threads 1`) vs parallel
-//! wall time, pairs explored, memo hit rate, and thread count. On a
-//! typechecks-OK instance the lazy engine must materialize strictly fewer
-//! states than the eager product, and the walk construction must reach the
-//! same verdict at every thread count.
+//! wall time, pairs explored, memo hit rate, and thread count — and a
+//! `service` section timing the same instance through `xmltc serve`: a
+//! cold request that builds every artifact vs a warm repeat answered from
+//! the verdict cache (asserted byte-identical). On a typechecks-OK
+//! instance the lazy engine must materialize strictly fewer states than
+//! the eager product, and the walk construction must reach the same
+//! verdict at every thread count.
 //!
 //! `XMLTC_BENCH_QUICK=1` skips the calibrated timing loops and runs only
 //! the instrumented comparisons and their assertions (the CI smoke mode).
@@ -22,6 +25,7 @@
 use xmltc_bench::harness::Group;
 use xmltc_bench::q2_fixture;
 use xmltc_obs::{self as obs, Json};
+use xmltc_service::{Client, ServeConfig, Server};
 use xmltc_typecheck::walk::resolve_threads;
 use xmltc_typecheck::{typecheck, Engine, TypecheckOptions};
 
@@ -136,13 +140,61 @@ fn main() {
         0.0
     };
 
+    // The service rows: the same instance through `xmltc serve`, cold then
+    // warm over one TCP connection. The cold request builds every artifact
+    // layer (verdict miss); the warm repeat must be answered entirely from
+    // the verdict cache with a byte-identical result payload.
+    let fixture_text = |name: &str| {
+        let path = format!("{}/../../fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    };
+    let request = Json::obj(vec![
+        ("cmd", Json::Str("typecheck".into())),
+        ("input_dtd", Json::Str(fixture_text("q2.dtd"))),
+        ("stylesheet", Json::Str(fixture_text("q2.xsl"))),
+        ("output_dtd", Json::Str(fixture_text("q2_mod3_out.dtd"))),
+    ]);
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..Default::default()
+    })
+    .expect("bind service on an ephemeral port");
+    let addr = server.local_addr().expect("service address").to_string();
+    let server = std::thread::spawn(move || server.run());
+    let mut conn = Client::connect(&addr).expect("connect to service");
+    let cold = conn.roundtrip(&request).expect("cold response");
+    let warm = conn.roundtrip(&request).expect("warm response");
+    let verdict_outcome = |r: &Json| {
+        r.at("cache.verdict")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    assert_eq!(verdict_outcome(&cold), "miss", "cold run must build");
+    assert_eq!(verdict_outcome(&warm), "hit", "warm run must hit the cache");
+    assert_eq!(
+        cold.get("result").map(Json::encode),
+        warm.get("result").map(Json::encode),
+        "warm verdict must be byte-identical to the cold one"
+    );
+    let wall = |r: &Json| r.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+    let cache_count = |r: &Json, k: &str| {
+        r.get("cache")
+            .and_then(|c| c.get(k))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    conn.roundtrip(&Json::obj(vec![("cmd", Json::Str("shutdown".into()))]))
+        .expect("shutdown response");
+    server.join().expect("service thread exits");
+
     let emptiness_ms = |r: &obs::PipelineReport| {
         r.span("typecheck.emptiness")
             .map(|s| s.wall_ms())
             .unwrap_or(0.0)
     };
     let json = Json::obj(vec![
-        ("schema", Json::Str("xmltc.bench-typecheck/4".into())),
+        ("schema", Json::Str("xmltc.bench-typecheck/5".into())),
         (
             "comparison",
             Json::obj(vec![
@@ -179,6 +231,20 @@ fn main() {
                     "dbta_states",
                     Json::U64(walk_metric(&seq_report, "walk.dbta_states")),
                 ),
+            ]),
+        ),
+        (
+            "service",
+            Json::obj(vec![
+                (
+                    "instance",
+                    Json::Str("Q2 vs mod-3 via xmltc serve (verdict cache)".into()),
+                ),
+                ("cold_wall_ms", Json::F64(wall(&cold))),
+                ("warm_wall_ms", Json::F64(wall(&warm))),
+                ("cold_misses", Json::U64(cache_count(&cold, "misses"))),
+                ("warm_hits", Json::U64(cache_count(&warm, "hits"))),
+                ("warm_misses", Json::U64(cache_count(&warm, "misses"))),
             ]),
         ),
         (

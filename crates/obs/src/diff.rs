@@ -63,9 +63,14 @@ impl Watch {
 /// Relative slack for wall-clock watches: CI machines are noisy.
 pub const WALL_TIME_THRESHOLD: f64 = 0.35;
 
-/// The default watch list for `BENCH_typecheck.json` (schema 4): wall
-/// times with generous slack, deterministic counters with none, and the
-/// memo hit rate guarded from below.
+/// Extra slack for the warm service round-trip: a pure cache hit runs in
+/// microseconds, where scheduler jitter dominates the relative change.
+pub const WARM_WALL_THRESHOLD: f64 = 3.0;
+
+/// The default watch list for `BENCH_typecheck.json` (schema 5): wall
+/// times with generous slack, deterministic counters with none, the memo
+/// hit rate guarded from below, and the service cold/warm rows — the
+/// cache-hit/miss counts are deterministic, so any drift is a regression.
 pub fn default_watches() -> Vec<Watch> {
     vec![
         Watch::lower("comparison.eager_wall_ms", WALL_TIME_THRESHOLD),
@@ -82,6 +87,11 @@ pub fn default_watches() -> Vec<Watch> {
         Watch::higher("route_walk.memo_hit_rate", 0.0),
         Watch::lower("route_walk.fixpoint_steps", 0.0),
         Watch::lower("route_walk.dbta_states", 0.0),
+        Watch::lower("service.cold_wall_ms", WALL_TIME_THRESHOLD),
+        Watch::lower("service.warm_wall_ms", WARM_WALL_THRESHOLD),
+        Watch::lower("service.cold_misses", 0.0),
+        Watch::higher("service.warm_hits", 0.0),
+        Watch::lower("service.warm_misses", 0.0),
     ]
 }
 

@@ -1,0 +1,52 @@
+//! A minimal blocking client for the line-delimited JSON protocol.
+//!
+//! Backs the `xmltc client` subcommand and the round-trip tests: connect,
+//! send one request object per line, read one response object per line.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use xmltc_obs::Json;
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running `xmltc serve` instance.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: stream,
+        })
+    }
+
+    /// Sends one raw request line and returns the raw response line
+    /// (without the trailing newline).
+    pub fn roundtrip_line(&mut self, line: &str) -> Result<String, String> {
+        let mut out = line.trim_end().to_string();
+        out.push('\n');
+        self.writer
+            .write_all(out.as_bytes())
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("receive failed: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Sends one request value and parses the response.
+    pub fn roundtrip(&mut self, request: &Json) -> Result<Json, String> {
+        let line = self.roundtrip_line(&request.encode())?;
+        Json::parse(&line).map_err(|e| format!("malformed response: {e}"))
+    }
+}

@@ -1,0 +1,281 @@
+//! The wire protocol: line-delimited JSON over TCP.
+//!
+//! Each request is one JSON object on one line; each response is one JSON
+//! object on one line. The protocol identifier is [`PROTOCOL`]; the
+//! `stats` response carries it so clients can detect skew.
+//!
+//! Request grammar (all texts inline — the server never touches the
+//! filesystem, which is what makes content-addressed caching sound):
+//!
+//! ```text
+//! request   := { "cmd": CMD, "id"?: uint, ...fields }
+//! CMD       := "validate" | "transform" | "typecheck" | "batch"
+//!            | "stats" | "shutdown"
+//! validate  := "input_dtd": text, "document": text
+//! transform := "input_dtd": text, "stylesheet": text, "document": text
+//! typecheck := "input_dtd": text, "stylesheet": text, "output_dtd": text,
+//!              "route"?: "auto"|"walk"|"mso",
+//!              "engine"?: "auto"|"lazy"|"eager",
+//!              "state_limit"?: uint, "threads"?: uint, "explain"?: bool
+//! batch     := "requests": [request...]      (no nested batches)
+//! ```
+//!
+//! Responses: `{ "id"?: uint, "ok": bool, "cmd": CMD, ... }`. Successful
+//! typechecks carry a deterministic `"result"` object (byte-identical for
+//! cache hits and misses), a `"cache"` object naming how each artifact
+//! layer was served (`hit` / `miss` / `coalesced`), `"wall_ms"`, and a
+//! `"metrics"` object mirroring the pipeline-report metrics for the
+//! request (warm verdicts have no `walk.*` keys — nothing was built).
+//! Failures carry `"error"`. A `batch` response nests the per-request
+//! responses, in order, under `"results"`.
+
+use xmltc_obs::Json;
+use xmltc_typecheck::{Engine, Route, TypecheckOptions};
+
+/// Protocol identifier, bumped on breaking change.
+pub const PROTOCOL: &str = "xmltc.serve/1";
+
+/// Parameters of a `typecheck` request.
+#[derive(Clone, Debug)]
+pub struct TypecheckParams {
+    /// Input DTD text.
+    pub input_dtd: String,
+    /// Stylesheet text.
+    pub stylesheet: String,
+    /// Output DTD text.
+    pub output_dtd: String,
+    /// Theorem 4.7 route: `auto` | `walk` | `mso`.
+    pub route: String,
+    /// Emptiness engine: `auto` | `lazy` | `eager`.
+    pub engine: String,
+    /// State budget for intermediate automata.
+    pub state_limit: u32,
+    /// Walk-route worker threads (0 = server default).
+    pub threads: usize,
+    /// Whether to assemble the provenance report.
+    pub explain: bool,
+}
+
+impl TypecheckParams {
+    /// The equivalent local [`TypecheckOptions`].
+    pub fn to_options(&self) -> TypecheckOptions {
+        TypecheckOptions {
+            route: match self.route.as_str() {
+                "walk" => Route::ForceWalk,
+                "mso" => Route::ForceMso,
+                _ => Route::Auto,
+            },
+            engine: match self.engine.as_str() {
+                "lazy" => Engine::Lazy,
+                "eager" => Engine::Eager,
+                _ => Engine::Auto,
+            },
+            state_limit: self.state_limit,
+            threads: self.threads,
+            ..TypecheckOptions::default()
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Dynamic DTD validation of one document.
+    Validate {
+        /// Input DTD text.
+        input_dtd: String,
+        /// Document XML text.
+        document: String,
+    },
+    /// Run the transformation on one document.
+    Transform {
+        /// Input DTD text.
+        input_dtd: String,
+        /// Stylesheet text.
+        stylesheet: String,
+        /// Document XML text.
+        document: String,
+    },
+    /// Static typecheck.
+    Typecheck(Box<TypecheckParams>),
+    /// Several requests answered in one response.
+    Batch(Vec<Envelope>),
+    /// Server + cache statistics.
+    Stats,
+    /// Graceful shutdown: the server answers, then stops accepting.
+    Shutdown,
+}
+
+impl Request {
+    /// The command name this request was parsed from.
+    pub fn cmd(&self) -> &'static str {
+        match self {
+            Request::Validate { .. } => "validate",
+            Request::Transform { .. } => "transform",
+            Request::Typecheck(_) => "typecheck",
+            Request::Batch(_) => "batch",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A request plus its optional client-chosen correlation id.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Echoed verbatim in the response when present.
+    pub id: Option<u64>,
+    /// The request.
+    pub request: Request,
+}
+
+fn text_field(obj: &Json, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field `{key}`"))
+}
+
+fn enum_field(obj: &Json, key: &str, allowed: &[&str]) -> Result<String, String> {
+    match obj.get(key) {
+        None => Ok(allowed[0].to_string()),
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| format!("field `{key}` must be a string"))?;
+            if allowed.contains(&s) {
+                Ok(s.to_string())
+            } else {
+                Err(format!(
+                    "unknown {key} `{s}` (one of: {})",
+                    allowed.join("|")
+                ))
+            }
+        }
+    }
+}
+
+/// Parses one request line. Errors are protocol-level (malformed JSON,
+/// missing fields) — the server reports them as `ok:false` responses.
+pub fn parse_line(line: &str) -> Result<Envelope, String> {
+    let value = Json::parse(line).map_err(|e| format!("malformed request JSON: {e}"))?;
+    parse_value(&value, true)
+}
+
+fn parse_value(value: &Json, allow_batch: bool) -> Result<Envelope, String> {
+    let id = value.get("id").and_then(Json::as_u64);
+    let cmd = value
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or("missing `cmd` field")?;
+    let request = match cmd {
+        "validate" => Request::Validate {
+            input_dtd: text_field(value, "input_dtd")?,
+            document: text_field(value, "document")?,
+        },
+        "transform" => Request::Transform {
+            input_dtd: text_field(value, "input_dtd")?,
+            stylesheet: text_field(value, "stylesheet")?,
+            document: text_field(value, "document")?,
+        },
+        "typecheck" => {
+            let defaults = TypecheckOptions::default();
+            let state_limit = match value.get("state_limit") {
+                None => defaults.state_limit,
+                Some(v) => u32::try_from(
+                    v.as_u64()
+                        .ok_or("`state_limit` must be a non-negative integer")?,
+                )
+                .map_err(|_| "`state_limit` out of range".to_string())?,
+            };
+            let threads = match value.get("threads") {
+                None => 0,
+                Some(v) => v
+                    .as_u64()
+                    .ok_or("`threads` must be a non-negative integer")?
+                    as usize,
+            };
+            let explain = match value.get("explain") {
+                None => false,
+                Some(Json::Bool(b)) => *b,
+                Some(_) => return Err("`explain` must be a boolean".into()),
+            };
+            Request::Typecheck(Box::new(TypecheckParams {
+                input_dtd: text_field(value, "input_dtd")?,
+                stylesheet: text_field(value, "stylesheet")?,
+                output_dtd: text_field(value, "output_dtd")?,
+                route: enum_field(value, "route", &["auto", "walk", "mso"])?,
+                engine: enum_field(value, "engine", &["auto", "lazy", "eager"])?,
+                state_limit,
+                threads,
+                explain,
+            }))
+        }
+        "batch" => {
+            if !allow_batch {
+                return Err("nested `batch` requests are not allowed".into());
+            }
+            let items = match value.get("requests") {
+                Some(Json::Array(items)) => items,
+                _ => return Err("`batch` requires a `requests` array".into()),
+            };
+            let parsed = items
+                .iter()
+                .map(|v| parse_value(v, false))
+                .collect::<Result<Vec<_>, _>>()?;
+            Request::Batch(parsed)
+        }
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown cmd `{other}`")),
+    };
+    Ok(Envelope { id, request })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_typecheck_with_defaults() {
+        let env = parse_line(
+            r#"{"cmd":"typecheck","id":7,"input_dtd":"root := a*","stylesheet":"root -> out","output_dtd":"out := @eps"}"#,
+        )
+        .unwrap();
+        assert_eq!(env.id, Some(7));
+        let Request::Typecheck(p) = env.request else {
+            panic!("wrong variant");
+        };
+        assert_eq!(p.route, "auto");
+        assert_eq!(p.engine, "auto");
+        assert_eq!(p.state_limit, TypecheckOptions::default().state_limit);
+        assert_eq!(p.threads, 0);
+        assert!(!p.explain);
+    }
+
+    #[test]
+    fn rejects_unknown_route_and_nested_batch() {
+        let err = parse_line(
+            r#"{"cmd":"typecheck","input_dtd":"d","stylesheet":"s","output_dtd":"o","route":"fast"}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown route"), "{err}");
+        let err = parse_line(r#"{"cmd":"batch","requests":[{"cmd":"batch","requests":[]}]}"#)
+            .unwrap_err();
+        assert!(err.contains("nested"), "{err}");
+    }
+
+    #[test]
+    fn batch_preserves_order_and_ids() {
+        let env =
+            parse_line(r#"{"cmd":"batch","requests":[{"cmd":"stats","id":1},{"cmd":"shutdown"}]}"#)
+                .unwrap();
+        let Request::Batch(items) = env.request else {
+            panic!("wrong variant");
+        };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].id, Some(1));
+        assert!(matches!(items[0].request, Request::Stats));
+        assert!(matches!(items[1].request, Request::Shutdown));
+    }
+}

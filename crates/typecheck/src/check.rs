@@ -60,6 +60,14 @@ pub struct TypecheckOptions {
     /// available parallelism. The verdict and every constructed automaton
     /// are identical for every thread count.
     pub threads: usize,
+    /// Minimum walk-frontier batch size before worker threads are spawned;
+    /// batches below it run sequentially even with `threads > 1`, so an
+    /// auto-resolved thread count never loses to `--threads 1` on small
+    /// instances. `0` (the default) resolves via
+    /// [`crate::walk::resolve_parallel_threshold`]; `1` forces the
+    /// parallel path. Like `threads`, this cannot change any verdict or
+    /// automaton — only wall time.
+    pub parallel_threshold: usize,
 }
 
 impl Default for TypecheckOptions {
@@ -69,6 +77,7 @@ impl Default for TypecheckOptions {
             engine: Engine::Auto,
             state_limit: 4_000_000,
             threads: 0,
+            parallel_threshold: 0,
         }
     }
 }
@@ -161,18 +170,67 @@ pub fn typecheck(
         ));
     }
     let violations = violation_nta(t, output_type, opts)?;
+    decide_with_violations(t, input_type, output_type, &violations, engine, opts)
+}
+
+/// **Theorem 4.4 with a precomputed violation automaton**: the final
+/// emptiness check (and counterexample extraction) against an already
+/// constructed regular language for `{t | T(t) ⊈ τ₂}`.
+///
+/// This is the warm path of the `xmltc serve` artifact cache: when the
+/// Theorem 4.7 output (the expensive walk/MSO construction) is already
+/// cached for `(T, τ₂)`, a typecheck against a different `τ₁` reduces to
+/// this call — no `route.walk`/`route.mso` work at all. The `violations`
+/// automaton must be the one [`crate::inverse::violation_nta`] would
+/// produce for `(t, output_type)`; pairing a stale automaton with a
+/// different transducer or output type yields garbage verdicts.
+pub fn typecheck_with_violations(
+    t: &PebbleTransducer,
+    input_type: &Nta,
+    output_type: &Nta,
+    violations: &Nta,
+    opts: &TypecheckOptions,
+) -> Result<TypecheckOutcome, TypecheckError> {
+    let _span = obs::span("typecheck");
+    let route = opts.route_for(t.k());
+    let engine = opts.engine_for(route);
+    obs::record("transducer.k", t.k() as u64);
+    obs::record("transducer.states", t.core().n_states() as u64);
+    obs::record("route.is_mso", matches!(route, ResolvedRoute::Mso) as u64);
+    obs::record("engine.lazy", matches!(engine, Engine::Lazy) as u64);
+    obs::record("violation.cached", 1);
+    obs::record("violation.states", violations.n_states() as u64);
+    obs::record("violation.transitions", violations.n_transitions() as u64);
+    if !Alphabet::same(t.input_alphabet(), input_type.alphabet()) {
+        return Err(TypecheckError::Tree(
+            xmltc_trees::TreeError::AlphabetMismatch,
+        ));
+    }
+    decide_with_violations(t, input_type, output_type, violations, engine, opts)
+}
+
+/// Shared tail of [`typecheck`]/[`typecheck_with_violations`]: emptiness
+/// of `τ₁ ∩ violations`, then Proposition 3.8 bad-output extraction.
+fn decide_with_violations(
+    t: &PebbleTransducer,
+    input_type: &Nta,
+    output_type: &Nta,
+    violations: &Nta,
+    engine: Engine,
+    opts: &TypecheckOptions,
+) -> Result<TypecheckOutcome, TypecheckError> {
     let witness = {
         let _span = obs::span("typecheck.emptiness");
         match engine {
             Engine::Lazy => {
                 // On-the-fly: never materializes `τ₁ × violations`.
-                lazy::intersection_witness(input_type, &violations, opts.state_limit)
+                lazy::intersection_witness(input_type, violations, opts.state_limit)
                     .map_err(lift_lazy_error)?
                     .0
                     .into_witness()
             }
             _ => {
-                let offending_inputs = input_type.intersect(&violations);
+                let offending_inputs = input_type.intersect(violations);
                 obs::record("intersection.states", offending_inputs.n_states() as u64);
                 obs::record(
                     "intersection.transitions",

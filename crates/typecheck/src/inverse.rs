@@ -53,6 +53,7 @@ pub fn violation_nta(
             let wopts = walk::WalkOptions {
                 limit: opts.state_limit,
                 threads: opts.threads,
+                parallel_threshold: opts.parallel_threshold,
             };
             let (d, ws) = walk::walking_to_dbta_with(&v, &wopts)?;
             obs::record("walk.dbta_states", d.n_states() as u64);
@@ -64,6 +65,8 @@ pub fn violation_nta(
             obs::record("walk.worklist_peak", ws.worklist_peak);
             obs::record("walk.rounds", ws.rounds);
             obs::record("walk.threads", ws.threads);
+            obs::record("walk.parallel_batches", ws.parallel_batches);
+            obs::record("walk.parallel_threshold", ws.parallel_threshold);
             obs::record("walk.masks_interned", ws.masks_interned);
             obs::record("walk.behaviors_interned", ws.behaviors_interned);
             d.to_nta().trim()

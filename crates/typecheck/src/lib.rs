@@ -45,7 +45,9 @@ pub mod product;
 pub mod replay;
 pub mod walk;
 
-pub use check::{typecheck, Engine, Route, TypecheckOptions, TypecheckOutcome};
+pub use check::{
+    typecheck, typecheck_with_violations, Engine, Route, TypecheckOptions, TypecheckOutcome,
+};
 pub use differential::{differential_emptiness, DifferentialVerdict};
 pub use error::TypecheckError;
 pub use inverse::inverse_type;

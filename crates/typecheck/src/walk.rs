@@ -324,6 +324,7 @@ struct FixCtx<'a> {
 struct JobStats {
     steps: u64,
     peak: usize,
+    par_batches: u64,
 }
 
 /// Reusable buffers of the solver inner loop (candidate masks and the
@@ -761,15 +762,24 @@ impl Walker {
 /// for a leaf).
 type Job = (Symbol, Option<(BehaviorId, BehaviorId)>);
 
-/// Evaluates a batch of composition jobs, in parallel when both the batch
-/// and the thread budget allow it. Results come back in job order, so the
-/// (sequential) interning that follows is independent of scheduling.
+/// Evaluates a batch of composition jobs, in parallel when the batch, the
+/// thread budget *and* the parallel threshold allow it. Results come back
+/// in job order, so the (sequential) interning that follows is independent
+/// of scheduling.
+///
+/// The threshold gate exists because a composition job is cheap (≈10 µs on
+/// the flagship instances): below a measured batch size the fixed cost of
+/// spawning a worker crew plus the loss of the sequential run's warm
+/// workspace outweighs the speedup, and `--threads auto` would *lose* to
+/// `--threads 1` (BENCH_typecheck.json schema 4 recorded 147.7 ms parallel
+/// vs 116.5 ms sequential on Q2/mod-3, whose batches peak at 2 448 jobs).
 fn compute_batch(
     walker: &Walker,
     jobs: &[Job],
     masks: &[Mask],
     behaviors: &[BehaviorData],
     threads: usize,
+    parallel_threshold: usize,
     agg: &mut JobStats,
 ) -> Vec<RawTriple> {
     let jour = journal::enabled();
@@ -786,10 +796,11 @@ fn compute_batch(
         }
         raw
     };
-    if threads <= 1 || jobs.len() < 2 {
+    if threads <= 1 || jobs.len() < parallel_threshold.max(2) {
         let mut ws = Workspace::new(walker.n_states);
         return jobs.iter().map(|j| run_one(j, &mut ws, agg)).collect();
     }
+    agg.par_batches += 1;
     let workers = threads.min(jobs.len());
     let next = AtomicUsize::new(0);
     let mut out: Vec<Option<RawTriple>> = Vec::with_capacity(jobs.len());
@@ -891,6 +902,14 @@ pub struct WalkOptions {
     /// Worker threads for the composition frontier; `0` resolves via
     /// [`resolve_threads`].
     pub threads: usize,
+    /// Minimum frontier-batch size (composition jobs) before a worker crew
+    /// is spawned; smaller batches run sequentially even when `threads >
+    /// 1`, so an auto-resolved thread count never loses to `--threads 1`
+    /// on small instances. `0` resolves via [`resolve_parallel_threshold`]
+    /// (the `XMLTC_PAR_THRESHOLD` environment variable, else
+    /// [`PARALLEL_JOB_THRESHOLD`]); `1` forces the parallel path for every
+    /// batch of at least two jobs.
+    pub parallel_threshold: usize,
 }
 
 impl Default for WalkOptions {
@@ -898,6 +917,7 @@ impl Default for WalkOptions {
         WalkOptions {
             limit: u32::MAX,
             threads: 0,
+            parallel_threshold: 0,
         }
     }
 }
@@ -924,6 +944,11 @@ pub struct WalkStats {
     pub rounds: u64,
     /// Worker threads the frontier was evaluated with.
     pub threads: u64,
+    /// Frontier batches that actually spawned a worker crew (batches below
+    /// the parallel threshold run sequentially regardless of `threads`).
+    pub parallel_batches: u64,
+    /// The resolved parallel threshold the run was gated on.
+    pub parallel_threshold: u64,
     /// Distinct exit-set masks interned.
     pub masks_interned: u64,
     /// Distinct behaviours interned.
@@ -967,6 +992,32 @@ pub fn resolve_threads(requested: usize) -> usize {
         .unwrap_or(1)
 }
 
+/// Default minimum frontier-batch size for the parallel path, measured on
+/// the flagship Q2/mod-3 instance (see DESIGN.md "Walk-route performance"):
+/// its batches peak at 2 448 jobs and 4-thread evaluation is still ~27%
+/// *slower* than sequential there, while crews pay for themselves once a
+/// batch carries several thousand ≈10 µs jobs. Below this bound the
+/// spawn-and-join overhead plus the cold per-worker workspaces dominate.
+pub const PARALLEL_JOB_THRESHOLD: usize = 4096;
+
+/// Resolves a requested parallel threshold: an explicit `n > 0` wins, else
+/// the `XMLTC_PAR_THRESHOLD` environment variable, else
+/// [`PARALLEL_JOB_THRESHOLD`].
+pub fn resolve_parallel_threshold(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("XMLTC_PAR_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    PARALLEL_JOB_THRESHOLD
+}
+
 /// Converts a 1-pebble (branching tree-walking) automaton into an
 /// equivalent deterministic bottom-up tree automaton, returning the
 /// construction counters alongside.
@@ -982,6 +1033,7 @@ pub fn walking_to_dbta_with(
     let mut job_stats = JobStats::default();
     let walker = Walker::new(a, &mut job_stats)?;
     let threads = resolve_threads(opts.threads);
+    let parallel_threshold = resolve_parallel_threshold(opts.parallel_threshold);
     let limit = opts.limit;
     let alphabet = a.input_alphabet();
 
@@ -1003,6 +1055,7 @@ pub fn walking_to_dbta_with(
         &masks.masks,
         &behaviors.behaviors,
         threads,
+        parallel_threshold,
         &mut job_stats,
     );
     for (&sym, raw) in leaf_syms.iter().zip(raws) {
@@ -1043,6 +1096,7 @@ pub fn walking_to_dbta_with(
                 &masks.masks,
                 &behaviors.behaviors,
                 threads,
+                parallel_threshold,
                 &mut job_stats,
             );
             for (&(sym, children), raw) in jobs.iter().zip(raws) {
@@ -1112,6 +1166,8 @@ pub fn walking_to_dbta_with(
         worklist_peak: job_stats.peak as u64,
         rounds,
         threads: threads as u64,
+        parallel_batches: job_stats.par_batches,
+        parallel_threshold: parallel_threshold as u64,
         masks_interned: masks.masks.len() as u64,
         behaviors_interned: behaviors.behaviors.len() as u64,
         dbta_states: triples.len() as u64,
@@ -1183,8 +1239,11 @@ mod tests {
             threads: 1,
             ..Default::default()
         };
+        // threshold 1 forces the worker-crew path even on these tiny
+        // batches, so the parallel machinery stays under test.
         let opts4 = WalkOptions {
             threads: 4,
+            parallel_threshold: 1,
             ..Default::default()
         };
         let (d1, s1) = walking_to_dbta_with(a, &opts1).unwrap();
@@ -1365,7 +1424,11 @@ mod tests {
         for limit in 0..full.n_states() {
             let mut aborts = Vec::new();
             for threads in [1usize, 4] {
-                let opts = WalkOptions { limit, threads };
+                let opts = WalkOptions {
+                    limit,
+                    threads,
+                    parallel_threshold: 1,
+                };
                 match walking_to_dbta_with(&a, &opts) {
                     Err(TypecheckError::TooManyStates { n }) => aborts.push(n),
                     other => panic!("limit {limit}: expected budget abort, got {other:?}"),

@@ -196,15 +196,22 @@ impl DocumentPipeline {
         output_dtd_text: &str,
         opts: &TypecheckOptions,
     ) -> Result<DocumentVerdict, PipelineError> {
-        let tau2 = {
-            let _span = obs::span("output_dtd.compile");
-            let out_dtd = Dtd::parse_text_with(output_dtd_text, self.enc_out.source())?;
-            let tau2 = out_dtd.compile(&self.enc_out)?;
-            obs::record("tau2.states", tau2.n_states() as u64);
-            obs::record("tau2.transitions", tau2.n_transitions() as u64);
-            tau2
-        };
+        let tau2 = self.compile_output_dtd(output_dtd_text)?;
         self.typecheck_nta_with(&tau2, opts)
+    }
+
+    /// Parses and compiles an output DTD (text syntax over the
+    /// stylesheet's output tags) to an automaton over the encoded output
+    /// alphabet — the `τ₂` the typechecking entry points consume. Exposed
+    /// so callers holding many specs (the `xmltc serve` artifact cache)
+    /// can compile each once and re-use it across requests.
+    pub fn compile_output_dtd(&self, output_dtd_text: &str) -> Result<Nta, PipelineError> {
+        let _span = obs::span("output_dtd.compile");
+        let out_dtd = Dtd::parse_text_with(output_dtd_text, self.enc_out.source())?;
+        let tau2 = out_dtd.compile(&self.enc_out)?;
+        obs::record("tau2.states", tau2.n_states() as u64);
+        obs::record("tau2.transitions", tau2.n_transitions() as u64);
+        Ok(tau2)
     }
 
     /// Statically typechecks against a pre-built output automaton over the
@@ -220,7 +227,36 @@ impl DocumentPipeline {
         tau2: &Nta,
         opts: &TypecheckOptions,
     ) -> Result<DocumentVerdict, PipelineError> {
-        match typecheck(&self.transducer, &self.tau1, tau2, opts)? {
+        let outcome = typecheck(&self.transducer, &self.tau1, tau2, opts)?;
+        self.decode_outcome(outcome)
+    }
+
+    /// Typechecks against a pre-built `τ₂` *and* a precomputed violation
+    /// automaton (the Theorem 4.7 output for `(transducer, τ₂)`): only the
+    /// final emptiness check runs — no walk/MSO construction. This is the
+    /// warm path of the `xmltc serve` artifact cache; the caller is
+    /// responsible for the pairing invariant documented on
+    /// [`xmltc_typecheck::typecheck_with_violations`].
+    pub fn typecheck_with_violations_nta(
+        &self,
+        tau2: &Nta,
+        violations: &Nta,
+        opts: &TypecheckOptions,
+    ) -> Result<DocumentVerdict, PipelineError> {
+        let outcome = xmltc_typecheck::typecheck_with_violations(
+            &self.transducer,
+            &self.tau1,
+            tau2,
+            violations,
+            opts,
+        )?;
+        self.decode_outcome(outcome)
+    }
+
+    /// Decodes a typechecker outcome (over binary encodings) back into
+    /// document-level verdicts.
+    fn decode_outcome(&self, outcome: TypecheckOutcome) -> Result<DocumentVerdict, PipelineError> {
+        match outcome {
             TypecheckOutcome::Ok => Ok(DocumentVerdict::Ok),
             TypecheckOutcome::CounterExample { input, bad_output } => {
                 let input = decode(&input, &self.enc_in)

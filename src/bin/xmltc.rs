@@ -14,6 +14,11 @@
 //!                   [--advisory] [--json]
 //! xmltc corpus      <family> <index> [--seed S] [--minimize] [--state-limit N]
 //! xmltc corpus      --list
+//! xmltc serve       [--addr H:P] [--cache-bytes N] [--oneshot]
+//!                   [--trace-out F] [--json]
+//! xmltc client      <addr> <validate|transform|typecheck|stats|shutdown>
+//!                   <files...> [--route ..] [--engine ..] [--state-limit N]
+//!                   [--threads N] [--explain] [--id N] [--json]
 //! ```
 //!
 //! File formats:
@@ -162,8 +167,8 @@ fn parse_flags(rest: &[String], allowed: FlagLevel) -> Result<(Vec<&str>, Typech
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
-    let usage =
-        "usage: xmltc <validate|transform|typecheck|forward|bench-diff> <files...> (see --help)";
+    let usage = "usage: xmltc <validate|transform|typecheck|forward|bench-diff|serve|client> \
+         <files...> (see --help)";
     let cmd = args.first().ok_or(usage)?;
     match cmd.as_str() {
         "--help" | "-h" | "help" => {
@@ -336,6 +341,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "bench-diff" => bench_diff(&args[1..]),
         "corpus" => corpus(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "client" => client(&args[1..]),
         "forward" => {
             let (pos, _) = parse_flags(&args[1..], FlagLevel::None)?;
             let [dtd_path, xsl_path, out_dtd_path] = three(&pos)?;
@@ -633,6 +640,241 @@ fn corpus(rest: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `xmltc serve`: bind the typecheck service and run until a `shutdown`
+/// request or SIGINT; then flush the trace (if recording) and print the
+/// whole-run report (requests served, cache hits/misses/evictions).
+fn serve(rest: &[String]) -> Result<ExitCode, String> {
+    use xmltc::service::server::sigint;
+    use xmltc::service::{ServeConfig, Server};
+    let mut cfg = ServeConfig::default();
+    let mut trace_out: Option<String> = None;
+    let mut json = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                cfg.addr = it.next().ok_or("--addr requires host:port")?.clone();
+            }
+            "--cache-bytes" => {
+                let v = it.next().ok_or("--cache-bytes requires a byte count")?;
+                cfg.cache_bytes = v
+                    .parse()
+                    .map_err(|_| format!("invalid cache byte budget `{v}`"))?;
+            }
+            "--oneshot" => cfg.oneshot = true,
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out requires a file path")?;
+                trace_out = Some(v.clone());
+            }
+            "--json" => json = true,
+            other => return Err(format!("unknown argument `{other}` for serve")),
+        }
+    }
+    if trace_out.is_some() {
+        obs::journal::enable();
+    }
+    sigint::install();
+    let server = Server::bind(&cfg).map_err(|e| format!("cannot bind `{}`: {e}", cfg.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // Scripts (and the CLI tests) wait for this exact line before
+    // connecting; flush so it is visible through a pipe immediately.
+    println!("xmltc serve: listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let report = server.run();
+    write_trace(&trace_out)?;
+    if json {
+        println!("{}", report.to_json_string());
+    } else {
+        print!("{}", report.render_table());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `xmltc client <addr> <command> <files...>`: send one request to a
+/// running `xmltc serve` and render the response. Exit codes mirror the
+/// local subcommands: 0 ok/typechecks, 1 invalid/counterexample, 2 errors.
+fn client(rest: &[String]) -> Result<ExitCode, String> {
+    use xmltc::obs::Json;
+    use xmltc::service::Client;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut json_out = false;
+    let mut explain = false;
+    let mut id: Option<u64> = None;
+    let mut options: Vec<(&'static str, Json)> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json_out = true,
+            "--explain" => explain = true,
+            "--id" => {
+                let v = it.next().ok_or("--id requires a number")?;
+                id = Some(v.parse().map_err(|_| format!("invalid id `{v}`"))?);
+            }
+            "--route" => {
+                let v = it.next().ok_or("--route requires a value: auto|walk|mso")?;
+                options.push(("route", Json::Str(v.clone())));
+            }
+            "--engine" => {
+                let v = it
+                    .next()
+                    .ok_or("--engine requires a value: auto|lazy|eager")?;
+                options.push(("engine", Json::Str(v.clone())));
+            }
+            "--state-limit" => {
+                let v = it.next().ok_or("--state-limit requires a number")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid state limit `{v}`"))?;
+                options.push(("state_limit", Json::U64(n)));
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads requires a number")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid thread count `{v}`"))?;
+                options.push(("threads", Json::U64(n)));
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}` for client"));
+            }
+            _ => positional.push(arg.as_str()),
+        }
+    }
+    let usage =
+        "usage: xmltc client <addr> <validate|transform|typecheck|stats|shutdown> <files...>";
+    if positional.len() < 2 {
+        return Err(usage.into());
+    }
+    let (addr, cmd, files) = (positional[0], positional[1], &positional[2..]);
+    let mut fields: Vec<(&str, Json)> = vec![("cmd", Json::Str(cmd.to_string()))];
+    if let Some(id) = id {
+        fields.push(("id", Json::U64(id)));
+    }
+    match cmd {
+        "validate" => {
+            let [dtd_path, xml_path] = two(files)?;
+            fields.push(("input_dtd", Json::Str(read(dtd_path)?)));
+            fields.push(("document", Json::Str(read(xml_path)?)));
+        }
+        "transform" => {
+            let [dtd_path, xsl_path, xml_path] = three(files)?;
+            fields.push(("input_dtd", Json::Str(read(dtd_path)?)));
+            fields.push(("stylesheet", Json::Str(read(xsl_path)?)));
+            fields.push(("document", Json::Str(read(xml_path)?)));
+        }
+        "typecheck" => {
+            let [dtd_path, xsl_path, out_dtd_path] = three(files)?;
+            fields.push(("input_dtd", Json::Str(read(dtd_path)?)));
+            fields.push(("stylesheet", Json::Str(read(xsl_path)?)));
+            fields.push(("output_dtd", Json::Str(read(out_dtd_path)?)));
+            fields.append(&mut options);
+            if explain {
+                fields.push(("explain", Json::Bool(true)));
+            }
+        }
+        "stats" | "shutdown" => {
+            if !files.is_empty() {
+                return Err(format!("`{cmd}` takes no file arguments"));
+            }
+        }
+        other => return Err(format!("unknown client command `{other}`\n{usage}")),
+    }
+    let request = Json::obj(fields);
+    let mut conn = Client::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let response = conn.roundtrip(&request)?;
+    if json_out {
+        println!("{}", response.encode());
+        return Ok(client_exit_code(&response));
+    }
+    render_client_response(cmd, &response)
+}
+
+/// Exit code from a service response: 2 on request errors, 1 on negative
+/// verdicts (invalid document / counterexample), 0 otherwise.
+fn client_exit_code(response: &xmltc::obs::Json) -> ExitCode {
+    use xmltc::obs::Json;
+    if response.get("ok") != Some(&Json::Bool(true)) {
+        return ExitCode::from(2);
+    }
+    match response.at("result.verdict").and_then(Json::as_str) {
+        Some("invalid") | Some("counterexample") => ExitCode::FAILURE,
+        _ => ExitCode::SUCCESS,
+    }
+}
+
+/// Human rendering of a service response, mirroring the local commands'
+/// output plus a `cache:` summary line.
+fn render_client_response(cmd: &str, response: &xmltc::obs::Json) -> Result<ExitCode, String> {
+    use xmltc::obs::Json;
+    if response.get("ok") != Some(&Json::Bool(true)) {
+        let msg = response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown server error");
+        return Err(format!("server error: {msg}"));
+    }
+    match cmd {
+        "validate" => match response.at("result.verdict").and_then(Json::as_str) {
+            Some("valid") => println!("valid"),
+            _ => {
+                let reason = response
+                    .at("result.reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown");
+                println!("invalid: {reason}");
+            }
+        },
+        "transform" => {
+            if let Some(out) = response.at("result.output").and_then(Json::as_str) {
+                println!("{out}");
+            }
+        }
+        "typecheck" => {
+            match response.at("result.verdict").and_then(Json::as_str) {
+                Some("typechecks") => {
+                    println!("typechecks: every valid input maps into the output DTD");
+                }
+                _ => {
+                    println!("DOES NOT typecheck");
+                    if let Some(input) = response.at("result.input").and_then(Json::as_str) {
+                        println!("counterexample input: {input}");
+                    }
+                    if let Some(bad) = response.at("result.bad_output").and_then(Json::as_str) {
+                        println!("offending output:     {bad}");
+                    }
+                }
+            }
+            if let Some(explain) = response.at("result.explain") {
+                println!("{}", explain.encode_pretty());
+            }
+        }
+        "stats" => println!("{}", response.encode_pretty()),
+        "shutdown" => println!("server shutting down"),
+        _ => {}
+    }
+    if let Some(cache) = response.get("cache") {
+        if let Json::Object(fields) = cache {
+            let parts: Vec<String> = fields
+                .iter()
+                .filter(|(_, v)| matches!(v, Json::Str(_)))
+                .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or("?")))
+                .collect();
+            let hits = cache.get("hits").and_then(Json::as_u64).unwrap_or(0);
+            let misses = cache.get("misses").and_then(Json::as_u64).unwrap_or(0);
+            let wall = response
+                .get("wall_ms")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            println!(
+                "cache: {} (hits {hits}, misses {misses}) wall {wall:.1}ms",
+                parts.join(" ")
+            );
+        }
+    }
+    Ok(client_exit_code(response))
+}
+
 fn print_verdict(verdict: &DocumentVerdict) -> ExitCode {
     match verdict {
         DocumentVerdict::Ok => {
@@ -679,6 +921,12 @@ commands:
                                                  corpus case and run both
                                                  engines on it (--list for
                                                  the family names)
+  serve                                          long-running typecheck service
+                                                 (TCP, line-delimited JSON) with
+                                                 a content-addressed artifact
+                                                 cache
+  client    <addr> <command> <files...>          send one request to a running
+                                                 xmltc serve
 
 reporting options (validate, transform, typecheck):
   --stats            append a per-phase wall-time / automaton-size table
@@ -708,6 +956,27 @@ corpus options:
   --state-limit N    Theorem 4.7 state budget (default 800, matching the
                      harness — exceeding it is a resource skip, exit 0)
   --list             print the family names, one per line
+
+serve options:
+  --addr H:P         listen address (default 127.0.0.1:7407; use :0 for an
+                     ephemeral port — the bound address is printed)
+  --cache-bytes N    artifact-cache byte budget (default 256 MiB); least-
+                     recently-used artifacts are evicted past the budget
+  --oneshot          serve exactly one connection, then exit (for smoke
+                     tests and scripted runs)
+  --trace-out FILE   record the event journal for the whole serve run and
+                     write a Chrome trace on shutdown
+  --json             print the final whole-run report as JSON instead of
+                     the table (requests served, cache hits/misses)
+
+client options (typecheck requests accept the typecheck options above,
+plus --explain for the provenance report and --id N to tag the request;
+--json prints the raw response line):
+  xmltc client ADDR validate  <input.dtd> <doc.xml>
+  xmltc client ADDR transform <input.dtd> <sheet.xsl> <doc.xml>
+  xmltc client ADDR typecheck <input.dtd> <sheet.xsl> <output.dtd>
+  xmltc client ADDR stats
+  xmltc client ADDR shutdown
 
 bench-diff options:
   --threshold P=PCT  override the watch threshold of metric path P to PCT

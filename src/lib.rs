@@ -27,7 +27,10 @@
 //! * [`xml`] — minimal element-only XML parsing/serialization;
 //! * [`obs`] — pipeline observability: phase spans, automaton-size
 //!   metrics, and the serializable [`obs::PipelineReport`] behind
-//!   `xmltc typecheck --stats` / `--json`.
+//!   `xmltc typecheck --stats` / `--json`;
+//! * [`service`] — the `xmltc serve` long-running typecheck service: a
+//!   std-only TCP server speaking line-delimited JSON, backed by a
+//!   content-addressed artifact cache with single-flight deduplication.
 //!
 //! Start with the `quickstart` example or the `xmltc` CLI binary; see
 //! README.md, DESIGN.md and EXPERIMENTS.md for the full map.
@@ -38,6 +41,7 @@ pub use xmltc_dtd as dtd;
 pub use xmltc_mso as mso;
 pub use xmltc_obs as obs;
 pub use xmltc_regex as regex;
+pub use xmltc_service as service;
 pub use xmltc_transducer_dsl as dsl;
 pub use xmltc_trees as trees;
 pub use xmltc_typecheck as typecheck;

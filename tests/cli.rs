@@ -870,18 +870,25 @@ fn typecheck_trace_out_writes_chrome_trace() {
     std::fs::create_dir_all(&dir).unwrap();
     let trace = dir.join("q2_trace.json");
     let trace_path = trace.to_str().unwrap().to_string();
-    let out = run(&[
-        "typecheck",
-        &fixture("q2.dtd"),
-        &fixture("q2.xsl"),
-        &fixture("q2_mod3_out.dtd"),
-        "--route",
-        "walk",
-        "--threads",
-        "4",
-        "--trace-out",
-        &trace_path,
-    ]);
+    // Q2's frontier batches sit below the job-count gate, so worker crews
+    // would not spawn at the default threshold; force the parallel path —
+    // the per-worker tracks are exactly what this test pins.
+    let out = bin()
+        .args([
+            "typecheck",
+            &fixture("q2.dtd"),
+            &fixture("q2.xsl"),
+            &fixture("q2_mod3_out.dtd"),
+            "--route",
+            "walk",
+            "--threads",
+            "4",
+            "--trace-out",
+            &trace_path,
+        ])
+        .env("XMLTC_PAR_THRESHOLD", "1")
+        .output()
+        .expect("binary runs");
     assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
     // The verdict on stdout is untouched; the trace note goes to stderr.
     assert_eq!(
@@ -1166,6 +1173,114 @@ fn corpus_rejects_bad_arguments() {
         "{}",
         stderr(&out)
     );
+}
+
+/// Full service round-trip through the real binary: spawn `xmltc serve`,
+/// run the same `xmltc client typecheck` twice, and require the warm
+/// response to come from the artifact cache — verdict byte-identical to
+/// the cold one, `cache.verdict=hit`, and zero walk-construction metrics.
+#[test]
+fn serve_client_round_trip_hits_artifact_cache() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+    use xmltc::obs::Json;
+
+    let mut server = bin()
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    // The serve command prints (and flushes) this exact line once bound.
+    let mut lines = BufReader::new(server.stdout.take().unwrap()).lines();
+    let banner = lines.next().expect("banner line").unwrap();
+    let addr = banner
+        .strip_prefix("xmltc serve: listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    let typecheck = |name: &str| -> Json {
+        let out = run(&[
+            "client",
+            &addr,
+            "typecheck",
+            &fixture("even_a.dtd"),
+            &fixture("relabel.xsl"),
+            &fixture("even_b.dtd"),
+            "--json",
+        ]);
+        assert_eq!(out.status.code(), Some(0), "{name}: {}", stderr(&out));
+        Json::parse(stdout(&out).trim()).expect("response is one JSON line")
+    };
+    let cold = typecheck("cold");
+    let warm = typecheck("warm");
+    for resp in [&cold, &warm] {
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            resp.at("result.verdict").and_then(Json::as_str),
+            Some("typechecks")
+        );
+    }
+    // Cold run built the verdict; warm run must be a pure cache hit.
+    assert_eq!(
+        cold.at("cache.verdict").and_then(Json::as_str),
+        Some("miss")
+    );
+    assert_eq!(warm.at("cache.verdict").and_then(Json::as_str), Some("hit"));
+    assert!(warm.at("cache.hits").and_then(Json::as_u64).unwrap() >= 1);
+    // The deterministic verdict payload is byte-identical across runs.
+    assert_eq!(
+        cold.get("result").unwrap().encode(),
+        warm.get("result").unwrap().encode()
+    );
+    // Zero construction work on the warm path: no walk/mso metrics.
+    let warm_metrics = warm.get("metrics").unwrap().encode();
+    assert!(!warm_metrics.contains("walk."), "{warm_metrics}");
+    assert!(!warm_metrics.contains("mso."), "{warm_metrics}");
+
+    // Human rendering of the warm response surfaces the cache line.
+    let out = run(&[
+        "client",
+        &addr,
+        "typecheck",
+        &fixture("even_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(
+        s.starts_with("typechecks: every valid input maps into the output DTD\n"),
+        "{s}"
+    );
+    assert!(s.contains("cache: verdict=hit"), "{s}");
+
+    // Negative verdicts keep their local exit code through the wire.
+    let out = run(&[
+        "client",
+        &addr,
+        "typecheck",
+        &fixture("any_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("DOES NOT typecheck"),
+        "{}",
+        stdout(&out)
+    );
+
+    // Shutdown flushes the final report table from the server process.
+    let out = run(&["client", &addr, "shutdown"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("server shutting down"));
+    let status = server.wait().expect("server exits");
+    assert!(status.success());
+    let rest: Vec<String> = lines.map(|l| l.unwrap()).collect();
+    let table = rest.join("\n");
+    for needle in ["serve.requests", "cache.hits", "cache.misses"] {
+        assert!(table.contains(needle), "missing `{needle}` in:\n{table}");
+    }
 }
 
 /// An un-runnable state budget turns the verdict into an explicit

@@ -72,8 +72,13 @@ fn parallel_build_is_byte_identical() {
         };
         let (d1, s1) = walking_to_dbta_with(&v, &seq).unwrap();
         for threads in [2, 4] {
+            // parallel_threshold 1 forces the worker crew even for these
+            // small frontiers (the default gate would run them
+            // sequentially — see walk::PARALLEL_JOB_THRESHOLD), keeping
+            // the parallel path itself under test.
             let par = WalkOptions {
                 threads,
+                parallel_threshold: 1,
                 ..Default::default()
             };
             let (dn, sn) = walking_to_dbta_with(&v, &par).unwrap();
@@ -91,6 +96,38 @@ fn parallel_build_is_byte_identical() {
     }
 }
 
+/// The measured job-count gate: `--threads auto` must never lose to
+/// sequential on small instances, so frontiers below
+/// [`PARALLEL_JOB_THRESHOLD`] stay on the sequential path even when
+/// worker threads were requested — and forcing the crew anyway (threshold
+/// 1) still builds the identical DBTA.
+#[test]
+fn job_count_gate_keeps_small_frontiers_sequential() {
+    use xmltc::typecheck::walk::PARALLEL_JOB_THRESHOLD;
+    let v = violation(ROOT_BODIES[1], A_BODIES[3], SPECS[2]);
+    let gated = WalkOptions {
+        threads: 4,
+        ..Default::default()
+    };
+    let (dg, sg) = walking_to_dbta_with(&v, &gated).unwrap();
+    assert_eq!(
+        sg.parallel_batches, 0,
+        "small frontiers must not fan out under the default gate"
+    );
+    assert_eq!(sg.parallel_threshold, PARALLEL_JOB_THRESHOLD as u64);
+    let forced = WalkOptions {
+        threads: 4,
+        parallel_threshold: 1,
+        ..Default::default()
+    };
+    let (df, sf) = walking_to_dbta_with(&v, &forced).unwrap();
+    assert!(
+        sf.parallel_batches > 0,
+        "threshold 1 must exercise the worker crew"
+    );
+    assert_eq!(dg, df, "the gate must not change the constructed DBTA");
+}
+
 #[test]
 fn too_many_states_aborts_identically_at_any_thread_count() {
     // A combo whose construction needs a handful of classes.
@@ -99,7 +136,11 @@ fn too_many_states_aborts_identically_at_any_thread_count() {
     assert!(full > 2, "fixture must need several behaviour classes");
     for limit in 1..full {
         let err = |threads: usize| {
-            let opts = WalkOptions { limit, threads };
+            let opts = WalkOptions {
+                limit,
+                threads,
+                parallel_threshold: 1,
+            };
             match walking_to_dbta_with(&v, &opts) {
                 Err(TypecheckError::TooManyStates { n }) => n,
                 other => {
