@@ -6,6 +6,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod scaled;
 
 use std::sync::Arc;
 use xmltc_automata::Nta;

@@ -68,6 +68,12 @@ pub struct TypecheckOptions {
     /// parallel path. Like `threads`, this cannot change any verdict or
     /// automaton — only wall time.
     pub parallel_threshold: usize,
+    /// Jobs per work-stealing chunk of the walk route's parallel frontier.
+    /// `0` (the default) resolves via [`crate::walk::resolve_chunk`] (the
+    /// `XMLTC_CHUNK` environment variable, else
+    /// [`crate::walk::WORK_CHUNK`]). Like `threads`, this cannot change
+    /// any verdict or automaton — only wall time.
+    pub chunk: usize,
 }
 
 impl Default for TypecheckOptions {
@@ -78,6 +84,7 @@ impl Default for TypecheckOptions {
             state_limit: 4_000_000,
             threads: 0,
             parallel_threshold: 0,
+            chunk: 0,
         }
     }
 }

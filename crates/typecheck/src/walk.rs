@@ -15,7 +15,7 @@
 //! either accepts (branch0) inside `s` or exits upward from `root(s)` to
 //! its parent in some state. The **behaviour** of `s` maps each entry state
 //! to the ⊆-minimal antichain of achievable *exit-state sets* (as bitset
-//! masks); resolving to the empty set means outright acceptance inside `s`.
+//! rows); resolving to the empty set means outright acceptance inside `s`.
 //! Whether up-moves may exit depends on which child position `s` occupies,
 //! so a subtree carries a behaviour for each position (left/right), plus an
 //! "accepts as a whole tree" bit. This triple is a finite congruence:
@@ -26,218 +26,297 @@
 //!
 //! # Performance architecture
 //!
-//! The construction is organized for sharing and parallelism while staying
-//! bit-identical to the reference nested-loop build:
+//! The construction is organized around a dense bitset kernel, projected
+//! memo keys, and a work-stealing frontier, while staying bit-identical to
+//! the reference nested-loop build:
 //!
-//! * **Interning** — exit-set [`Mask`]s and entry-state-indexed behaviours
-//!   live in arena tables and are referred to by dense `u32` ids, so triple
-//!   identity and the composition memo hash a few words instead of whole
-//!   behaviour tables; walker rules are pre-compiled per symbol into dense
-//!   action tables ([`SymTable`]) with static reverse-dependency edges,
-//!   lifting all hash lookups out of the fixpoint inner loop.
-//! * **Worklist fixpoints** — the local least fixpoint at a node re-examines
-//!   a state only when a state it reads (via `Stay`, `Branch2`, or an exit
-//!   bit of a child behaviour) actually grew, instead of rescanning every
-//!   state until stabilization. Fixpoint runs start from shared prefixes:
-//!   the children-independent part of each symbol's system (`Accept`,
-//!   `Stay`, `Fork` rules) is solved **once per symbol** into a base
-//!   solution, each composition re-propagates only the `Down`-rule
-//!   increments from it, and the root solution in turn seeds the
-//!   left/right positional runs with just the up-move increments. All
-//!   three restarts are sound because chaotic iteration from any point
-//!   below the least fixpoint converges to it. Every buffer the solver
-//!   touches lives in a per-worker [`Workspace`], so a composition
-//!   allocates almost nothing.
-//! * **Triple memoization** — the composition at a node depends only on
-//!   `(symbol, left child's left-behaviour id, right child's right-behaviour
-//!   id)`, so distinct state pairs that project to the same key share one
-//!   fixpoint run ([`WalkStats::memo_hits`] counts the collapses).
-//! * **Parallel frontier** — each generation of not-yet-memoized
-//!   compositions is evaluated by a std-only scoped-thread work crew
-//!   against frozen read-only arenas; the results are then interned
-//!   sequentially in canonical (job-list) order and the reference discovery
-//!   loop is replayed verbatim, so state numbering — and therefore every
-//!   downstream artifact — is identical at any thread count.
+//! * **Dense kernel** — exit sets are flat `u64` rows of a fixed width
+//!   (`words` per machine) living in one contiguous per-composition arena
+//!   ([`Workspace::arena`]); rows are immutable once written and referred
+//!   to by dense ids, so `or`/`subset` are word-parallel loops over
+//!   contiguous slices and a behaviour copy is a `memcpy`. Antichains are
+//!   kept sorted by popcount ([`RowRef`]), so minimal-insertion
+//!   ([`ac_insert_min`]) subset-checks only against rows that can possibly
+//!   be subsets and drops only rows that can possibly be supersets.
+//! * **Compiled tables** — walker rules are pre-compiled per symbol into
+//!   CSR action and reverse-dependency arrays ([`SymTable`]), lifting all
+//!   hash lookups out of the fixpoint inner loop. The children-independent
+//!   part of each symbol's system is solved **once per symbol** into a
+//!   popcount-sorted [`DenseBase`]; each composition seeds its arena from
+//!   it with one slice copy and re-propagates only the `Down`-rule
+//!   increments, and the root solution in turn seeds the left/right
+//!   positional runs with just the up-move increments (sound because
+//!   chaotic iteration from any point below the least fixpoint converges
+//!   to it).
+//! * **Projected memoization** — a composition reads a child behaviour
+//!   only at the symbol's `Down`-rule targets, so the memo key is the
+//!   *projection* of each child behaviour onto those targets
+//!   ([`Projection`], interned main-thread-only). Distinct behaviour pairs
+//!   that agree on the targets — or any pair under a symbol with no `Down`
+//!   rules on a side — collapse to one fixpoint run;
+//!   [`WalkStats::memo_hits`] counts the collapses. Frontier jobs are
+//!   deduped per round on the same key.
+//! * **Work-stealing frontier** — each generation of unmemoized
+//!   compositions is split into contiguous chunks ([`resolve_chunk`])
+//!   dealt round-robin onto per-worker deques; idle workers steal the back
+//!   half of a victim's deque, so stragglers cannot serialize the round.
+//!   Workers only evaluate pure compositions against frozen arenas; the
+//!   results are then interned sequentially in canonical (job-list) order
+//!   and the reference discovery loop is replayed verbatim, so state
+//!   numbering — and therefore every downstream artifact — is identical at
+//!   any thread count and any chunk size.
+//! * **Incremental discovery** — the frontier scan keeps a `scanned`
+//!   cursor over the triple arena: a round enumerates only pairs
+//!   involving triples interned since the previous round (older pairs
+//!   already resolved their memo key the round the younger member
+//!   appeared), and the replay keeps persistent per-row column cursors
+//!   instead of restarting from zero. Each ordered pair is therefore
+//!   visited O(1) times across the whole run — `O(m²·B)` total instead of
+//!   `O(rounds·m²·B)` — which is what keeps the sequential bookkeeping a
+//!   fraction of the parallelizable job work on saturated frontiers. Both
+//!   cursors are pure functions of the interned-triple sequence, so the
+//!   canonical order (and the DBTA) stays thread-invariant.
 
 use crate::error::TypecheckError;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use xmltc_automata::state::StateSet;
 use xmltc_automata::{Dbta, State};
 use xmltc_core::machine::{Action, Move, PebbleAutomaton};
 use xmltc_obs::journal;
 use xmltc_trees::{FxHashMap, FxHashSet, Symbol};
 
-/// Words kept inline in a [`Mask`]; machines with up to
-/// `64 · INLINE_WORDS` states (the practical norm after `trim_states`)
-/// never heap-allocate a mask.
-const INLINE_WORDS: usize = 4;
+/// Arena id of a bitset row (in row units: the row occupies words
+/// `id * words .. (id + 1) * words` of its arena).
+type RowId = u32;
+/// Arena id of an interned behaviour.
+type BehaviorId = u32;
+/// Arena id of an interned behaviour projection.
+type ProjId = u32;
 
-/// A fixed-width (per walker) bitset of machine states — an exit set.
-///
-/// The representation is picked once per walker from its state count, so
-/// within one construction the variants never mix: mask operations in the
-/// fixpoint inner loop are pure register work on the inline variant, and
-/// only machines wider than 256 states fall back to heap storage.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-enum Mask {
-    Inline([u64; INLINE_WORDS]),
-    Heap(Vec<u64>),
+/// An antichain member: arena row id plus the row's cached popcount.
+/// Antichains are kept sorted by popcount ascending, which bounds both
+/// phases of [`ac_insert_min`].
+#[derive(Clone, Copy, Debug)]
+struct RowRef {
+    id: RowId,
+    pc: u32,
 }
 
-impl Mask {
-    fn empty(words: usize) -> Mask {
-        if words <= INLINE_WORDS {
-            Mask::Inline([0; INLINE_WORDS])
-        } else {
-            Mask::Heap(vec![0; words])
-        }
-    }
+#[inline]
+fn row_at(arena: &[u64], id: RowId, words: usize) -> &[u64] {
+    let s = id as usize * words;
+    &arena[s..s + words]
+}
 
-    fn singleton(q: usize, words: usize) -> Mask {
-        let mut m = Mask::empty(words);
-        match &mut m {
-            Mask::Inline(w) => w[q / 64] |= 1u64 << (q % 64),
-            Mask::Heap(w) => w[q / 64] |= 1u64 << (q % 64),
-        }
-        m
-    }
+#[inline]
+fn row_popcount(row: &[u64]) -> u32 {
+    row.iter().map(|w| w.count_ones()).sum()
+}
 
-    fn words(&self) -> &[u64] {
-        match self {
-            Mask::Inline(w) => w,
-            Mask::Heap(w) => w,
-        }
-    }
+/// `a ⊆ b` over equal-width rows.
+#[inline]
+fn row_subset(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x & !y == 0)
+}
 
-    fn is_empty(&self) -> bool {
-        self.words().iter().all(|&w| w == 0)
-    }
-
-    fn or(&self, other: &Mask) -> Mask {
-        match (self, other) {
-            (Mask::Inline(a), Mask::Inline(b)) => {
-                let mut out = *a;
-                for (o, x) in out.iter_mut().zip(b) {
-                    *o |= x;
-                }
-                Mask::Inline(out)
+/// Iterates over set bit positions of a row.
+fn row_bits(row: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    row.iter().enumerate().flat_map(|(wi, &w)| {
+        let mut w = w;
+        std::iter::from_fn(move || {
+            if w == 0 {
+                None
+            } else {
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
             }
-            _ => Mask::Heap(
-                self.words()
-                    .iter()
-                    .zip(other.words())
-                    .map(|(a, b)| a | b)
-                    .collect(),
-            ),
-        }
-    }
-
-    fn is_subset(&self, other: &Mask) -> bool {
-        self.words()
-            .iter()
-            .zip(other.words())
-            .all(|(a, b)| a & !b == 0)
-    }
-
-    /// Iterates over set bit positions.
-    fn bits(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words().iter().enumerate().flat_map(|(wi, &w)| {
-            let mut w = w;
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    None
-                } else {
-                    let b = w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    Some(wi * 64 + b)
-                }
-            })
         })
-    }
+    })
 }
 
-/// A ⊆-minimal antichain of exit-set masks, kept sorted for canonical
-/// hashing.
-type Antichain = Vec<Mask>;
-
-/// Inserts `m`, keeping the antichain minimal. Returns true when the
+/// Inserts `cand` into a popcount-sorted ⊆-minimal antichain, appending
+/// the row to `arena` when it is genuinely new. Returns true when the
 /// represented upward-closed set grew.
-fn insert_min(ac: &mut Antichain, m: Mask) -> bool {
-    if ac.iter().any(|x| x.is_subset(&m)) {
-        return false; // a subset of m is already present
+///
+/// Phase 1 scans entries with `pc ≤ |cand|` — the only possible subsets of
+/// `cand` (an equal-popcount subset is equality) — and bails if one is
+/// found. Phase 2 compacts away entries with `pc > |cand|` that are
+/// supersets of `cand`, preserving order, then inserts `cand` at the
+/// popcount-sorted position. Rows are append-only; dropped entries leave
+/// their arena rows dead until the composition's arena resets.
+fn ac_insert_min(ac: &mut Vec<RowRef>, arena: &mut Vec<u64>, words: usize, cand: &[u64]) -> bool {
+    let pc = row_popcount(cand);
+    let mut i = 0;
+    while i < ac.len() && ac[i].pc <= pc {
+        if row_subset(row_at(arena, ac[i].id, words), cand) {
+            return false;
+        }
+        i += 1;
     }
-    ac.retain(|x| !m.is_subset(x)); // drop supersets of m
-    ac.push(m);
+    let mut k = i;
+    for j in i..ac.len() {
+        if !row_subset(cand, row_at(arena, ac[j].id, words)) {
+            ac[k] = ac[j];
+            k += 1;
+        }
+    }
+    ac.truncate(k);
+    let id = (arena.len() / words) as RowId;
+    arena.extend_from_slice(cand);
+    ac.insert(i, RowRef { id, pc });
     true
 }
 
-/// Entry-state-indexed behaviour in raw (un-interned) form, as computed by
-/// a fixpoint run.
-type Behavior = Vec<Antichain>;
-
-/// Arena id of an interned [`Mask`].
-type MaskId = u32;
-/// Arena id of an interned behaviour.
-type BehaviorId = u32;
-
-/// Interned behaviour in flat id form: entry state `q`'s antichain is
-/// `ids[offsets[q] as usize..offsets[q + 1] as usize]`, content-sorted.
-struct BehaviorData {
+/// A behaviour in flat, canonical form: entry state `q`'s antichain is the
+/// rows `offsets[q]..offsets[q + 1]` (row units), each antichain sorted
+/// lexicographically by row words. Serves as both the interning key and
+/// the stored representation — two allocations per behaviour.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct FlatBehavior {
     offsets: Vec<u32>,
-    ids: Vec<MaskId>,
+    rows: Vec<u64>,
 }
 
-impl BehaviorData {
-    fn at(&self, q: usize) -> &[MaskId] {
-        &self.ids[self.offsets[q] as usize..self.offsets[q + 1] as usize]
+impl FlatBehavior {
+    fn ac(&self, q: usize, words: usize) -> &[u64] {
+        &self.rows[self.offsets[q] as usize * words..self.offsets[q + 1] as usize * words]
     }
 }
 
-/// Content-addressed mask store; equal masks share one id.
-#[derive(Default)]
-struct MaskArena {
-    index: FxHashMap<Mask, MaskId>,
-    masks: Vec<Mask>,
+/// Flattens solved antichain lists into canonical (lexicographically
+/// row-sorted) flat form.
+fn flatten(lists: &[Vec<RowRef>], arena: &[u64], words: usize) -> FlatBehavior {
+    let mut offsets = Vec::with_capacity(lists.len() + 1);
+    offsets.push(0u32);
+    let mut rows: Vec<u64> = Vec::new();
+    let mut order: Vec<RowId> = Vec::new();
+    for list in lists {
+        order.clear();
+        order.extend(list.iter().map(|e| e.id));
+        order.sort_unstable_by(|&a, &b| row_at(arena, a, words).cmp(row_at(arena, b, words)));
+        for &id in &order {
+            rows.extend_from_slice(row_at(arena, id, words));
+        }
+        offsets.push((rows.len() / words) as u32);
+    }
+    FlatBehavior { offsets, rows }
 }
 
-impl MaskArena {
-    fn intern(&mut self, m: Mask) -> MaskId {
-        if let Some(&id) = self.index.get(&m) {
+/// Content-addressed behaviour store; equal behaviours share one id, so
+/// triple identity and memo keys compare `u32`s. `rows_seen` tracks the
+/// distinct exit-set rows occurring in interned behaviours (the kernel
+/// analogue of the old mask arena, reported as
+/// [`WalkStats::masks_interned`]).
+#[derive(Default)]
+struct BehaviorArena {
+    index: FxHashMap<FlatBehavior, BehaviorId>,
+    behaviors: Vec<FlatBehavior>,
+    rows_seen: FxHashSet<Vec<u64>>,
+}
+
+impl BehaviorArena {
+    fn intern(&mut self, b: FlatBehavior, words: usize) -> BehaviorId {
+        if let Some(&id) = self.index.get(&b) {
             return id;
         }
-        let id = self.masks.len() as MaskId;
-        self.index.insert(m.clone(), id);
-        self.masks.push(m);
+        for row in b.rows.chunks_exact(words) {
+            if !self.rows_seen.contains(row) {
+                self.rows_seen.insert(row.to_vec());
+            }
+        }
+        let id = self.behaviors.len() as BehaviorId;
+        self.index.insert(b.clone(), id);
+        self.behaviors.push(b);
         id
     }
 }
 
-/// Content-addressed behaviour store; equal behaviours share one id, so
-/// triple identity and memo keys compare `u32`s.
-///
-/// The index is keyed on the *flat mask form* a composition produces: a
-/// lookup is one hash over two contiguous vectors, and only a genuine
-/// miss — once per distinct behaviour, not once per composition — pays
-/// for interning the member masks into their id form.
-#[derive(Default)]
-struct BehaviorArena {
-    index: FxHashMap<FlatBehavior, BehaviorId>,
-    behaviors: Vec<BehaviorData>,
+/// A behaviour restricted to one symbol side's `Down`-rule targets: slot
+/// `s` (the index into [`SymTable::targets`]) maps to the antichain rows
+/// `offsets[s]..offsets[s + 1]` (row units). Compositions read children
+/// *only* through projections, which is what makes the projected memo key
+/// sound.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Projection {
+    offsets: Vec<u32>,
+    rows: Vec<u64>,
 }
 
-impl BehaviorArena {
-    fn intern(&mut self, b: FlatBehavior, masks: &mut MaskArena) -> BehaviorId {
-        if let Some(&id) = self.index.get(&b) {
+impl Projection {
+    fn ac(&self, slot: usize, words: usize) -> &[u64] {
+        &self.rows[self.offsets[slot] as usize * words..self.offsets[slot + 1] as usize * words]
+    }
+}
+
+/// Content-addressed projection store (main-thread only).
+#[derive(Default)]
+struct ProjArena {
+    index: FxHashMap<Projection, ProjId>,
+    projs: Vec<Projection>,
+}
+
+impl ProjArena {
+    fn intern(&mut self, p: Projection) -> ProjId {
+        if let Some(&id) = self.index.get(&p) {
             return id;
         }
-        let ids = b.masks.iter().map(|m| masks.intern(m.clone())).collect();
-        let data = BehaviorData {
-            offsets: b.offsets.clone(),
-            ids,
+        let id = self.projs.len() as ProjId;
+        self.index.insert(p.clone(), id);
+        self.projs.push(p);
+        id
+    }
+}
+
+/// Computes and caches behaviour → projection ids per `(table, side)`.
+/// Lives on the main thread; projection ids are assigned in canonical
+/// frontier-scan order, hence deterministic.
+struct Projector {
+    arena: ProjArena,
+    /// `cache[table][side][behavior]` = interned projection id, or
+    /// `u32::MAX` when not yet computed.
+    cache: Vec<[Vec<u32>; 2]>,
+}
+
+impl Projector {
+    fn new(n_tables: usize) -> Projector {
+        Projector {
+            arena: ProjArena::default(),
+            cache: (0..n_tables).map(|_| [Vec::new(), Vec::new()]).collect(),
+        }
+    }
+
+    fn id(
+        &mut self,
+        walker: &Walker,
+        behaviors: &BehaviorArena,
+        ti: u32,
+        side: usize,
+        b: BehaviorId,
+    ) -> ProjId {
+        let cache = &mut self.cache[ti as usize][side];
+        if b as usize >= cache.len() {
+            cache.resize(b as usize + 1, u32::MAX);
+        }
+        if cache[b as usize] != u32::MAX {
+            return cache[b as usize];
+        }
+        let words = walker.words;
+        let targets = walker.tables[ti as usize].targets(side);
+        let fb = &behaviors.behaviors[b as usize];
+        let mut p = Projection {
+            offsets: Vec::with_capacity(targets.len() + 1),
+            rows: Vec::new(),
         };
-        let id = self.behaviors.len() as BehaviorId;
-        self.behaviors.push(data);
-        self.index.insert(b, id);
+        p.offsets.push(0);
+        for &t in targets {
+            p.rows.extend_from_slice(fb.ac(t as usize, words));
+            p.offsets.push((p.rows.len() / words) as u32);
+        }
+        let id = self.arena.intern(p);
+        self.cache[ti as usize][side][b as usize] = id;
         id
     }
 }
@@ -261,21 +340,33 @@ enum Act {
     Fork(u32, u32),
     /// `stay(p)` — re-dispatch at this node in state `p`.
     Stay(u32),
-    /// `down(target)` into the left (`left = true`) or right child.
-    Down { left: bool, target: u32 },
+    /// `down` into the left (`left = true`) or right child; `slot` indexes
+    /// the side's target list (and therefore the child projection).
+    Down { left: bool, slot: u32 },
 }
 
-/// Per-symbol compiled rule table: dense action lists plus the static
-/// reverse-dependency edges (`Stay`/`Fork` reads) a worklist needs.
+/// The children-independent least fixpoint of one symbol, stored densely:
+/// state `q`'s antichain is rows `offsets[q]..offsets[q + 1]` (row units),
+/// popcount-sorted, with `pcs` caching per-row popcounts. Seeding a
+/// composition is one `extend_from_slice` plus a [`RowRef`] list rebuild.
+#[derive(Default)]
+struct DenseBase {
+    offsets: Vec<u32>,
+    rows: Vec<u64>,
+    pcs: Vec<u32>,
+}
+
+/// Per-symbol compiled rule table in CSR form: dense action lists plus the
+/// static reverse-dependency edges (`Stay`/`Fork` reads) a worklist needs.
 struct SymTable {
-    /// Actions of each state at a node with this symbol.
-    acts: Vec<Vec<Act>>,
+    acts_off: Vec<u32>,
+    acts: Vec<Act>,
     /// `(state, exit target)` pairs of `UpLeft` rules.
     up_left: Vec<(u32, u32)>,
     /// `(state, exit target)` pairs of `UpRight` rules.
     up_right: Vec<(u32, u32)>,
-    /// `rdeps[p]` = states whose candidates read `r[p]` via `Stay`/`Fork`.
-    rdeps: Vec<Vec<u32>>,
+    rdeps_off: Vec<u32>,
+    rdeps: Vec<u32>,
     /// States with at least one action, ascending — the initial worklist
     /// of the base fixpoint.
     active: Vec<u32>,
@@ -285,34 +376,141 @@ struct SymTable {
     down_states: Vec<u32>,
     /// Whether any state has a `Down` action (gates down-dependency work).
     has_down: bool,
-    /// Least fixpoint of the children-independent rules (everything but
-    /// `Down`), solved once per symbol. Every composition's root run
-    /// starts here; for leaves it *is* the root solution.
-    base: Behavior,
+    /// Sorted distinct `DownLeft` targets; `Act::Down` slots index this.
+    dl_targets: Vec<u32>,
+    /// Sorted distinct `DownRight` targets.
+    dr_targets: Vec<u32>,
+    base: DenseBase,
 }
 
 impl SymTable {
-    fn new(n_states: usize) -> SymTable {
-        SymTable {
+    fn acts(&self, q: usize) -> &[Act] {
+        &self.acts[self.acts_off[q] as usize..self.acts_off[q + 1] as usize]
+    }
+
+    fn rdeps(&self, q: usize) -> &[u32] {
+        &self.rdeps[self.rdeps_off[q] as usize..self.rdeps_off[q + 1] as usize]
+    }
+
+    fn targets(&self, side: usize) -> &[u32] {
+        if side == 0 {
+            &self.dl_targets
+        } else {
+            &self.dr_targets
+        }
+    }
+}
+
+/// Raw (pre-CSR) action as collected from the rule stream.
+#[derive(Clone, Copy)]
+enum RawAct {
+    Accept,
+    Fork(u32, u32),
+    Stay(u32),
+    Down { left: bool, target: u32 },
+}
+
+/// Mutable per-symbol accumulator, frozen into a [`SymTable`].
+struct TableBuilder {
+    acts: Vec<Vec<RawAct>>,
+    up_left: Vec<(u32, u32)>,
+    up_right: Vec<(u32, u32)>,
+    rdeps: Vec<Vec<u32>>,
+}
+
+impl TableBuilder {
+    fn new(n_states: usize) -> TableBuilder {
+        TableBuilder {
             acts: vec![Vec::new(); n_states],
             up_left: Vec::new(),
             up_right: Vec::new(),
             rdeps: vec![Vec::new(); n_states],
-            active: Vec::new(),
-            down_states: Vec::new(),
-            has_down: false,
-            base: Vec::new(),
+        }
+    }
+
+    fn freeze(mut self) -> SymTable {
+        let n_states = self.acts.len();
+        let mut dl_targets: Vec<u32> = Vec::new();
+        let mut dr_targets: Vec<u32> = Vec::new();
+        for acts in &self.acts {
+            for a in acts {
+                if let RawAct::Down { left, target } = *a {
+                    if left {
+                        dl_targets.push(target);
+                    } else {
+                        dr_targets.push(target);
+                    }
+                }
+            }
+        }
+        dl_targets.sort_unstable();
+        dl_targets.dedup();
+        dr_targets.sort_unstable();
+        dr_targets.dedup();
+        let mut acts_off = Vec::with_capacity(n_states + 1);
+        acts_off.push(0u32);
+        let mut acts: Vec<Act> = Vec::new();
+        let mut active = Vec::new();
+        let mut down_states = Vec::new();
+        for (q, list) in self.acts.iter().enumerate() {
+            if !list.is_empty() {
+                active.push(q as u32);
+            }
+            let mut q_down = false;
+            for a in list {
+                acts.push(match *a {
+                    RawAct::Accept => Act::Accept,
+                    RawAct::Fork(a1, a2) => Act::Fork(a1, a2),
+                    RawAct::Stay(p) => Act::Stay(p),
+                    RawAct::Down { left, target } => {
+                        q_down = true;
+                        let side = if left { &dl_targets } else { &dr_targets };
+                        let slot = side.binary_search(&target).expect("registered target") as u32;
+                        Act::Down { left, slot }
+                    }
+                });
+            }
+            if q_down {
+                down_states.push(q as u32);
+            }
+            acts_off.push(acts.len() as u32);
+        }
+        let mut rdeps_off = Vec::with_capacity(n_states + 1);
+        rdeps_off.push(0u32);
+        let mut rdeps: Vec<u32> = Vec::new();
+        for v in &mut self.rdeps {
+            v.sort_unstable();
+            v.dedup();
+            rdeps.extend_from_slice(v);
+            rdeps_off.push(rdeps.len() as u32);
+        }
+        self.up_left.sort_unstable();
+        self.up_left.dedup();
+        self.up_right.sort_unstable();
+        self.up_right.dedup();
+        SymTable {
+            acts_off,
+            acts,
+            up_left: self.up_left,
+            up_right: self.up_right,
+            rdeps_off,
+            rdeps,
+            active,
+            has_down: !down_states.is_empty(),
+            down_states,
+            dl_targets,
+            dr_targets,
+            base: DenseBase::default(),
         }
     }
 }
 
 /// Everything a single composition's fixpoint runs share: the compiled
-/// symbol table, the (frozen) children behaviours and mask arena, and the
+/// symbol table, the (frozen) children projections, and the
 /// per-composition dynamic down-dependency edges.
 struct FixCtx<'a> {
     table: &'a SymTable,
-    children: Option<(&'a BehaviorData, &'a BehaviorData)>,
-    masks: &'a [Mask],
+    children: Option<(&'a Projection, &'a Projection)>,
     /// `down_rdeps[p]` = states with a `Down` action whose child antichain
     /// contains an exit set with bit `p`; empty when `!table.has_down` or
     /// there are no children.
@@ -323,28 +521,38 @@ struct FixCtx<'a> {
 #[derive(Clone, Copy, Default)]
 struct JobStats {
     steps: u64,
-    peak: usize,
+    peak: u64,
     par_batches: u64,
+    rows: u64,
+    row_peak: u64,
+    chunks: u64,
 }
 
-/// Reusable buffers of the solver inner loop (candidate masks and the
-/// exit-resolution double buffer).
+/// Reusable buffers of the solver inner loop: flat candidate rows, a row
+/// build buffer, and the exit-resolution double buffer (`acc`/`tmp` refs
+/// into the private `pool` row arena).
 #[derive(Default)]
 struct Scratch {
-    cands: Vec<Mask>,
-    acc: Antichain,
-    tmp: Antichain,
+    cands: Vec<u64>,
+    row: Vec<u64>,
+    pool: Vec<u64>,
+    acc: Vec<RowRef>,
+    tmp: Vec<RowRef>,
 }
 
-/// Per-worker reusable solver state: the two behaviour buffers, the
-/// worklist with its membership flags, the candidate scratch, and the
-/// down-dependency edge buffer. Compositions run entirely inside one
-/// workspace, so after warm-up they allocate only their (flat) results.
+/// Per-worker reusable solver state: the composition-local row arena, the
+/// two behaviour list buffers, the worklist with its membership flags, the
+/// candidate scratch, and the down-dependency edge buffer. Compositions
+/// run entirely inside one workspace, so after warm-up they allocate only
+/// their (flat) results.
 struct Workspace {
-    /// Root-position solution buffer (restarted from the symbol base).
-    root: Behavior,
-    /// Positional (left/right) solution buffer (restarted from `root`).
-    pos: Behavior,
+    /// Composition-local row storage; reset per composition, seeded from
+    /// the symbol base.
+    arena: Vec<u64>,
+    /// Root-position antichain lists (restarted from the symbol base).
+    root: Vec<Vec<RowRef>>,
+    /// Positional (left/right) lists (restarted from `root`).
+    pos: Vec<Vec<RowRef>>,
     /// The worklist; empty between runs.
     wl: Vec<u32>,
     /// `inq[q]` ⟺ `q` is on `wl`; all-false between runs.
@@ -357,39 +565,15 @@ struct Workspace {
 impl Workspace {
     fn new(n_states: usize) -> Workspace {
         Workspace {
-            root: vec![Antichain::new(); n_states],
-            pos: vec![Antichain::new(); n_states],
+            arena: Vec::new(),
+            root: vec![Vec::new(); n_states],
+            pos: vec![Vec::new(); n_states],
             wl: Vec::new(),
             inq: vec![false; n_states],
             scratch: Scratch::default(),
             down_rdeps: vec![Vec::new(); n_states],
         }
     }
-}
-
-/// A behaviour in flat, canonical (sorted) form: entry state `q`'s
-/// antichain is `masks[offsets[q] as usize..offsets[q + 1] as usize]`.
-/// Two allocations per behaviour, however many states the machine has —
-/// and the interning key of [`BehaviorArena`].
-#[derive(PartialEq, Eq, Hash)]
-struct FlatBehavior {
-    offsets: Vec<u32>,
-    masks: Vec<Mask>,
-}
-
-/// Flattens a solved behaviour buffer, sorting each antichain into the
-/// canonical order interning expects.
-fn flatten(r: &[Antichain]) -> FlatBehavior {
-    let mut offsets = Vec::with_capacity(r.len() + 1);
-    offsets.push(0);
-    let mut masks: Vec<Mask> = Vec::new();
-    for ac in r {
-        let start = masks.len();
-        masks.extend(ac.iter().cloned());
-        masks[start..].sort_unstable();
-        offsets.push(masks.len() as u32);
-    }
-    FlatBehavior { offsets, masks }
 }
 
 /// The raw (un-interned) result of one composition. `left`/`right` are
@@ -407,19 +591,19 @@ struct RawTriple {
 /// it consumes grows. Shared by all three runs of one composition.
 fn fill_down_rdeps(
     table: &SymTable,
-    (bl, br): (&BehaviorData, &BehaviorData),
-    masks: &[Mask],
+    (pl, pr): (&Projection, &Projection),
+    words: usize,
     deps: &mut [Vec<u32>],
 ) {
     for v in deps.iter_mut() {
         v.clear();
     }
     for &q in &table.down_states {
-        for act in &table.acts[q as usize] {
-            if let Act::Down { left, target } = *act {
-                let child = if left { bl } else { br };
-                for &mid in child.at(target as usize) {
-                    for e in masks[mid as usize].bits() {
+        for act in table.acts(q as usize) {
+            if let Act::Down { left, slot } = *act {
+                let child = if left { pl } else { pr };
+                for exits in child.ac(slot as usize, words).chunks_exact(words) {
+                    for e in row_bits(exits) {
                         deps[e].push(q);
                     }
                 }
@@ -433,46 +617,64 @@ fn fill_down_rdeps(
 }
 
 struct Walker {
-    tables: FxHashMap<Symbol, SymTable>,
+    tables: Vec<SymTable>,
+    sym_index: FxHashMap<Symbol, u32>,
     n_states: usize,
     words: usize,
     initial: usize,
 }
 
 impl Walker {
-    /// Compiles the automaton's rules into per-symbol tables and solves
-    /// each symbol's children-independent base fixpoint (counted into
-    /// `stats`, like every other solver run).
+    /// Compiles the automaton's rules into per-symbol CSR tables (every
+    /// alphabet symbol gets one, possibly empty, so jobs and memo keys can
+    /// use dense table ids) and solves each symbol's children-independent
+    /// base fixpoint (counted into `stats`, like every other solver run).
     fn new(a: &PebbleAutomaton, stats: &mut JobStats) -> Result<Walker, TypecheckError> {
         if a.k() != 1 {
             return Err(TypecheckError::NeedsOnePebble { k: a.k() });
         }
         let n_states = a.core().n_states() as usize;
-        let mut tables: FxHashMap<Symbol, SymTable> = FxHashMap::default();
+        let alphabet = a.input_alphabet();
+        let mut sym_index: FxHashMap<Symbol, u32> = FxHashMap::default();
+        let mut builders: Vec<TableBuilder> = Vec::new();
+        let mut slot_of = |sym: Symbol, builders: &mut Vec<TableBuilder>| -> usize {
+            *sym_index.entry(sym).or_insert_with(|| {
+                builders.push(TableBuilder::new(n_states));
+                (builders.len() - 1) as u32
+            }) as usize
+        };
+        // Register alphabet symbols first (leaves, then binaries, in
+        // alphabet order) so table ids are rule-order independent.
+        for &sym in alphabet.leaves().iter() {
+            slot_of(sym, &mut builders);
+        }
+        for &sym in alphabet.binaries().iter() {
+            slot_of(sym, &mut builders);
+        }
         for (sym, q, guard, action) in a.core().rules() {
             debug_assert!(guard.0.is_empty(), "k = 1 guards are trivial");
-            let t = tables.entry(sym).or_insert_with(|| SymTable::new(n_states));
+            let ti = slot_of(sym, &mut builders);
+            let t = &mut builders[ti];
             let qi = q.0;
             match action {
-                Action::Branch0 => t.acts[q.index()].push(Act::Accept),
+                Action::Branch0 => t.acts[q.index()].push(RawAct::Accept),
                 Action::Branch2(q1, q2) => {
-                    t.acts[q.index()].push(Act::Fork(q1.0, q2.0));
+                    t.acts[q.index()].push(RawAct::Fork(q1.0, q2.0));
                     t.rdeps[q1.index()].push(qi);
                     t.rdeps[q2.index()].push(qi);
                 }
                 Action::Move(m, target) => match m {
                     Move::Stay => {
-                        t.acts[q.index()].push(Act::Stay(target.0));
+                        t.acts[q.index()].push(RawAct::Stay(target.0));
                         t.rdeps[target.index()].push(qi);
                     }
                     Move::UpLeft => t.up_left.push((qi, target.0)),
                     Move::UpRight => t.up_right.push((qi, target.0)),
                     Move::DownLeft | Move::DownRight => {
-                        t.acts[q.index()].push(Act::Down {
+                        t.acts[q.index()].push(RawAct::Down {
                             left: matches!(m, Move::DownLeft),
                             target: target.0,
                         });
-                        t.has_down = true;
                     }
                     Move::PlaceNew | Move::PickCurrent => {
                         unreachable!("unusable at k = 1")
@@ -483,32 +685,9 @@ impl Walker {
                 }
             }
         }
-        for t in tables.values_mut() {
-            for v in &mut t.rdeps {
-                v.sort_unstable();
-                v.dedup();
-            }
-            t.up_left.sort_unstable();
-            t.up_left.dedup();
-            t.up_right.sort_unstable();
-            t.up_right.dedup();
-            t.active = t
-                .acts
-                .iter()
-                .enumerate()
-                .filter(|(_, acts)| !acts.is_empty())
-                .map(|(i, _)| i as u32)
-                .collect();
-            t.down_states = t
-                .acts
-                .iter()
-                .enumerate()
-                .filter(|(_, acts)| acts.iter().any(|a| matches!(a, Act::Down { .. })))
-                .map(|(i, _)| i as u32)
-                .collect();
-        }
         let mut walker = Walker {
-            tables,
+            tables: builders.into_iter().map(TableBuilder::freeze).collect(),
+            sym_index,
             n_states,
             words: n_states.div_ceil(64).max(1),
             initial: a.core().initial().index(),
@@ -516,59 +695,96 @@ impl Walker {
         // Base fixpoints: solve each symbol's system with `Down` candidates
         // absent (no children). Every composition restarts from here.
         let mut ws = Workspace::new(n_states);
-        let syms: Vec<Symbol> = walker.tables.keys().copied().collect();
-        let mut bases: Vec<(Symbol, Behavior)> = Vec::with_capacity(syms.len());
-        for &sym in &syms {
-            let table = &walker.tables[&sym];
+        let mut bases: Vec<DenseBase> = Vec::with_capacity(walker.tables.len());
+        for table in &walker.tables {
             let ctx = FixCtx {
                 table,
                 children: None,
-                masks: &[],
                 down_rdeps: &[],
             };
-            let mut base = vec![Antichain::new(); n_states];
+            ws.arena.clear();
+            for list in ws.root.iter_mut() {
+                list.clear();
+            }
             for &q in &table.active {
                 ws.inq[q as usize] = true;
                 ws.wl.push(q);
             }
             walker.solve(
                 &ctx,
-                &mut base,
+                &mut ws.root,
+                &mut ws.arena,
                 &mut ws.wl,
                 &mut ws.inq,
                 &mut ws.scratch,
                 stats,
             );
-            bases.push((sym, base));
+            let mut base = DenseBase {
+                offsets: Vec::with_capacity(n_states + 1),
+                rows: Vec::new(),
+                pcs: Vec::new(),
+            };
+            base.offsets.push(0);
+            for list in &ws.root {
+                for e in list {
+                    base.rows
+                        .extend_from_slice(row_at(&ws.arena, e.id, walker.words));
+                    base.pcs.push(e.pc);
+                }
+                base.offsets.push(base.pcs.len() as u32);
+            }
+            bases.push(base);
         }
-        for (sym, base) in bases {
-            walker.tables.get_mut(&sym).expect("known symbol").base = base;
+        for (table, base) in walker.tables.iter_mut().zip(bases) {
+            table.base = base;
         }
         Ok(walker)
     }
 
+    fn slot(&self, sym: Symbol) -> u32 {
+        self.sym_index[&sym]
+    }
+
     /// Pushes all resolution candidates of state `q` against the current
-    /// `r` into `scratch.cands`. Candidates need not be mutually minimal —
-    /// the `insert_min` merge in [`Walker::solve`] filters them.
-    fn candidates(&self, ctx: &FixCtx<'_>, r: &[Antichain], q: usize, scratch: &mut Scratch) {
-        for act in &ctx.table.acts[q] {
+    /// `r` into `scratch.cands` as flat rows. Candidates need not be
+    /// mutually minimal — the [`ac_insert_min`] merge in [`Walker::solve`]
+    /// filters them.
+    fn candidates(
+        &self,
+        ctx: &FixCtx<'_>,
+        r: &[Vec<RowRef>],
+        arena: &[u64],
+        q: usize,
+        scratch: &mut Scratch,
+    ) {
+        let words = self.words;
+        for act in ctx.table.acts(q) {
             match *act {
-                Act::Accept => scratch.cands.push(Mask::empty(self.words)),
+                Act::Accept => {
+                    let n = scratch.cands.len();
+                    scratch.cands.resize(n + words, 0);
+                }
                 Act::Fork(q1, q2) => {
                     for x in &r[q1 as usize] {
+                        let xa = row_at(arena, x.id, words);
                         for y in &r[q2 as usize] {
-                            scratch.cands.push(x.or(y));
+                            let ya = row_at(arena, y.id, words);
+                            scratch.cands.extend(xa.iter().zip(ya).map(|(a, b)| a | b));
                         }
                     }
                 }
-                Act::Stay(p) => scratch.cands.extend(r[p as usize].iter().cloned()),
-                Act::Down { left, target } => {
-                    let Some((bl, br)) = ctx.children else {
+                Act::Stay(p) => {
+                    for x in &r[p as usize] {
+                        scratch.cands.extend_from_slice(row_at(arena, x.id, words));
+                    }
+                }
+                Act::Down { left, slot } => {
+                    let Some((pl, pr)) = ctx.children else {
                         continue;
                     };
-                    let child = if left { bl } else { br };
-                    for &mid in child.at(target as usize) {
-                        self.resolve_exits(&ctx.masks[mid as usize], r, scratch);
+                    let child = if left { pl } else { pr };
+                    for exits in child.ac(slot as usize, words).chunks_exact(words) {
+                        self.resolve_exits(exits, r, arena, scratch);
                     }
                 }
             }
@@ -578,23 +794,47 @@ impl Walker {
     /// Exit states returned by a child must all resolve at the current
     /// node: pushes the minimal unions over one choice of resolution per
     /// exit state into `scratch.cands` (nothing when some exit state
-    /// cannot resolve yet).
-    fn resolve_exits(&self, exits: &Mask, r: &[Antichain], scratch: &mut Scratch) {
-        scratch.acc.clear();
-        scratch.acc.push(Mask::empty(self.words));
-        for q in exits.bits() {
+    /// cannot resolve yet). The intermediate antichains live in the
+    /// scratch `pool` row arena.
+    fn resolve_exits(
+        &self,
+        exits: &[u64],
+        r: &[Vec<RowRef>],
+        arena: &[u64],
+        scratch: &mut Scratch,
+    ) {
+        let words = self.words;
+        let Scratch {
+            cands,
+            row,
+            pool,
+            acc,
+            tmp,
+        } = scratch;
+        pool.clear();
+        pool.resize(words, 0); // row 0 = the empty union
+        acc.clear();
+        acc.push(RowRef { id: 0, pc: 0 });
+        for q in row_bits(exits) {
             if r[q].is_empty() {
                 return; // this exit state cannot resolve (yet)
             }
-            scratch.tmp.clear();
-            for x in &scratch.acc {
+            tmp.clear();
+            for x in acc.iter() {
+                let xs = x.id as usize * words;
                 for y in &r[q] {
-                    insert_min(&mut scratch.tmp, x.or(y));
+                    let ya = row_at(arena, y.id, words);
+                    row.clear();
+                    row.extend(pool[xs..xs + words].iter().zip(ya).map(|(a, b)| a | b));
+                    ac_insert_min(tmp, pool, words, row);
                 }
             }
-            std::mem::swap(&mut scratch.acc, &mut scratch.tmp);
+            std::mem::swap(acc, tmp);
         }
-        scratch.cands.append(&mut scratch.acc);
+        for e in acc.iter() {
+            let s = e.id as usize * words;
+            cands.extend_from_slice(&pool[s..s + words]);
+        }
     }
 
     /// Chaotic-iteration worklist loop: pops a state, recomputes its
@@ -602,28 +842,34 @@ impl Walker {
     /// On entry `wl` must list every state whose candidates may exceed `r`
     /// and `inq` must flag exactly the listed states; on exit `wl` is
     /// empty and `inq` all-false again, ready for the next run.
+    #[allow(clippy::too_many_arguments)]
     fn solve(
         &self,
         ctx: &FixCtx<'_>,
-        r: &mut [Antichain],
+        r: &mut [Vec<RowRef>],
+        arena: &mut Vec<u64>,
         wl: &mut Vec<u32>,
         inq: &mut [bool],
         scratch: &mut Scratch,
         stats: &mut JobStats,
     ) {
-        stats.peak = stats.peak.max(wl.len());
+        let words = self.words;
+        stats.peak = stats.peak.max(wl.len() as u64);
         while let Some(q) = wl.pop() {
             inq[q as usize] = false;
             stats.steps += 1;
-            self.candidates(ctx, r, q as usize, scratch);
+            self.candidates(ctx, r, arena, q as usize, scratch);
+            let cands = std::mem::take(&mut scratch.cands);
             let mut grew = false;
-            for m in scratch.cands.drain(..) {
-                grew |= insert_min(&mut r[q as usize], m);
+            for chunk in cands.chunks_exact(words) {
+                grew |= ac_insert_min(&mut r[q as usize], arena, words, chunk);
             }
+            scratch.cands = cands;
+            scratch.cands.clear();
             if !grew {
                 continue;
             }
-            for &d in &ctx.table.rdeps[q as usize] {
+            for &d in ctx.table.rdeps(q as usize) {
                 if !inq[d as usize] {
                     inq[d as usize] = true;
                     wl.push(d);
@@ -637,7 +883,7 @@ impl Walker {
                     }
                 }
             }
-            stats.peak = stats.peak.max(wl.len());
+            stats.peak = stats.peak.max(wl.len() as u64);
         }
     }
 
@@ -645,14 +891,17 @@ impl Walker {
     /// exits, solving into the reusable `pos` buffer. Sound because the
     /// root solution is below the positional least fixpoint and chaotic
     /// iteration from any such point converges to it — only the up
-    /// increments need re-propagation. Returns `None` when there are no
-    /// up-moves for this position (behaviour = root's).
+    /// increments need re-propagation. The `pos` lists share the arena
+    /// with `root` (rows are immutable, so the restart copies refs, not
+    /// rows). Returns `None` when there are no up-moves for this position
+    /// (behaviour = root's).
     #[allow(clippy::too_many_arguments)]
     fn extend_up(
         &self,
         ctx: &FixCtx<'_>,
-        root: &[Antichain],
-        pos: &mut Behavior,
+        root: &[Vec<RowRef>],
+        pos: &mut [Vec<RowRef>],
+        arena: &mut Vec<u64>,
         ups: &[(u32, u32)],
         wl: &mut Vec<u32>,
         inq: &mut [bool],
@@ -666,13 +915,13 @@ impl Walker {
             p.clone_from(r);
         }
         for &(q, target) in ups {
-            if !insert_min(
-                &mut pos[q as usize],
-                Mask::singleton(target as usize, self.words),
-            ) {
+            scratch.row.clear();
+            scratch.row.resize(self.words, 0);
+            scratch.row[target as usize / 64] |= 1u64 << (target as usize % 64);
+            if !ac_insert_min(&mut pos[q as usize], arena, self.words, &scratch.row) {
                 continue;
             }
-            for &d in &ctx.table.rdeps[q as usize] {
+            for &d in ctx.table.rdeps(q as usize) {
                 if !inq[d as usize] {
                     inq[d as usize] = true;
                     wl.push(d);
@@ -687,31 +936,25 @@ impl Walker {
                 }
             }
         }
-        self.solve(ctx, pos, wl, inq, scratch, stats);
-        Some(flatten(pos))
+        self.solve(ctx, pos, arena, wl, inq, scratch, stats);
+        Some(flatten(pos, arena, self.words))
     }
 
     /// One full composition: the root fixpoint (restarted from the symbol
     /// base) plus its left/right up-move extensions. Pure apart from the
-    /// workspace buffers — reads only frozen arenas, so it is safe to run
-    /// from worker threads with per-worker workspaces.
+    /// workspace buffers — reads only frozen tables and projections, so it
+    /// is safe to run from worker threads with per-worker workspaces.
     fn compose(
         &self,
-        sym: Symbol,
-        children: Option<(&BehaviorData, &BehaviorData)>,
-        masks: &[Mask],
+        table_idx: u32,
+        children: Option<(&Projection, &Projection)>,
         ws: &mut Workspace,
         stats: &mut JobStats,
     ) -> RawTriple {
-        let Some(table) = self.tables.get(&sym) else {
-            return RawTriple {
-                root: flatten(&vec![Antichain::new(); self.n_states]),
-                left: None,
-                right: None,
-                accepting: false,
-            };
-        };
+        let table = &self.tables[table_idx as usize];
+        let words = self.words;
         let Workspace {
+            arena,
             root,
             pos,
             wl,
@@ -719,38 +962,69 @@ impl Walker {
             scratch,
             down_rdeps,
         } = ws;
+        // Seed root from the symbol base: one slice copy plus ref lists.
+        arena.clear();
+        arena.extend_from_slice(&table.base.rows);
+        for (q, list) in root.iter_mut().enumerate() {
+            list.clear();
+            let (s, e) = (table.base.offsets[q], table.base.offsets[q + 1]);
+            list.extend((s..e).map(|i| RowRef {
+                id: i,
+                pc: table.base.pcs[i as usize],
+            }));
+        }
         let use_down = table.has_down && children.is_some();
         if use_down {
             fill_down_rdeps(
                 table,
                 children.expect("gated on children"),
-                masks,
+                words,
                 down_rdeps,
             );
         }
         let ctx = FixCtx {
             table,
             children,
-            masks,
-            down_rdeps: if use_down { down_rdeps } else { &[] },
+            down_rdeps: if use_down { down_rdeps.as_slice() } else { &[] },
         };
         // Root run: only the `Down` candidates can exceed the base.
-        for (p, b) in root.iter_mut().zip(&table.base) {
-            p.clone_from(b);
-        }
         if use_down && !table.down_states.is_empty() {
             for &q in &table.down_states {
                 inq[q as usize] = true;
                 wl.push(q);
             }
-            self.solve(&ctx, root, wl, inq, scratch, stats);
+            self.solve(&ctx, root, arena, wl, inq, scratch, stats);
         }
-        // Accepting iff the initial configuration resolves with no exits.
-        let accepting = root[self.initial].iter().any(Mask::is_empty);
-        let left = self.extend_up(&ctx, root, pos, &table.up_left, wl, inq, scratch, stats);
-        let right = self.extend_up(&ctx, root, pos, &table.up_right, wl, inq, scratch, stats);
+        // Accepting iff the initial configuration resolves with no exits
+        // (the popcount-sorted list puts an empty row first if present).
+        let accepting = root[self.initial].first().is_some_and(|e| e.pc == 0);
+        let left = self.extend_up(
+            &ctx,
+            root,
+            pos,
+            arena,
+            &table.up_left,
+            wl,
+            inq,
+            scratch,
+            stats,
+        );
+        let right = self.extend_up(
+            &ctx,
+            root,
+            pos,
+            arena,
+            &table.up_right,
+            wl,
+            inq,
+            scratch,
+            stats,
+        );
+        let rows = (arena.len() / words) as u64;
+        stats.rows += rows;
+        stats.row_peak = stats.row_peak.max(rows);
         RawTriple {
-            root: flatten(root),
+            root: flatten(root, arena, words),
             left,
             right,
             accepting,
@@ -758,14 +1032,28 @@ impl Walker {
     }
 }
 
-/// A composition job: symbol plus the children's projection ids (`None`
-/// for a leaf).
-type Job = (Symbol, Option<(BehaviorId, BehaviorId)>);
+/// A composition job: dense symbol-table id plus the children's projection
+/// ids (`None` for a leaf).
+#[derive(Clone, Copy)]
+struct Job {
+    table: u32,
+    children: Option<(ProjId, ProjId)>,
+}
 
 /// Evaluates a batch of composition jobs, in parallel when the batch, the
 /// thread budget *and* the parallel threshold allow it. Results come back
 /// in job order, so the (sequential) interning that follows is independent
 /// of scheduling.
+///
+/// The parallel path is a work-stealing chunked scheduler: the job list is
+/// split into contiguous `chunk`-sized ranges dealt round-robin onto
+/// per-worker deques; a worker pops its own deque from the front and, when
+/// empty, steals the back half of the first non-empty victim deque. A
+/// worker quits after one full scan finds every deque empty (in-flight
+/// chunks are owned — and finished — by their current holder, so no work
+/// is lost). Scheduling affects only wall time: results are keyed by job
+/// index and every counter that lands in [`WalkStats`] is a sum or max
+/// over jobs.
 ///
 /// The threshold gate exists because a composition job is cheap (≈10 µs on
 /// the flagship instances): below a measured batch size the fixed cost of
@@ -773,13 +1061,14 @@ type Job = (Symbol, Option<(BehaviorId, BehaviorId)>);
 /// workspace outweighs the speedup, and `--threads auto` would *lose* to
 /// `--threads 1` (BENCH_typecheck.json schema 4 recorded 147.7 ms parallel
 /// vs 116.5 ms sequential on Q2/mod-3, whose batches peak at 2 448 jobs).
+#[allow(clippy::too_many_arguments)]
 fn compute_batch(
     walker: &Walker,
     jobs: &[Job],
-    masks: &[Mask],
-    behaviors: &[BehaviorData],
+    projs: &[Projection],
     threads: usize,
     parallel_threshold: usize,
+    chunk: usize,
     agg: &mut JobStats,
 ) -> Vec<RawTriple> {
     let jour = journal::enabled();
@@ -788,9 +1077,9 @@ fn compute_batch(
             journal::begin("walk.job");
         }
         let children = job
-            .1
-            .map(|(l, r)| (&behaviors[l as usize], &behaviors[r as usize]));
-        let raw = walker.compose(job.0, children, masks, ws, stats);
+            .children
+            .map(|(l, r)| (&projs[l as usize], &projs[r as usize]));
+        let raw = walker.compose(job.table, children, ws, stats);
         if jour {
             journal::end("walk.job");
         }
@@ -802,13 +1091,29 @@ fn compute_batch(
     }
     agg.par_batches += 1;
     let workers = threads.min(jobs.len());
-    let next = AtomicUsize::new(0);
+    let csize = chunk.max(1);
+    let n_chunks = jobs.len().div_ceil(csize);
+    agg.chunks += n_chunks as u64;
+    let queues: Vec<Mutex<VecDeque<(u32, u32)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for c in 0..n_chunks {
+        let start = c * csize;
+        let end = (start + csize).min(jobs.len());
+        queues[c % workers]
+            .lock()
+            .expect("deal queue")
+            .push_back((start as u32, end as u32));
+    }
+    let remaining = AtomicUsize::new(jobs.len());
+    let steals = AtomicU64::new(0);
     let mut out: Vec<Option<RawTriple>> = Vec::with_capacity(jobs.len());
     out.resize_with(jobs.len(), || None);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                let next = &next;
+                let queues = &queues;
+                let remaining = &remaining;
+                let steals = &steals;
                 let run_one = &run_one;
                 // Workers carry stable names so successive frontier crews
                 // merge into one per-worker timeline track in trace output.
@@ -821,18 +1126,48 @@ fn compute_batch(
                         let mut local: Vec<(usize, RawTriple)> = Vec::new();
                         let mut ws = Workspace::new(walker.n_states);
                         let mut stats = JobStats::default();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= jobs.len() {
-                                break;
+                        'work: loop {
+                            let range = queues[w].lock().expect("own queue").pop_front();
+                            let (start, end) = match range {
+                                Some(r) => r,
+                                None => {
+                                    // Steal: one scan over the victims; on
+                                    // a hit take the back half of their
+                                    // deque, else quit.
+                                    let mut got = None;
+                                    for off in 1..workers {
+                                        let v = (w + off) % workers;
+                                        let mut vq = queues[v].lock().expect("victim queue");
+                                        let n = vq.len();
+                                        if n == 0 {
+                                            continue;
+                                        }
+                                        let take = n.div_ceil(2);
+                                        let mut tail = vq.split_off(n - take);
+                                        drop(vq);
+                                        steals.fetch_add(1, Ordering::Relaxed);
+                                        let first = tail.pop_front().expect("nonempty steal");
+                                        if !tail.is_empty() {
+                                            let mut own = queues[w].lock().expect("own queue");
+                                            own.append(&mut tail);
+                                        }
+                                        got = Some(first);
+                                        break;
+                                    }
+                                    match got {
+                                        Some(r) => r,
+                                        None => break 'work,
+                                    }
+                                }
+                            };
+                            let (start, end) = (start as usize, end as usize);
+                            for (i, job) in jobs.iter().enumerate().take(end).skip(start) {
+                                local.push((i, run_one(job, &mut ws, &mut stats)));
+                                let left = remaining.fetch_sub(1, Ordering::Relaxed) - 1;
+                                if jour {
+                                    journal::counter("walk.jobs_remaining", left as u64);
+                                }
                             }
-                            if jour {
-                                journal::counter(
-                                    "walk.jobs_remaining",
-                                    (jobs.len() - i - 1) as u64,
-                                );
-                            }
-                            local.push((i, run_one(&jobs[i], &mut ws, &mut stats)));
                         }
                         if jour {
                             journal::end("walk.worker");
@@ -846,11 +1181,16 @@ fn compute_batch(
             let (local, stats) = h.join().expect("walk worker panicked");
             agg.steps += stats.steps;
             agg.peak = agg.peak.max(stats.peak);
+            agg.rows += stats.rows;
+            agg.row_peak = agg.row_peak.max(stats.row_peak);
             for (i, raw) in local {
                 out[i] = Some(raw);
             }
         }
     });
+    if jour {
+        journal::counter("walk.steals", steals.load(Ordering::Relaxed));
+    }
     out.into_iter()
         .map(|o| o.expect("every job computed"))
         .collect()
@@ -860,15 +1200,15 @@ fn compute_batch(
 /// positional ones (which alias the root when the position admits no
 /// up-moves). Main-thread only, in canonical job order — arena ids are
 /// therefore thread-count independent.
-fn intern_raw(raw: RawTriple, masks: &mut MaskArena, behaviors: &mut BehaviorArena) -> TripleIds {
-    let root_id = behaviors.intern(raw.root, masks);
-    let mut position = |b: Option<FlatBehavior>, masks: &mut MaskArena| match b {
-        Some(b) => behaviors.intern(b, masks),
+fn intern_raw(raw: RawTriple, behaviors: &mut BehaviorArena, words: usize) -> TripleIds {
+    let root_id = behaviors.intern(raw.root, words);
+    let position = |b: Option<FlatBehavior>, behaviors: &mut BehaviorArena| match b {
+        Some(b) => behaviors.intern(b, words),
         None => root_id,
     };
     TripleIds {
-        left: position(raw.left, masks),
-        right: position(raw.right, masks),
+        left: position(raw.left, behaviors),
+        right: position(raw.right, behaviors),
         accepting: raw.accepting,
     }
 }
@@ -910,6 +1250,11 @@ pub struct WalkOptions {
     /// [`PARALLEL_JOB_THRESHOLD`]); `1` forces the parallel path for every
     /// batch of at least two jobs.
     pub parallel_threshold: usize,
+    /// Jobs per work-stealing chunk on the parallel path; `0` resolves via
+    /// [`resolve_chunk`] (the `XMLTC_CHUNK` environment variable, else
+    /// [`WORK_CHUNK`]). Chunk size affects wall time only, never results
+    /// or deterministic counters.
+    pub chunk: usize,
 }
 
 impl Default for WalkOptions {
@@ -918,6 +1263,7 @@ impl Default for WalkOptions {
             limit: u32::MAX,
             threads: 0,
             parallel_threshold: 0,
+            chunk: 0,
         }
     }
 }
@@ -928,13 +1274,14 @@ impl Default for WalkOptions {
 pub struct WalkStats {
     /// Transition-table pairs `(symbol, s₁, s₂)` resolved.
     pub pairs: u64,
-    /// Distinct fixpoint compositions actually computed (leaves included).
+    /// Composition requests: one per leaf symbol plus one per
+    /// transition-table pair (`compositions = memo_hits + memo_misses`).
     pub compositions: u64,
-    /// Pairs resolved from the memo without a fixpoint run
-    /// (`pairs − binary compositions`).
+    /// Pair requests resolved from the projected-key memo without a
+    /// fixpoint run.
     pub memo_hits: u64,
-    /// Binary compositions that *did* require a fixpoint run (distinct
-    /// memo keys); `memo_hits + memo_misses = pairs`.
+    /// Requests that *did* require a fixpoint run: the leaf symbols plus
+    /// the distinct projected memo keys.
     pub memo_misses: u64,
     /// Total worklist pops across all fixpoint runs.
     pub fixpoint_steps: u64,
@@ -949,19 +1296,31 @@ pub struct WalkStats {
     pub parallel_batches: u64,
     /// The resolved parallel threshold the run was gated on.
     pub parallel_threshold: u64,
-    /// Distinct exit-set masks interned.
+    /// Distinct exit-set rows (masks) occurring in interned behaviours.
     pub masks_interned: u64,
     /// Distinct behaviours interned.
     pub behaviors_interned: u64,
     /// States of the resulting DBTA.
     pub dbta_states: u64,
+    /// Bitset row width of the kernel, in `u64` words.
+    pub words: u64,
+    /// Total arena rows written across all compositions (live + shadowed).
+    pub kernel_rows: u64,
+    /// Peak arena rows of any single composition.
+    pub kernel_row_peak: u64,
+    /// Distinct behaviour projections interned for memo keys.
+    pub projections_interned: u64,
+    /// The resolved work-stealing chunk size (jobs per chunk).
+    pub chunk_size: u64,
+    /// Chunks dealt across all parallel batches.
+    pub chunks: u64,
 }
 
 impl WalkStats {
-    /// Fraction of pairs resolved from the memo, in `[0, 1]`. Defined as
-    /// `0.0` when no pairs were resolved at all (a trivial automaton), so
-    /// the value is always finite — never the `NaN` a bare
-    /// `hits / (hits + misses)` would produce in JSON/bench output.
+    /// Fraction of composition requests resolved from the memo, in
+    /// `[0, 1]`. Defined as `0.0` when no requests were made at all (a
+    /// trivial automaton), so the value is always finite — never the `NaN`
+    /// a bare `hits / (hits + misses)` would produce in JSON/bench output.
     pub fn memo_hit_rate(&self) -> f64 {
         let total = self.memo_hits + self.memo_misses;
         if total == 0 {
@@ -1018,14 +1377,39 @@ pub fn resolve_parallel_threshold(requested: usize) -> usize {
     PARALLEL_JOB_THRESHOLD
 }
 
+/// Default jobs-per-chunk for the work-stealing frontier, measured on the
+/// scaled `walk-scale` family (see DESIGN.md "Walk kernel"): chunks of 16
+/// amortize the deque locking to <1% of a chunk's compute while leaving
+/// hundreds of stealable chunks per round, so the tail imbalance stays
+/// below one chunk per worker. Larger chunks starve the thieves on skewed
+/// rounds; chunk 1 doubles scheduler overhead for no balance gain.
+pub const WORK_CHUNK: usize = 16;
+
+/// Resolves a requested work-stealing chunk size: an explicit `n > 0`
+/// wins, else the `XMLTC_CHUNK` environment variable, else [`WORK_CHUNK`].
+pub fn resolve_chunk(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("XMLTC_CHUNK")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    WORK_CHUNK
+}
+
 /// Converts a 1-pebble (branching tree-walking) automaton into an
 /// equivalent deterministic bottom-up tree automaton, returning the
 /// construction counters alongside.
 ///
 /// Errors when `k ≠ 1` or the behaviour-class budget is exceeded. The
-/// output is bit-identical for every thread count: workers only evaluate
-/// pure compositions, and all interning happens sequentially in a
-/// canonical order.
+/// output is bit-identical for every thread count and chunk size: workers
+/// only evaluate pure compositions, and all interning happens sequentially
+/// in a canonical order.
 pub fn walking_to_dbta_with(
     a: &PebbleAutomaton,
     opts: &WalkOptions,
@@ -1034,57 +1418,90 @@ pub fn walking_to_dbta_with(
     let walker = Walker::new(a, &mut job_stats)?;
     let threads = resolve_threads(opts.threads);
     let parallel_threshold = resolve_parallel_threshold(opts.parallel_threshold);
+    let chunk = resolve_chunk(opts.chunk);
     let limit = opts.limit;
     let alphabet = a.input_alphabet();
+    let words = walker.words;
 
-    let mut masks = MaskArena::default();
     let mut behaviors = BehaviorArena::default();
+    let mut projector = Projector::new(walker.tables.len());
     let mut triples: Vec<TripleIds> = Vec::new();
     let mut index: FxHashMap<TripleIds, State> = FxHashMap::default();
-    let mut memo: FxHashMap<(Symbol, BehaviorId, BehaviorId), TripleIds> = FxHashMap::default();
+    let mut memo: FxHashMap<(u32, ProjId, ProjId), TripleIds> = FxHashMap::default();
     let mut leaf: FxHashMap<Symbol, State> = FxHashMap::default();
     let mut node: FxHashMap<(Symbol, State, State), State> = FxHashMap::default();
     let mut rounds = 0u64;
 
     // Leaf triples, in alphabet order (canonical).
     let leaf_syms = alphabet.leaves();
-    let leaf_jobs: Vec<Job> = leaf_syms.iter().map(|&s| (s, None)).collect();
+    let leaf_jobs: Vec<Job> = leaf_syms
+        .iter()
+        .map(|&s| Job {
+            table: walker.slot(s),
+            children: None,
+        })
+        .collect();
     let raws = compute_batch(
         &walker,
         &leaf_jobs,
-        &masks.masks,
-        &behaviors.behaviors,
+        &projector.arena.projs,
         threads,
         parallel_threshold,
+        chunk,
         &mut job_stats,
     );
     for (&sym, raw) in leaf_syms.iter().zip(raws) {
-        let ids = intern_raw(raw, &mut masks, &mut behaviors);
+        let ids = intern_raw(raw, &mut behaviors, words);
         let q = intern_triple(ids, &mut triples, &mut index, limit)?;
         leaf.insert(sym, q);
     }
 
     let binaries = alphabet.binaries();
+    // Incremental scan state: `scanned` counts triples whose pair-space
+    // the frontier has already enumerated, and `col[s]` is the replay's
+    // per-row column cursor. Both only advance, so across the whole
+    // construction every `(x, y)` pair is enumerated exactly once by the
+    // frontier and processed exactly once by the replay — rescanning
+    // per round was the dominant sequential cost on saturated frontiers
+    // (O(rounds · m²) hash probes for an m-class machine).
+    let mut scanned = 0usize;
+    let mut col: Vec<u32> = Vec::new();
     loop {
         rounds += 1;
-        // Frontier: every composition key over the known triples that is
-        // neither resolved as a transition nor memoized yet — in canonical
-        // (s₁-major, s₂-minor, symbol) order.
+        // Frontier: every composition key over pairs involving a triple
+        // interned since the last scan — a pair between older triples
+        // already has its key in `memo` (enumerated in a previous round),
+        // so only the new rows and columns can need jobs. Enumeration
+        // order (new-triple-major, `(t, 0..=t)` then `(0..t, t)`, symbols
+        // innermost) is a pure function of the interned-triple sequence,
+        // hence thread-invariant; jobs are deduped on the projected key so
+        // identical jobs solve once per round.
         let mut jobs: Vec<Job> = Vec::new();
-        let mut seen: FxHashSet<(Symbol, BehaviorId, BehaviorId)> = FxHashSet::default();
-        for x in 0..triples.len() {
-            for y in 0..triples.len() {
+        let mut seen: FxHashSet<(u32, ProjId, ProjId)> = FxHashSet::default();
+        let len = triples.len();
+        for t in scanned..len {
+            for p in 0..=2 * t {
+                let (x, y) = if p <= t { (t, p) } else { (p - t - 1, t) };
                 for &sym in &binaries {
                     if node.contains_key(&(sym, State(x as u32), State(y as u32))) {
                         continue;
                     }
-                    let key = (sym, triples[x].left, triples[y].right);
+                    let ti = walker.slot(sym);
+                    let key = (
+                        ti,
+                        projector.id(&walker, &behaviors, ti, 0, triples[x].left),
+                        projector.id(&walker, &behaviors, ti, 1, triples[y].right),
+                    );
                     if !memo.contains_key(&key) && seen.insert(key) {
-                        jobs.push((sym, Some((key.1, key.2))));
+                        jobs.push(Job {
+                            table: ti,
+                            children: Some((key.1, key.2)),
+                        });
                     }
                 }
             }
         }
+        scanned = len;
         if journal::enabled() {
             journal::instant("walk.round");
             journal::counter("walk.frontier_jobs", jobs.len() as u64);
@@ -1093,54 +1510,77 @@ pub fn walking_to_dbta_with(
             let raws = compute_batch(
                 &walker,
                 &jobs,
-                &masks.masks,
-                &behaviors.behaviors,
+                &projector.arena.projs,
                 threads,
                 parallel_threshold,
+                chunk,
                 &mut job_stats,
             );
-            for (&(sym, children), raw) in jobs.iter().zip(raws) {
-                let (l, r) = children.expect("binary job");
-                let ids = intern_raw(raw, &mut masks, &mut behaviors);
-                memo.insert((sym, l, r), ids);
+            for (job, raw) in jobs.iter().zip(raws) {
+                let (l, r) = job.children.expect("binary job");
+                let ids = intern_raw(raw, &mut behaviors, words);
+                memo.insert((job.table, l, r), ids);
             }
         }
 
-        // Canonical replay of the reference nested-loop discovery: interns
-        // triples and transitions in exactly the order the sequential
-        // build did, aborting (for another frontier round) at the first
-        // composition not yet memoized — necessarily one involving a
-        // triple first discovered during this very replay.
+        // Canonical replay: interns triples and transitions in a fixed
+        // deterministic order — row-major over the triple table, each row
+        // advancing its persistent column cursor, repeated in passes until
+        // every row has caught up with the (growing) table. The order is a
+        // pure function of the interned-triple sequence, so the DBTA
+        // numbering is identical at every thread count. Aborts (for
+        // another frontier round) at the first composition not yet
+        // memoized — necessarily one involving a triple first discovered
+        // during this very replay; the cursors make the retry resume where
+        // it stopped instead of rescanning resolved pairs.
         let mut complete = true;
-        let mut processed = 0usize;
-        'replay: while processed < triples.len() {
-            let s1 = State(processed as u32);
-            processed += 1;
-            let mut p2 = 0usize;
-            while p2 < triples.len() {
-                let s2 = State(p2 as u32);
-                p2 += 1;
-                for &sym in &binaries {
-                    for (x, y) in [(s1, s2), (s2, s1)] {
-                        if node.contains_key(&(sym, x, y)) {
-                            continue;
+        'replay: loop {
+            if col.len() < triples.len() {
+                col.resize(triples.len(), 0);
+            }
+            let mut progressed = false;
+            let mut s1i = 0usize;
+            while s1i < triples.len() {
+                let s1 = State(s1i as u32);
+                while (col[s1i] as usize) < triples.len() {
+                    let s2 = State(col[s1i]);
+                    for &sym in &binaries {
+                        for (x, y) in [(s1, s2), (s2, s1)] {
+                            if node.contains_key(&(sym, x, y)) {
+                                continue;
+                            }
+                            let ti = walker.slot(sym);
+                            let key = (
+                                ti,
+                                projector.id(&walker, &behaviors, ti, 0, triples[x.index()].left),
+                                projector.id(&walker, &behaviors, ti, 1, triples[y.index()].right),
+                            );
+                            let Some(&ids) = memo.get(&key) else {
+                                complete = false;
+                                break 'replay;
+                            };
+                            let q = intern_triple(ids, &mut triples, &mut index, limit)?;
+                            node.insert((sym, x, y), q);
                         }
-                        let key = (sym, triples[x.index()].left, triples[y.index()].right);
-                        let Some(&ids) = memo.get(&key) else {
-                            complete = false;
-                            break 'replay;
-                        };
-                        let q = intern_triple(ids, &mut triples, &mut index, limit)?;
-                        node.insert((sym, x, y), q);
+                    }
+                    col[s1i] += 1;
+                    progressed = true;
+                    if col.len() < triples.len() {
+                        col.resize(triples.len(), 0);
                     }
                 }
+                s1i += 1;
+            }
+            if !progressed {
+                break;
             }
         }
         if journal::enabled() {
             journal::counter("walk.triples", triples.len() as u64);
-            journal::counter("walk.masks_arena", masks.masks.len() as u64);
+            journal::counter("walk.masks_arena", behaviors.rows_seen.len() as u64);
             journal::counter("walk.behaviors_arena", behaviors.behaviors.len() as u64);
-            journal::counter("walk.memo_misses", memo.len() as u64);
+            journal::counter("walk.projections_arena", projector.arena.projs.len() as u64);
+            journal::counter("walk.memo_misses", (leaf.len() + memo.len()) as u64);
             journal::counter(
                 "walk.memo_hits",
                 node.len().saturating_sub(memo.len()) as u64,
@@ -1159,18 +1599,24 @@ pub fn walking_to_dbta_with(
         .collect();
     let stats = WalkStats {
         pairs: node.len() as u64,
-        compositions: (leaf.len() + memo.len()) as u64,
+        compositions: (leaf.len() + node.len()) as u64,
         memo_hits: (node.len() - memo.len()) as u64,
-        memo_misses: memo.len() as u64,
+        memo_misses: (leaf.len() + memo.len()) as u64,
         fixpoint_steps: job_stats.steps,
-        worklist_peak: job_stats.peak as u64,
+        worklist_peak: job_stats.peak,
         rounds,
         threads: threads as u64,
         parallel_batches: job_stats.par_batches,
         parallel_threshold: parallel_threshold as u64,
-        masks_interned: masks.masks.len() as u64,
+        masks_interned: behaviors.rows_seen.len() as u64,
         behaviors_interned: behaviors.behaviors.len() as u64,
         dbta_states: triples.len() as u64,
+        words: words as u64,
+        kernel_rows: job_stats.rows,
+        kernel_row_peak: job_stats.row_peak,
+        projections_interned: projector.arena.projs.len() as u64,
+        chunk_size: chunk as u64,
+        chunks: job_stats.chunks,
     };
     let d = Dbta::from_parts(alphabet, triples.len() as u32, leaf, node, finals);
     Ok((d, stats))
@@ -1233,36 +1679,53 @@ mod tests {
                 "disagreement on {src}"
             );
         }
-        // The construction must be invariant under the thread count: same
-        // states, transitions, finals, and counters.
+        // The construction must be invariant under the thread count and
+        // chunk size: same states, transitions, finals, and counters.
         let opts1 = WalkOptions {
             threads: 1,
             ..Default::default()
         };
         // threshold 1 forces the worker-crew path even on these tiny
-        // batches, so the parallel machinery stays under test.
+        // batches, so the parallel machinery stays under test; chunk 1
+        // maximizes stealing opportunities.
         let opts4 = WalkOptions {
             threads: 4,
             parallel_threshold: 1,
             ..Default::default()
         };
+        let opts8 = WalkOptions {
+            threads: 8,
+            parallel_threshold: 1,
+            chunk: 1,
+            ..Default::default()
+        };
         let (d1, s1) = walking_to_dbta_with(a, &opts1).unwrap();
         let (d4, s4) = walking_to_dbta_with(a, &opts4).unwrap();
+        let (d8, s8) = walking_to_dbta_with(a, &opts8).unwrap();
         assert_eq!(d1, d4, "thread count changed the DBTA");
+        assert_eq!(d1, d8, "chunk size changed the DBTA");
         assert_eq!(d1, d, "explicit thread count changed the DBTA");
-        assert_eq!(
-            (s1.pairs, s1.compositions, s1.memo_hits, s1.dbta_states),
-            (s4.pairs, s4.compositions, s4.memo_hits, s4.dbta_states),
-            "thread count changed the counters"
-        );
-        assert_eq!(s1.memo_misses, s4.memo_misses);
-        assert_eq!(s1.pairs, s1.compositions - /* leaves */ 2 + s1.memo_hits);
-        assert_eq!(s1.pairs, s1.memo_hits + s1.memo_misses);
+        for s in [&s4, &s8] {
+            assert_eq!(
+                (s1.pairs, s1.compositions, s1.memo_hits, s1.dbta_states),
+                (s.pairs, s.compositions, s.memo_hits, s.dbta_states),
+                "scheduling changed the counters"
+            );
+            assert_eq!(s1.memo_misses, s.memo_misses);
+            assert_eq!(s1.kernel_rows, s.kernel_rows);
+            assert_eq!(s1.kernel_row_peak, s.kernel_row_peak);
+            assert_eq!(s1.fixpoint_steps, s.fixpoint_steps);
+            assert_eq!(s1.projections_interned, s.projections_interned);
+        }
+        // Accounting invariants: every request is a hit or a miss, and
+        // there is one request per leaf symbol plus one per pair.
+        assert_eq!(s1.memo_hits + s1.memo_misses, s1.compositions);
+        assert_eq!(s1.compositions, s1.pairs + 2 /* leaves */);
     }
 
     #[test]
     fn memo_hit_rate_is_always_finite() {
-        // The 0/0 case — no pairs resolved — must not be NaN.
+        // The 0/0 case — no requests at all — must not be NaN.
         let empty = WalkStats::default();
         assert_eq!(empty.memo_hit_rate(), 0.0);
         assert!(empty.memo_hit_rate().is_finite());
@@ -1277,6 +1740,192 @@ mod tests {
             ..WalkStats::default()
         };
         assert_eq!(all_miss.memo_hit_rate(), 0.0);
+    }
+
+    // ---- dense kernel unit suite ----------------------------------------
+
+    /// Builds a row from bit positions at the given word width.
+    fn row(bits: &[usize], words: usize) -> Vec<u64> {
+        let mut r = vec![0u64; words];
+        for &b in bits {
+            r[b / 64] |= 1u64 << (b % 64);
+        }
+        r
+    }
+
+    #[test]
+    fn row_ops_multi_word() {
+        let words = 5; // a 300-state machine's width
+        let a = row(&[0, 64, 190, 299], words);
+        let b = row(&[0, 64, 190, 262, 299], words);
+        assert!(row_subset(&a, &b));
+        assert!(!row_subset(&b, &a));
+        assert!(row_subset(&a, &a));
+        assert_eq!(row_popcount(&a), 4);
+        assert_eq!(row_popcount(&b), 5);
+        assert_eq!(row_bits(&b).collect::<Vec<_>>(), vec![0, 64, 190, 262, 299]);
+        let empty = row(&[], words);
+        assert!(row_subset(&empty, &a));
+        assert_eq!(row_popcount(&empty), 0);
+        assert_eq!(row_bits(&empty).count(), 0);
+    }
+
+    #[test]
+    fn ac_insert_rejects_supersets() {
+        let words = 2;
+        let mut arena: Vec<u64> = Vec::new();
+        let mut ac: Vec<RowRef> = Vec::new();
+        assert!(ac_insert_min(&mut ac, &mut arena, words, &row(&[3], words)));
+        // A superset of an existing row adds nothing.
+        assert!(!ac_insert_min(
+            &mut ac,
+            &mut arena,
+            words,
+            &row(&[3, 70], words)
+        ));
+        // An identical row adds nothing (equal popcount, subset = equality).
+        assert!(!ac_insert_min(
+            &mut ac,
+            &mut arena,
+            words,
+            &row(&[3], words)
+        ));
+        assert_eq!(ac.len(), 1);
+    }
+
+    #[test]
+    fn ac_insert_drops_dominated_rows() {
+        let words = 2;
+        let mut arena: Vec<u64> = Vec::new();
+        let mut ac: Vec<RowRef> = Vec::new();
+        assert!(ac_insert_min(
+            &mut ac,
+            &mut arena,
+            words,
+            &row(&[1, 2, 65], words)
+        ));
+        assert!(ac_insert_min(
+            &mut ac,
+            &mut arena,
+            words,
+            &row(&[1, 3, 66], words)
+        ));
+        assert!(ac_insert_min(
+            &mut ac,
+            &mut arena,
+            words,
+            &row(&[4, 5], words)
+        ));
+        // {1, 65} kills {1, 2, 65} but not {1, 3, 66} or {4, 5}.
+        assert!(ac_insert_min(
+            &mut ac,
+            &mut arena,
+            words,
+            &row(&[1, 65], words)
+        ));
+        assert_eq!(ac.len(), 3);
+        // The empty row dominates everything.
+        assert!(ac_insert_min(&mut ac, &mut arena, words, &row(&[], words)));
+        assert_eq!(ac.len(), 1);
+        assert_eq!(ac[0].pc, 0);
+        // Nothing can be added past the empty row.
+        assert!(!ac_insert_min(
+            &mut ac,
+            &mut arena,
+            words,
+            &row(&[7], words)
+        ));
+    }
+
+    #[test]
+    fn ac_insert_keeps_popcount_order() {
+        let words = 1;
+        let mut arena: Vec<u64> = Vec::new();
+        let mut ac: Vec<RowRef> = Vec::new();
+        for bits in [&[1usize, 2, 3][..], &[4][..], &[5, 6][..]] {
+            assert!(ac_insert_min(&mut ac, &mut arena, words, &row(bits, words)));
+        }
+        let pcs: Vec<u32> = ac.iter().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![1, 2, 3]);
+        // Incomparable same-popcount rows coexist.
+        assert!(ac_insert_min(&mut ac, &mut arena, words, &row(&[7], words)));
+        assert_eq!(
+            ac.iter().map(|e| e.pc).collect::<Vec<_>>(),
+            vec![1, 1, 2, 3]
+        );
+    }
+
+    /// End-to-end over a >256-state machine (words = 5 > the old inline
+    /// mask width): an or-search chained through 300 `Stay` states.
+    #[test]
+    fn wide_machine_multi_word_rows() {
+        let al = alpha();
+        let y = al.get("y").unwrap();
+        let mut b = AutomatonBuilder::new(&al, 1);
+        let n = 300usize;
+        let states: Vec<_> = (0..n)
+            .map(|i| b.state(&format!("s{i}"), 1).unwrap())
+            .collect();
+        b.set_initial(states[0]);
+        for i in 0..n - 1 {
+            b.move_rule(
+                SymSpec::Any,
+                states[i],
+                Guard::any(),
+                Move::Stay,
+                states[i + 1],
+            )
+            .unwrap();
+        }
+        let last = states[n - 1];
+        b.branch0(SymSpec::One(y), last, Guard::any()).unwrap();
+        b.move_rule(
+            SymSpec::Binaries,
+            last,
+            Guard::any(),
+            Move::DownLeft,
+            states[0],
+        )
+        .unwrap();
+        b.move_rule(
+            SymSpec::Binaries,
+            last,
+            Guard::any(),
+            Move::DownRight,
+            states[0],
+        )
+        .unwrap();
+        let a = b.build().unwrap();
+        let (_, s) = walking_to_dbta_with(&a, &WalkOptions::default()).unwrap();
+        assert_eq!(s.words, 5);
+        agree(&a);
+    }
+
+    /// The projected memo key collapses pairs that agree on the symbol's
+    /// `Down` targets — in particular, *every* right child here, because
+    /// `f` has no `DownRight` rules at all.
+    #[test]
+    fn projected_memo_hits_on_repeating_structure() {
+        let al = alpha();
+        let x = al.get("x").unwrap();
+        let mut b = AutomatonBuilder::new(&al, 1);
+        let q = b.state("walk", 1).unwrap();
+        b.set_initial(q);
+        b.move_rule(SymSpec::Binaries, q, Guard::any(), Move::DownLeft, q)
+            .unwrap();
+        b.branch0(SymSpec::One(x), q, Guard::any()).unwrap();
+        let a = b.build().unwrap();
+        let (_, s) = walking_to_dbta_with(
+            &a,
+            &WalkOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(s.memo_hits > 0, "projection must collapse right children");
+        assert_eq!(s.memo_hits + s.memo_misses, s.compositions);
+        assert!(s.projections_interned > 0);
     }
 
     /// Walks down-left-only to check the leftmost leaf is x.
@@ -1405,7 +2054,7 @@ mod tests {
     }
 
     /// The class budget aborts at the same canonical point regardless of
-    /// thread count.
+    /// thread count or chunk size.
     #[test]
     fn limit_abort_is_thread_invariant() {
         let al = alpha();
@@ -1428,6 +2077,7 @@ mod tests {
                     limit,
                     threads,
                     parallel_threshold: 1,
+                    chunk: 1,
                 };
                 match walking_to_dbta_with(&a, &opts) {
                     Err(TypecheckError::TooManyStates { n }) => aborts.push(n),

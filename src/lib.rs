@@ -36,6 +36,7 @@
 //! README.md, DESIGN.md and EXPERIMENTS.md for the full map.
 
 pub use xmltc_automata as automata;
+pub use xmltc_bench as bench;
 pub use xmltc_core as core;
 pub use xmltc_dtd as dtd;
 pub use xmltc_mso as mso;

@@ -799,6 +799,80 @@ fn typecheck_rejects_invalid_thread_count() {
 }
 
 #[test]
+fn typecheck_chunk_flag_is_output_invariant_and_reported() {
+    let base = [
+        "typecheck",
+        &fixture("even_a.dtd"),
+        &fixture("relabel.xsl"),
+        &fixture("even_b.dtd"),
+    ];
+    let plain = run(&base);
+    let chunked: Vec<&str> = base.iter().copied().chain(["--chunk", "2"]).collect();
+    let out = run(&chunked);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert_eq!(stdout(&plain), stdout(&out), "--chunk changed the output");
+    let json: Vec<&str> = chunked.iter().copied().chain(["--json"]).collect();
+    let out = run(&json);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert_eq!(json_u64(&stdout(&out), "walk.kernel.chunk_size"), Some(2));
+    for bad in ["0", "huge"] {
+        let out = run(&[&base[..], &["--chunk", bad]].concat());
+        assert_eq!(out.status.code(), Some(2), "--chunk {bad}");
+        assert!(stderr(&out).contains("invalid chunk size"));
+    }
+}
+
+#[test]
+fn bench_list_and_usage_errors() {
+    let out = run(&["bench", "--list"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert_eq!(stdout(&out).trim(), "walk-scale");
+    let out = run(&["bench"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--family"), "{}", stderr(&out));
+    let out = run(&["bench", "--family", "nope"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown bench family"));
+    let out = run(&["bench", "--family", "walk-scale", "--threads", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("invalid thread count"));
+}
+
+#[test]
+fn bench_family_quick_emits_curves() {
+    // Quick mode keeps only the smallest instance; one thread count and
+    // one rep keep the debug-build run affordable.
+    let out = run(&[
+        "bench",
+        "--family",
+        "walk-scale",
+        "--quick",
+        "--threads",
+        "1",
+        "--reps",
+        "1",
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(
+        s.contains("xmltc.bench-family/1"),
+        "schema tag missing: {s}"
+    );
+    assert!(s.contains("ws-128"), "quick roster instance missing: {s}");
+    // `bench --json` emits the compact encoding (no space after the
+    // colon), unlike the pipeline reports `json_u64` targets.
+    let jobs: Option<u64> = s.split("\"jobs\":").nth(1).and_then(|rest| {
+        let end = rest.find(|c: char| !c.is_ascii_digit())?;
+        rest[..end].parse().ok()
+    });
+    assert!(
+        jobs.is_some_and(|j| j > 1_000),
+        "scaled frontier must stay saturated: {s}"
+    );
+}
+
+#[test]
 fn validate_stats_and_json_report_phases() {
     let base = ["validate", &fixture("even_a.dtd"), &fixture("doc.xml")];
     let out = run(&base.iter().copied().chain(["--stats"]).collect::<Vec<_>>());

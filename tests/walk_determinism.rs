@@ -96,6 +96,43 @@ fn parallel_build_is_byte_identical() {
     }
 }
 
+/// The scaled walk-scale family under the worker crew: the seeded
+/// generator's saturated frontier (460 behaviour classes, ~5.5k distinct
+/// jobs) replayed at 2 and 8 threads with a deliberately tiny chunk, so
+/// steal boundaries land mid-round. The closure is size-invariant by
+/// construction — every `ws-*` size shares one core machine — so the
+/// smallest member exercises the identical frontier the bench's largest
+/// instance does, at debug-build-friendly cost.
+#[test]
+fn scaled_family_build_is_byte_identical() {
+    let al = xmltc::bench::scaled::scaled_alphabet();
+    let a = xmltc::bench::scaled::scaled_walker(&al, 48, 0xA11CE);
+    let seq = WalkOptions {
+        threads: 1,
+        ..Default::default()
+    };
+    let (d1, s1) = walking_to_dbta_with(&a, &seq).unwrap();
+    assert!(
+        s1.memo_misses > 1_000,
+        "scaled frontier must stay saturated under projected memoization"
+    );
+    for threads in [2, 8] {
+        let par = WalkOptions {
+            threads,
+            parallel_threshold: 1,
+            chunk: 3,
+            ..Default::default()
+        };
+        let (dn, sn) = walking_to_dbta_with(&a, &par).unwrap();
+        assert_eq!(d1, dn, "scaled DBTA differs at {threads} threads");
+        assert_eq!(
+            (s1.pairs, s1.compositions, s1.memo_hits, s1.dbta_states),
+            (sn.pairs, sn.compositions, sn.memo_hits, sn.dbta_states),
+            "scaled counters differ at {threads} threads"
+        );
+    }
+}
+
 /// The measured job-count gate: `--threads auto` must never lose to
 /// sequential on small instances, so frontiers below
 /// [`PARALLEL_JOB_THRESHOLD`] stay on the sequential path even when
@@ -140,6 +177,7 @@ fn too_many_states_aborts_identically_at_any_thread_count() {
                 limit,
                 threads,
                 parallel_threshold: 1,
+                chunk: 1,
             };
             match walking_to_dbta_with(&v, &opts) {
                 Err(TypecheckError::TooManyStates { n }) => n,
